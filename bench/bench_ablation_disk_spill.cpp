@@ -1,0 +1,66 @@
+// Section 3 motivation quantified: why "the largest problem WITHOUT
+// going to disk" is the right objective.
+//
+// The paper's Sec. 3: supercomputer nodes often have no local disk and
+// the collective file-system bandwidth is very low, so a transform
+// whose intermediates exceed aggregate memory must either spill (pay
+// that bandwidth) or fuse. This bench runs the Shell-Mixed problem on
+// a System-B-sized cluster with a simulated parallel file system and
+// compares the unfused schedule (spilling its n^4-scale intermediates)
+// against the fused in-memory schedule.
+//
+// Expected shape: the spilling run moves GBs through the slow disk and
+// is one to two orders of magnitude slower; the fused schedule touches
+// the disk not at all.
+#include <iostream>
+
+#include "chem/molecule.hpp"
+#include "core/problem.hpp"
+#include "core/schedules_par.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/machine.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace fit;
+  auto p = core::make_problem(chem::paper_molecule("Shell-Mixed"));
+  auto machine = runtime::system_b(18);  // 2.10 GB aggregate (scaled)
+  // Parallel file system: ~2 GB/s collective at paper scale is
+  // generous; scale bandwidth with the 1/4096 memory scaling so the
+  // disk:memory bandwidth ratio is preserved.
+  machine.disk_bandwidth_bps = 2e9 / 64.0;  // time scales are relative
+  machine.disk_latency_s = 2e-3;
+
+  core::ParOptions o;
+  o.tile = 8;
+  o.tile_l = 4;
+  o.gather_result = false;
+
+  TextTable t({"schedule", "sim time (s)", "disk bytes", "remote bytes",
+               "peak global", "spilled?"});
+  {
+    runtime::Cluster cl(machine, runtime::ExecutionMode::Simulate);
+    auto r = core::unfused_par_transform(p, cl, o);
+    t.add_row({"unfused + spill", fmt_fixed(r.stats.sim_time, 2),
+               human_bytes(cl.totals().disk_bytes),
+               human_bytes(r.stats.remote_bytes),
+               human_bytes(r.stats.peak_global_bytes),
+               cl.disk_peak() > 0 ? "yes (" +
+                   human_bytes(cl.disk_peak()) + " on disk)" : "no"});
+  }
+  {
+    runtime::Cluster cl(machine, runtime::ExecutionMode::Simulate);
+    auto r = core::fused_inner_par_transform(p, cl, o);
+    t.add_row({"fused-inner (in memory)", fmt_fixed(r.stats.sim_time, 2),
+               human_bytes(cl.totals().disk_bytes),
+               human_bytes(r.stats.remote_bytes),
+               human_bytes(r.stats.peak_global_bytes),
+               cl.disk_peak() > 0 ? "yes" : "no"});
+  }
+  t.print("Sec 3 — cost of spilling vs fusing, Shell-Mixed on System B "
+          "(504 cores)");
+  std::cout << "(the fused schedule is the only way to stay entirely in "
+               "memory: Theorem 6.2's S >= |C| bound is satisfiable, the "
+               "unfused schedule's ~3n^4/4 requirement is not)\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Section 7.4 ablation: the space-time trade-off of symmetry breaking.
+//
+// Fusing the l loop breaks the (k,l) permutation symmetry, doubling
+// the arithmetic of the first two contractions: the fused schedule
+// performs ~1.5x the multiply-adds of the unfused one, and ~2x the
+// integral evaluations. This bench measures both, per schedule, across
+// problem sizes — real executions of the sequential schedules.
+#include <iostream>
+
+#include "chem/molecule.hpp"
+#include "core/problem.hpp"
+#include "core/schedules_seq.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace fit;
+  TextTable t({"n", "unfused flops", "fused flops", "flop ratio",
+               "unfused evals", "fused evals", "eval ratio",
+               "unfused peak", "fused peak"});
+  for (std::size_t n : {16u, 24u, 32u, 48u}) {
+    auto p1 = core::make_problem(chem::custom_molecule("sym", n, 1, 7));
+    core::SeqStats su;
+    (void)core::unfused_transform(p1, &su);
+    auto p2 = core::make_problem(chem::custom_molecule("sym", n, 1, 7));
+    core::SeqStats sf;
+    (void)core::fused1234_transform(p2, &sf);
+    t.add_row({std::to_string(n), human_count(su.flops),
+               human_count(sf.flops), fmt_fixed(sf.flops / su.flops, 3),
+               human_count(double(su.integral_evals)),
+               human_count(double(sf.integral_evals)),
+               fmt_fixed(double(sf.integral_evals) /
+                             double(su.integral_evals), 3),
+               human_count(double(su.peak_words)),
+               human_count(double(sf.peak_words))});
+  }
+  t.print("Sec 7.4 — symmetry-breaking cost of full fusion (measured)");
+  std::cout << "(flop ratio -> 1.5, integral ratio -> 2.0 as n grows; "
+               "peak memory drops from ~3n^4/4 to |C| + O(n^3))\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Tiling-choice ablation: the paper's Sec. 1/4 point that every
+// fusion configuration still carries "a very large search space of
+// tile sizes". Sweep the orbital tile width of the fused-inner
+// schedule and report the trade-offs the width controls:
+//
+//   small tiles  -> more messages (latency-bound), finer load balance,
+//                   less diagonal-tile padding;
+//   large tiles  -> fewer/bigger transfers (bandwidth-bound), coarser
+//                   work units, more storage padding on diagonal and
+//                   irrep-boundary tiles.
+#include <iostream>
+
+#include "chem/molecule.hpp"
+#include "core/problem.hpp"
+#include "core/schedules_par.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/machine.hpp"
+#include "tensor/packed.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace fit;
+  auto p = core::make_problem(chem::custom_molecule("tiles", 64, 8, 13));
+  const auto sz = p.sizes();
+
+  runtime::MachineConfig m;
+  m.name = "probe";
+  m.n_nodes = 8;
+  m.ranks_per_node = 4;
+  m.mem_per_node_bytes = 2e9;
+
+  TextTable t({"tile", "remote bytes", "messages", "peak global",
+               "C padding", "imbalance", "sim time (s)"});
+  for (std::size_t tile : {2u, 4u, 8u, 16u, 32u}) {
+    core::ParOptions o;
+    o.tile = tile;
+    o.tile_l = 4;
+    o.gather_result = false;
+    runtime::Cluster cl(m, runtime::ExecutionMode::Simulate);
+    auto r = core::fused_inner_par_transform(p, cl, o);
+    // Storage padding of the distributed C relative to the exact
+    // packed size (diagonal tiles store the full square).
+    const double exact_c = 8.0 * double(sz.c);
+    const double pad = r.stats.peak_global_bytes / exact_c;
+    t.add_row({std::to_string(tile), human_bytes(r.stats.remote_bytes),
+               human_count(cl.totals().remote_messages),
+               human_bytes(r.stats.peak_global_bytes),
+               fmt_fixed(pad, 2) + "x",
+               fmt_fixed(r.stats.worst_imbalance, 2),
+               fmt_fixed(r.stats.sim_time, 4)});
+  }
+  t.print("tile-width sweep — fused-inner schedule (n = 64, s = 8, "
+          "32 ranks)");
+  std::cout << "(|C| exact packed = " << human_bytes(8.0 * double(sz.c))
+            << "; the sweet spot balances message count against padding "
+               "and load balance — the search space the paper's "
+               "lower-bounds analysis lets one avoid exploring blindly.\n"
+               "Widths above the irrep block size n/s = 8 coincide: "
+               "irrep-aligned tilings clamp there to keep the spatial "
+               "filter exact. Remote bytes also reflect the auto-chosen "
+               "alpha parallelism, which rises as tiles coarsen.)\n";
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 2a: Hyperpolar (small, 368 orbitals -> 46 scaled) on
+// System A at 32/64/128 cores and System B at 56/140 cores.
+//
+// Expected shape (paper): with few nodes the unfused intermediates do
+// not fit, NWChem falls back to its slow low-memory scheme and the
+// hybrid's fused schedule wins by several-fold; with enough nodes both
+// run unfused and tie.
+#include "fig2_common.hpp"
+
+int main() {
+  using fit::runtime::system_a;
+  using fit::runtime::system_b;
+  fig2::run_panel("a", "Hyperpolar",
+                  {{system_a(4), 32},
+                   {system_a(8), 64},
+                   {system_a(16), 128},
+                   {system_b(2), 56},
+                   {system_b(5), 140}});
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 2b: Uracil (large, 698 orbitals -> 87 scaled) on System A at
+// 512 cores, System B at 140/252/504 cores, System C at 512/1024.
+//
+// Expected shape (paper): on System A 512 cores the aggregate memory
+// cannot hold the NWChem tensors ("Failed") while the hybrid's fused
+// schedule runs; on System B/C the hybrid is faster where memory is
+// tight and ties when the unfused intermediates fit (504 cores of B).
+#include "fig2_common.hpp"
+
+int main() {
+  using fit::runtime::system_a;
+  using fit::runtime::system_b;
+  using fit::runtime::system_c;
+  fig2::run_panel("b", "Uracil",
+                  {{system_a(64), 512},
+                   {system_b(5), 140},
+                   {system_b(9), 252},
+                   {system_b(18), 504},
+                   {system_c(128), 512},
+                   {system_c(256), 1024}});
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 2c: C60H20 (medium, 580 orbitals -> 72 scaled) on System B
+// at 140 and 252 cores.
+//
+// Expected shape (paper): fused wins at 140 cores (intermediates do
+// not fit), parity at 252 cores (they do).
+#include "fig2_common.hpp"
+
+int main() {
+  using fit::runtime::system_b;
+  fig2::run_panel("c", "C60H20", {{system_b(5), 140}, {system_b(9), 252}});
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 2d: C40H56 (very large, 1023 orbitals -> 128 scaled) on
+// System B at 504 cores and System C at 1536 cores.
+//
+// Expected shape (paper): on System B every NWChem variant that
+// materializes tensors fails (6.5+ TB footprint vs 9.2 TB with
+// production overheads) while the hybrid's fused schedule runs; our
+// capacity-exact recompute baseline still fits but is many times
+// slower — see EXPERIMENTS.md for the discussion.
+#include "fig2_common.hpp"
+
+int main() {
+  using fit::runtime::system_b;
+  using fit::runtime::system_c;
+  fig2::run_panel("d", "C40H56",
+                  {{system_b(18), 504}, {system_c(384), 1536}});
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Supporting microbenchmark: throughput of the from-scratch blocked
+// DGEMM (fit::blas), including the n^3 x n "macro" shape every tensor
+// contraction of the four-index transform reduces to (Sec. 5.1).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::vector<double> random_vec(std::size_t n, std::uint64_t seed) {
+  fit::SplitMix64 g(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = g.next_double(-1.0, 1.0);
+  return v;
+}
+
+void BM_GemmSquare(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = random_vec(n * n, 1);
+  auto b = random_vec(n * n, 2);
+  std::vector<double> c(n * n, 0.0);
+  for (auto _ : state) {
+    fit::blas::gemm(fit::blas::Trans::No, fit::blas::Trans::No, n, n, n,
+                    1.0, a.data(), n, b.data(), n, 0.0, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmSquare)->Arg(64)->Arg(128)->Arg(256)->Arg(384);
+
+// The contraction shape: (n^2 x n) * (n x n) — a tall-skinny product
+// over the "macro" index (a modest slice; the full n^3 rows would
+// dominate the benchmark run time without adding information).
+void BM_GemmContractionShape(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t rows = n * n;
+  auto a = random_vec(rows * n, 3);
+  auto b = random_vec(n * n, 4);
+  std::vector<double> c(rows * n, 0.0);
+  for (auto _ : state) {
+    // C[m, a] = A[m, i] * B[a, i]^T
+    fit::blas::gemm(fit::blas::Trans::No, fit::blas::Trans::Yes, rows, n,
+                    n, 1.0, a.data(), n, b.data(), n, 0.0, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * rows * n * n));
+}
+BENCHMARK(BM_GemmContractionShape)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_GemmReferenceSquare(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = random_vec(n * n, 1);
+  auto b = random_vec(n * n, 2);
+  std::vector<double> c(n * n, 0.0);
+  for (auto _ : state) {
+    fit::blas::gemm_reference(fit::blas::Trans::No, fit::blas::Trans::No,
+                              n, n, n, 1.0, a.data(), n, b.data(), n, 0.0,
+                              c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmReferenceSquare)->Arg(64)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

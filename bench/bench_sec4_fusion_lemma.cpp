@@ -1,0 +1,114 @@
+// Section 4 reproduction: the Fusion Lemma's verdicts on when fusing a
+// producer-consumer pair of matrix products is worthwhile.
+//
+// Part 1 — analytic worked examples from the paper:
+//   * square chain E = (A*B)*D, all N x N: the possible gain is capped
+//     at ~27% (0.54/2) — fusion is barely useful;
+//   * rectangular chain with N >> K: the N^2 intermediate dwarfs the
+//     inherent I/O and fusion can remove nearly everything.
+//
+// Part 2 — empirical validation: exact optimal I/O from the red-blue
+// pebble game on small producer/consumer CDAGs, confirming
+// IO(C12) >= IO(C1) + IO(C2) - 2|O1| and showing how close fused
+// optima come to the bound.
+#include <cmath>
+#include <iostream>
+
+#include "bounds/fusion_lemma.hpp"
+#include "bounds/matmul_bounds.hpp"
+#include "pebble/cdag.hpp"
+#include "pebble/pebble_game.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void analytic_part() {
+  using namespace fit;
+  TextTable t({"chain", "N", "K", "S", "unfused I/O", "fused LB",
+               "max gain", "gain frac", "useful?"});
+  const double s = 4096;
+  for (double n : {512.0, 2048.0, 8192.0}) {
+    {
+      // Square chain.
+      const double lb = bounds::matmul_lb_dongarra(n, n, n, s);
+      const double ach = 2.0 * n * n * n / std::sqrt(s);
+      bounds::StageIO st{lb, ach};
+      const double unfused = 2 * ach;
+      const double gain = bounds::max_fusion_benefit(st, st, n * n);
+      t.add_row({"square", fmt_fixed(n, 0), fmt_fixed(n, 0),
+                 fmt_fixed(s, 0), human_count(unfused), human_count(
+                     bounds::fused_pair_lower_bound(st, st, n * n)),
+                 human_count(gain), fmt_fixed(gain / unfused, 3),
+                 bounds::fusion_is_useful(st, st, n * n) ? "yes" : "no"});
+    }
+    {
+      // Rectangular chain, K << N.
+      const double k = 16;
+      const double lb = bounds::matmul_lb_dongarra(n, k, n, s);
+      const double ach = bounds::matmul_tiled_io(n, k, n, s);
+      bounds::StageIO st{lb, ach};
+      const double unfused = 2 * ach;
+      const double gain = bounds::max_fusion_benefit(st, st, n * n);
+      t.add_row({"rect", fmt_fixed(n, 0), fmt_fixed(k, 0),
+                 fmt_fixed(s, 0), human_count(unfused), human_count(
+                     bounds::fused_pair_lower_bound(st, st, n * n)),
+                 human_count(gain), fmt_fixed(gain / unfused, 3),
+                 bounds::fusion_is_useful(st, st, n * n) ? "yes" : "no"});
+    }
+  }
+  t.print("Sec 4 — Fusion Lemma on chained matrix products");
+  std::cout << "(square chains cap out near 0.27; rectangular chains "
+               "approach 1.0 — fusion removes almost all I/O)\n\n";
+}
+
+void pebble_part() {
+  using namespace fit;
+  using namespace fit::pebble;
+  TextTable t({"seed", "S", "IO(C1)", "IO(C2)", "|O1|", "lemma RHS",
+               "IO(C12)", "slack"});
+  int rows = 0;
+  for (std::uint64_t seed = 1; rows < 10 && seed < 60; ++seed) {
+    SplitMix64 rng(seed * 77);
+    // Producer: 3 inputs, 2 outputs each reading a random input pair.
+    Cdag prod(5);
+    for (int v = 3; v < 5; ++v) {
+      const int u1 = static_cast<int>(rng.next_below(3));
+      int u2 = static_cast<int>(rng.next_below(3));
+      if (u2 == u1) u2 = (u2 + 1) % 3;
+      prod.add_edge(std::min(u1, u2), v);
+      prod.add_edge(std::max(u1, u2), v);
+      prod.mark_output(v);
+    }
+    // Consumer: both intermediates + 1 fresh input -> 1 output.
+    Cdag cons(4);
+    cons.add_edge(0, 3);
+    cons.add_edge(1, 3);
+    cons.add_edge(2, 3);
+    cons.mark_output(3);
+    auto fused = fuse(prod, {3, 4}, cons, {0, 1});
+    for (int s = 4; s <= 5; ++s) {
+      auto io1 = min_io(prod, s);
+      auto io2 = min_io(cons, s);
+      auto io12 = min_io(fused.graph, s);
+      if (!io1 || !io2 || !io12) continue;
+      const long rhs = static_cast<long>(io1->min_io) + io2->min_io - 4;
+      t.add_row({std::to_string(seed), std::to_string(s),
+                 std::to_string(io1->min_io), std::to_string(io2->min_io),
+                 "2", std::to_string(rhs), std::to_string(io12->min_io),
+                 std::to_string(static_cast<long>(io12->min_io) - rhs)});
+      ++rows;
+      if (rows >= 10) break;
+    }
+  }
+  t.print("Sec 4 / Appendix A — exact pebble-game optima vs. the lemma");
+  std::cout << "(slack >= 0 always: the lemma is a valid lower bound)\n";
+}
+
+}  // namespace
+
+int main() {
+  analytic_part();
+  pebble_part();
+  return 0;
+}

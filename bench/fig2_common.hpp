@@ -1,0 +1,127 @@
+// Shared driver for the Figure 2 reproduction benchmarks.
+//
+// Each bench binary replays one panel of the paper's Figure 2: a
+// benchmark molecule (scaled 1/8, see DESIGN.md) run on the paper's
+// cluster configurations (memory scaled 1/4096), comparing our
+// fuse/unfuse hybrid against "NWChem Best" — the fastest of the
+// production-NWChem baseline models that fits the machine. A baseline
+// that exhausts aggregate memory is reported "Failed", exactly the
+// outcome the paper plots.
+//
+// Times are simulated (alpha-beta network + flop/integral rate model);
+// the claims under test are *relative*: who wins, by what factor, and
+// where the Failed boundaries fall.
+#pragma once
+
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "chem/molecule.hpp"
+#include "core/problem.hpp"
+#include "core/schedules_baseline.hpp"
+#include "core/schedules_par.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/machine.hpp"
+#include "util/format.hpp"
+
+namespace fig2 {
+
+struct Config {
+  fit::runtime::MachineConfig machine;
+  std::size_t cores;  // display label (== machine.n_ranks())
+};
+
+struct Outcome {
+  bool ran = false;
+  double time = 0;
+  std::string name;
+};
+
+inline Outcome try_run(
+    const char* name, const fit::core::Problem& p,
+    const fit::runtime::MachineConfig& m, const fit::core::ParOptions& o,
+    fit::core::ParResult (*fn)(const fit::core::Problem&,
+                               fit::runtime::Cluster&,
+                               const fit::core::ParOptions&)) {
+  Outcome out;
+  out.name = name;
+  try {
+    fit::runtime::Cluster cl(m, fit::runtime::ExecutionMode::Simulate);
+    auto r = fn(p, cl, o);
+    out.ran = true;
+    out.time = r.stats.sim_time;
+  } catch (const fit::OutOfMemoryError&) {
+    out.ran = false;
+  }
+  return out;
+}
+
+inline void run_panel(const std::string& panel, const std::string& molecule,
+                      const std::vector<Config>& configs) {
+  auto mol = fit::chem::paper_molecule(molecule);
+  auto p = fit::core::make_problem(mol);
+
+  std::cout << "Reproducing Figure 2" << panel << ": " << molecule
+            << " (paper: " << mol.paper_n_orbitals << " orbitals, scaled: "
+            << mol.n_orbitals << "; cluster memories scaled 1/4096)\n";
+  const auto sz = p.sizes();
+  std::cout << "unfused footprint (|O1|+|O2|+...): "
+            << fit::human_bytes(8.0 * double(sz.unfused_peak() + sz.c))
+            << ", |C|: " << fit::human_bytes(8.0 * double(sz.c)) << "\n\n";
+
+  fit::TextTable t({"system", "cores", "aggregate mem", "hybrid (s)",
+                    "hybrid schedule", "NWChem best (s)", "best variant",
+                    "speedup"});
+  for (const auto& cfg : configs) {
+    fit::core::ParOptions o;
+    o.tile = 8;
+    o.tile_l = 4;
+    o.gather_result = false;
+
+    Outcome hybrid;
+    std::string hybrid_sched = "-";
+    try {
+      fit::runtime::Cluster cl(cfg.machine,
+                               fit::runtime::ExecutionMode::Simulate);
+      auto r = fit::core::hybrid_transform(p, cl, o);
+      hybrid.ran = true;
+      hybrid.time = r.stats.sim_time;
+      hybrid_sched = r.stats.schedule;
+    } catch (const fit::OutOfMemoryError&) {
+    }
+
+    // NWChem's default memory model splits process memory into heap/
+    // stack/global partitions, leaving roughly half of physical memory
+    // usable for Global Arrays; our implementation manages the full
+    // budget. The baselines therefore see a halved capacity — this is
+    // what makes the paper's NWChem runs fail on clusters that could
+    // theoretically hold the 3n^4/4 minimum (see EXPERIMENTS.md).
+    auto nw_machine = cfg.machine;
+    nw_machine.mem_per_node_bytes *= 0.5;
+    auto unf = try_run("nwchem-unfused", p, nw_machine, o,
+                       &fit::core::nwchem_unfused_par_transform);
+    auto rec = try_run("nwchem-recompute", p, nw_machine, o,
+                       &fit::core::nwchem_recompute_par_transform);
+    Outcome best;
+    for (const auto& cand : {unf, rec})
+      if (cand.ran && (!best.ran || cand.time < best.time)) best = cand;
+
+    const std::string agg =
+        fit::human_bytes(cfg.machine.aggregate_memory_bytes());
+    t.add_row(
+        {cfg.machine.name, std::to_string(cfg.cores), agg,
+         hybrid.ran ? fit::fmt_fixed(hybrid.time, 3) : "Failed",
+         hybrid_sched,
+         best.ran ? fit::fmt_fixed(best.time, 3) : "Failed",
+         best.ran ? best.name : "-",
+         (hybrid.ran && best.ran)
+             ? fit::fmt_fixed(best.time / hybrid.time, 2) + "x"
+             : (hybrid.ran ? "runs where NWChem fails" : "-")});
+  }
+  t.print("Figure 2" + panel + " — " + molecule);
+  std::cout << std::endl;
+}
+
+}  // namespace fig2

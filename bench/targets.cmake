@@ -1,0 +1,14 @@
+# Benchmark binaries. Included from the top-level CMakeLists (rather
+# than via add_subdirectory) so that build/bench/ contains only the
+# executables and `for b in build/bench/*; do $b; done` runs cleanly.
+file(GLOB BENCH_SOURCES CONFIGURE_DEPENDS
+     ${CMAKE_SOURCE_DIR}/bench/*.cpp)
+
+foreach(bench_src ${BENCH_SOURCES})
+  get_filename_component(bench_name ${bench_src} NAME_WE)
+  add_executable(${bench_name} ${bench_src})
+  target_link_libraries(${bench_name} PRIVATE fourindex
+                        benchmark::benchmark)
+  set_target_properties(${bench_name} PROPERTIES
+                        RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()

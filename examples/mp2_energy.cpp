@@ -1,0 +1,68 @@
+// MP2 correlation energy on a simulated cluster — the workload the
+// paper's introduction motivates: transform the AO integrals to the MO
+// basis, then feed the correlated method.
+//
+// Runs the distributed hybrid transform in Real mode on a small
+// simulated cluster, verifies the distributed result against the
+// sequential reference, and evaluates the MP2-style energy.
+//
+//   ./mp2_energy [n_orbitals] [nodes] [ranks_per_node]
+#include <cstdlib>
+#include <iostream>
+
+#include "chem/molecule.hpp"
+#include "chem/mp2.hpp"
+#include "core/problem.hpp"
+#include "core/schedules_seq.hpp"
+#include "core/transform.hpp"
+#include "runtime/machine.hpp"
+#include "util/format.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fit;
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20;
+  const std::size_t nodes =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 2;
+  const std::size_t rpn = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 4;
+
+  auto mol = chem::custom_molecule("mp2-demo", n, 4);
+  auto problem = core::make_problem(mol);
+
+  runtime::MachineConfig machine;
+  machine.name = "demo-cluster";
+  machine.n_nodes = nodes;
+  machine.ranks_per_node = rpn;
+  machine.mem_per_node_bytes = 256e6;
+  runtime::Cluster cluster(machine, runtime::ExecutionMode::Real);
+
+  std::cout << "MP2 demo: n=" << n << " orbitals (" << mol.n_occupied
+            << " occupied), " << machine.n_ranks()
+            << " simulated ranks\n\n";
+
+  core::TransformOptions opt;
+  opt.schedule = core::Schedule::Hybrid;
+  opt.par.tile = std::max<std::size_t>(2, n / 5);
+  opt.par.tile_l = 4;
+  auto result = core::four_index_transform(problem, opt, &cluster);
+
+  std::cout << "schedule chosen:   " << result.par.schedule << "\n"
+            << "simulated time:    " << fmt_fixed(result.par.sim_time, 4)
+            << " s\n"
+            << "remote traffic:    "
+            << human_bytes(result.par.remote_bytes) << "\n"
+            << "peak global mem:   "
+            << human_bytes(result.par.peak_global_bytes) << "\n"
+            << "flops:             " << human_count(result.par.flops)
+            << "\n\n";
+
+  auto reference = core::reference_transform(problem);
+  const double diff = result.c->max_abs_diff(reference);
+  std::cout << "max |C_dist - C_ref| = " << fmt_sci(diff, 2) << "\n";
+
+  auto eps = chem::synthetic_orbital_energies(mol.n_orbitals, mol.n_occupied);
+  const double e_dist = chem::mp2_energy(*result.c, mol.n_occupied, eps);
+  const double e_ref = chem::mp2_energy(reference, mol.n_occupied, eps);
+  std::cout << "E_MP2 (distributed) = " << fmt_fixed(e_dist, 8) << "\n"
+            << "E_MP2 (reference)   = " << fmt_fixed(e_ref, 8) << "\n";
+  return diff < 1e-8 ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Level-1 BLAS-style kernels (row-major convention, double precision).
+//
+// These are the primitive building blocks used by the tensor layer and
+// by the trace-instrumented kernels. They deliberately mirror the BLAS
+// calling conventions (n, x, incx, ...) so the code reads like the
+// numerical kernels in production chemistry suites.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace fit::blas {
+
+/// y[i] += alpha * x[i]
+inline void axpy(std::size_t n, double alpha, const double* x,
+                 std::size_t incx, double* y, std::size_t incy) {
+  for (std::size_t i = 0; i < n; ++i) y[i * incy] += alpha * x[i * incx];
+}
+
+inline void axpy(std::size_t n, double alpha, const double* x, double* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+/// sum_i x[i]*y[i]
+inline double dot(std::size_t n, const double* x, std::size_t incx,
+                  const double* y, std::size_t incy) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i * incx] * y[i * incy];
+  return acc;
+}
+
+inline double dot(std::size_t n, const double* x, const double* y) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+/// x[i] *= alpha
+inline void scal(std::size_t n, double alpha, double* x,
+                 std::size_t incx = 1) {
+  for (std::size_t i = 0; i < n; ++i) x[i * incx] *= alpha;
+}
+
+/// y := x
+inline void copy(std::size_t n, const double* x, double* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = x[i];
+}
+
+/// Euclidean norm.
+inline double nrm2(std::size_t n, const double* x, std::size_t incx = 1) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = x[i * incx];
+    acc += v * v;
+  }
+  return std::sqrt(acc);
+}
+
+/// max_i |x[i] - y[i]|  (convenience for tests and validation)
+inline double max_abs_diff(std::size_t n, const double* x, const double* y) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = std::fabs(x[i] - y[i]);
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+}  // namespace fit::blas

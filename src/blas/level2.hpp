@@ -1,0 +1,31 @@
+// Level-2 BLAS-style kernels (row-major, double precision).
+#pragma once
+
+#include <cstddef>
+
+#include "blas/level1.hpp"
+
+namespace fit::blas {
+
+/// y[m] += alpha * A[m x n] * x[n]   (A row-major, leading dimension lda)
+inline void gemv_n(std::size_t m, std::size_t n, double alpha, const double* a,
+                   std::size_t lda, const double* x, double* y) {
+  for (std::size_t i = 0; i < m; ++i)
+    y[i] += alpha * dot(n, a + i * lda, x);
+}
+
+/// y[n] += alpha * A^T[n x m] * x[m]  (A row-major m x n)
+inline void gemv_t(std::size_t m, std::size_t n, double alpha, const double* a,
+                   std::size_t lda, const double* x, double* y) {
+  for (std::size_t i = 0; i < m; ++i)
+    axpy(n, alpha * x[i], a + i * lda, y);
+}
+
+/// A[m x n] += alpha * x[m] * y[n]^T  (rank-1 update)
+inline void ger(std::size_t m, std::size_t n, double alpha, const double* x,
+                const double* y, double* a, std::size_t lda) {
+  for (std::size_t i = 0; i < m; ++i)
+    axpy(n, alpha * x[i], y, a + i * lda);
+}
+
+}  // namespace fit::blas

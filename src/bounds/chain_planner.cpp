@@ -1,0 +1,131 @@
+#include "bounds/chain_planner.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "bounds/transform_bounds.hpp"
+#include "tensor/packed.hpp"
+#include "util/error.hpp"
+
+namespace fit::bounds {
+
+namespace {
+void check_spec(const ChainSpec& spec) {
+  FIT_REQUIRE(spec.tensor_sizes.size() >= 2, "chain needs >= 1 operation");
+  FIT_REQUIRE(static_cast<bool>(spec.capacity_need),
+              "chain spec needs a capacity function");
+  for (double t : spec.tensor_sizes)
+    FIT_REQUIRE(t > 0, "tensor sizes must be positive");
+}
+}  // namespace
+
+double chain_grouping_io(const ChainSpec& spec,
+                         const std::vector<ChainGroup>& groups) {
+  check_spec(spec);
+  const std::size_t m = spec.n_ops();
+  std::size_t expect = 0;
+  double total = 0;
+  for (const auto& g : groups) {
+    FIT_REQUIRE(g.lo == expect && g.hi >= g.lo && g.hi < m,
+                "groups must contiguously partition the chain");
+    total += spec.tensor_sizes[g.lo] + spec.tensor_sizes[g.hi + 1];
+    expect = g.hi + 1;
+  }
+  FIT_REQUIRE(expect == m, "groups must cover the whole chain");
+  return total;
+}
+
+ChainPlan plan_chain(const ChainSpec& spec, double s) {
+  check_spec(spec);
+  const std::size_t m = spec.n_ops();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // dp[j] = minimal I/O of the first j operations; prev[j] = start of
+  // the last group in an optimal split.
+  std::vector<double> dp(m + 1, kInf);
+  std::vector<std::size_t> prev(m + 1, 0);
+  dp[0] = 0;
+  for (std::size_t j = 1; j <= m; ++j) {
+    for (std::size_t lo = 0; lo < j; ++lo) {
+      if (dp[lo] == kInf) continue;
+      if (spec.capacity_need(lo, j - 1) > s) continue;
+      const double cost =
+          dp[lo] + spec.tensor_sizes[lo] + spec.tensor_sizes[j];
+      if (cost < dp[j]) {
+        dp[j] = cost;
+        prev[j] = lo;
+      }
+    }
+  }
+  FIT_REQUIRE(dp[m] != kInf,
+              "no feasible grouping: fast memory too small even for "
+              "singleton execution");
+
+  ChainPlan plan;
+  plan.total_io = dp[m];
+  for (std::size_t j = m; j > 0; j = prev[j]) {
+    plan.groups.push_back(
+        {prev[j], j - 1,
+         spec.tensor_sizes[prev[j]] + spec.tensor_sizes[j]});
+  }
+  std::reverse(plan.groups.begin(), plan.groups.end());
+  return plan;
+}
+
+ChainPlan plan_chain_exhaustive(const ChainSpec& spec, double s) {
+  check_spec(spec);
+  const std::size_t m = spec.n_ops();
+  FIT_REQUIRE(m <= 20, "exhaustive search limited to 20 operations");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  ChainPlan best;
+  best.total_io = kInf;
+  // Bitmask over the m-1 cut points: bit k set = cut after op k.
+  const std::size_t masks = m >= 1 ? (1ull << (m - 1)) : 1;
+  for (std::size_t mask = 0; mask < masks; ++mask) {
+    std::vector<ChainGroup> groups;
+    std::size_t lo = 0;
+    bool feasible = true;
+    double total = 0;
+    for (std::size_t op = 0; op < m; ++op) {
+      const bool cut = op + 1 == m || (mask >> op & 1);
+      if (!cut) continue;
+      if (spec.capacity_need(lo, op) > s) {
+        feasible = false;
+        break;
+      }
+      total += spec.tensor_sizes[lo] + spec.tensor_sizes[op + 1];
+      groups.push_back({lo, op,
+                        spec.tensor_sizes[lo] + spec.tensor_sizes[op + 1]});
+      lo = op + 1;
+    }
+    if (feasible && total < best.total_io) {
+      best.total_io = total;
+      best.groups = std::move(groups);
+    }
+  }
+  FIT_REQUIRE(best.total_io != kInf, "no feasible grouping");
+  return best;
+}
+
+ChainSpec four_index_chain(double n, double s_sym) {
+  const auto sz = tensor::approx_sizes(n, s_sym);
+  ChainSpec spec;
+  spec.tensor_sizes = {sz.a, sz.o1, sz.o2, sz.o3, sz.c};
+  std::vector<double> sizes = spec.tensor_sizes;
+  spec.capacity_need = [n, sizes](std::size_t lo, std::size_t hi) {
+    const std::size_t len = hi - lo + 1;
+    if (len == 1) return single_contraction_min_fast_memory(n);
+    if (len == 2) return fused_pair_min_fast_memory(n);
+    // Longer groups: the Theorem 6.1 live-set condition — fast memory
+    // must hold the smallest tensor touched by the group — plus the
+    // per-iteration working set of the Listing 7 style schedule.
+    double min_t = sizes[lo];
+    for (std::size_t k = lo; k <= hi + 1; ++k)
+      min_t = std::min(min_t, sizes[k]);
+    return min_t + 2 * n * n * n;
+  };
+  return spec;
+}
+
+}  // namespace fit::bounds

@@ -1,0 +1,72 @@
+// Generic fusion planning for chains of producer-consumer
+// contractions — the paper's Section 4 machinery generalized beyond
+// the four-step transform.
+//
+// Model: a chain of m operations over tensors T0 -op1-> T1 -> ... ->
+// Tm with sizes t[0..m] (side inputs such as the small B matrices are
+// lower order and ignored, as in the paper). When fast memory is
+// large enough, each operation's tight standalone I/O is
+// t[i-1] + t[i] (Listing 5), and by repeated application of the
+// Fusion Lemma a fused contiguous group [lo..hi] has the I/O lower
+// bound
+//
+//     t[lo-1] + t[hi]
+//
+// (all interior intermediates fully reused). Whether a group is
+// *achievable* depends on capacity: pairs need S >= 3n^2+n+1
+// (Theorem 5.1); longer groups need S >= min tensor size inside the
+// group (the Theorem 6.1 live-set argument — for the full four-index
+// chain this is S >= |C|, Theorem 6.2).
+//
+// plan_chain() finds the I/O-minimal partition into contiguous fused
+// groups subject to those capacity constraints, by dynamic
+// programming over prefixes — O(m^2). Applied to the four-index
+// chain it reproduces the paper's conclusions exactly: op1234 when
+// S >= |C|, op12/34 when 3n^2 <= S < |C|, unfused below.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace fit::bounds {
+
+struct ChainSpec {
+  /// Sizes t[0..m] of the chain tensors (m = number of operations).
+  std::vector<double> tensor_sizes;
+  /// Fast memory needed to execute operations [lo..hi] (0-based,
+  /// inclusive) as one fused group at the t[lo-1]+t[hi] bound.
+  std::function<double(std::size_t lo, std::size_t hi)> capacity_need;
+
+  std::size_t n_ops() const { return tensor_sizes.size() - 1; }
+};
+
+struct ChainGroup {
+  std::size_t lo, hi;  // fused operations [lo..hi], 0-based inclusive
+  double io;           // t[lo-1] + t[hi]
+};
+
+struct ChainPlan {
+  std::vector<ChainGroup> groups;
+  double total_io = 0;
+};
+
+/// I/O of an explicit grouping (must partition [0..m) contiguously).
+double chain_grouping_io(const ChainSpec& spec,
+                         const std::vector<ChainGroup>& groups);
+
+/// Optimal partition by dynamic programming. Throws if even the
+/// all-singletons plan is infeasible for fast memory `s`.
+ChainPlan plan_chain(const ChainSpec& spec, double s);
+
+/// Brute-force over all 2^(m-1) partitions (test oracle; m <= ~20).
+ChainPlan plan_chain_exhaustive(const ChainSpec& spec, double s);
+
+/// The four-index transform as a ChainSpec: tensor sizes from Table 1
+/// (with spatial factor s_sym on the output) and the paper's capacity
+/// conditions (Thm 5.1 thresholds for pairs, the Thm 6.1 min-tensor
+/// live-set condition for longer groups, plus the O(n^3) working set
+/// of Listing 7 for the full chain).
+ChainSpec four_index_chain(double n, double s_sym);
+
+}  // namespace fit::bounds

@@ -1,0 +1,45 @@
+#include "bounds/fusion_lemma.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fit::bounds {
+
+double fused_pair_lower_bound(const StageIO& producer,
+                              const StageIO& consumer,
+                              double intermediate_size) {
+  FIT_REQUIRE(intermediate_size >= 0, "negative intermediate size");
+  return producer.io_lower_bound + consumer.io_lower_bound -
+         2.0 * intermediate_size;
+}
+
+double fused_chain_lower_bound(const std::vector<StageIO>& stages,
+                               const std::vector<double>& intermediates) {
+  FIT_REQUIRE(!stages.empty(), "empty chain");
+  FIT_REQUIRE(intermediates.size() + 1 == stages.size(),
+              "chain of m stages needs m-1 intermediates");
+  double lb = 0.0;
+  for (const auto& s : stages) lb += s.io_lower_bound;
+  for (double o : intermediates) lb -= 2.0 * o;
+  return lb;
+}
+
+double max_fusion_benefit(const StageIO& producer, const StageIO& consumer,
+                          double intermediate_size) {
+  const double unfused = producer.io_achievable + consumer.io_achievable;
+  const double fused_lb =
+      fused_pair_lower_bound(producer, consumer, intermediate_size);
+  return std::max(0.0, unfused - fused_lb);
+}
+
+bool fusion_is_useful(const StageIO& producer, const StageIO& consumer,
+                      double intermediate_size, double threshold) {
+  const double unfused = producer.io_achievable + consumer.io_achievable;
+  FIT_REQUIRE(unfused > 0, "unfused I/O must be positive");
+  return max_fusion_benefit(producer, consumer, intermediate_size) /
+             unfused >=
+         threshold;
+}
+
+}  // namespace fit::bounds

@@ -1,0 +1,50 @@
+// The Fusion Lemma (paper Lemma 4.2 / Appendix A) and its consequences
+// for chains of producer-consumer computations.
+//
+//   IO_LB(C1 ∘ C2) = IO_LB(C1) + IO_LB(C2) − 2·|O1|
+//
+// where O1 is the intermediate produced by C1 and consumed by C2.
+// The lemma upper-bounds the *benefit* of fusion at 2·|O1|: if the
+// intrinsic I/O of the two computations dwarfs the intermediate size,
+// fusion is futile; if the intermediate dominates, fusion can remove
+// almost all of its traffic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fit::bounds {
+
+/// One computation in a producer-consumer chain, characterized by its
+/// standalone I/O lower bound and achievable (tiled, unfused) I/O.
+struct StageIO {
+  double io_lower_bound;   // IO_LB(Ci)
+  double io_achievable;    // what a tiled unfused execution attains
+};
+
+/// Lower bound for the fusion of two adjacent stages whose shared
+/// intermediate has `intermediate_size` elements.
+double fused_pair_lower_bound(const StageIO& producer,
+                              const StageIO& consumer,
+                              double intermediate_size);
+
+/// Lower bound for fusing a whole chain: stages s_0..s_{m-1} with
+/// intermediates o_0..o_{m-2} (o_i between stage i and i+1). Repeated
+/// application of the lemma:
+///   sum IO_LB(s_i) − 2 * sum |o_i|
+double fused_chain_lower_bound(const std::vector<StageIO>& stages,
+                               const std::vector<double>& intermediates);
+
+/// Maximum possible I/O reduction from fusing two adjacent stages,
+/// relative to their unfused achievable I/O:
+///   unfused_achievable − fused_lower_bound  (clamped at 0)
+double max_fusion_benefit(const StageIO& producer, const StageIO& consumer,
+                          double intermediate_size);
+
+/// The paper's "utility of fusion" predicate: fusion is worth pursuing
+/// only when the maximum possible benefit is a significant fraction of
+/// the unfused cost (Sec. 3/4). `threshold` is that fraction.
+bool fusion_is_useful(const StageIO& producer, const StageIO& consumer,
+                      double intermediate_size, double threshold = 0.25);
+
+}  // namespace fit::bounds

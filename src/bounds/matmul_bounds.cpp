@@ -1,0 +1,50 @@
+#include "bounds/matmul_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fit::bounds {
+
+namespace {
+void check(double ni, double nj, double nk, double s) {
+  FIT_REQUIRE(ni > 0 && nj > 0 && nk > 0, "matrix extents must be positive");
+  FIT_REQUIRE(s > 0, "fast memory capacity must be positive");
+}
+}  // namespace
+
+double matmul_lb_hong_kung(double ni, double nj, double nk, double s) {
+  check(ni, nj, nk, s);
+  return ni * nj * nk / std::sqrt(s);
+}
+
+double matmul_lb_irony(double ni, double nj, double nk, double s) {
+  check(ni, nj, nk, s);
+  return ni * nj * nk / (2.0 * std::sqrt(2.0 * s));
+}
+
+double matmul_lb_dongarra(double ni, double nj, double nk, double s) {
+  check(ni, nj, nk, s);
+  return 1.73 * ni * nj * nk / std::sqrt(s);
+}
+
+double matmul_lb_io_sum(double ni, double nj, double nk) {
+  // inputs |A| = ni*nj, |B| = nj*nk; output |C| = ni*nk.
+  return ni * nj + nj * nk + ni * nk;
+}
+
+double matmul_lb(double ni, double nj, double nk, double s) {
+  return std::max(matmul_lb_dongarra(ni, nj, nk, s),
+                  matmul_lb_io_sum(ni, nj, nk));
+}
+
+double matmul_tiled_io(double ni, double nj, double nk, double s) {
+  check(ni, nj, nk, s);
+  // If everything fits in fast memory, the in+out sum is achievable.
+  const double sum = matmul_lb_io_sum(ni, nj, nk);
+  if (sum <= s) return sum;
+  return std::max(2.0 * ni * nj * nk / std::sqrt(s), sum);
+}
+
+}  // namespace fit::bounds

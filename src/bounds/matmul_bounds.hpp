@@ -1,0 +1,39 @@
+// Data-movement (I/O) lower bounds for matrix multiplication on a
+// two-level memory hierarchy with fast-memory capacity S, in the
+// red–blue pebble game model of Hong & Kung (paper Sec. 2.3).
+//
+// All bounds are in *elements moved* between slow and fast memory, for
+// a product of an (ni x nj) by an (nj x nk) matrix.
+#pragma once
+
+#include <cstddef>
+
+namespace fit::bounds {
+
+/// Hong & Kung (1981): Omega(ni*nj*nk / sqrt(S)) — asymptotic form,
+/// returned with unit constant.
+double matmul_lb_hong_kung(double ni, double nj, double nk, double s);
+
+/// Irony, Toledo & Tiskin (2004): ni*nj*nk / (2*sqrt(2*S)).
+double matmul_lb_irony(double ni, double nj, double nk, double s);
+
+/// Dongarra, Pineau, Robert & Vivien (2008): 1.73 * ni*nj*nk / sqrt(S)
+/// — the tightest published constant the paper uses.
+double matmul_lb_dongarra(double ni, double nj, double nk, double s);
+
+/// Sum of input and output sizes: every input element must be read and
+/// every output written at least once. Always a valid lower bound, and
+/// it dominates the volume bounds once S is large.
+double matmul_lb_io_sum(double ni, double nj, double nk);
+
+/// The effective lower bound the paper works with:
+/// max(dongarra, in+out). (Sec. 5.1: "max(1.73 n^5/sqrt(S), 2 n^4)").
+double matmul_lb(double ni, double nj, double nk, double s);
+
+/// I/O of an efficiently tiled (but unfused) implementation:
+/// ~2*ni*nj*nk/sqrt(S) for the highest-order term, or in+out when the
+/// operands fit. Used as the achievable reference cost in Sec. 4's
+/// worked example.
+double matmul_tiled_io(double ni, double nj, double nk, double s);
+
+}  // namespace fit::bounds

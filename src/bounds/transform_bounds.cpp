@@ -1,0 +1,159 @@
+#include "bounds/transform_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/error.hpp"
+
+namespace fit::bounds {
+
+std::string to_string(FusionChoice f) {
+  switch (f) {
+    case FusionChoice::Unfused: return "op1/2/3/4";
+    case FusionChoice::Fused12_34: return "op12/34";
+    case FusionChoice::Fused1_23_4: return "op1/23/4";
+    case FusionChoice::Fused123_4: return "op123/4";
+    case FusionChoice::Fused1234: return "op1234";
+  }
+  return "?";
+}
+
+const std::array<FusionChoice, 5>& all_fusion_choices() {
+  static const std::array<FusionChoice, 5> all = {
+      FusionChoice::Unfused, FusionChoice::Fused12_34,
+      FusionChoice::Fused1_23_4, FusionChoice::Fused123_4,
+      FusionChoice::Fused1234};
+  return all;
+}
+
+double io_opt(FusionChoice f, const tensor::ApproxSizes& sz) {
+  switch (f) {
+    case FusionChoice::Unfused:
+      return (sz.a + sz.o1) + (sz.o1 + sz.o2) + (sz.o2 + sz.o3) +
+             (sz.o3 + sz.c);
+    case FusionChoice::Fused12_34:
+      return (sz.a + sz.o2) + (sz.o2 + sz.c);
+    case FusionChoice::Fused1_23_4:
+      return (sz.a + sz.o1) + (sz.o1 + sz.o3) + (sz.o3 + sz.c);
+    case FusionChoice::Fused123_4:
+      return (sz.a + sz.o3) + (sz.o3 + sz.c);
+    case FusionChoice::Fused1234:
+      return sz.a + sz.c;
+  }
+  FIT_CHECK(false, "unreachable fusion choice");
+  return 0;
+}
+
+double io_opt(FusionChoice f, double n, double s) {
+  return io_opt(f, tensor::approx_sizes(n, s));
+}
+
+double single_contraction_min_fast_memory(double n) {
+  // Listing 5: B (n^2) + one A row (n) + one scalar.
+  return n * n + n + 1;
+}
+
+double fused_pair_min_fast_memory(double n) {
+  // Listing 6: B1+B2 (2n^2) + I1 buffer (n^2) + A row (n) + 1.
+  return 3 * n * n + n + 1;
+}
+
+bool fusion_possibly_useful(double n, double fast_memory) {
+  // Sec. 5.1: for S < ~3n^2 the fused lower bound 3.46 n^5/sqrt(S)
+  // exceeds the benefit cap; fusion is ruled out.
+  return fast_memory >= 3 * n * n;
+}
+
+double full_reuse_min_fast_memory(const tensor::ApproxSizes& sz, double n) {
+  // Theorem 6.2 necessary condition S >= |C| plus the Listing 7
+  // working set of ~2n^3 for the per-iteration slices.
+  return sz.c + 2 * n * n * n;
+}
+
+bool full_reuse_possible(const tensor::ApproxSizes& sz, double n,
+                         double fast_memory) {
+  return fast_memory >= full_reuse_min_fast_memory(sz, n);
+}
+
+double eq7_global_memory(double n, double tl, double s) {
+  FIT_REQUIRE(tl >= 1 && tl <= n, "tile width must be in [1, n]");
+  // Ni*Nj*Nk*Tl/2 (A slice) + Na*Nb*Nk*Tl/2 (intermediate slice)
+  // + Na*Nb*Nc*Nd/(4s) (C).
+  const double n3 = n * n * n;
+  return n3 * tl / 2 + n3 * tl / 2 + n * n3 / (4 * s);
+}
+
+double eq8_global_memory(double n, double tl, double s) {
+  FIT_REQUIRE(tl >= 1 && tl <= n, "tile width must be in [1, n]");
+  // Ni*Nj*Nk*Tl/2 + Na*Nj*Nk*Tl + Na*Nb*Nk*Tl/2 + Na*Nb*Nc*Tl/2
+  // + Na*Nb*Nc*Nd/(4s).
+  const double n3 = n * n * n;
+  return n3 * tl / 2 + n3 * tl + n3 * tl / 2 + n3 * tl / 2 +
+         n * n3 / (4 * s);
+}
+
+double unfused_global_memory(double n, double s) {
+  const auto sz = tensor::approx_sizes(n, s);
+  // Largest live input+output pair across the four contractions.
+  const double peak = std::max(
+      std::max(sz.a + sz.o1, sz.o1 + sz.o2),
+      std::max(sz.o2 + sz.o3, sz.o3 + sz.c));
+  return peak;
+}
+
+namespace {
+std::size_t max_n_such_that(double budget,
+                            const std::function<double(double)>& need) {
+  std::size_t lo = 2, hi = 1 << 20;
+  if (need(static_cast<double>(lo)) > budget) return 0;
+  while (lo + 1 < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (need(static_cast<double>(mid)) <= budget)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+}  // namespace
+
+std::size_t max_fused_problem(double global_memory, double tl, double s) {
+  return max_n_such_that(global_memory, [&](double n) {
+    return eq7_global_memory(n, std::min(tl, n), s);
+  });
+}
+
+std::size_t max_unfused_problem(double global_memory, double s) {
+  return max_n_such_that(
+      global_memory, [&](double n) { return unfused_global_memory(n, s); });
+}
+
+std::vector<FusionAnalysisRow> analyze_fusion_choices(double n, double s) {
+  const auto sz = tensor::approx_sizes(n, s);
+  std::vector<FusionAnalysisRow> rows;
+  for (auto f : all_fusion_choices()) {
+    FusionAnalysisRow r;
+    r.choice = f;
+    r.io_lower_bound = io_opt(f, sz);
+    switch (f) {
+      case FusionChoice::Unfused:
+        r.min_fast_memory = single_contraction_min_fast_memory(n);
+        break;
+      case FusionChoice::Fused1234:
+        r.min_fast_memory = full_reuse_min_fast_memory(sz, n);
+        break;
+      default:
+        r.min_fast_memory = fused_pair_min_fast_memory(n);
+        break;
+    }
+    rows.push_back(r);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const FusionAnalysisRow& a, const FusionAnalysisRow& b) {
+              return a.io_lower_bound < b.io_lower_bound;
+            });
+  return rows;
+}
+
+}  // namespace fit::bounds

@@ -1,0 +1,103 @@
+// I/O lower bounds and memory requirements for the four-index
+// transform itself — the paper's Sections 5, 6 and Equations 7/8.
+//
+// All quantities are in tensor elements (words). Sizes use the
+// symmetric Table 1 values via tensor::approx_sizes (or exact packed
+// sizes where an Irreps assignment is given).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tensor/packed.hpp"
+
+namespace fit::bounds {
+
+/// The five distinct fusion configurations the paper analyzes
+/// (Sec. 5.3): "op1/2/3/4" is fully unfused, "op12/34" fuses the first
+/// and last pair, etc.
+enum class FusionChoice {
+  Unfused,      // op1/2/3/4
+  Fused12_34,   // op12/34
+  Fused1_23_4,  // op1/23/4
+  Fused123_4,   // op123/4
+  Fused1234,    // op1234
+};
+
+std::string to_string(FusionChoice f);
+const std::array<FusionChoice, 5>& all_fusion_choices();
+
+/// Optimal (lower-bound) I/O between slow and fast memory for a fusion
+/// choice, assuming S = Omega(n^2) so each (pair of) contraction(s)
+/// attains its input+output tight bound (Theorem 5.1). For three- and
+/// four-way fusions this is the paper's valid (>=) bound.
+///
+///   op1/2/3/4 : |A|+|O1| + |O1|+|O2| + |O2|+|O3| + |O3|+|C|
+///   op12/34   : |A|+|O2| + |O2|+|C|
+///   op1/23/4  : |A|+|O1| + |O1|+|O3| + |O3|+|C|
+///   op123/4   : |A|+|O3| + |O3|+|C|
+///   op1234    : |A|+|C|
+double io_opt(FusionChoice f, const tensor::ApproxSizes& sz);
+double io_opt(FusionChoice f, double n, double s);
+
+/// Theorem 5.1: fusing a consecutive pair of contractions is useful
+/// (the |A|+|O2| tight bound is achievable) iff S >= 3n^2 + n + 1.
+double fused_pair_min_fast_memory(double n);
+
+/// Tight bound of a single tensor contraction in the chain
+/// (Listing 5): achievable iff S >= n^2 + n + 1.
+double single_contraction_min_fast_memory(double n);
+
+/// Section 5.1: with S below ~3n^2 the Fusion Lemma already shows
+/// fusion cannot beat unfused execution. Returns true when fusion is
+/// not ruled out.
+bool fusion_possibly_useful(double n, double fast_memory);
+
+/// Theorems 6.1/6.2: S >= |C| is necessary (and, with the Listing 7
+/// schedule, sufficient up to a 2n^3 lower-order term) for the full-
+/// reuse I/O of |A|+|C|.
+double full_reuse_min_fast_memory(const tensor::ApproxSizes& sz, double n);
+bool full_reuse_possible(const tensor::ApproxSizes& sz, double n,
+                         double fast_memory);
+
+/// Equation 7: aggregate global memory required by the fused parallel
+/// implementation (Listing 8), for orbital extent n, fused-loop tile
+/// width Tl, and spatial symmetry factor s:
+///   Ni*Nj*Nk*Tl/2 + Na*Nb*Nk*Tl/2 + Na*Nb*Nc*Nd/(4*s)
+/// (all extents equal n; the first two terms are the per-iteration A
+/// and intermediate slices, the last is C).
+double eq7_global_memory(double n, double tl, double s);
+
+/// Equation 8: aggregate global memory of the fused implementation
+/// with inner 12/34 fusion (Listing 10):
+///   n^3*Tl/2 + n^3*Tl + n^3*Tl/2 + n^3*Tl/2 + n^4/(4*s)
+double eq8_global_memory(double n, double tl, double s);
+
+/// Global memory needed by the fully unfused implementation: the
+/// paper's "more than 3n^4/4 words" (input+output of the largest
+/// contraction, |O1|+|O2|).
+double unfused_global_memory(double n, double s);
+
+/// Largest problem size (orbital count) whose *fused* transform fits
+/// in `global_memory` words (binary search on eq7), and the unfused
+/// equivalent. The gap between the two is the paper's headline
+/// capability claim.
+std::size_t max_fused_problem(double global_memory, double tl, double s);
+std::size_t max_unfused_problem(double global_memory, double s);
+
+/// One row of the Sec. 5.3 analysis: fusion choice, I/O lower bound,
+/// and whether the total order of Theorem 5.2 admits it as optimal.
+struct FusionAnalysisRow {
+  FusionChoice choice;
+  double io_lower_bound;
+  double min_fast_memory;  // S needed to attain it
+};
+
+/// Lower-bounds-guided analysis for a given n, s: every fusion choice
+/// with its I/O bound, sorted ascending by bound — the pruning engine
+/// the planner uses.
+std::vector<FusionAnalysisRow> analyze_fusion_choices(double n, double s);
+
+}  // namespace fit::bounds

@@ -1,0 +1,45 @@
+#include "chem/antisym_integrals.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace fit::chem {
+
+AntisymIntegralEngine::AntisymIntegralEngine(std::size_t n,
+                                             tensor::Irreps irreps,
+                                             std::uint64_t seed)
+    : n_(n), irreps_(std::move(irreps)), seed_(seed) {
+  FIT_REQUIRE(irreps_.n_orbitals() == n_, "irrep map extent mismatch");
+}
+
+double AntisymIntegralEngine::value(std::size_t i, std::size_t j,
+                                    std::size_t k, std::size_t l) const {
+  FIT_REQUIRE(i < n_ && j < n_ && k < n_ && l < n_,
+              "integral index out of range");
+  ++evaluations_;
+  if ((irreps_.of(i) ^ irreps_.of(j) ^ irreps_.of(k) ^ irreps_.of(l)) != 0)
+    return 0.0;
+  const auto pij = tensor::signed_pair(i, j);
+  const auto pkl = tensor::signed_pair(k, l);
+  const double s = pij.sign * pkl.sign;
+  if (s == 0.0) return 0.0;
+
+  const double angular = hash_to_unit(pij.index, pkl.index, seed_ ^ 0xA5);
+  const double cij = 0.5 * (static_cast<double>(i) + static_cast<double>(j));
+  const double ckl = 0.5 * (static_cast<double>(k) + static_cast<double>(l));
+  const double radial = 1.0 / (1.0 + std::fabs(cij - ckl));
+  return s * angular * radial;
+}
+
+tensor::AntisymPackedA AntisymIntegralEngine::materialize() const {
+  tensor::AntisymPackedA a(n_);
+  for (std::size_t i = 1; i < n_; ++i)
+    for (std::size_t j = 0; j < i; ++j)
+      for (std::size_t k = 1; k < n_; ++k)
+        for (std::size_t l = 0; l < k; ++l)
+          a.set(i, j, k, l, value(i, j, k, l));
+  return a;
+}
+
+}  // namespace fit::chem

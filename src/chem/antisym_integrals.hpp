@@ -1,0 +1,37 @@
+// Antisymmetric synthetic integral engine — the footnote-1 variant of
+// chem::IntegralEngine: A(i,j,k,l) = -A(j,i,k,l) = -A(i,j,l,k), zero
+// on i == j or k == l, zero on spatially forbidden quadruples, pure in
+// its indices.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/antisym.hpp"
+#include "tensor/irreps.hpp"
+
+namespace fit::chem {
+
+class AntisymIntegralEngine {
+ public:
+  AntisymIntegralEngine(std::size_t n, tensor::Irreps irreps,
+                        std::uint64_t seed);
+
+  std::size_t n() const { return n_; }
+  const tensor::Irreps& irreps() const { return irreps_; }
+
+  double value(std::size_t i, std::size_t j, std::size_t k,
+               std::size_t l) const;
+
+  std::uint64_t evaluations() const { return evaluations_; }
+
+  tensor::AntisymPackedA materialize() const;
+
+ private:
+  std::size_t n_;
+  tensor::Irreps irreps_;
+  std::uint64_t seed_;
+  mutable std::uint64_t evaluations_ = 0;
+};
+
+}  // namespace fit::chem

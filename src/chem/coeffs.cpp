@@ -1,0 +1,66 @@
+#include "chem/coeffs.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fit::chem {
+
+tensor::Matrix make_mo_coefficients(const tensor::Irreps& irreps,
+                                    std::uint64_t seed) {
+  FIT_REQUIRE(irreps.is_contiguous(),
+              "MO coefficients require contiguous irrep blocks");
+  const std::size_t n = irreps.n_orbitals();
+  tensor::Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) b(i, i) = 1.0;
+
+  // Collect the contiguous block ranges.
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;  // [lo, hi)
+  std::size_t lo = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (i == n || irreps.of(i) != irreps.of(lo)) {
+      blocks.emplace_back(lo, i);
+      lo = i;
+    }
+  }
+
+  SplitMix64 rng(seed ^ 0xB10C5EEDull);
+  for (const auto& [b0, b1] : blocks) {
+    const std::size_t w = b1 - b0;
+    if (w < 2) continue;
+    // Enough random Givens rotations to mix the whole block.
+    const std::size_t sweeps = 4 * w;
+    for (std::size_t s = 0; s < sweeps; ++s) {
+      const std::size_t p = b0 + rng.next_below(w);
+      std::size_t q = b0 + rng.next_below(w);
+      if (p == q) q = b0 + (q - b0 + 1) % w;
+      const double theta = rng.next_double(0.0, 2.0 * M_PI);
+      const double c = std::cos(theta), sn = std::sin(theta);
+      // Rotate rows p and q of B in place.
+      for (std::size_t col = 0; col < n; ++col) {
+        const double xp = b(p, col), xq = b(q, col);
+        b(p, col) = c * xp - sn * xq;
+        b(q, col) = sn * xp + c * xq;
+      }
+    }
+  }
+  return b;
+}
+
+double orthogonality_defect(const tensor::Matrix& b) {
+  const std::size_t n = b.rows();
+  double defect = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) acc += b(i, k) * b(j, k);
+      const double target = (i == j) ? 1.0 : 0.0;
+      defect = std::max(defect, std::fabs(acc - target));
+    }
+  }
+  return defect;
+}
+
+}  // namespace fit::chem

@@ -1,0 +1,26 @@
+// Synthetic molecular-orbital coefficient matrices B.
+//
+// B[a, i] maps AO index i to MO index a. To preserve the spatial
+// symmetry of the transformed tensor, B must be symmetry-adapted:
+// B[a, i] == 0 unless irrep(a) == irrep(i). We build a block-diagonal
+// orthogonal matrix (random Givens rotations within each irrep block),
+// which is well-conditioned and leaves the transform numerically
+// benign.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/irreps.hpp"
+#include "tensor/matrix.hpp"
+
+namespace fit::chem {
+
+/// Build an n x n symmetry-adapted orthogonal transformation matrix.
+/// `irreps` must be contiguous (blocks of consecutive orbitals).
+tensor::Matrix make_mo_coefficients(const tensor::Irreps& irreps,
+                                    std::uint64_t seed);
+
+/// max_ij |(B * B^T - I)(i,j)| — orthogonality defect, used by tests.
+double orthogonality_defect(const tensor::Matrix& b);
+
+}  // namespace fit::chem

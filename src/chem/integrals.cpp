@@ -1,0 +1,58 @@
+#include "chem/integrals.hpp"
+
+#include <cmath>
+
+#include "tensor/pairs.hpp"
+#include "util/rng.hpp"
+
+namespace fit::chem {
+
+IntegralEngine::IntegralEngine(std::size_t n, tensor::Irreps irreps,
+                               std::uint64_t seed)
+    : n_(n), irreps_(std::move(irreps)), seed_(seed) {
+  FIT_REQUIRE(irreps_.n_orbitals() == n_, "irrep map extent mismatch");
+}
+
+double IntegralEngine::value(std::size_t i, std::size_t j, std::size_t k,
+                             std::size_t l) const {
+  FIT_REQUIRE(i < n_ && j < n_ && k < n_ && l < n_,
+              "integral index out of range");
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  if ((irreps_.of(i) ^ irreps_.of(j) ^ irreps_.of(k) ^ irreps_.of(l)) != 0)
+    return 0.0;
+
+  // Symmetrize by addressing through packed pair indices: any (i,j)
+  // order and any (k,l) order hit the same hash inputs.
+  const std::size_t pij = tensor::pack_pair_sym(i, j);
+  const std::size_t pkl = tensor::pack_pair_sym(k, l);
+
+  // Pseudo-random "angular" part, distinct per (ij,kl); note it is NOT
+  // symmetric under (ij) <-> (kl) exchange, matching Table 1 where A
+  // carries exactly two symmetry groups.
+  const double angular = hash_to_unit(pij, pkl, seed_);
+
+  // Coulomb-like radial decay between the centroids of the two charge
+  // distributions, in "orbital index" coordinates.
+  const double cij = 0.5 * (static_cast<double>(i) + static_cast<double>(j));
+  const double ckl = 0.5 * (static_cast<double>(k) + static_cast<double>(l));
+  const double radial = 1.0 / (1.0 + std::fabs(cij - ckl));
+
+  // Diagonal dominance: (ii|ii)-like integrals are the largest, as in
+  // real basis sets.
+  const double diag =
+      (i == j && k == l && i == k) ? 2.0 : (i == j || k == l) ? 0.25 : 0.0;
+
+  return 0.5 * angular * radial + diag * radial;
+}
+
+tensor::PackedA IntegralEngine::materialize() const {
+  tensor::PackedA a(n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = 0; j <= i; ++j)
+      for (std::size_t k = 0; k < n_; ++k)
+        for (std::size_t l = 0; l <= k; ++l)
+          a.set(i, j, k, l, value(i, j, k, l));
+  return a;
+}
+
+}  // namespace fit::chem

@@ -1,0 +1,40 @@
+// Synthetic benchmark molecules.
+//
+// The paper evaluates on five molecules whose only transform-relevant
+// parameters are the orbital count n, the spatial-symmetry group order
+// s, and the occupied-orbital fraction (for the downstream MP2-style
+// consumer). We reproduce the same five, with orbital counts scaled by
+// 1/8 so the simulated clusters (whose memories are scaled by the
+// matching n^4 factor of 4096) see identical memory-pressure ratios —
+// see DESIGN.md "Substitutions".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fit::chem {
+
+struct Molecule {
+  std::string name;
+  std::size_t n_orbitals;       // extent of every tensor dimension
+  std::size_t n_occupied;       // for the MP2 consumer
+  unsigned irrep_order;         // spatial symmetry group order s
+  std::uint64_t seed;           // integral / coefficient seed
+  std::size_t paper_n_orbitals; // the unscaled orbital count of Sec. 8
+};
+
+/// The five molecules of the paper's Section 8 at 1/8 linear scale:
+/// Hyperpolar (368 -> 46), C60H20 (580 -> 72), Uracil (698 -> 87),
+/// C40H56 (1023 -> 128), Shell-Mixed (1194 -> 149).
+std::vector<Molecule> paper_molecules();
+
+/// Look up one of the paper molecules by (case-sensitive) name.
+Molecule paper_molecule(const std::string& name);
+
+/// A custom synthetic molecule; occupied count defaults to n/4.
+Molecule custom_molecule(std::string name, std::size_t n_orbitals,
+                         unsigned irrep_order, std::uint64_t seed = 42);
+
+}  // namespace fit::chem

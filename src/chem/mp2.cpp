@@ -1,0 +1,47 @@
+#include "chem/mp2.hpp"
+
+#include "util/error.hpp"
+
+namespace fit::chem {
+
+std::vector<double> synthetic_orbital_energies(std::size_t n_orbitals,
+                                               std::size_t n_occupied) {
+  FIT_REQUIRE(n_occupied > 0 && n_occupied < n_orbitals,
+              "need 0 < n_occupied < n_orbitals");
+  std::vector<double> eps(n_orbitals);
+  const auto no = static_cast<double>(n_occupied);
+  for (std::size_t p = 0; p < n_orbitals; ++p) {
+    if (p < n_occupied) {
+      // Occupied: from about -2.0 up to -0.5 (HOMO).
+      eps[p] = -2.0 + 1.5 * static_cast<double>(p) / no;
+    } else {
+      // Virtual: from +0.5 (LUMO) upward.
+      eps[p] = 0.5 + 1.5 * static_cast<double>(p - n_occupied) /
+                         static_cast<double>(n_orbitals - n_occupied);
+    }
+  }
+  return eps;
+}
+
+double mp2_energy(const tensor::PackedC& c, std::size_t n_occupied,
+                  const std::vector<double>& eps) {
+  const std::size_t n = c.n();
+  FIT_REQUIRE(eps.size() == n, "orbital energy count mismatch");
+  FIT_REQUIRE(n_occupied < n, "no virtual orbitals");
+  double e2 = 0.0;
+  for (std::size_t i = 0; i < n_occupied; ++i) {
+    for (std::size_t j = 0; j < n_occupied; ++j) {
+      for (std::size_t a = n_occupied; a < n; ++a) {
+        for (std::size_t b = n_occupied; b < n; ++b) {
+          const double iajb = c.get(i, a, j, b);
+          const double ibja = c.get(i, b, j, a);
+          const double denom = eps[i] + eps[j] - eps[a] - eps[b];
+          e2 += iajb * (2.0 * iajb - ibja) / denom;
+        }
+      }
+    }
+  }
+  return e2;
+}
+
+}  // namespace fit::chem

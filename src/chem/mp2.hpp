@@ -1,0 +1,32 @@
+// MP2-style consumer of the transformed integrals.
+//
+// The four-index transform exists to feed correlated methods; the
+// canonical first consumer is second-order Møller–Plesset perturbation
+// theory. We evaluate the closed-shell MP2 correlation energy
+//
+//   E2 = sum_{i,j in occ; a,b in virt}
+//        (ia|jb) * [ 2(ia|jb) - (ib|ja) ] / (e_i + e_j - e_a - e_b)
+//
+// over the MO integrals C (chemist's notation (pq|rs) = C[p,q,r,s]),
+// with synthetic monotone orbital energies. This exercises the full
+// read API of the result tensor, including its spatial sparsity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/packed.hpp"
+
+namespace fit::chem {
+
+/// Synthetic canonical orbital energies: occupied negative and
+/// increasing, virtual positive and increasing, with a HOMO-LUMO gap —
+/// enough structure for well-behaved MP2 denominators.
+std::vector<double> synthetic_orbital_energies(std::size_t n_orbitals,
+                                               std::size_t n_occupied);
+
+/// Closed-shell MP2 correlation energy from transformed integrals.
+double mp2_energy(const tensor::PackedC& c, std::size_t n_occupied,
+                  const std::vector<double>& orbital_energies);
+
+}  // namespace fit::chem

@@ -1,0 +1,99 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace fit::core {
+
+using bounds::FusionChoice;
+
+Plan plan_fusion(double n, double s, double fast_memory_elements) {
+  FIT_REQUIRE(n >= 2 && s >= 1 && fast_memory_elements >= 1,
+              "bad planner arguments");
+  Plan plan;
+  plan.fast_memory_elements = fast_memory_elements;
+  auto rows = bounds::analyze_fusion_choices(n, s);
+  for (const auto& r : rows) {
+    PlanEntry e;
+    e.choice = r.choice;
+    e.io_lower_bound = r.io_lower_bound;
+    e.min_fast_memory = r.min_fast_memory;
+    e.feasible = fast_memory_elements >= r.min_fast_memory;
+    e.pruned = false;
+    plan.entries.push_back(e);
+  }
+  // rows come sorted ascending by bound; the first feasible entry is
+  // the winner, everything after it is pruned (its *lower bound*
+  // already exceeds the winner's achievable I/O, which is tight for
+  // the configurations we implement — Theorem 5.1 / Listing 7).
+  bool found = false;
+  for (auto& e : plan.entries) {
+    if (!e.feasible) {
+      e.note = "needs S >= " + human_count(e.min_fast_memory);
+      continue;
+    }
+    if (!found) {
+      plan.selected = e.choice;
+      e.note = "selected";
+      found = true;
+    } else {
+      e.pruned = true;
+      e.note = "pruned: bound above selected choice's tight I/O";
+    }
+  }
+  FIT_REQUIRE(found, "no feasible fusion configuration: fast memory "
+                         << human_count(fast_memory_elements)
+                         << " elements is below even the unfused need");
+  return plan;
+}
+
+ClusterPlan plan_for_cluster(const Problem& p,
+                             const runtime::MachineConfig& machine,
+                             std::size_t tile_l) {
+  ClusterPlan cp;
+  const double n = static_cast<double>(p.n());
+  const double s = static_cast<double>(p.irreps.order());
+  const auto sz = p.sizes();
+  cp.aggregate_need_unfused_bytes =
+      8.0 * static_cast<double>(sz.unfused_peak() + sz.c);
+  cp.aggregate_need_fused_bytes =
+      8.0 * bounds::eq8_global_memory(n, static_cast<double>(tile_l), s);
+  const double agg = machine.aggregate_memory_bytes();
+  cp.use_fused_outer = cp.aggregate_need_unfused_bytes * 1.10 > agg;
+
+  // Inner transform (per l-slice): its output is the full C, which for
+  // problems of interest exceeds local memory, so by Thm 6.2 full
+  // reuse is impossible locally and op12/34 is the best remaining
+  // choice (Thm 5.2). With a large local memory op1234 wins.
+  const double local_elems = machine.mem_per_rank_bytes() / 8.0;
+  const double c_elems = static_cast<double>(sz.c);
+  cp.inner_choice = local_elems >= c_elems + 2 * n * n * n
+                        ? FusionChoice::Fused1234
+                        : FusionChoice::Fused12_34;
+
+  cp.max_n_unfused = bounds::max_unfused_problem(agg / 8.0, s);
+  cp.max_n_fused = bounds::max_fused_problem(
+      agg / 8.0, static_cast<double>(tile_l), s);
+  return cp;
+}
+
+std::string to_string(const Plan& plan) {
+  TextTable t({"fusion", "I/O lower bound", "min fast memory", "status"});
+  for (const auto& e : plan.entries) {
+    std::string status = e.pruned ? "pruned" : e.feasible
+                             ? (e.note == "selected" ? "SELECTED" : "ok")
+                             : "infeasible";
+    t.add_row({bounds::to_string(e.choice), human_count(e.io_lower_bound),
+               human_count(e.min_fast_memory), status});
+  }
+  std::ostringstream oss;
+  oss << t.str("fusion plan (S = " +
+               human_count(plan.fast_memory_elements) + " elements)");
+  return oss.str();
+}
+
+}  // namespace fit::core

@@ -1,0 +1,67 @@
+// Lower-bounds-guided planning — the paper's methodology turned into
+// an API. Instead of auto-tuning over thousands of fusion/tiling
+// configurations, the planner:
+//
+//   1. computes the I/O lower bound of every fusion configuration
+//      (Sec. 5.3) and prunes those whose *best possible* I/O cannot
+//      beat a cheaper configuration's achievable I/O;
+//   2. applies the capacity conditions (Thm 5.1: S >= 3n^2+n+1 for a
+//      useful pair fusion; Thm 6.2: S >= |C| for full reuse) to mark
+//      configurations infeasible for the machine at hand;
+//   3. picks the feasible configuration with the least I/O bound,
+//      which by Theorem 5.2's total order is op1234 when C fits in
+//      aggregate memory, op12/34 for the inner transform, and yields
+//      the fuse/unfuse hybrid of Sec. 7.4 at the cluster level.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bounds/transform_bounds.hpp"
+#include "core/problem.hpp"
+#include "runtime/machine.hpp"
+
+namespace fit::core {
+
+struct PlanEntry {
+  bounds::FusionChoice choice;
+  double io_lower_bound;    // elements, between slow and fast memory
+  double min_fast_memory;   // elements of fast memory needed
+  bool feasible;            // fits the given fast memory
+  bool pruned;              // dominated by a better feasible choice
+  std::string note;
+};
+
+struct Plan {
+  std::vector<PlanEntry> entries;        // all five choices, annotated
+  bounds::FusionChoice selected;
+  double fast_memory_elements;
+};
+
+/// Analyze all fusion configurations for extent n, spatial factor s,
+/// against a fast memory of `fast_memory_elements`, and select the
+/// best feasible one.
+Plan plan_fusion(double n, double s, double fast_memory_elements);
+
+/// Cluster-level plan (Sec. 7): disk <-> aggregate-memory level picks
+/// fused vs unfused (the hybrid decision); the aggregate <-> local
+/// level picks the inner schedule for the per-slice transform.
+struct ClusterPlan {
+  bool use_fused_outer;                  // false: unfused fits, use it
+  bounds::FusionChoice inner_choice;     // schedule of the inner
+                                         // four-index transform
+  double aggregate_need_unfused_bytes;
+  double aggregate_need_fused_bytes;
+  std::size_t max_n_unfused;             // largest n the cluster fits
+  std::size_t max_n_fused;
+};
+
+ClusterPlan plan_for_cluster(const Problem& p,
+                             const runtime::MachineConfig& machine,
+                             std::size_t tile_l);
+
+/// Render a plan as a printable table (used by examples/benches).
+std::string to_string(const Plan& plan);
+
+}  // namespace fit::core

@@ -1,0 +1,16 @@
+#include "core/problem.hpp"
+
+#include "chem/coeffs.hpp"
+
+namespace fit::core {
+
+Problem make_problem(const chem::Molecule& molecule) {
+  auto irreps =
+      tensor::Irreps::contiguous(molecule.n_orbitals, molecule.irrep_order);
+  chem::IntegralEngine engine(molecule.n_orbitals, irreps, molecule.seed);
+  auto b = chem::make_mo_coefficients(irreps, molecule.seed * 7919 + 13);
+  return Problem{molecule, std::move(irreps), std::move(engine),
+                 std::move(b)};
+}
+
+}  // namespace fit::core

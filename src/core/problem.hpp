@@ -1,0 +1,36 @@
+// A fully specified four-index transform problem instance.
+#pragma once
+
+#include <cstddef>
+
+#include "chem/integrals.hpp"
+#include "chem/molecule.hpp"
+#include "tensor/irreps.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/packed.hpp"
+
+namespace fit::core {
+
+/// Bundles everything a schedule needs: the orbital extent, the spatial
+/// symmetry assignment, the on-the-fly integral source, and the
+/// transformation matrix B.
+struct Problem {
+  chem::Molecule molecule;
+  tensor::Irreps irreps;
+  chem::IntegralEngine engine;
+  tensor::Matrix b;  // n x n, B[a, i]
+
+  std::size_t n() const { return molecule.n_orbitals; }
+
+  /// Exact packed tensor sizes (Table 1) for this instance.
+  tensor::TensorSizes sizes() const {
+    return tensor::packed_sizes(n(), irreps);
+  }
+};
+
+/// Construct the problem for a molecule: contiguous irreps of the
+/// molecule's group order, seeded integral engine, symmetry-adapted
+/// orthogonal B.
+Problem make_problem(const chem::Molecule& molecule);
+
+}  // namespace fit::core

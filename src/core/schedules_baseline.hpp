@@ -1,0 +1,36 @@
+// Models of the production NWChem four-index implementations the
+// paper compares against (Sec. 2.2, Sec. 8 "NWChem Best"):
+//
+//   nwchem_unfused_par_transform
+//       The fully unfused scheme as production codes run it: A, O1,
+//       O2, O3 and C are all kept allocated in global memory for the
+//       whole transform (no eager frees between contractions), so the
+//       aggregate requirement is ~1.5 n^4 words — this is why the
+//       paper's NWChem runs fail on clusters that could hold the
+//       3n^4/4 theoretical minimum.
+//   nwchem_recompute_par_transform
+//       The memory-minimal "direct" scheme in the spirit of
+//       Listing 3: no global intermediates at all; for each output
+//       pair block the half-transformed slice is recomputed from
+//       on-the-fly atomic integrals. Block-level recomputation costs
+//       a factor ~nt (the tile-grid extent) in integral evaluations,
+//       which is what makes this variant slow — and the reason the
+//       fused schedule of Sec. 7 wins when memory is tight.
+//
+// "NWChem Best" in the Figure 2 benchmarks is the fastest of these
+// that fits the machine.
+#pragma once
+
+#include "core/schedules_par.hpp"
+
+namespace fit::core {
+
+ParResult nwchem_unfused_par_transform(const Problem& p,
+                                       runtime::Cluster& cluster,
+                                       const ParOptions& opt = {});
+
+ParResult nwchem_recompute_par_transform(const Problem& p,
+                                         runtime::Cluster& cluster,
+                                         const ParOptions& opt = {});
+
+}  // namespace fit::core

@@ -1,0 +1,764 @@
+#include "core/schedules_par.hpp"
+
+#include <algorithm>
+
+#include "core/schedules_baseline.hpp"
+#include <memory>
+
+#include "blas/gemm.hpp"
+#include "blas/level1.hpp"
+#include "bounds/transform_bounds.hpp"
+#include "tensor/pairs.hpp"
+#include "tensor/tiling.hpp"
+#include "util/timer.hpp"
+
+namespace fit::core {
+
+using blas::gemm;
+using blas::gemm_flops;
+using blas::Trans;
+using ga::GlobalArray;
+using runtime::Cluster;
+using runtime::RankBuffer;
+using runtime::RankCtx;
+using tensor::Tiling;
+
+namespace {
+
+/// Shared state for one parallel transform run.
+struct Par {
+  const Problem& p;
+  Cluster& cl;
+  ParOptions opt;
+  Tiling t;           // orbital tiling (all four dims)
+  std::size_t nt;     // tile count per dimension
+  // Spatial symmetry at tile granularity: irrep_mask[ti] is the set of
+  // irreps present in orbital tile ti; pair_mask[ti][tj] the set of
+  // xor-products. A C tile (ta,tb,tc,td) can hold an allowed quadruple
+  // iff pair_mask[ta][tb] & pair_mask[tc][td] != 0.
+  std::vector<std::uint32_t> irrep_mask;
+  std::vector<std::vector<std::uint32_t>> pair_mask;
+
+  Par(const Problem& problem, Cluster& cluster, const ParOptions& options)
+      : p(problem), cl(cluster), opt(options),
+        t(Tiling::irrep_aligned(problem.irreps,
+                                std::min(options.tile, problem.n()))),
+        nt(t.ntiles()) {
+    irrep_mask.assign(nt, 0);
+    for (std::size_t ti = 0; ti < nt; ++ti)
+      for (std::size_t o = t.lo(ti); o < t.hi(ti); ++o)
+        irrep_mask[ti] |= 1u << p.irreps.of(o);
+    pair_mask.assign(nt, std::vector<std::uint32_t>(nt, 0));
+    for (std::size_t ti = 0; ti < nt; ++ti)
+      for (std::size_t tj = 0; tj < nt; ++tj)
+        for (unsigned h1 = 0; h1 < p.irreps.order(); ++h1)
+          for (unsigned h2 = 0; h2 < p.irreps.order(); ++h2)
+            if ((irrep_mask[ti] >> h1 & 1) && (irrep_mask[tj] >> h2 & 1))
+              pair_mask[ti][tj] |= 1u << (h1 ^ h2);
+  }
+
+  bool tile_allowed(std::size_t ta, std::size_t tb, std::size_t tc,
+                    std::size_t td) const {
+    return (pair_mask[ta][tb] & pair_mask[tc][td]) != 0;
+  }
+
+  ga::TileFilter spatial_filter() const {
+    return [this](std::span<const std::size_t> c) {
+      return c[0] >= c[1] && c[2] >= c[3] &&
+             tile_allowed(c[0], c[1], c[2], c[3]);
+    };
+  }
+
+  const double* b() const { return p.b.data(); }
+  std::size_t n() const { return p.n(); }
+};
+
+/// Transpose two dimensions of a dense row-major 4-D tile. `len` gives
+/// the input extents; output extents have d0/d1 swapped.
+void transpose4(const double* in, double* out, const std::size_t len[4],
+                int d0, int d1) {
+  std::size_t olen[4] = {len[0], len[1], len[2], len[3]};
+  std::swap(olen[d0], olen[d1]);
+  std::size_t c[4];
+  for (c[0] = 0; c[0] < len[0]; ++c[0])
+    for (c[1] = 0; c[1] < len[1]; ++c[1])
+      for (c[2] = 0; c[2] < len[2]; ++c[2])
+        for (c[3] = 0; c[3] < len[3]; ++c[3]) {
+          std::size_t oc[4] = {c[0], c[1], c[2], c[3]};
+          std::swap(oc[d0], oc[d1]);
+          out[((oc[0] * olen[1] + oc[1]) * olen[2] + oc[2]) * olen[3] +
+              oc[3]] =
+              in[((c[0] * len[1] + c[1]) * len[2] + c[2]) * len[3] + c[3]];
+        }
+}
+
+/// Fetch tile (c0,c1,rest...) of an array whose dims (d0,d1) form a
+/// triangular-stored symmetric pair: when c[d0] < c[d1] the mirrored
+/// tile is fetched and transposed. `buf` receives the tile in the
+/// requested orientation; `scratch` must be at least as large.
+void get_sym_tile(const GlobalArray& arr, RankCtx& ctx, ga::TileCoord coord,
+                  int d0, int d1, double* buf, double* scratch) {
+  if (coord[d0] >= coord[d1]) {
+    arr.get(ctx, coord, buf);
+    return;
+  }
+  ga::TileCoord mirrored = coord;
+  std::swap(mirrored[d0], mirrored[d1]);
+  arr.get(ctx, mirrored, scratch);
+  if (ctx.real()) {
+    const auto& info = arr.info(mirrored);
+    std::size_t len[4] = {info.len[0], info.len[1], info.len[2],
+                          info.len[3]};
+    transpose4(scratch, buf, len, d0, d1);
+  }
+}
+
+/// Fill phase for an A-style array: owners produce their tiles with
+/// the integral engine ("ComputeA"). `l_base` offsets the 4th
+/// dimension for l-slice arrays (Listing 8/10 produce A per slice).
+void fill_a(Par& par, GlobalArray& a, std::size_t l_base,
+            const std::string& label) {
+  par.cl.run_phase(label, [&](RankCtx& ctx) {
+    for (std::size_t idx : a.tiles_of(ctx.rank())) {
+      const auto& ti = a.tile_by_index(idx);
+      RankBuffer buf(ctx, ti.elements, "A tile");
+      ctx.charge_integrals(static_cast<double>(ti.elements));
+      if (ctx.real()) {
+        double* out = buf.data();
+        for (std::size_t i = ti.lo[0]; i < ti.lo[0] + ti.len[0]; ++i)
+          for (std::size_t j = ti.lo[1]; j < ti.lo[1] + ti.len[1]; ++j)
+            for (std::size_t k = ti.lo[2]; k < ti.lo[2] + ti.len[2]; ++k)
+              for (std::size_t l = ti.lo[3]; l < ti.lo[3] + ti.len[3]; ++l)
+                *out++ = par.p.engine.value(i, j, k, l_base + l);
+      }
+      a.put(ctx, ti.coord, buf.data());
+    }
+  });
+}
+
+/// Contraction 1 phase: O1[a,j,k,l] += sum_i A[(ij),k,l] B[a,i].
+/// Works for both the full tensors (unfused) and the l-slice tensors
+/// (fused): A has a triangular (dims 0,1) filter, O1 is unfiltered in
+/// (a,j) and shares A's (k,l) dims.
+void contract1(Par& par, const GlobalArray& a, GlobalArray& o1,
+               const std::string& label) {
+  par.cl.run_phase(label, [&](RankCtx& ctx) {
+    const std::size_t max_tile =
+        par.t.max_width() * par.t.max_width() * a.tiling(2).max_width() *
+        a.tiling(3).max_width();
+    for (std::size_t idx : o1.tiles_of(ctx.rank())) {
+      const auto& ti = o1.tile_by_index(idx);
+      const std::size_t lkl = ti.len[2] * ti.len[3];
+      RankBuffer out(ctx, ti.elements, "O1 tile");
+      RankBuffer abuf(ctx, max_tile, "A fetch");
+      RankBuffer tbuf(ctx, max_tile, "A transpose");
+      const std::size_t ta = ti.coord[0], tj = ti.coord[1];
+      for (std::size_t tii = 0; tii < par.nt; ++tii) {
+        ga::TileCoord ac = {tii, tj, ti.coord[2], ti.coord[3]};
+        get_sym_tile(a, ctx, ac, 0, 1, abuf.data(), tbuf.data());
+        const std::size_t leni = par.t.len(tii);
+        ctx.charge_flops(gemm_flops(ti.len[0], ti.len[1] * lkl, leni));
+        if (ctx.real()) {
+          // out[a, (j k l)] += B[a, i] * abuf[i, (j k l)]
+          gemm(Trans::No, Trans::No, ti.len[0], ti.len[1] * lkl, leni, 1.0,
+               par.b() + par.t.lo(ta) * par.n() + par.t.lo(tii), par.n(),
+               abuf.data(), ti.len[1] * lkl, 1.0, out.data(),
+               ti.len[1] * lkl);
+        }
+      }
+      o1.put(ctx, ti.coord, out.data());
+    }
+  });
+}
+
+/// Contraction 2 phase: O2[(ab),k,l] += sum_j O1[a,j,k,l] B[b,j].
+void contract2(Par& par, const GlobalArray& o1, GlobalArray& o2,
+               const std::string& label) {
+  par.cl.run_phase(label, [&](RankCtx& ctx) {
+    const std::size_t max_tile =
+        par.t.max_width() * par.t.max_width() * o1.tiling(2).max_width() *
+        o1.tiling(3).max_width();
+    for (std::size_t idx : o2.tiles_of(ctx.rank())) {
+      const auto& ti = o2.tile_by_index(idx);
+      const std::size_t lkl = ti.len[2] * ti.len[3];
+      RankBuffer out(ctx, ti.elements, "O2 tile");
+      RankBuffer o1buf(ctx, max_tile, "O1 fetch");
+      const std::size_t ta = ti.coord[0], tb = ti.coord[1];
+      for (std::size_t tjj = 0; tjj < par.nt; ++tjj) {
+        ga::TileCoord oc = {ta, tjj, ti.coord[2], ti.coord[3]};
+        o1.get(ctx, oc, o1buf.data());
+        const std::size_t lenj = par.t.len(tjj);
+        ctx.charge_flops(
+            gemm_flops(ti.len[1], lkl, lenj) * double(ti.len[0]));
+        if (ctx.real()) {
+          for (std::size_t ia = 0; ia < ti.len[0]; ++ia)
+            gemm(Trans::No, Trans::No, ti.len[1], lkl, lenj, 1.0,
+                 par.b() + par.t.lo(tb) * par.n() + par.t.lo(tjj), par.n(),
+                 o1buf.data() + ia * lenj * lkl, lkl, 1.0,
+                 out.data() + ia * ti.len[1] * lkl, lkl);
+        }
+      }
+      o2.put(ctx, ti.coord, out.data());
+    }
+  });
+}
+
+/// Contraction 3 phase: O3[(ab),c,l] += sum_k O2[(ab),k,l] B[c,k].
+/// `kl_symmetric` marks the unfused case where O2 stores only k >= l
+/// tiles (transposed fetch needed); the l-slice O2 of Listing 8 has a
+/// full k dimension.
+void contract3(Par& par, const GlobalArray& o2, GlobalArray& o3,
+               bool kl_symmetric, const std::string& label) {
+  par.cl.run_phase(label, [&](RankCtx& ctx) {
+    const std::size_t max_tile =
+        par.t.max_width() * par.t.max_width() *
+        std::max(o2.tiling(2).max_width(), o2.tiling(3).max_width()) *
+        std::max(o2.tiling(2).max_width(), o2.tiling(3).max_width());
+    for (std::size_t idx : o3.tiles_of(ctx.rank())) {
+      const auto& ti = o3.tile_by_index(idx);
+      RankBuffer out(ctx, ti.elements, "O3 tile");
+      RankBuffer o2buf(ctx, max_tile, "O2 fetch");
+      RankBuffer tbuf(ctx, max_tile, "O2 transpose");
+      const std::size_t tc = ti.coord[2];
+      for (std::size_t tkk = 0; tkk < par.nt; ++tkk) {
+        ga::TileCoord oc = {ti.coord[0], ti.coord[1], tkk, ti.coord[3]};
+        if (kl_symmetric)
+          get_sym_tile(o2, ctx, oc, 2, 3, o2buf.data(), tbuf.data());
+        else
+          o2.get(ctx, oc, o2buf.data());
+        const std::size_t lenk = par.t.len(tkk);
+        ctx.charge_flops(gemm_flops(ti.len[2], ti.len[3], lenk) *
+                         double(ti.len[0] * ti.len[1]));
+        if (ctx.real()) {
+          for (std::size_t iab = 0; iab < ti.len[0] * ti.len[1]; ++iab)
+            gemm(Trans::No, Trans::No, ti.len[2], ti.len[3], lenk, 1.0,
+                 par.b() + par.t.lo(tc) * par.n() + par.t.lo(tkk), par.n(),
+                 o2buf.data() + iab * lenk * ti.len[3], ti.len[3], 1.0,
+                 out.data() + iab * ti.len[2] * ti.len[3], ti.len[3]);
+        }
+      }
+      o3.put(ctx, ti.coord, out.data());
+    }
+  });
+}
+
+/// Contraction 4 phase: C[(ab),(cd)] += sum_l O3[(ab),c,l] B[d,l].
+/// `l_base` offsets B's l column for slice arrays; accumulate = acc()
+/// (Listing 8 contributes per slice), otherwise put().
+void contract4(Par& par, const GlobalArray& o3, GlobalArray& c,
+               std::size_t l_base, bool accumulate,
+               const std::string& label) {
+  par.cl.run_phase(label, [&](RankCtx& ctx) {
+    const std::size_t max_tile = par.t.max_width() * par.t.max_width() *
+                                 par.t.max_width() * o3.tiling(3).max_width();
+    for (std::size_t idx : c.tiles_of(ctx.rank())) {
+      const auto& ti = c.tile_by_index(idx);
+      RankBuffer out(ctx, ti.elements, "C tile");
+      RankBuffer o3buf(ctx, max_tile, "O3 fetch");
+      const std::size_t td = ti.coord[3];
+      const std::size_t nlt = o3.tiling(3).ntiles();
+      for (std::size_t tll = 0; tll < nlt; ++tll) {
+        ga::TileCoord oc = {ti.coord[0], ti.coord[1], ti.coord[2], tll};
+        o3.get(ctx, oc, o3buf.data());
+        const std::size_t lenl = o3.tiling(3).len(tll);
+        ctx.charge_flops(gemm_flops(ti.len[2], ti.len[3], lenl) *
+                         double(ti.len[0] * ti.len[1]));
+        if (ctx.real()) {
+          for (std::size_t iab = 0; iab < ti.len[0] * ti.len[1]; ++iab)
+            gemm(Trans::No, Trans::Yes, ti.len[2], ti.len[3], lenl, 1.0,
+                 o3buf.data() + iab * ti.len[2] * lenl, lenl,
+                 par.b() + par.t.lo(td) * par.n() + l_base +
+                     o3.tiling(3).lo(tll),
+                 par.n(), 1.0, out.data() + iab * ti.len[2] * ti.len[3],
+                 ti.len[3]);
+        }
+      }
+      if (accumulate)
+        c.acc(ctx, ti.coord, out.data());
+      else
+        c.put(ctx, ti.coord, out.data());
+    }
+  });
+}
+
+/// Gather the distributed C into a PackedC (Real mode).
+tensor::PackedC gather_c(const Par& par, const GlobalArray& c) {
+  tensor::PackedC out(par.n(), par.p.irreps);
+  for (std::size_t idx = 0; idx < c.n_tiles(); ++idx) {
+    const auto& ti = c.tile_by_index(idx);
+    for (std::size_t a = ti.lo[0]; a < ti.lo[0] + ti.len[0]; ++a)
+      for (std::size_t b = ti.lo[1]; b < ti.lo[1] + ti.len[1]; ++b) {
+        if (b > a) continue;
+        const auto hab = par.p.irreps.pair_irrep(a, b);
+        for (std::size_t cc = ti.lo[2]; cc < ti.lo[2] + ti.len[2]; ++cc)
+          for (std::size_t d = ti.lo[3]; d < ti.lo[3] + ti.len[3]; ++d) {
+            if (d > cc) continue;
+            if (par.p.irreps.pair_irrep(cc, d) != hab) continue;
+            out.add(a, b, cc, d,
+                    c.peek(std::vector<std::size_t>{a, b, cc, d}));
+          }
+      }
+  }
+  return out;
+}
+
+ParResult finish(Par& par, const char* name,
+                 const std::unique_ptr<GlobalArray>& c_ga,
+                 const WallTimer& timer, const runtime::CommStats& before,
+                 double sim_before) {
+  ParResult r;
+  r.stats.schedule = name;
+  r.stats.sim_time = par.cl.sim_time() - sim_before;
+  r.stats.flops = par.cl.totals().flops - before.flops;
+  r.stats.integral_evals =
+      par.cl.totals().integral_evals - before.integral_evals;
+  r.stats.remote_bytes = par.cl.totals().remote_bytes - before.remote_bytes;
+  r.stats.local_bytes = par.cl.totals().local_bytes - before.local_bytes;
+  r.stats.peak_global_bytes = par.cl.global_peak();
+  r.stats.worst_imbalance = par.cl.worst_imbalance();
+  r.stats.n_phases = par.cl.phases().size();
+  r.stats.wall_seconds = timer.seconds();
+  if (par.cl.mode() == runtime::ExecutionMode::Real &&
+      par.opt.gather_result && c_ga)
+    r.c = gather_c(par, *c_ga);
+  return r;
+}
+
+std::unique_ptr<GlobalArray> make_c(Par& par) {
+  std::vector<Tiling> dims(4, par.t);
+  // Listing 10 distributes C by its (alpha,beta) block row so the
+  // final accumulation is always local; harmless for the others.
+  auto owner = [](std::span<const std::size_t> c, std::size_t nranks) {
+    return (c[0] * (c[0] + 1) / 2 + c[1]) % nranks;
+  };
+  return std::make_unique<GlobalArray>(par.cl, "C", dims,
+                                       par.spatial_filter(), owner);
+}
+
+}  // namespace
+
+bool unfused_fits(const Problem& p, const runtime::Cluster& cluster) {
+  const auto sz = p.sizes();
+  // Peak live set of the unfused chain plus ~10% tile padding slack.
+  const double need = 8.0 * (static_cast<double>(sz.unfused_peak()) +
+                             static_cast<double>(sz.c)) *
+                      1.10;
+  return need <= cluster.machine().aggregate_memory_bytes();
+}
+
+ParResult unfused_par_transform(const Problem& p, Cluster& cluster,
+                                const ParOptions& opt) {
+  Par par(p, cluster, opt);
+  WallTimer timer;
+  const auto before = cluster.totals();
+  const double sim_before = cluster.sim_time();
+  std::vector<Tiling> dims(4, par.t);
+
+  auto a = std::make_unique<GlobalArray>(
+      cluster, "A", dims,
+      ga::filter_and(ga::filter_triangular(0, 1),
+                     ga::filter_triangular(2, 3)));
+  fill_a(par, *a, 0, "fill A");
+
+  auto o1 = std::make_unique<GlobalArray>(cluster, "O1", dims,
+                                          ga::filter_triangular(2, 3));
+  contract1(par, *a, *o1, "c1");
+  a.reset();
+
+  auto o2 = std::make_unique<GlobalArray>(
+      cluster, "O2", dims,
+      ga::filter_and(ga::filter_triangular(0, 1),
+                     ga::filter_triangular(2, 3)));
+  contract2(par, *o1, *o2, "c2");
+  o1.reset();
+
+  auto o3 = std::make_unique<GlobalArray>(cluster, "O3", dims,
+                                          ga::filter_triangular(0, 1));
+  contract3(par, *o2, *o3, /*kl_symmetric=*/true, "c3");
+  o2.reset();
+
+  auto c = make_c(par);
+  contract4(par, *o3, *c, 0, /*accumulate=*/false, "c4");
+  o3.reset();
+
+  return finish(par, "unfused", c, timer, before, sim_before);
+}
+
+ParResult fused_par_transform(const Problem& p, Cluster& cluster,
+                              const ParOptions& opt) {
+  Par par(p, cluster, opt);
+  WallTimer timer;
+  const auto before = cluster.totals();
+  const double sim_before = cluster.sim_time();
+  auto c = make_c(par);
+
+  const Tiling lt(par.n(), std::min(opt.tile_l, par.n()));
+  for (std::size_t sl = 0; sl < lt.ntiles(); ++sl) {
+    const std::size_t llo = lt.lo(sl);
+    const std::size_t llen = lt.len(sl);
+    const std::string tag = " [l-slice " + std::to_string(sl) + "]";
+    std::vector<Tiling> sdims = {par.t, par.t, par.t, Tiling(llen, llen)};
+
+    auto al = std::make_unique<GlobalArray>(cluster, "A_l", sdims,
+                                            ga::filter_triangular(0, 1));
+    fill_a(par, *al, llo, "fill A" + tag);
+
+    auto o1 = std::make_unique<GlobalArray>(cluster, "O1_l", sdims);
+    contract1(par, *al, *o1, "c1" + tag);
+    al.reset();
+
+    auto o2 = std::make_unique<GlobalArray>(cluster, "O2_l", sdims,
+                                            ga::filter_triangular(0, 1));
+    contract2(par, *o1, *o2, "c2" + tag);
+    o1.reset();
+
+    auto o3 = std::make_unique<GlobalArray>(cluster, "O3_l", sdims,
+                                            ga::filter_triangular(0, 1));
+    contract3(par, *o2, *o3, /*kl_symmetric=*/false, "c3" + tag);
+    o2.reset();
+
+    contract4(par, *o3, *c, llo, /*accumulate=*/true, "c4" + tag);
+    o3.reset();
+  }
+  return finish(par, "fused", c, timer, before, sim_before);
+}
+
+ParResult fused_inner_par_transform(const Problem& p, Cluster& cluster,
+                                    const ParOptions& opt) {
+  Par par(p, cluster, opt);
+  WallTimer timer;
+  const auto before = cluster.totals();
+  const double sim_before = cluster.sim_time();
+  const std::size_t n = par.n();
+  const std::size_t nranks = cluster.n_ranks();
+  auto c = make_c(par);
+
+  // Alpha parallelization factor (Sec. 7.3): with only the fused k
+  // loop parallel there are nt work units; splitting the alpha range
+  // into chunks multiplies parallelism (and the A communication).
+  const std::size_t n_ac =
+      opt.alpha_parallel > 0
+          ? opt.alpha_parallel
+          : std::max<std::size_t>(1, (nranks + par.nt - 1) / par.nt);
+  // Map alpha tiles to chunks. The triangular alpha >= beta structure
+  // makes tile ta carry weight ~ sum_{tb<=ta} len(ta)*len(tb); greedy
+  // assignment of heavy tiles to the lightest chunk (Sec. 7.3's
+  // "alternative load balancing strategies") flattens the imbalance
+  // that contiguous ranges exhibit.
+  std::vector<std::size_t> chunk_map(par.nt);
+  if (opt.alpha_chunking == ParOptions::AlphaChunking::Contiguous ||
+      n_ac == 1) {
+    for (std::size_t ta = 0; ta < par.nt; ++ta)
+      chunk_map[ta] = ta * n_ac / par.nt;
+  } else {
+    std::vector<std::size_t> order(par.nt);
+    for (std::size_t ta = 0; ta < par.nt; ++ta) order[ta] = ta;
+    auto weight = [&](std::size_t ta) {
+      double w = 0;
+      for (std::size_t tb = 0; tb <= ta; ++tb)
+        w += double(par.t.len(ta)) * double(par.t.len(tb));
+      return w;
+    };
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t x, std::size_t y) {
+                return weight(x) > weight(y);
+              });
+    std::vector<double> load(n_ac, 0.0);
+    for (std::size_t ta : order) {
+      const std::size_t lightest = static_cast<std::size_t>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      chunk_map[ta] = lightest;
+      load[lightest] += weight(ta);
+    }
+  }
+  auto chunk_of = [&](std::size_t ta) { return chunk_map[ta]; };
+  auto unit_owner = [&](std::size_t tk, std::size_t ac) {
+    return (tk * n_ac + ac) % nranks;
+  };
+
+  const Tiling lt(n, std::min(opt.tile_l, n));
+  for (std::size_t sl = 0; sl < lt.ntiles(); ++sl) {
+    const std::size_t llo = lt.lo(sl);
+    const std::size_t llen = lt.len(sl);
+    const std::string tag = " [l-slice " + std::to_string(sl) + "]";
+    std::vector<Tiling> sdims = {par.t, par.t, par.t, Tiling(llen, llen)};
+
+    auto al = std::make_unique<GlobalArray>(cluster, "A_l", sdims,
+                                            ga::filter_triangular(0, 1));
+    fill_a(par, *al, llo, "fill A" + tag);
+
+    // O2_l distributed so that the rank computing work unit (tk, ac)
+    // owns every O2 tile it produces — puts stay local.
+    auto o2_owner = [&](std::span<const std::size_t> tc,
+                        std::size_t ranks) {
+      (void)ranks;
+      return unit_owner(tc[2], chunk_of(tc[0]));
+    };
+    auto o2 = std::make_unique<GlobalArray>(
+        cluster, "O2_l", sdims, ga::filter_triangular(0, 1), o2_owner);
+
+    // ---- Fused contractions 1+2 (k-parallel, Listing 10 top) -------
+    cluster.run_phase("fused12" + tag, [&](RankCtx& ctx) {
+      for (std::size_t tk = 0; tk < par.nt; ++tk) {
+        const std::size_t lenk = par.t.len(tk);
+        const std::size_t m = lenk * llen;  // fused (k,l) extent
+        for (std::size_t ac = 0; ac < n_ac; ++ac) {
+          if (unit_owner(tk, ac) != ctx.rank()) continue;
+          // Gather the full (i,j) x (k in tk) x (l in slice) A block.
+          // This is the A traffic that replicates with n_ac (Sec 7.3).
+          RankBuffer bufa(ctx, n * n * m, "A block");
+          {
+            const std::size_t tw = par.t.max_width();
+            RankBuffer fetch(ctx, tw * tw * m, "A fetch");
+            for (std::size_t tj = 0; tj < par.nt; ++tj)
+              for (std::size_t ti = tj; ti < par.nt; ++ti) {
+                ga::TileCoord ac4 = {ti, tj, tk, 0};
+                al->get(ctx, ac4, fetch.data());
+                if (!ctx.real()) continue;
+                const auto& info = al->info(ac4);
+                const double* src = fetch.data();
+                for (std::size_t i = info.lo[0];
+                     i < info.lo[0] + info.len[0]; ++i)
+                  for (std::size_t j = info.lo[1];
+                       j < info.lo[1] + info.len[1]; ++j)
+                    for (std::size_t x = 0; x < m; ++x) {
+                      const double v = *src++;
+                      bufa.data()[(i * n + j) * m + x] = v;
+                      bufa.data()[(j * n + i) * m + x] = v;
+                    }
+              }
+          }
+          // Alpha-tile chunk [ta0, ta1) assigned to chunk ac.
+          for (std::size_t ta = 0; ta < par.nt; ++ta) {
+            if (chunk_of(ta) != ac) continue;
+            const std::size_t lena = par.t.len(ta);
+            // O1 block for all alpha in this tile, in fast memory
+            // only — never communicated (the point of the fusion).
+            RankBuffer o1blk(ctx, lena * n * m, "O1 block");
+            ctx.charge_flops(gemm_flops(lena, n * m, n));
+            if (ctx.real())
+              gemm(Trans::No, Trans::No, lena, n * m, n, 1.0,
+                   par.b() + par.t.lo(ta) * n, n, bufa.data(), n * m, 0.0,
+                   o1blk.data(), n * m);
+            for (std::size_t tb = 0; tb <= ta; ++tb) {
+              const std::size_t lenb = par.t.len(tb);
+              RankBuffer o2tile(ctx, lena * lenb * m, "O2 tile");
+              ctx.charge_flops(gemm_flops(lenb, m, n) * double(lena));
+              if (ctx.real())
+                for (std::size_t ia = 0; ia < lena; ++ia)
+                  gemm(Trans::No, Trans::No, lenb, m, n, 1.0,
+                       par.b() + par.t.lo(tb) * n, n,
+                       o1blk.data() + ia * n * m, m, 0.0,
+                       o2tile.data() + ia * lenb * m, m);
+              o2->put(ctx, ga::TileCoord{ta, tb, tk, 0}, o2tile.data());
+            }
+          }
+        }
+      }
+    });
+    al.reset();
+
+    // ---- Fused contractions 3+4 ((ab)-parallel, Listing 10 bottom) -
+    cluster.run_phase("fused34" + tag, [&](RankCtx& ctx) {
+      for (std::size_t ta = 0; ta < par.nt; ++ta) {
+        for (std::size_t tb = 0; tb <= ta; ++tb) {
+          if ((ta * (ta + 1) / 2 + tb) % nranks != ctx.rank()) continue;
+          const std::size_t lena = par.t.len(ta);
+          const std::size_t lenb = par.t.len(tb);
+          // Gather O2[(ab) row, all k] and compute the O3 block in
+          // fast memory only — never communicated.
+          RankBuffer bufo2(ctx, lena * lenb * n * llen, "O2 row");
+          {
+            const std::size_t tw = par.t.max_width();
+            RankBuffer fetch(ctx, tw * tw * tw * llen, "O2 fetch");
+            for (std::size_t tk = 0; tk < par.nt; ++tk) {
+              ga::TileCoord oc = {ta, tb, tk, 0};
+              o2->get(ctx, oc, fetch.data());
+              if (!ctx.real()) continue;
+              const auto& info = o2->info(oc);
+              const double* src = fetch.data();
+              for (std::size_t ia = 0; ia < lena; ++ia)
+                for (std::size_t ib = 0; ib < lenb; ++ib)
+                  for (std::size_t k = info.lo[2];
+                       k < info.lo[2] + info.len[2]; ++k)
+                    for (std::size_t ll = 0; ll < llen; ++ll)
+                      bufo2.data()[((ia * lenb + ib) * n + k) * llen + ll] =
+                          *src++;
+            }
+          }
+          RankBuffer bufo3(ctx, lena * lenb * n * llen, "O3 block");
+          ctx.charge_flops(gemm_flops(n, llen, n) * double(lena * lenb));
+          if (ctx.real())
+            for (std::size_t iab = 0; iab < lena * lenb; ++iab)
+              gemm(Trans::No, Trans::No, n, llen, n, 1.0, par.b(), n,
+                   bufo2.data() + iab * n * llen, llen, 0.0,
+                   bufo3.data() + iab * n * llen, llen);
+          for (std::size_t tc = 0; tc < par.nt; ++tc)
+            for (std::size_t td = 0; td <= tc; ++td) {
+              if (!par.tile_allowed(ta, tb, tc, td)) continue;
+              const std::size_t lenc = par.t.len(tc);
+              const std::size_t lend = par.t.len(td);
+              RankBuffer ctile(ctx, lena * lenb * lenc * lend, "C tile");
+              ctx.charge_flops(gemm_flops(lenc, lend, llen) *
+                               double(lena * lenb));
+              if (ctx.real())
+                for (std::size_t iab = 0; iab < lena * lenb; ++iab)
+                  gemm(Trans::No, Trans::Yes, lenc, lend, llen, 1.0,
+                       bufo3.data() + (iab * n + par.t.lo(tc)) * llen, llen,
+                       par.b() + par.t.lo(td) * n + llo, n, 1.0,
+                       ctile.data() + iab * lenc * lend, lend);
+              c->acc(ctx, ga::TileCoord{ta, tb, tc, td}, ctile.data());
+            }
+        }
+      }
+    });
+    o2.reset();
+  }
+  return finish(par, "fused-inner", c, timer, before, sim_before);
+}
+
+ParResult hybrid_transform(const Problem& p, Cluster& cluster,
+                           const ParOptions& opt) {
+  if (unfused_fits(p, cluster)) {
+    auto r = unfused_par_transform(p, cluster, opt);
+    r.stats.schedule = "hybrid(unfused)";
+    return r;
+  }
+  auto r = fused_inner_par_transform(p, cluster, opt);
+  r.stats.schedule = "hybrid(fused-inner)";
+  return r;
+}
+
+// ---- NWChem baseline models (see schedules_baseline.hpp) ------------
+
+ParResult nwchem_unfused_par_transform(const Problem& p, Cluster& cluster,
+                                       const ParOptions& opt) {
+  Par par(p, cluster, opt);
+  WallTimer timer;
+  const auto before = cluster.totals();
+  const double sim_before = cluster.sim_time();
+  std::vector<Tiling> dims(4, par.t);
+
+  // Production behaviour: every tensor is allocated up front and kept
+  // until the end — the ~1.5 n^4 aggregate footprint.
+  GlobalArray a(cluster, "A", dims,
+                ga::filter_and(ga::filter_triangular(0, 1),
+                               ga::filter_triangular(2, 3)));
+  GlobalArray o1(cluster, "O1", dims, ga::filter_triangular(2, 3));
+  GlobalArray o2(cluster, "O2", dims,
+                 ga::filter_and(ga::filter_triangular(0, 1),
+                                ga::filter_triangular(2, 3)));
+  GlobalArray o3(cluster, "O3", dims, ga::filter_triangular(0, 1));
+  auto c = make_c(par);
+
+  fill_a(par, a, 0, "fill A");
+  contract1(par, a, o1, "c1");
+  contract2(par, o1, o2, "c2");
+  contract3(par, o2, o3, /*kl_symmetric=*/true, "c3");
+  contract4(par, o3, *c, 0, /*accumulate=*/false, "c4");
+
+  auto r = finish(par, "nwchem-unfused", c, timer, before, sim_before);
+  return r;
+}
+
+ParResult nwchem_recompute_par_transform(const Problem& p, Cluster& cluster,
+                                         const ParOptions& opt) {
+  Par par(p, cluster, opt);
+  WallTimer timer;
+  const auto before = cluster.totals();
+  const double sim_before = cluster.sim_time();
+  const std::size_t n = par.n();
+  const std::size_t np = tensor::npairs(n);
+  const std::size_t nranks = cluster.n_ranks();
+  auto c = make_c(par);
+
+  cluster.run_phase("recompute", [&](RankCtx& ctx) {
+    const Problem& prob = par.p;
+    for (std::size_t ta = 0; ta < par.nt; ++ta) {
+      for (std::size_t tb = 0; tb <= ta; ++tb) {
+        if ((ta * (ta + 1) / 2 + tb) % nranks != ctx.rank()) continue;
+        const std::size_t lena = par.t.len(ta);
+        const std::size_t lenb = par.t.len(tb);
+        // Per-row staging for the C contributions (full (c,d) range).
+        RankBuffer crow(ctx, lena * lenb * n * n, "C row");
+        RankBuffer o1buf(ctx, n * np, "O1 slice");
+        RankBuffer o2buf(ctx, np, "O2 slice");
+        RankBuffer o3row(ctx, n, "O3 row");
+        for (std::size_t ia = 0; ia < lena; ++ia) {
+          const std::size_t aa = par.t.lo(ta) + ia;
+          // Recompute the O1 slice for this alpha from on-the-fly
+          // integrals — once per (pair-row, alpha): the block-level
+          // redundancy factor of the direct scheme.
+          ctx.charge_integrals(double(n) * double(n) * double(np));
+          ctx.charge_flops(2.0 * double(n) * double(n) * double(np));
+          if (ctx.real()) {
+            for (std::size_t j = 0; j < n; ++j)
+              for (std::size_t pkl = 0; pkl < np; ++pkl) {
+                const auto [k, l] = tensor::unpack_pair(pkl);
+                double acc = 0.0;
+                for (std::size_t i = 0; i < n; ++i)
+                  acc += prob.engine.value(i, j, k, l) * prob.b(aa, i);
+                o1buf.data()[j * np + pkl] = acc;
+              }
+          }
+          for (std::size_t ib = 0; ib < lenb; ++ib) {
+            const std::size_t bb = par.t.lo(tb) + ib;
+            if (bb > aa) continue;
+            const auto hab = prob.irreps.pair_irrep(aa, bb);
+            ctx.charge_flops(2.0 * double(n) * double(np));  // O2
+            ctx.charge_flops(2.0 * double(n) * double(n) * double(n));
+            if (ctx.real()) {
+              std::fill(o2buf.data(), o2buf.data() + np, 0.0);
+              for (std::size_t j = 0; j < n; ++j)
+                blas::axpy(np, prob.b(bb, j), o1buf.data() + j * np,
+                           o2buf.data());
+              for (std::size_t cc = 0; cc < n; ++cc) {
+                for (std::size_t l = 0; l < n; ++l) {
+                  double acc = 0.0;
+                  for (std::size_t k = 0; k < n; ++k)
+                    acc += o2buf.data()[tensor::pack_pair_sym(k, l)] *
+                           prob.b(cc, k);
+                  o3row.data()[l] = acc;
+                }
+                for (std::size_t d = 0; d <= cc; ++d) {
+                  if (prob.irreps.pair_irrep(cc, d) != hab) continue;
+                  crow.data()[((ia * lenb + ib) * n + cc) * n + d] =
+                      blas::dot(n, o3row.data(), prob.b.row(d));
+                }
+              }
+            }
+            // c4 flops: one dot of length n per allowed (c >= d) pair.
+            ctx.charge_flops(2.0 * double(n) * double(np) /
+                             double(prob.irreps.order()));
+          }
+        }
+        // Accumulate the staged row into the distributed C (local: C
+        // is distributed by pair row).
+        const std::size_t tw = par.t.max_width();
+        RankBuffer ctile(ctx, tw * tw * tw * tw, "C tile");
+        for (std::size_t tc = 0; tc < par.nt; ++tc)
+          for (std::size_t td = 0; td <= tc; ++td) {
+            if (!par.tile_allowed(ta, tb, tc, td)) continue;
+            if (ctx.real()) {
+              const std::size_t lenc = par.t.len(tc);
+              const std::size_t lend = par.t.len(td);
+              for (std::size_t ia = 0; ia < lena; ++ia)
+                for (std::size_t ib = 0; ib < lenb; ++ib)
+                  for (std::size_t icc = 0; icc < lenc; ++icc)
+                    for (std::size_t id = 0; id < lend; ++id)
+                      ctile.data()[((ia * lenb + ib) * lenc + icc) * lend +
+                                   id] =
+                          crow.data()[((ia * lenb + ib) * n +
+                                       par.t.lo(tc) + icc) *
+                                          n +
+                                      par.t.lo(td) + id];
+            }
+            c->acc(ctx, ga::TileCoord{ta, tb, tc, td}, ctile.data());
+          }
+      }
+    }
+  });
+  return finish(par, "nwchem-recompute", c, timer, before, sim_before);
+}
+
+}  // namespace fit::core

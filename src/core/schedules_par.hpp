@@ -1,0 +1,97 @@
+// Distributed four-index transform schedules over the Global-Arrays
+// substrate — the paper's Section 7 implementations:
+//
+//   unfused_par_transform      four back-to-back tile contractions in
+//                              the style of Listing 4. Lowest flop
+//                              count, but needs ~3n^4/4 words of
+//                              aggregate memory for the intermediates.
+//   fused_par_transform        Listing 8: the outer l loop is fused
+//                              across all four contractions; per
+//                              l-slice only O(n^3 * Tl) of global
+//                              memory is live besides C. Runs the
+//                              largest possible problem (Thm 6.2).
+//   fused_inner_par_transform  Listing 10: outer fusion as above plus
+//                              inner op12/34 fusion, eliminating the
+//                              distributed O1 and O3 slices entirely —
+//                              the communication-volume-minimal
+//                              schedule of Sec. 7.2/7.3, with optional
+//                              alpha-parallelization (more parallelism
+//                              at the cost of replicated A traffic).
+//   hybrid_transform           Sec. 7.4: picks unfused when the
+//                              intermediates fit in aggregate memory,
+//                              and the fused-inner schedule otherwise.
+//
+// All schedules run in Real mode (bit-checked against the sequential
+// reference) or Simulate mode (counters and modeled time only; used at
+// paper scale). OutOfMemoryError propagates to the caller — that is
+// the "Failed" outcome of Figure 2.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/problem.hpp"
+#include "ga/global_array.hpp"
+#include "runtime/cluster.hpp"
+#include "tensor/packed.hpp"
+
+namespace fit::core {
+
+struct ParOptions {
+  std::size_t tile = 8;    // tile width for orbital dimensions
+  std::size_t tile_l = 4;  // fused outer-loop slice width Tl
+  // Number of alpha chunks each k tile's work is split across in the
+  // fused-inner schedule (Sec. 7.3). 0 = choose automatically so that
+  // every rank has work.
+  std::size_t alpha_parallel = 0;
+  // How alpha tiles are grouped into chunks. Contiguous chunks are the
+  // paper's baseline and suffer the triangular alpha >= beta imbalance
+  // (chunk weight ~ sum of ta+1); Balanced implements the "alternative
+  // load balancing strategies" of Sec. 7.3: greedy weight-balanced
+  // assignment of alpha tiles to chunks.
+  enum class AlphaChunking { Contiguous, Balanced };
+  AlphaChunking alpha_chunking = AlphaChunking::Balanced;
+  // Gather the distributed result into a PackedC at the end (Real
+  // mode only; disable for timing runs).
+  bool gather_result = true;
+};
+
+struct ParStats {
+  std::string schedule;       // which schedule actually ran
+  double sim_time = 0;        // modeled execution time (s)
+  double flops = 0;
+  double integral_evals = 0;
+  double remote_bytes = 0;
+  double local_bytes = 0;
+  double peak_global_bytes = 0;  // aggregate GA high-water mark
+  double worst_imbalance = 1.0;
+  std::size_t n_phases = 0;
+  double wall_seconds = 0;    // host time spent simulating
+};
+
+struct ParResult {
+  std::optional<tensor::PackedC> c;  // populated in Real mode w/ gather
+  ParStats stats;
+};
+
+ParResult unfused_par_transform(const Problem& p, runtime::Cluster& cluster,
+                                const ParOptions& opt = {});
+
+ParResult fused_par_transform(const Problem& p, runtime::Cluster& cluster,
+                              const ParOptions& opt = {});
+
+ParResult fused_inner_par_transform(const Problem& p,
+                                    runtime::Cluster& cluster,
+                                    const ParOptions& opt = {});
+
+/// The fuse/unfuse hybrid (Sec. 7.4). `stats.schedule` records the
+/// choice made.
+ParResult hybrid_transform(const Problem& p, runtime::Cluster& cluster,
+                           const ParOptions& opt = {});
+
+/// Decision function of the hybrid: true if the unfused intermediates
+/// fit into the cluster's aggregate memory (with a small safety
+/// margin).
+bool unfused_fits(const Problem& p, const runtime::Cluster& cluster);
+
+}  // namespace fit::core

@@ -1,0 +1,57 @@
+// Sequential (single address space) four-index transform schedules —
+// direct implementations of the paper's implementation variants:
+//
+//   reference_direct_o8   Eq. 1 evaluated literally, O(n^8). Tiny-n
+//                         oracle for the oracle.
+//   reference_transform   Dense (symmetry-free) four-step transform,
+//                         O(n^5). The correctness oracle for everything
+//                         else.
+//   unfused_transform     Listing 1: materialize O1..O3 fully packed.
+//                         Fewest flops (~1.5 n^5 multiply-adds), peak
+//                         memory ~3n^4/4.
+//   fused12_34_transform  Listing 2 / Listing 9 (op12/34): fuse the
+//                         first two and the last two contractions.
+//                         Same flops, peak memory ~n^4/2.
+//   recompute_transform   Listing 3: per output pair-block, recompute
+//                         the O1 slice. Peak memory ~n^3/2 at O(n^6)
+//                         flops.
+//   fused1234_transform   Listing 7 (op1234): fuse the l loop across
+//                         all four contractions; peak memory
+//                         |C| + O(n^3) at ~1.5x the unfused flops
+//                         (k/l symmetry is broken).
+//
+// Every schedule returns the same PackedC (verified against the
+// reference by the test suite) and reports SeqStats.
+#pragma once
+
+#include "core/problem.hpp"
+#include "core/seq_stats.hpp"
+#include "tensor/packed.hpp"
+#include "tensor/tensor4.hpp"
+
+namespace fit::core {
+
+/// O(n^8) literal evaluation of Eq. 1. Use only for n <= ~10.
+tensor::PackedC reference_direct_o8(const Problem& p);
+
+/// Dense O(n^5) four-step transform with no symmetry exploitation.
+/// Also exposes the dense result for tests that need full C.
+tensor::Tensor4 reference_dense(const Problem& p);
+tensor::PackedC reference_transform(const Problem& p);
+
+tensor::PackedC unfused_transform(const Problem& p, SeqStats* stats = nullptr);
+
+/// `materialize_a`: keep the paper's Listing 2 shape (A fully resident)
+/// when true; generate the A slice per (k,l) on the fly when false
+/// (the inner-transform variant used by Listing 10).
+tensor::PackedC fused12_34_transform(const Problem& p,
+                                     SeqStats* stats = nullptr,
+                                     bool materialize_a = true);
+
+tensor::PackedC recompute_transform(const Problem& p,
+                                    SeqStats* stats = nullptr);
+
+tensor::PackedC fused1234_transform(const Problem& p,
+                                    SeqStats* stats = nullptr);
+
+}  // namespace fit::core

@@ -1,0 +1,39 @@
+// Execution statistics for the sequential (single-address-space)
+// schedules: flop counts, integral evaluations, and peak simultaneous
+// memory in tensor words — the quantities the paper's Listings 1-3 and
+// 7 annotate in their comments.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace fit::core {
+
+struct SeqStats {
+  double flops = 0;                 // 2 per multiply-add
+  std::uint64_t integral_evals = 0; // ComputeA calls
+  std::size_t peak_words = 0;       // max simultaneously live tensor words
+  double wall_seconds = 0;
+};
+
+/// Tracks current/peak live tensor words. Schedules charge/release
+/// around each allocation so peak_words reproduces the listings'
+/// "Memory required" annotations.
+class MemMeter {
+ public:
+  void alloc(std::size_t words) {
+    current_ += words;
+    peak_ = std::max(peak_, current_);
+  }
+  void release(std::size_t words) { current_ -= words; }
+
+  std::size_t current() const { return current_; }
+  std::size_t peak() const { return peak_; }
+
+ private:
+  std::size_t current_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace fit::core

@@ -1,0 +1,87 @@
+#include "pebble/cdag.hpp"
+
+namespace fit::pebble {
+
+Cdag::Cdag(int n) : n_(n), preds_(static_cast<std::size_t>(n), 0) {
+  FIT_REQUIRE(n >= 1 && n <= kMaxVertices,
+              "CDAG supports 1.." << kMaxVertices << " vertices, got " << n);
+}
+
+void Cdag::add_edge(int u, int v) {
+  FIT_REQUIRE(u >= 0 && v >= 0 && u < n_ && v < n_, "edge endpoint range");
+  FIT_REQUIRE(u < v, "vertex numbering must be topological (u < v)");
+  preds_[v] |= static_cast<VertexSet>(1u << u);
+}
+
+void Cdag::mark_output(int v) {
+  FIT_REQUIRE(v >= 0 && v < n_, "output vertex range");
+  outputs_ |= static_cast<VertexSet>(1u << v);
+}
+
+VertexSet Cdag::inputs() const {
+  VertexSet in = 0;
+  for (int v = 0; v < n_; ++v)
+    if (preds_[v] == 0) in |= static_cast<VertexSet>(1u << v);
+  return in;
+}
+
+VertexSet Cdag::operations() const {
+  return static_cast<VertexSet>(((1u << n_) - 1u) & ~inputs());
+}
+
+bool Cdag::has_consumer(int v) const {
+  const VertexSet bit = static_cast<VertexSet>(1u << v);
+  for (int w = v + 1; w < n_; ++w)
+    if (preds_[w] & bit) return true;
+  return false;
+}
+
+FusedCdag fuse(const Cdag& producer, const std::vector<int>& producer_outputs,
+               const Cdag& consumer,
+               const std::vector<int>& consumer_inputs) {
+  FIT_REQUIRE(producer_outputs.size() == consumer_inputs.size(),
+              "output/input merge lists must pair up");
+  for (int v : producer_outputs)
+    FIT_REQUIRE(!producer.has_consumer(v),
+                "Fusion Lemma requires producer outputs unused inside the "
+                "producer (vertex " << v << " has a consumer)");
+  for (int v : consumer_inputs)
+    FIT_REQUIRE(consumer.preds(v) == 0,
+                "merged consumer vertex " << v << " must be an input");
+
+  // Fused vertex order: all producer vertices keep their ids (already
+  // topological); consumer non-merged vertices follow.
+  const int np = producer.n_vertices();
+  const int nc = consumer.n_vertices();
+  std::vector<int> cmap(static_cast<std::size_t>(nc), -1);
+  for (std::size_t k = 0; k < consumer_inputs.size(); ++k)
+    cmap[static_cast<std::size_t>(consumer_inputs[k])] = producer_outputs[k];
+  int next = np;
+  for (int v = 0; v < nc; ++v)
+    if (cmap[static_cast<std::size_t>(v)] < 0)
+      cmap[static_cast<std::size_t>(v)] = next++;
+
+  FusedCdag fused{Cdag(next), {}, cmap};
+  fused.producer_map.resize(static_cast<std::size_t>(np));
+  for (int v = 0; v < np; ++v) {
+    fused.producer_map[static_cast<std::size_t>(v)] = v;
+    for (int u = 0; u < v; ++u)
+      if (producer.preds(v) & (1u << u)) fused.graph.add_edge(u, v);
+  }
+  for (int v = 0; v < nc; ++v)
+    for (int u = 0; u < v; ++u)
+      if (consumer.preds(v) & (1u << u)) {
+        const int fu = cmap[static_cast<std::size_t>(u)];
+        const int fv = cmap[static_cast<std::size_t>(v)];
+        FIT_CHECK(fu < fv, "fused edge order broken");
+        fused.graph.add_edge(fu, fv);
+      }
+  // Outputs of the fused computation are the consumer's outputs
+  // (Lemma A.3: O12 = O2).
+  for (int v = 0; v < nc; ++v)
+    if (consumer.outputs() & (1u << v))
+      fused.graph.mark_output(cmap[static_cast<std::size_t>(v)]);
+  return fused;
+}
+
+}  // namespace fit::pebble

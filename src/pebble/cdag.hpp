@@ -1,0 +1,75 @@
+// Computational directed acyclic graphs (CDAGs) for the red–blue
+// pebble game of Hong & Kung — the formal model behind every lower
+// bound in the paper (Definition A.1).
+//
+// Vertices are numbered 0..n-1; a vertex with no predecessors is an
+// input, any vertex may be marked an output. The implementation is
+// limited to 16 vertices so that the exhaustive optimal-I/O search in
+// pebble_game.hpp can pack game states into 48 bits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fit::pebble {
+
+using VertexSet = std::uint16_t;  // bitmask over <= 16 vertices
+
+constexpr int kMaxVertices = 16;
+
+class Cdag {
+ public:
+  /// Create a CDAG with `n` vertices and no edges.
+  explicit Cdag(int n);
+
+  int n_vertices() const { return n_; }
+
+  /// Add a dependence edge u -> v (u must be computed before v).
+  /// Edges must respect vertex numbering as a topological order
+  /// (u < v), which every construction in this repo satisfies.
+  void add_edge(int u, int v);
+
+  /// Mark a vertex as a program output (must end with a blue pebble).
+  void mark_output(int v);
+
+  /// Predecessor mask of v.
+  VertexSet preds(int v) const { return preds_[v]; }
+
+  /// Inputs: vertices with no predecessors.
+  VertexSet inputs() const;
+
+  /// Output mask.
+  VertexSet outputs() const { return outputs_; }
+
+  /// Operation vertices (non-inputs).
+  VertexSet operations() const;
+
+  /// True if v has at least one consumer.
+  bool has_consumer(int v) const;
+
+  /// Builder: the CDAG of a "macro-op" contraction C[m] = f(A[...]),
+  /// where each of `n_out` outputs depends on a given list of inputs.
+  /// See tests/benches for concrete wirings.
+ private:
+  int n_;
+  std::vector<VertexSet> preds_;
+  VertexSet outputs_ = 0;
+};
+
+/// Fuse producer and consumer CDAGs (Lemma A.3 construction): the
+/// producer's outputs `o1` become internal vertices feeding the
+/// consumer; consumer vertex `i` maps to fused vertex `consumer_map[i]`.
+/// `consumer_o1_inputs[k]` names the consumer input vertex merged with
+/// the k-th producer output.
+struct FusedCdag {
+  Cdag graph;
+  std::vector<int> producer_map;  // producer vertex -> fused vertex
+  std::vector<int> consumer_map;  // consumer vertex -> fused vertex
+};
+
+FusedCdag fuse(const Cdag& producer, const std::vector<int>& producer_outputs,
+               const Cdag& consumer, const std::vector<int>& consumer_inputs);
+
+}  // namespace fit::pebble

@@ -1,0 +1,116 @@
+#include "pebble/pebble_game.hpp"
+
+#include <bit>
+#include <deque>
+#include <unordered_map>
+
+namespace fit::pebble {
+
+namespace {
+
+constexpr std::uint64_t pack(VertexSet red, VertexSet blue,
+                             VertexSet computed) {
+  return static_cast<std::uint64_t>(red) |
+         (static_cast<std::uint64_t>(blue) << 16) |
+         (static_cast<std::uint64_t>(computed) << 32);
+}
+
+struct Unpacked {
+  VertexSet red, blue, computed;
+};
+
+constexpr Unpacked unpack(std::uint64_t key) {
+  return {static_cast<VertexSet>(key & 0xFFFF),
+          static_cast<VertexSet>((key >> 16) & 0xFFFF),
+          static_cast<VertexSet>((key >> 32) & 0xFFFF)};
+}
+
+}  // namespace
+
+std::optional<GameResult> min_io(const Cdag& g, int s,
+                                 std::uint64_t max_states) {
+  FIT_REQUIRE(s >= 1, "need at least one red pebble");
+  const int n = g.n_vertices();
+  const VertexSet inputs = g.inputs();
+  const VertexSet outputs = g.outputs();
+  FIT_REQUIRE(outputs != 0, "CDAG has no outputs");
+
+  // Quick infeasibility: computing v requires all preds red plus a
+  // free pebble for v itself.
+  for (int v = 0; v < n; ++v)
+    if (std::popcount(static_cast<unsigned>(g.preds(v))) + 1 > s &&
+        g.preds(v) != 0)
+      return std::nullopt;
+
+  // 0-1 BFS (deque Dijkstra) over packed states.
+  std::unordered_map<std::uint64_t, std::uint32_t> dist;
+  std::deque<std::uint64_t> queue;
+  const std::uint64_t start = pack(0, inputs, inputs);
+  dist[start] = 0;
+  queue.push_back(start);
+  std::uint64_t visited = 0;
+
+  auto relax = [&](std::uint64_t next, std::uint32_t d, bool unit_cost) {
+    auto it = dist.find(next);
+    const std::uint32_t nd = d + (unit_cost ? 1u : 0u);
+    if (it == dist.end() || nd < it->second) {
+      dist[next] = nd;
+      if (unit_cost)
+        queue.push_back(next);
+      else
+        queue.push_front(next);
+    }
+  };
+
+  while (!queue.empty()) {
+    const std::uint64_t key = queue.front();
+    queue.pop_front();
+    const std::uint32_t d = dist[key];
+    const auto [red, blue, computed] = unpack(key);
+
+    if ((outputs & blue) == outputs)
+      return GameResult{d, visited};
+
+    if (++visited > max_states) return std::nullopt;
+
+    const int nred = std::popcount(static_cast<unsigned>(red));
+
+    for (int v = 0; v < n; ++v) {
+      const VertexSet bit = static_cast<VertexSet>(1u << v);
+      // R3 Compute: free, so explore first (deque front).
+      if (!(computed & bit) && g.preds(v) != 0 &&
+          (g.preds(v) & red) == g.preds(v) && nred < s) {
+        relax(pack(red | bit, blue, computed | bit), d, false);
+      }
+      // R4 Delete: only useful when red is full (safe normalization —
+      // postponing a delete never increases I/O).
+      if ((red & bit) && nred == s) {
+        relax(pack(red & ~bit, blue, computed), d, false);
+      }
+      // R1 Load.
+      if ((blue & bit) && !(red & bit) && nred < s) {
+        relax(pack(red | bit, blue, computed), d, true);
+      }
+      // R2 Store.
+      if ((red & bit) && !(blue & bit)) {
+        relax(pack(red, blue | bit, computed), d, true);
+      }
+    }
+  }
+  return std::nullopt;  // outputs unreachable
+}
+
+std::optional<std::uint32_t> fusion_lemma_rhs(const Cdag& producer,
+                                              const Cdag& consumer,
+                                              std::uint32_t n_intermediates,
+                                              int s) {
+  auto io1 = min_io(producer, s);
+  auto io2 = min_io(consumer, s);
+  if (!io1 || !io2) return std::nullopt;
+  const std::int64_t rhs = static_cast<std::int64_t>(io1->min_io) +
+                           io2->min_io -
+                           2 * static_cast<std::int64_t>(n_intermediates);
+  return rhs < 0 ? 0u : static_cast<std::uint32_t>(rhs);
+}
+
+}  // namespace fit::pebble

@@ -1,0 +1,46 @@
+// Exhaustive optimal-I/O search for the red–blue pebble game without
+// re-pebbling (paper Definition A.2).
+//
+// State = (red pebbles, blue pebbles, computed set), packed into 48
+// bits for <= 16 vertices. Moves follow the paper's rules exactly:
+//
+//   R1 Load    (cost 1): blue(v) -> also red(v), if a red pebble free
+//   R2 Store   (cost 1): red(v)  -> also blue(v)
+//   R3 Compute (cost 0): preds(v) all red, v not yet computed
+//   R4 Delete  (cost 0): remove a red pebble
+//
+// 0-1 BFS over this state graph yields the *exact* minimum I/O of any
+// valid schedule — the quantity every lower bound in the paper
+// constrains. Feasible only for tiny CDAGs; the test suite uses it to
+// verify the Fusion Lemma (IO(C12) >= IO(C1)+IO(C2)-2|O1|) on hundreds
+// of generated producer/consumer pairs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "pebble/cdag.hpp"
+
+namespace fit::pebble {
+
+struct GameResult {
+  std::uint32_t min_io;          // minimal loads+stores
+  std::uint64_t states_visited;  // search effort
+};
+
+/// Exact minimum I/O for the CDAG with `s` red pebbles. Returns
+/// nullopt if no complete calculation exists (s too small: a vertex
+/// with indegree >= s can never be computed) or if the search exceeds
+/// `max_states`.
+std::optional<GameResult> min_io(const Cdag& g, int s,
+                                 std::uint64_t max_states = 20'000'000);
+
+/// Convenience: the Fusion Lemma right-hand side
+/// IO(C1) + IO(C2) - 2*|O1| computed with exact optima; nullopt if
+/// either sub-game is infeasible/too large.
+std::optional<std::uint32_t> fusion_lemma_rhs(const Cdag& producer,
+                                              const Cdag& consumer,
+                                              std::uint32_t n_intermediates,
+                                              int s);
+
+}  // namespace fit::pebble

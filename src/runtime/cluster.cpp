@@ -1,0 +1,193 @@
+#include "runtime/cluster.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+#include "util/format.hpp"
+#include "util/logging.hpp"
+
+namespace fit::runtime {
+
+void MemTracker::alloc(double bytes, const char* what) {
+  FIT_REQUIRE(bytes >= 0, "negative allocation");
+  if (used_ + bytes > capacity_) {
+    throw OutOfMemoryError(
+        "rank " + std::to_string(rank_) + ": allocating " +
+        human_bytes(bytes) + " for " + what + " exceeds local capacity " +
+        human_bytes(capacity_) + " (in use: " + human_bytes(used_) + ")");
+  }
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+}
+
+bool MemTracker::try_alloc(double bytes) {
+  FIT_REQUIRE(bytes >= 0, "negative allocation");
+  if (used_ + bytes > capacity_) return false;
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+  return true;
+}
+
+void MemTracker::release(double bytes) {
+  used_ -= bytes;
+  FIT_CHECK(used_ >= -1e-6, "memory tracker went negative");
+  if (used_ < 0) used_ = 0;
+}
+
+std::size_t RankCtx::n_ranks() const { return cluster_.n_ranks(); }
+bool RankCtx::real() const {
+  return cluster_.mode() == ExecutionMode::Real;
+}
+const MachineConfig& RankCtx::machine() const { return cluster_.machine(); }
+MemTracker& RankCtx::memory() { return cluster_.memory(rank_); }
+MemTracker& RankCtx::scratch() { return cluster_.scratch(rank_); }
+
+void RankCtx::charge_flops(double flops) {
+  comm_.flops += flops;
+  time_ += flops / cluster_.machine().flops_per_rank;
+}
+
+void RankCtx::charge_integrals(double count) {
+  comm_.integral_evals += count;
+  time_ += count / cluster_.machine().integrals_per_sec;
+}
+
+void RankCtx::charge_transfer(std::size_t owner, double bytes) {
+  const auto& m = cluster_.machine();
+  if (cluster_.node_of(owner) == cluster_.node_of(rank_)) {
+    comm_.local_bytes += bytes;
+    time_ += bytes / m.local_bandwidth_bps;
+  } else {
+    comm_.remote_bytes += bytes;
+    comm_.remote_messages += 1;
+    time_ += m.net_latency_s + bytes / m.net_bandwidth_bps;
+  }
+}
+
+void RankCtx::charge_disk(double bytes) {
+  const auto& m = cluster_.machine();
+  FIT_CHECK(m.disk_bandwidth_bps > 0, "disk access with no disk configured");
+  comm_.disk_bytes += bytes;
+  // The file system bandwidth is collective: each rank sees its share.
+  time_ += m.disk_latency_s +
+           bytes / (m.disk_bandwidth_bps /
+                    static_cast<double>(cluster_.n_ranks()));
+}
+
+void Cluster::note_spill(double bytes) {
+  disk_used_ += bytes;
+  disk_peak_ = std::max(disk_peak_, disk_used_);
+}
+
+void Cluster::note_unspill(double bytes) {
+  disk_used_ -= bytes;
+  FIT_CHECK(disk_used_ >= -1e-6, "disk accounting went negative");
+  if (disk_used_ < 0) disk_used_ = 0;
+}
+
+Cluster::Cluster(MachineConfig config, ExecutionMode mode,
+                 std::size_t host_threads)
+    : config_(std::move(config)), mode_(mode),
+      host_threads_(std::max<std::size_t>(1, host_threads)) {
+  FIT_REQUIRE(config_.n_ranks() >= 1, "cluster needs at least one rank");
+  mem_.reserve(config_.n_ranks());
+  scratch_.reserve(config_.n_ranks());
+  for (std::size_t r = 0; r < config_.n_ranks(); ++r) {
+    mem_.emplace_back(r, config_.mem_per_rank_bytes());
+    scratch_.emplace_back(r, config_.local_scratch_bytes);
+  }
+}
+
+void Cluster::run_phase(const std::string& label,
+                        const std::function<void(RankCtx&)>& body) {
+  PhaseRecord rec;
+  rec.label = label;
+  if (host_threads_ <= 1 || n_ranks() == 1) {
+    for (std::size_t r = 0; r < n_ranks(); ++r) {
+      RankCtx ctx(*this, r);
+      body(ctx);
+      rec.makespan = std::max(rec.makespan, ctx.time_);
+      rec.total_rank_time += ctx.time_;
+      rec.comm += ctx.comm_;
+    }
+  } else {
+    // Each rank is processed by exactly one host thread (strided
+    // assignment), so per-rank state needs no locking; the phase
+    // record is merged under a mutex. Exceptions (e.g. scratch OOM)
+    // are captured and rethrown on the calling thread.
+    const std::size_t nthreads = std::min(host_threads_, n_ranks());
+    std::mutex merge_mutex;
+    std::exception_ptr first_error;
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (std::size_t t = 0; t < nthreads; ++t) {
+      pool.emplace_back([&, t] {
+        PhaseRecord local;
+        try {
+          for (std::size_t r = t; r < n_ranks(); r += nthreads) {
+            RankCtx ctx(*this, r);
+            body(ctx);
+            local.makespan = std::max(local.makespan, ctx.time_);
+            local.total_rank_time += ctx.time_;
+            local.comm += ctx.comm_;
+          }
+          std::lock_guard<std::mutex> lock(merge_mutex);
+          rec.makespan = std::max(rec.makespan, local.makespan);
+          rec.total_rank_time += local.total_rank_time;
+          rec.comm += local.comm;
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(merge_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+  if (rec.total_rank_time > 0)
+    rec.imbalance = rec.makespan * static_cast<double>(n_ranks()) /
+                    rec.total_rank_time;
+  sim_time_ += rec.makespan;
+  totals_ += rec.comm;
+  FIT_LOG_DEBUG("phase '" << rec.label << "': makespan "
+                << fmt_sci(rec.makespan, 2) << " s, imbalance "
+                << fmt_fixed(rec.imbalance, 2) << ", remote "
+                << human_bytes(rec.comm.remote_bytes) << ", flops "
+                << human_count(rec.comm.flops));
+  phases_.push_back(std::move(rec));
+  note_global_usage();
+  ++epoch_;  // the barrier
+}
+
+double Cluster::global_used() const {
+  double total = 0;
+  for (const auto& m : mem_) total += m.used();
+  return total;
+}
+
+void Cluster::note_global_usage() {
+  global_peak_ = std::max(global_peak_, global_used());
+}
+
+double Cluster::worst_imbalance() const {
+  double w = 1.0;
+  for (const auto& p : phases_) w = std::max(w, p.imbalance);
+  return w;
+}
+
+RankBuffer::RankBuffer(RankCtx& ctx, std::size_t words, const char* what)
+    : ctx_(ctx), words_(words) {
+  ctx_.scratch().alloc(8.0 * static_cast<double>(words), what);
+  if (ctx_.real()) storage_.assign(words, 0.0);
+}
+
+RankBuffer::~RankBuffer() {
+  ctx_.scratch().release(8.0 * static_cast<double>(words_));
+}
+
+void RankBuffer::zero() {
+  std::fill(storage_.begin(), storage_.end(), 0.0);
+}
+
+}  // namespace fit::runtime

@@ -1,0 +1,212 @@
+// The simulated distributed-memory cluster.
+//
+// Execution model: bulk-synchronous SPMD, exactly the structure of the
+// paper's Listings 4/8/10 — each phase runs a rank body for every rank
+// followed by a barrier (GA_Sync). Because all remote operations are
+// one-sided gets/puts/accumulates of data written in *earlier* phases
+// (an invariant the GA layer enforces), executing the rank bodies
+// sequentially between barriers is semantically identical to true
+// parallel execution, while remaining deterministic and scaling to
+// thousands of simulated ranks on one host.
+//
+// Costs are tracked per rank: flops, integral evaluations, and
+// latency/bandwidth-modeled communication. A phase advances simulated
+// time by the *maximum* rank time in that phase (the BSP makespan), so
+// load imbalance — e.g. the triangular alpha >= beta distribution of
+// Sec. 7.3 — shows up faithfully.
+//
+// Two execution modes:
+//   Real      tile buffers are allocated and the arithmetic is
+//             actually performed (used by tests and small examples;
+//             results are bit-comparable to the sequential schedules);
+//   Simulate  only counters and simulated time advance (used by the
+//             paper-scale benchmarks, where the arithmetic volume
+//             would be prohibitive on the host but the paper's claims
+//             are about bytes, capacity and modeled time).
+// Memory accounting (and hence OOM "Failed" outcomes) is identical in
+// both modes.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/machine.hpp"
+#include "util/error.hpp"
+
+namespace fit::runtime {
+
+enum class ExecutionMode { Real, Simulate };
+
+/// Per-rank memory accounting. Throws OutOfMemoryError when the
+/// rank's share of node memory is exceeded.
+class MemTracker {
+ public:
+  MemTracker() = default;
+  MemTracker(std::size_t rank, double capacity_bytes)
+      : rank_(rank), capacity_(capacity_bytes) {}
+
+  void alloc(double bytes, const char* what);
+  /// Non-throwing variant: returns false (and charges nothing) when
+  /// the allocation would exceed capacity. Used by the spill path.
+  bool try_alloc(double bytes);
+  void release(double bytes);
+
+  double used() const { return used_; }
+  double peak() const { return peak_; }
+  double capacity() const { return capacity_; }
+
+ private:
+  std::size_t rank_ = 0;
+  double capacity_ = 0;
+  double used_ = 0;
+  double peak_ = 0;
+};
+
+/// Communication/computation counters, kept per rank and aggregated.
+struct CommStats {
+  double remote_bytes = 0;
+  double local_bytes = 0;
+  double remote_messages = 0;
+  double disk_bytes = 0;
+  double flops = 0;
+  double integral_evals = 0;
+
+  void operator+=(const CommStats& o) {
+    remote_bytes += o.remote_bytes;
+    local_bytes += o.local_bytes;
+    remote_messages += o.remote_messages;
+    disk_bytes += o.disk_bytes;
+    flops += o.flops;
+    integral_evals += o.integral_evals;
+  }
+};
+
+struct PhaseRecord {
+  std::string label;
+  double makespan = 0;       // max rank time
+  double total_rank_time = 0;
+  double imbalance = 1.0;    // makespan * ranks / total_rank_time
+  CommStats comm;
+};
+
+class Cluster;
+
+/// Handle given to a rank body during a phase; all cost charging goes
+/// through it.
+class RankCtx {
+ public:
+  std::size_t rank() const { return rank_; }
+  std::size_t n_ranks() const;
+  bool real() const;
+  const MachineConfig& machine() const;
+
+  void charge_flops(double flops);
+  void charge_integrals(double count);
+  /// Charge a data transfer of `bytes` between this rank and `owner`.
+  void charge_transfer(std::size_t owner, double bytes);
+
+  /// Charge a transfer of `bytes` to/from the shared parallel file
+  /// system (spilled tiles). Requires disk_bandwidth_bps > 0.
+  void charge_disk(double bytes);
+
+  MemTracker& memory();
+  MemTracker& scratch();
+  double elapsed() const { return time_; }
+
+ private:
+  friend class Cluster;
+  RankCtx(Cluster& cluster, std::size_t rank)
+      : cluster_(cluster), rank_(rank) {}
+  Cluster& cluster_;
+  std::size_t rank_;
+  double time_ = 0;
+  CommStats comm_;
+};
+
+class Cluster {
+ public:
+  /// `host_threads` > 1 executes the ranks of each phase on a pool of
+  /// host threads (the GA layer's one-sided operations are thread
+  /// safe). Results are numerically identical up to floating-point
+  /// accumulation order; all counters are exactly deterministic.
+  Cluster(MachineConfig config, ExecutionMode mode,
+          std::size_t host_threads = 1);
+
+  const MachineConfig& machine() const { return config_; }
+  ExecutionMode mode() const { return mode_; }
+  std::size_t n_ranks() const { return config_.n_ranks(); }
+  std::size_t node_of(std::size_t rank) const {
+    return rank / config_.ranks_per_node;
+  }
+
+  /// Run one SPMD phase: body(ctx) for every rank, then a barrier.
+  /// Simulated time advances by the slowest rank.
+  void run_phase(const std::string& label,
+                 const std::function<void(RankCtx&)>& body);
+
+  /// Barrier epoch counter (incremented by every run_phase); the GA
+  /// layer uses it to enforce the sync-before-read discipline.
+  std::uint64_t epoch() const { return epoch_; }
+
+  MemTracker& memory(std::size_t rank) { return mem_[rank]; }
+  const MemTracker& memory(std::size_t rank) const { return mem_[rank]; }
+  MemTracker& scratch(std::size_t rank) { return scratch_[rank]; }
+
+  /// Total bytes currently allocated across all ranks, and the peak.
+  double global_used() const;
+  double global_peak() const { return global_peak_; }
+  void note_global_usage();
+
+  /// Bytes of Global Array data currently spilled to disk, and the
+  /// high-water mark.
+  double disk_used() const { return disk_used_; }
+  double disk_peak() const { return disk_peak_; }
+  void note_spill(double bytes);
+  void note_unspill(double bytes);
+
+  double sim_time() const { return sim_time_; }
+  const CommStats& totals() const { return totals_; }
+  const std::vector<PhaseRecord>& phases() const { return phases_; }
+
+  /// Max per-phase imbalance observed so far.
+  double worst_imbalance() const;
+
+ private:
+  friend class RankCtx;
+  MachineConfig config_;
+  ExecutionMode mode_;
+  std::size_t host_threads_;
+  std::vector<MemTracker> mem_;
+  std::vector<MemTracker> scratch_;
+  std::uint64_t epoch_ = 1;
+  double sim_time_ = 0;
+  double global_peak_ = 0;
+  double disk_used_ = 0;
+  double disk_peak_ = 0;
+  CommStats totals_;
+  std::vector<PhaseRecord> phases_;
+};
+
+/// RAII local (per-rank) scratch buffer: charges the rank's memory
+/// tracker; holds real storage only in Real mode.
+class RankBuffer {
+ public:
+  RankBuffer(RankCtx& ctx, std::size_t words, const char* what);
+  ~RankBuffer();
+  RankBuffer(const RankBuffer&) = delete;
+  RankBuffer& operator=(const RankBuffer&) = delete;
+
+  /// Pointer to storage (nullptr in Simulate mode).
+  double* data() { return storage_.empty() ? nullptr : storage_.data(); }
+  std::size_t words() const { return words_; }
+  void zero();
+
+ private:
+  RankCtx& ctx_;
+  std::size_t words_;
+  std::vector<double> storage_;
+};
+
+}  // namespace fit::runtime

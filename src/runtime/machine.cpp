@@ -1,0 +1,51 @@
+#include "runtime/machine.hpp"
+
+namespace fit::runtime {
+
+namespace {
+constexpr double kMemScale = 1.0 / 4096.0;  // 1/8^4, see header
+}
+
+MachineConfig system_a(std::size_t n_nodes) {
+  MachineConfig m;
+  m.name = "SystemA";
+  m.n_nodes = n_nodes;
+  m.ranks_per_node = 8;  // two 4-core Westmere sockets
+  m.mem_per_node_bytes = 24e9 * kMemScale;
+  m.flops_per_rank = 2.0e9;        // 2.53 GHz Westmere core, DGEMM-ish
+  m.integrals_per_sec = 1.0e8;
+  m.net_bandwidth_bps = 5.0e9 / 8; // QDR 40 Gb/s per node, shared
+  m.net_latency_s = 2e-6;
+  m.local_bandwidth_bps = 2e10;
+  return m;
+}
+
+MachineConfig system_b(std::size_t n_nodes) {
+  MachineConfig m;
+  m.name = "SystemB";
+  m.n_nodes = n_nodes;
+  m.ranks_per_node = 28;  // two 14-core Broadwell sockets
+  m.mem_per_node_bytes = 512e9 * kMemScale;
+  m.flops_per_rank = 4.0e9;
+  m.integrals_per_sec = 2.0e8;
+  m.net_bandwidth_bps = 5.0e9 / 28;
+  m.net_latency_s = 2e-6;
+  m.local_bandwidth_bps = 3e10;
+  return m;
+}
+
+MachineConfig system_c(std::size_t n_nodes) {
+  MachineConfig m;
+  m.name = "SystemC";
+  m.n_nodes = n_nodes;
+  m.ranks_per_node = 4;  // 4 ranks per node as in the paper's runs
+  m.mem_per_node_bytes = 128e9 * kMemScale;
+  m.flops_per_rank = 3.5e9;
+  m.integrals_per_sec = 1.5e8;
+  m.net_bandwidth_bps = 1.75e9 / 4;  // FDR 14 Gb/s per node
+  m.net_latency_s = 3e-6;
+  m.local_bandwidth_bps = 2.5e10;
+  return m;
+}
+
+}  // namespace fit::runtime

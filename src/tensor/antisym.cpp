@@ -1,0 +1,66 @@
+#include "tensor/antisym.hpp"
+
+namespace fit::tensor {
+
+AntisymPackedC::AntisymPackedC(std::size_t n, Irreps irreps)
+    : n_(n), irreps_(std::move(irreps)) {
+  FIT_REQUIRE(irreps_.n_orbitals() == n, "irrep map extent mismatch");
+  const std::size_t p = npairs_strict(n);
+  pair_irrep_.resize(p);
+  pair_pos_.resize(p);
+  std::vector<std::size_t> count(irreps_.order(), 0);
+  for (std::size_t i = 1; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) {
+      const std::size_t pp = pack_pair_strict(i, j);
+      const std::uint8_t h = irreps_.pair_irrep(i, j);
+      pair_irrep_[pp] = h;
+      pair_pos_[pp] = static_cast<std::uint32_t>(count[h]++);
+    }
+  blocks_.reserve(irreps_.order());
+  for (unsigned h = 0; h < irreps_.order(); ++h)
+    blocks_.emplace_back(count[h], count[h]);
+}
+
+std::size_t AntisymPackedC::stored_elements() const {
+  std::size_t total = 0;
+  for (const auto& b : blocks_) total += b.size();
+  return total;
+}
+
+double AntisymPackedC::get(std::size_t a, std::size_t b, std::size_t c,
+                           std::size_t d) const {
+  const auto pab = signed_pair(a, b);
+  const auto pcd = signed_pair(c, d);
+  const double s = pab.sign * pcd.sign;
+  if (s == 0.0) return 0.0;
+  if (pair_irrep_[pab.index] != pair_irrep_[pcd.index]) return 0.0;
+  return s * blocks_[pair_irrep_[pab.index]](pair_pos_[pab.index],
+                                             pair_pos_[pcd.index]);
+}
+
+void AntisymPackedC::add(std::size_t a, std::size_t b, std::size_t c,
+                         std::size_t d, double v) {
+  FIT_REQUIRE(a > b && c > d, "antisym add requires canonical a>b, c>d");
+  const std::size_t pab = pack_pair_strict(a, b);
+  const std::size_t pcd = pack_pair_strict(c, d);
+  if (pair_irrep_[pab] != pair_irrep_[pcd]) {
+    FIT_REQUIRE(v == 0.0, "nonzero write to spatially forbidden entry");
+    return;
+  }
+  blocks_[pair_irrep_[pab]](pair_pos_[pab], pair_pos_[pcd]) += v;
+}
+
+double AntisymPackedC::max_abs_diff(const AntisymPackedC& other) const {
+  FIT_REQUIRE(n_ == other.n_, "extent mismatch");
+  double m = 0.0;
+  for (std::size_t h = 0; h < blocks_.size(); ++h) {
+    const Matrix& x = blocks_[h];
+    const Matrix& y = other.blocks_[h];
+    for (std::size_t i = 0; i < x.rows(); ++i)
+      for (std::size_t j = 0; j < x.cols(); ++j)
+        m = std::max(m, std::fabs(x(i, j) - y(i, j)));
+  }
+  return m;
+}
+
+}  // namespace fit::tensor

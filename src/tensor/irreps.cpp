@@ -1,0 +1,36 @@
+#include "tensor/irreps.hpp"
+
+namespace fit::tensor {
+
+namespace {
+bool is_pow2(unsigned v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+Irreps::Irreps(std::vector<std::uint8_t> labels, unsigned order)
+    : labels_(std::move(labels)), order_(order) {
+  FIT_REQUIRE(is_pow2(order_), "irrep group order must be a power of two");
+  for (auto l : labels_)
+    FIT_REQUIRE(l < order_, "irrep label " << int(l) << " >= order " << order_);
+}
+
+Irreps Irreps::trivial(std::size_t n_orbitals) {
+  return Irreps(std::vector<std::uint8_t>(n_orbitals, 0), 1);
+}
+
+Irreps Irreps::contiguous(std::size_t n_orbitals, unsigned order) {
+  FIT_REQUIRE(is_pow2(order), "irrep group order must be a power of two");
+  std::vector<std::uint8_t> labels(n_orbitals);
+  // Equal-as-possible contiguous blocks: block b covers
+  // [b*n/order, (b+1)*n/order).
+  for (std::size_t o = 0; o < n_orbitals; ++o)
+    labels[o] = static_cast<std::uint8_t>(o * order / n_orbitals);
+  return Irreps(std::move(labels), order);
+}
+
+bool Irreps::is_contiguous() const {
+  for (std::size_t o = 1; o < labels_.size(); ++o)
+    if (labels_[o] < labels_[o - 1]) return false;
+  return true;
+}
+
+}  // namespace fit::tensor

@@ -1,0 +1,48 @@
+// Owning dense row-major matrix.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fit::tensor {
+
+/// Dense row-major matrix of doubles. The workhorse 2-D container for
+/// transformation matrices B and packed 2-D views of symmetric tensors.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    FIT_REQUIRE(i < rows_ && j < cols_,
+                "Matrix(" << i << "," << j << ") out of " << rows_ << "x"
+                          << cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    FIT_REQUIRE(i < rows_ && j < cols_,
+                "Matrix(" << i << "," << j << ") out of " << rows_ << "x"
+                          << cols_);
+    return data_[i * cols_ + j];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row(std::size_t i) { return data_.data() + i * cols_; }
+  const double* row(std::size_t i) const { return data_.data() + i * cols_; }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace fit::tensor

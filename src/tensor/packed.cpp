@@ -1,0 +1,107 @@
+#include "tensor/packed.hpp"
+
+#include <cmath>
+
+namespace fit::tensor {
+
+std::size_t TensorSizes::unfused_peak() const {
+  // The unfused schedule (paper Listing 1) keeps the input and output
+  // of one contraction live at a time: A+O1, O1+O2, O2+O3, O3+C.
+  const std::size_t s1 = a + o1, s2 = o1 + o2, s3 = o2 + o3, s4 = o3 + c;
+  return std::max(std::max(s1, s2), std::max(s3, s4));
+}
+
+TensorSizes packed_sizes(std::size_t n, const Irreps& irreps) {
+  FIT_REQUIRE(irreps.n_orbitals() == n, "irrep map extent mismatch");
+  const std::size_t p = npairs(n);
+  TensorSizes sz;
+  sz.a = p * p;
+  sz.o1 = n * n * p;
+  sz.o2 = p * p;
+  sz.o3 = p * n * n;
+  // Exact spatial reduction: count pairs per irrep; C = sum of squares.
+  std::vector<std::size_t> pop(irreps.order(), 0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) ++pop[irreps.pair_irrep(i, j)];
+  sz.c = 0;
+  for (auto c : pop) sz.c += c * c;
+  return sz;
+}
+
+ApproxSizes approx_sizes(double n, double s) {
+  const double n4 = n * n * n * n;
+  return ApproxSizes{n4 / 4, n4 / 2, n4 / 4, n4 / 2, n4 / (4 * s)};
+}
+
+PackedC::PackedC(std::size_t n, Irreps irreps)
+    : n_(n), irreps_(std::move(irreps)) {
+  FIT_REQUIRE(irreps_.n_orbitals() == n, "irrep map extent mismatch");
+  const std::size_t p = npairs(n);
+  pair_irrep_.resize(p);
+  pair_pos_.resize(p);
+  std::vector<std::size_t> count(irreps_.order(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const std::size_t pp = pack_pair(i, j);
+      const std::uint8_t h = irreps_.pair_irrep(i, j);
+      pair_irrep_[pp] = h;
+      pair_pos_[pp] = static_cast<std::uint32_t>(count[h]++);
+    }
+  }
+  blocks_.reserve(irreps_.order());
+  for (unsigned h = 0; h < irreps_.order(); ++h)
+    blocks_.emplace_back(count[h], count[h]);
+}
+
+std::size_t PackedC::stored_elements() const {
+  std::size_t total = 0;
+  for (const auto& b : blocks_) total += b.size();
+  return total;
+}
+
+double PackedC::get(std::size_t a, std::size_t b, std::size_t c,
+                    std::size_t d) const {
+  const std::size_t pab = pack_pair_sym(a, b);
+  const std::size_t pcd = pack_pair_sym(c, d);
+  if (pair_irrep_[pab] != pair_irrep_[pcd]) return 0.0;
+  return blocks_[pair_irrep_[pab]](pair_pos_[pab], pair_pos_[pcd]);
+}
+
+void PackedC::add(std::size_t a, std::size_t b, std::size_t c, std::size_t d,
+                  double v) {
+  const std::size_t pab = pack_pair_sym(a, b);
+  const std::size_t pcd = pack_pair_sym(c, d);
+  if (pair_irrep_[pab] != pair_irrep_[pcd]) {
+    // Spatially forbidden entries must be numerically zero; tolerate
+    // exact zeros so generic accumulation loops do not need the check.
+    FIT_REQUIRE(v == 0.0, "nonzero write " << v
+                          << " to spatially forbidden C entry (" << a << ","
+                          << b << "," << c << "," << d << ")");
+    return;
+  }
+  blocks_[pair_irrep_[pab]](pair_pos_[pab], pair_pos_[pcd]) += v;
+}
+
+double PackedC::max_abs_diff(const PackedC& other) const {
+  FIT_REQUIRE(n_ == other.n_ && irreps_.order() == other.irreps_.order(),
+              "comparing incompatible C tensors");
+  double m = 0.0;
+  for (std::size_t h = 0; h < blocks_.size(); ++h) {
+    const Matrix& x = blocks_[h];
+    const Matrix& y = other.blocks_[h];
+    for (std::size_t i = 0; i < x.rows(); ++i)
+      for (std::size_t j = 0; j < x.cols(); ++j)
+        m = std::max(m, std::fabs(x(i, j) - y(i, j)));
+  }
+  return m;
+}
+
+double PackedC::norm2() const {
+  double acc = 0.0;
+  for (const auto& blk : blocks_)
+    for (std::size_t i = 0; i < blk.size(); ++i)
+      acc += blk.data()[i] * blk.data()[i];
+  return std::sqrt(acc);
+}
+
+}  // namespace fit::tensor

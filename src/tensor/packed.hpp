@@ -1,0 +1,191 @@
+// The five tensor shapes of the four-index transform in their compact
+// (symmetry-packed) representations — exactly the storage of the
+// paper's Table 1:
+//
+//   A  [ij, kl]       two packed pair groups         ~ n^4/4
+//   O1 [a, j, kl]     one packed pair group          ~ n^4/2
+//   O2 [ab, kl]       two packed pair groups         ~ n^4/4
+//   O3 [ab, c, l]     one packed pair group          ~ n^4/2
+//   C  [ab, cd]       two packed groups + spatial    ~ n^4/(4s)
+//
+// Accessors take *orbital* indices and resolve the packing internally,
+// so schedule code reads like the paper's listings.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/irreps.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/pairs.hpp"
+
+namespace fit::tensor {
+
+/// Exact element counts of the five packed tensors for extent n and an
+/// irrep assignment (C's spatial reduction is computed exactly from the
+/// pair-irrep populations).
+struct TensorSizes {
+  std::size_t a, o1, o2, o3, c;
+
+  /// Aggregate words needed by the fully unfused schedule: the largest
+  /// simultaneously live input+output pair over the four steps
+  /// (paper: |O1|+|O2| = 3n^4/4 dominates).
+  std::size_t unfused_peak() const;
+};
+
+TensorSizes packed_sizes(std::size_t n, const Irreps& irreps);
+
+/// Asymptotic sizes of Table 1 (elements), for the bounds formulas.
+struct ApproxSizes {
+  double a, o1, o2, o3, c;
+};
+ApproxSizes approx_sizes(double n, double s);
+
+/// A[ij, kl]: symmetric in (i,j) and in (k,l).
+class PackedA {
+ public:
+  explicit PackedA(std::size_t n)
+      : n_(n), data_(npairs(n), npairs(n)) {}
+
+  std::size_t n() const { return n_; }
+  std::size_t stored_elements() const { return data_.size(); }
+
+  double operator()(std::size_t i, std::size_t j, std::size_t k,
+                    std::size_t l) const {
+    return data_(pack_pair_sym(i, j), pack_pair_sym(k, l));
+  }
+  /// Canonical write: requires i >= j and k >= l.
+  void set(std::size_t i, std::size_t j, std::size_t k, std::size_t l,
+           double v) {
+    data_(pack_pair(i, j), pack_pair(k, l)) = v;
+  }
+
+  /// Packed 2-D view: rows = (ij) pairs, cols = (kl) pairs.
+  Matrix& packed() { return data_; }
+  const Matrix& packed() const { return data_; }
+
+ private:
+  std::size_t n_;
+  Matrix data_;
+};
+
+/// O1[a, j, kl]: symmetric in (k,l) only.
+class TensorO1 {
+ public:
+  explicit TensorO1(std::size_t n)
+      : n_(n), np_(npairs(n)), data_(n * n * np_, 0.0) {}
+
+  std::size_t n() const { return n_; }
+  std::size_t stored_elements() const { return data_.size(); }
+
+  double& at(std::size_t a, std::size_t j, std::size_t k, std::size_t l) {
+    return data_[(a * n_ + j) * np_ + pack_pair_sym(k, l)];
+  }
+  double at(std::size_t a, std::size_t j, std::size_t k,
+            std::size_t l) const {
+    return data_[(a * n_ + j) * np_ + pack_pair_sym(k, l)];
+  }
+
+  /// Contiguous row over the packed (kl) axis for fixed (a, j).
+  double* kl_row(std::size_t a, std::size_t j) {
+    return data_.data() + (a * n_ + j) * np_;
+  }
+  const double* kl_row(std::size_t a, std::size_t j) const {
+    return data_.data() + (a * n_ + j) * np_;
+  }
+
+ private:
+  std::size_t n_, np_;
+  std::vector<double> data_;
+};
+
+/// O2[ab, kl]: symmetric in (a,b) and in (k,l).
+class PackedO2 {
+ public:
+  explicit PackedO2(std::size_t n)
+      : n_(n), data_(npairs(n), npairs(n)) {}
+
+  std::size_t n() const { return n_; }
+  std::size_t stored_elements() const { return data_.size(); }
+
+  double& at(std::size_t a, std::size_t b, std::size_t k, std::size_t l) {
+    return data_(pack_pair_sym(a, b), pack_pair_sym(k, l));
+  }
+  double at(std::size_t a, std::size_t b, std::size_t k,
+            std::size_t l) const {
+    return data_(pack_pair_sym(a, b), pack_pair_sym(k, l));
+  }
+
+  Matrix& packed() { return data_; }
+  const Matrix& packed() const { return data_; }
+
+ private:
+  std::size_t n_;
+  Matrix data_;
+};
+
+/// O3[ab, c, l]: symmetric in (a,b) only.
+class TensorO3 {
+ public:
+  explicit TensorO3(std::size_t n)
+      : n_(n), np_(npairs(n)), data_(np_ * n * n, 0.0) {}
+
+  std::size_t n() const { return n_; }
+  std::size_t stored_elements() const { return data_.size(); }
+
+  double& at(std::size_t a, std::size_t b, std::size_t c, std::size_t l) {
+    return data_[(pack_pair_sym(a, b) * n_ + c) * n_ + l];
+  }
+  double at(std::size_t a, std::size_t b, std::size_t c,
+            std::size_t l) const {
+    return data_[(pack_pair_sym(a, b) * n_ + c) * n_ + l];
+  }
+
+ private:
+  std::size_t n_, np_;
+  std::vector<double> data_;
+};
+
+/// C[ab, cd]: symmetric in (a,b) and (c,d), with spatial symmetry.
+///
+/// Storage is blocked by pair irrep: a nonzero entry requires
+/// pair_irrep(a,b) == pair_irrep(c,d), so C decomposes into `order`
+/// independent dense blocks, one per irrep h, of extent
+/// |pairs with irrep h| squared. Total storage ~ n^4/(4s).
+class PackedC {
+ public:
+  PackedC(std::size_t n, Irreps irreps);
+
+  std::size_t n() const { return n_; }
+  const Irreps& irreps() const { return irreps_; }
+  std::size_t stored_elements() const;
+
+  /// Zero for spatially forbidden entries.
+  double get(std::size_t a, std::size_t b, std::size_t c,
+             std::size_t d) const;
+
+  /// Accumulate; requires the entry to be spatially allowed unless the
+  /// value is (exactly) zero, in which case the write is dropped.
+  void add(std::size_t a, std::size_t b, std::size_t c, std::size_t d,
+           double v);
+
+  /// Row index of packed pair p within its irrep block, and its irrep.
+  std::uint8_t irrep_of_pair(std::size_t p) const { return pair_irrep_[p]; }
+  std::size_t pos_of_pair(std::size_t p) const { return pair_pos_[p]; }
+  std::size_t block_extent(std::uint8_t h) const {
+    return blocks_[h].rows();
+  }
+
+  double max_abs_diff(const PackedC& other) const;
+  double norm2() const;
+
+ private:
+  std::size_t n_;
+  Irreps irreps_;
+  std::vector<std::uint8_t> pair_irrep_;  // packed pair -> irrep
+  std::vector<std::uint32_t> pair_pos_;   // packed pair -> row in block
+  std::vector<Matrix> blocks_;            // one square block per irrep
+};
+
+}  // namespace fit::tensor

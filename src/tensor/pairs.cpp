@@ -1,0 +1,19 @@
+#include "tensor/pairs.hpp"
+
+#include <cmath>
+
+namespace fit::tensor {
+
+std::pair<std::size_t, std::size_t> unpack_pair(std::size_t p) {
+  // i is the largest integer with i*(i+1)/2 <= p. The float estimate is
+  // within one of the answer; fix up exactly.
+  auto i = static_cast<std::size_t>(
+      (std::sqrt(8.0 * static_cast<double>(p) + 1.0) - 1.0) / 2.0);
+  while (i * (i + 1) / 2 > p) --i;
+  while ((i + 1) * (i + 2) / 2 <= p) ++i;
+  const std::size_t j = p - i * (i + 1) / 2;
+  FIT_CHECK(j <= i, "unpack_pair(" << p << ") produced j > i");
+  return {i, j};
+}
+
+}  // namespace fit::tensor

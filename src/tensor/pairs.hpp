@@ -1,0 +1,35 @@
+// Triangular pair packing for permutation-symmetric index groups.
+//
+// A symmetry group (i,j) with V[..i,j..] == V[..j,i..] is stored packed:
+// only the entries with i >= j are kept, addressed by
+//   pack(i, j) = i*(i+1)/2 + j,   0 <= j <= i < n
+// which enumerates pairs in the order (0,0),(1,0),(1,1),(2,0),...
+// This is the compact representation the paper's Table 1 sizes refer to
+// (n^4/4 for two packed groups, etc.).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace fit::tensor {
+
+/// Number of packed pairs (i >= j) over a dimension of extent n.
+constexpr std::size_t npairs(std::size_t n) { return n * (n + 1) / 2; }
+
+/// Packed index of an ordered pair; requires i >= j.
+inline std::size_t pack_pair(std::size_t i, std::size_t j) {
+  FIT_REQUIRE(i >= j, "pack_pair requires i >= j, got i=" << i << " j=" << j);
+  return i * (i + 1) / 2 + j;
+}
+
+/// Packed index of an unordered pair (sorts internally).
+inline std::size_t pack_pair_sym(std::size_t i, std::size_t j) {
+  return i >= j ? i * (i + 1) / 2 + j : j * (j + 1) / 2 + i;
+}
+
+/// Inverse of pack_pair: returns (i, j) with i >= j.
+std::pair<std::size_t, std::size_t> unpack_pair(std::size_t p);
+
+}  // namespace fit::tensor

@@ -1,0 +1,49 @@
+// Owning dense 4-D tensor (no symmetry). Used by the O(n^8) reference
+// oracle and by tests that expand packed tensors to full form.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fit::tensor {
+
+class Tensor4 {
+ public:
+  Tensor4() = default;
+  Tensor4(std::size_t n0, std::size_t n1, std::size_t n2, std::size_t n3)
+      : n_{n0, n1, n2, n3}, data_(n0 * n1 * n2 * n3, 0.0) {}
+
+  /// Cubic convenience: all four extents equal.
+  explicit Tensor4(std::size_t n) : Tensor4(n, n, n, n) {}
+
+  std::size_t extent(int dim) const { return n_[dim]; }
+  std::size_t size() const { return data_.size(); }
+
+  double& operator()(std::size_t i, std::size_t j, std::size_t k,
+                     std::size_t l) {
+    return data_[index(i, j, k, l)];
+  }
+  double operator()(std::size_t i, std::size_t j, std::size_t k,
+                    std::size_t l) const {
+    return data_[index(i, j, k, l)];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+ private:
+  std::size_t index(std::size_t i, std::size_t j, std::size_t k,
+                    std::size_t l) const {
+    FIT_REQUIRE(i < n_[0] && j < n_[1] && k < n_[2] && l < n_[3],
+                "Tensor4(" << i << "," << j << "," << k << "," << l
+                           << ") out of range");
+    return ((i * n_[1] + j) * n_[2] + k) * n_[3] + l;
+  }
+
+  std::size_t n_[4] = {0, 0, 0, 0};
+  std::vector<double> data_;
+};
+
+}  // namespace fit::tensor

@@ -1,0 +1,104 @@
+// Tilings of index ranges. NWChem blocks each tensor dimension into
+// data-tiles (paper Sec. 2.1); the distributed tensors in fit::ga use
+// one Tiling per dimension.
+//
+// Two kinds are supported:
+//  * uniform(extent, width) — equal tiles of `width` (last may be
+//    short);
+//  * irrep_aligned(irreps, target_width) — tile boundaries respect the
+//    contiguous irrep blocks of a spatial-symmetry assignment, so that
+//    every tile is irrep-pure and tile-level spatial filtering is
+//    exact (otherwise the n^4/(4s) storage reduction of the output
+//    tensor is lost to tiles straddling irrep boundaries).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "tensor/irreps.hpp"
+#include "util/error.hpp"
+
+namespace fit::tensor {
+
+class Tiling {
+ public:
+  Tiling() = default;
+
+  /// Uniform tiling (legacy constructor, kept for the common case).
+  Tiling(std::size_t extent, std::size_t width) : n_(extent) {
+    FIT_REQUIRE(width > 0, "tile width must be positive");
+    FIT_REQUIRE(extent > 0, "tiled extent must be positive");
+    bounds_.clear();
+    for (std::size_t lo = 0; lo < extent; lo += width)
+      bounds_.push_back(lo);
+    bounds_.push_back(extent);
+  }
+
+  /// Explicit boundaries: starts_[i] is the first index of tile i;
+  /// a final entry equal to the extent closes the last tile.
+  static Tiling with_boundaries(std::vector<std::size_t> bounds) {
+    FIT_REQUIRE(bounds.size() >= 2, "need at least one tile");
+    for (std::size_t i = 1; i < bounds.size(); ++i)
+      FIT_REQUIRE(bounds[i] > bounds[i - 1],
+                  "tile boundaries must be strictly increasing");
+    Tiling t;
+    t.n_ = bounds.back();
+    t.bounds_ = std::move(bounds);
+    return t;
+  }
+
+  /// Tiles of at most `target_width` whose boundaries never straddle a
+  /// contiguous irrep block: each block is split into equal-as-possible
+  /// chunks of at most the target width.
+  static Tiling irrep_aligned(const Irreps& irreps,
+                              std::size_t target_width) {
+    FIT_REQUIRE(target_width > 0, "tile width must be positive");
+    FIT_REQUIRE(irreps.is_contiguous(),
+                "irrep-aligned tiling needs contiguous irrep blocks");
+    const std::size_t n = irreps.n_orbitals();
+    std::vector<std::size_t> bounds = {0};
+    std::size_t block_lo = 0;
+    for (std::size_t o = 1; o <= n; ++o) {
+      if (o == n || irreps.of(o) != irreps.of(block_lo)) {
+        const std::size_t len = o - block_lo;
+        const std::size_t chunks = (len + target_width - 1) / target_width;
+        for (std::size_t c = 1; c <= chunks; ++c)
+          bounds.push_back(block_lo + c * len / chunks);
+        block_lo = o;
+      }
+    }
+    return with_boundaries(std::move(bounds));
+  }
+
+  std::size_t extent() const { return n_; }
+  std::size_t ntiles() const { return bounds_.size() - 1; }
+
+  std::size_t lo(std::size_t t) const { return bounds_[t]; }
+  std::size_t hi(std::size_t t) const { return bounds_[t + 1]; }
+  std::size_t len(std::size_t t) const { return hi(t) - lo(t); }
+
+  /// Largest tile extent (buffer sizing).
+  std::size_t max_width() const {
+    std::size_t w = 0;
+    for (std::size_t t = 0; t < ntiles(); ++t) w = std::max(w, len(t));
+    return w;
+  }
+
+  /// Uniform width accessor retained for uniform tilings (returns the
+  /// width of the first tile).
+  std::size_t width() const { return ntiles() ? len(0) : 1; }
+
+  std::size_t tile_of(std::size_t i) const {
+    FIT_REQUIRE(i < n_, "index out of tiled extent");
+    // Upper bound over starts: bounds_[t] <= i < bounds_[t+1].
+    auto it = std::upper_bound(bounds_.begin(), bounds_.end(), i);
+    return static_cast<std::size_t>(it - bounds_.begin()) - 1;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> bounds_ = {0, 1};
+};
+
+}  // namespace fit::tensor

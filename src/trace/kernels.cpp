@@ -1,0 +1,312 @@
+#include "trace/kernels.hpp"
+
+#include <algorithm>
+
+#include "tensor/pairs.hpp"
+#include "trace/memory_sim.hpp"
+#include "util/error.hpp"
+
+namespace fit::trace {
+
+namespace {
+
+// Tensor ids for virtual addresses.
+enum : std::uint32_t { TA = 1, TB1, TB2, TB3, TB4, TO1, TO2, TO3, TC };
+
+TraceResult result_of(const MemorySim& sim) {
+  return TraceResult{sim.loads(), sim.stores()};
+}
+
+}  // namespace
+
+TraceResult trace_matmul_untiled(std::size_t ni, std::size_t nj,
+                                 std::size_t nk, std::size_t s) {
+  MemorySim sim(s);
+  for (std::size_t i = 0; i < ni; ++i)
+    for (std::size_t k = 0; k < nk; ++k) {
+      // c[i,k] accumulated in a register; read each operand element.
+      for (std::size_t j = 0; j < nj; ++j) {
+        sim.read(make_addr(TA, i * nj + j));
+        sim.read(make_addr(TB1, j * nk + k));
+      }
+      sim.store_through(make_addr(TC, i * nk + k));
+    }
+  return result_of(sim);
+}
+
+TraceResult trace_matmul_tiled(std::size_t ni, std::size_t nj,
+                               std::size_t nk, std::size_t t, std::size_t s) {
+  FIT_REQUIRE(t >= 1, "tile size must be positive");
+  // The I/O-optimal tiled scheme: keep a t x t block of C resident and
+  // stream rank-1 updates through it — A column segments and B row
+  // segments are each read once per block and immediately dead. With
+  // t ~ sqrt(S) this attains the 2*ni*nj*nk/sqrt(S) leading term the
+  // paper quotes for efficient tiled execution.
+  MemorySim sim(s);
+  for (std::size_t i0 = 0; i0 < ni; i0 += t)
+    for (std::size_t k0 = 0; k0 < nk; k0 += t) {
+      const std::size_t i1 = std::min(i0 + t, ni);
+      const std::size_t k1 = std::min(k0 + t, nk);
+      for (std::size_t i = i0; i < i1; ++i)
+        for (std::size_t k = k0; k < k1; ++k)
+          sim.write(make_addr(TC, i * nk + k), /*fresh=*/true);
+      for (std::size_t j = 0; j < nj; ++j) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          const auto addr = make_addr(TA, i * nj + j);
+          sim.read(addr);
+          sim.discard(addr);
+        }
+        for (std::size_t k = k0; k < k1; ++k) {
+          const auto addr = make_addr(TB1, j * nk + k);
+          sim.read(addr);
+          sim.discard(addr);
+        }
+        for (std::size_t i = i0; i < i1; ++i)
+          for (std::size_t k = k0; k < k1; ++k)
+            sim.write(make_addr(TC, i * nk + k), /*fresh=*/false);
+      }
+      for (std::size_t i = i0; i < i1; ++i)
+        for (std::size_t k = k0; k < k1; ++k)
+          sim.store_through(make_addr(TC, i * nk + k));
+    }
+  return result_of(sim);
+}
+
+TraceResult trace_contraction(std::size_t na, std::size_t ni, std::size_t nm,
+                              std::size_t s) {
+  MemorySim sim(s);
+  // Listing 5: stream the macro index m; for each m, the A column
+  // (ni elements) is brought in once and B stays resident.
+  for (std::size_t m = 0; m < nm; ++m) {
+    for (std::size_t a = 0; a < na; ++a) {
+      for (std::size_t i = 0; i < ni; ++i) {
+        sim.read(make_addr(TA, i * nm + m));
+        sim.read(make_addr(TB1, a * ni + i));
+      }
+      sim.store_through(make_addr(TC, a * nm + m));
+    }
+  }
+  return result_of(sim);
+}
+
+TraceResult trace_fused_pair_dense(std::size_t n, std::size_t s) {
+  MemorySim sim(s);
+  const std::size_t n2 = n * n, n3 = n2 * n;
+  for (std::size_t l = 0; l < n; ++l)
+    for (std::size_t k = 0; k < n; ++k) {
+      // I1_buf[a, j] lives in fast memory for this (k, l); model it as
+      // fresh writes to a reused address range.
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = 0; i < n; ++i) {
+          // Each A element has a single use; release its slot at once
+          // (pebble-game Delete) so the stream cannot evict B2.
+          const auto addr = make_addr(TA, ((i * n + j) * n + k) * n + l);
+          sim.read(addr);
+          sim.discard(addr);
+        }
+        for (std::size_t a = 0; a < n; ++a) {
+          for (std::size_t i = 0; i < n; ++i)
+            sim.read(make_addr(TB1, a * n + i));
+          sim.write(make_addr(TO1, a * n + j), /*fresh=*/true);
+        }
+      }
+      for (std::size_t b = 0; b < n; ++b)
+        for (std::size_t a = 0; a < n; ++a) {
+          for (std::size_t j = 0; j < n; ++j) {
+            sim.read(make_addr(TO1, a * n + j));
+            sim.read(make_addr(TB2, b * n + j));
+          }
+          sim.store_through(make_addr(TC, (a * n + b) * n2 + k * n + l));
+        }
+      // The I1 buffer is dead after this (k, l) iteration.
+      for (std::size_t x = 0; x < n2; ++x) sim.discard(make_addr(TO1, x));
+      (void)n3;
+    }
+  sim.flush();
+  return result_of(sim);
+}
+
+TraceResult trace_unfused_schedule(std::size_t n, std::size_t s) {
+  using tensor::npairs;
+  using tensor::pack_pair_sym;
+  const std::size_t np = npairs(n);
+  MemorySim sim(s);
+
+  // Contraction 1: O1[a, j, (kl)] = sum_i A[(ij), (kl)] B1[a, i].
+  // Stream over the packed (kl) index with the whole A column resident
+  // so each packed A element (used by two j iterations) loads once.
+  for (std::size_t pkl = 0; pkl < np; ++pkl)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t i = 0; i < n; ++i) {
+          sim.read(make_addr(TA, pack_pair_sym(i, j) * np + pkl));
+          sim.read(make_addr(TB1, a * n + i));
+        }
+        sim.store_through(make_addr(TO1, (a * n + j) * np + pkl));
+      }
+
+  // Contraction 2: O2[(ab), (kl)] = sum_j O1[a, j, (kl)] B2[b, j].
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t pkl = 0; pkl < np; ++pkl)
+      for (std::size_t b = 0; b <= a; ++b) {
+        for (std::size_t j = 0; j < n; ++j) {
+          sim.read(make_addr(TO1, (a * n + j) * np + pkl));
+          sim.read(make_addr(TB2, b * n + j));
+        }
+        sim.store_through(make_addr(TO2, pack_pair_sym(a, b) * np + pkl));
+      }
+
+  // Contraction 3: O3[(ab), c, l] = sum_k O2[(ab), (kl)] B3[c, k].
+  for (std::size_t pab = 0; pab < np; ++pab)
+    for (std::size_t l = 0; l < n; ++l)
+      for (std::size_t c = 0; c < n; ++c) {
+        for (std::size_t k = 0; k < n; ++k) {
+          sim.read(make_addr(TO2, pab * np + pack_pair_sym(k, l)));
+          sim.read(make_addr(TB3, c * n + k));
+        }
+        sim.store_through(make_addr(TO3, (pab * n + c) * n + l));
+      }
+
+  // Contraction 4: C[(ab), (cd)] = sum_l O3[(ab), c, l] B4[d, l].
+  for (std::size_t pab = 0; pab < np; ++pab)
+    for (std::size_t c = 0; c < n; ++c)
+      for (std::size_t d = 0; d <= c; ++d) {
+        for (std::size_t l = 0; l < n; ++l) {
+          sim.read(make_addr(TO3, (pab * n + c) * n + l));
+          sim.read(make_addr(TB4, d * n + l));
+        }
+        sim.store_through(make_addr(TC, pab * np + pack_pair_sym(c, d)));
+      }
+  return result_of(sim);
+}
+
+TraceResult trace_fused12_34_schedule(std::size_t n, std::size_t s) {
+  using tensor::npairs;
+  using tensor::pack_pair_sym;
+  const std::size_t np = npairs(n);
+  MemorySim sim(s);
+
+  // Phase 1: for each (k >= l), read the A column, produce the O1
+  // buffer in fast memory, write the O2 column.
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t l = 0; l <= k; ++l) {
+      const std::size_t pkl = pack_pair_sym(k, l);
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = 0; i <= j; ++i)
+          sim.read(make_addr(TA, pack_pair_sym(i, j) * np + pkl));
+        for (std::size_t a = 0; a < n; ++a) {
+          for (std::size_t i = 0; i < n; ++i)
+            sim.read(make_addr(TB1, a * n + i));
+          sim.write(make_addr(TO1, a * n + j), /*fresh=*/true);
+        }
+      }
+      for (std::size_t a = 0; a < n; ++a)
+        for (std::size_t b = 0; b <= a; ++b) {
+          for (std::size_t j = 0; j < n; ++j) {
+            sim.read(make_addr(TO1, a * n + j));
+            sim.read(make_addr(TB2, b * n + j));
+          }
+          sim.store_through(make_addr(TO2, pack_pair_sym(a, b) * np + pkl));
+        }
+      for (std::size_t x = 0; x < n * n; ++x) sim.discard(make_addr(TO1, x));
+    }
+
+  // Phase 2: for each (a >= b), read the O2 row, produce the O3
+  // buffer, write the C row.
+  for (std::size_t pab = 0; pab < np; ++pab) {
+    for (std::size_t c = 0; c < n; ++c)
+      for (std::size_t l = 0; l < n; ++l) {
+        for (std::size_t k = 0; k < n; ++k) {
+          sim.read(make_addr(TO2, pab * np + pack_pair_sym(k, l)));
+          sim.read(make_addr(TB3, c * n + k));
+        }
+        sim.write(make_addr(TO3, c * n + l), /*fresh=*/true);
+      }
+    for (std::size_t c = 0; c < n; ++c)
+      for (std::size_t d = 0; d <= c; ++d) {
+        for (std::size_t l = 0; l < n; ++l) {
+          sim.read(make_addr(TO3, c * n + l));
+          sim.read(make_addr(TB4, d * n + l));
+        }
+        sim.store_through(make_addr(TC, pab * np + pack_pair_sym(c, d)));
+      }
+    for (std::size_t x = 0; x < n * n; ++x) sim.discard(make_addr(TO3, x));
+  }
+  return result_of(sim);
+}
+
+TraceResult trace_fused1234_schedule(std::size_t n, std::size_t s,
+                                     bool on_the_fly_a) {
+  using tensor::npairs;
+  using tensor::pack_pair;
+  using tensor::pack_pair_sym;
+  const std::size_t np = npairs(n);
+  MemorySim sim(s);
+
+  for (std::size_t l = 0; l < n; ++l) {
+    // A slice for this l: (ij) packed x all k — the broken (k,l)
+    // symmetry of Listing 7. Produced on the fly (fresh) or loaded.
+    for (std::size_t pij = 0; pij < np; ++pij)
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::uint64_t addr = make_addr(TA, (pij * n + k) * n + l);
+        if (on_the_fly_a)
+          sim.write(addr, /*fresh=*/true);
+        else
+          sim.read(addr);
+      }
+
+    // c1: O1_l[a, j, k]
+    for (std::size_t k = 0; k < n; ++k)
+      for (std::size_t j = 0; j < n; ++j)
+        for (std::size_t a = 0; a < n; ++a) {
+          for (std::size_t i = 0; i < n; ++i) {
+            sim.read(make_addr(TA, (pack_pair_sym(i, j) * n + k) * n + l));
+            sim.read(make_addr(TB1, a * n + i));
+          }
+          sim.write(make_addr(TO1, (k * n + a) * n + j), /*fresh=*/true);
+        }
+    for (std::size_t pij = 0; pij < np; ++pij)
+      for (std::size_t k = 0; k < n; ++k)
+        sim.discard(make_addr(TA, (pij * n + k) * n + l));
+
+    // c2: O2_l[(ab), k]
+    for (std::size_t k = 0; k < n; ++k)
+      for (std::size_t a = 0; a < n; ++a)
+        for (std::size_t b = 0; b <= a; ++b) {
+          for (std::size_t j = 0; j < n; ++j) {
+            sim.read(make_addr(TO1, (k * n + a) * n + j));
+            sim.read(make_addr(TB2, b * n + j));
+          }
+          sim.write(make_addr(TO2, pack_pair(a, b) * n + k), /*fresh=*/true);
+        }
+    for (std::size_t x = 0; x < n * n * n; ++x)
+      sim.discard(make_addr(TO1, x));
+
+    // c3: O3_l[(ab), c]
+    for (std::size_t pab = 0; pab < np; ++pab)
+      for (std::size_t c = 0; c < n; ++c) {
+        for (std::size_t k = 0; k < n; ++k) {
+          sim.read(make_addr(TO2, pab * n + k));
+          sim.read(make_addr(TB3, c * n + k));
+        }
+        sim.write(make_addr(TO3, pab * n + c), /*fresh=*/true);
+      }
+    for (std::size_t x = 0; x < np * n; ++x) sim.discard(make_addr(TO2, x));
+
+    // c4: C[(ab), (cd)] += O3_l[(ab), c] B4[d, l] — read-modify-write
+    // of the resident output.
+    for (std::size_t pab = 0; pab < np; ++pab)
+      for (std::size_t c = 0; c < n; ++c)
+        for (std::size_t d = 0; d <= c; ++d) {
+          sim.read(make_addr(TO3, pab * n + c));
+          sim.read(make_addr(TB4, d * n + l));
+          sim.write(make_addr(TC, pab * np + pack_pair_sym(c, d)),
+                    /*fresh=*/(l == 0));
+        }
+    for (std::size_t x = 0; x < np * n; ++x) sim.discard(make_addr(TO3, x));
+  }
+  sim.flush();
+  return result_of(sim);
+}
+
+}  // namespace fit::trace

@@ -1,0 +1,64 @@
+// Address-trace instrumented kernels: each function replays the memory
+// access pattern of one of the paper's schedules against the LRU
+// MemorySim (no arithmetic is performed) and reports the measured
+// loads/stores. Benchmarks compare these measurements against the
+// analytic lower bounds — the tight bounds of Listings 5/6/7 are met
+// to within lower-order terms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fit::trace {
+
+struct TraceResult {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t io() const { return loads + stores; }
+};
+
+// ---- Section 2.3 / Figure 1: matrix multiplication ------------------
+
+/// Untiled i-j-k triple loop for C[ni x nk] = A[ni x nj] * B[nj x nk].
+TraceResult trace_matmul_untiled(std::size_t ni, std::size_t nj,
+                                 std::size_t nk, std::size_t s);
+
+/// Tiled version with cubic tile size t.
+TraceResult trace_matmul_tiled(std::size_t ni, std::size_t nj,
+                               std::size_t nk, std::size_t t, std::size_t s);
+
+// ---- Listing 5: one tensor contraction as a macro matmul ------------
+
+/// C[a, m] = sum_i A[i, m] * B[a, i], scheduled as in Listing 5
+/// (stream over the macro index m, B resident). Attains I/O
+/// = ni*nm + na*ni + na*nm when s >= na*ni + ni + 1.
+TraceResult trace_contraction(std::size_t na, std::size_t ni, std::size_t nm,
+                              std::size_t s);
+
+// ---- Listing 6: fused pair of contractions (dense, Sec. 5.2) --------
+
+/// O1[a,j,k,l] = A[i,j,k,l]·B1[a,i]; C[a,b,k,l] = O1[a,j,k,l]·B2[b,j],
+/// fused over (k,l) with an n^2 I1 buffer. Dense tensors of extent n.
+/// Attains I/O = |A| + |C| + |B1| + |B2| = 2n^4 + 2n^2 when
+/// s >= 3n^2 + n + 1.
+TraceResult trace_fused_pair_dense(std::size_t n, std::size_t s);
+
+// ---- Packed whole-transform schedules (Sec. 5.3 / Sec. 6) -----------
+
+/// Fully unfused chain over packed tensors; expected I/O ~ io_opt
+/// (op1/2/3/4) = |A|+2|O1|+2|O2|+2|O3|+|C| plus B traffic.
+TraceResult trace_unfused_schedule(std::size_t n, std::size_t s);
+
+/// op12/34 over packed tensors; expected I/O ~ |A|+2|O2|+|C| + B.
+TraceResult trace_fused12_34_schedule(std::size_t n, std::size_t s);
+
+/// op1234 (Listing 7) over packed tensors. When `on_the_fly_a` the A
+/// slices are produced in fast memory (no A loads), matching Sec. 7.1:
+/// I/O collapses to |C| + B. Otherwise A is loaded with its (k,l)
+/// symmetry broken (n^4/2 element volume). Requires s >= |C| + ~2n^3
+/// to attain the bound; below |C| the measured I/O blows up, which is
+/// exactly the Theorem 6.2 necessary condition made visible.
+TraceResult trace_fused1234_schedule(std::size_t n, std::size_t s,
+                                     bool on_the_fly_a);
+
+}  // namespace fit::trace

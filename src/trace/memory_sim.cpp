@@ -1,0 +1,70 @@
+#include "trace/memory_sim.hpp"
+
+namespace fit::trace {
+
+MemorySim::MemorySim(std::size_t capacity) : capacity_(capacity) {
+  FIT_REQUIRE(capacity >= 1, "fast memory needs at least one slot");
+}
+
+void MemorySim::touch(std::unordered_map<std::uint64_t, Entry>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+}
+
+void MemorySim::ensure_room() {
+  while (entries_.size() >= capacity_) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    FIT_CHECK(it != entries_.end(), "LRU list out of sync");
+    if (it->second.dirty) ++stores_;
+    entries_.erase(it);
+  }
+}
+
+void MemorySim::read(std::uint64_t addr) {
+  auto it = entries_.find(addr);
+  if (it != entries_.end()) {
+    touch(it);
+    return;
+  }
+  ensure_room();
+  ++loads_;
+  lru_.push_front(addr);
+  entries_.emplace(addr, Entry{lru_.begin(), false});
+}
+
+void MemorySim::write(std::uint64_t addr, bool fresh) {
+  auto it = entries_.find(addr);
+  if (it != entries_.end()) {
+    it->second.dirty = true;
+    touch(it);
+    return;
+  }
+  ensure_room();
+  if (!fresh) ++loads_;  // read-modify-write of a slow-memory resident
+  lru_.push_front(addr);
+  entries_.emplace(addr, Entry{lru_.begin(), true});
+}
+
+void MemorySim::store_through(std::uint64_t addr) {
+  ++stores_;
+  discard(addr);
+}
+
+void MemorySim::discard(std::uint64_t addr) {
+  auto it = entries_.find(addr);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void MemorySim::flush() {
+  for (auto& [addr, e] : entries_) {
+    if (e.dirty) {
+      ++stores_;
+      e.dirty = false;
+    }
+  }
+}
+
+}  // namespace fit::trace

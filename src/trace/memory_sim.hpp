@@ -1,0 +1,82 @@
+// Two-level memory-hierarchy simulator in the spirit of the red–blue
+// pebble game: a fully associative fast memory of capacity S elements
+// with LRU replacement, backed by unbounded slow memory. Every element
+// touched by a kernel is identified by a 64-bit virtual address
+// (tensor id + offset). The simulator counts
+//
+//   loads  — elements moved slow -> fast (misses, plus explicit loads)
+//   stores — dirty elements moved fast -> slow (evictions + final
+//            write-back of live outputs)
+//
+// which is exactly the I/O measure of Hong & Kung that the paper's
+// lower bounds constrain. Schedules instrumented against this
+// simulator (trace/kernels.hpp) empirically meet the tight bounds of
+// Listings 5, 6 and 7.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace fit::trace {
+
+/// Compose a virtual element address from a tensor id and an offset.
+constexpr std::uint64_t make_addr(std::uint32_t tensor_id,
+                                  std::uint64_t offset) {
+  return (static_cast<std::uint64_t>(tensor_id) << 40) | offset;
+}
+
+class MemorySim {
+ public:
+  explicit MemorySim(std::size_t capacity);
+
+  /// Read one element: a miss loads it from slow memory (possibly
+  /// evicting LRU); a hit is free.
+  void read(std::uint64_t addr);
+
+  /// Write one element. `fresh` marks a value created in fast memory
+  /// (a computed result): it occupies a slot but costs no load.
+  /// A non-fresh write to an absent element first loads it
+  /// (read-modify-write, e.g. "+=" on a slow-memory resident).
+  void write(std::uint64_t addr, bool fresh = false);
+
+  /// Store a just-computed element straight to slow memory without
+  /// retaining it in fast memory (the pebble-game Store immediately
+  /// followed by Delete — the GA_Put pattern of the paper's listings).
+  /// Counts one store; frees the slot if the element was resident.
+  void store_through(std::uint64_t addr);
+
+  /// Discard an element without write-back (its value is dead) — the
+  /// pebble-game Delete move. No-op if absent.
+  void discard(std::uint64_t addr);
+
+  /// Write back every dirty resident element (end of computation: all
+  /// outputs must reach slow memory).
+  void flush();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t resident() const { return entries_.size(); }
+  std::uint64_t loads() const { return loads_; }
+  std::uint64_t stores() const { return stores_; }
+  std::uint64_t io() const { return loads_ + stores_; }
+
+ private:
+  struct Entry {
+    std::list<std::uint64_t>::iterator lru_it;
+    bool dirty;
+  };
+
+  void ensure_room();
+  void touch(std::unordered_map<std::uint64_t, Entry>::iterator it);
+
+  std::size_t capacity_;
+  std::uint64_t loads_ = 0;
+  std::uint64_t stores_ = 0;
+  std::list<std::uint64_t> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, Entry> entries_;
+};
+
+}  // namespace fit::trace

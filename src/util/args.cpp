@@ -1,0 +1,58 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace fit {
+
+Args::Args(int argc, char** argv) {
+  FIT_REQUIRE(argc >= 1, "argc must include the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_.emplace_back(arg, argv[++i]);
+    } else {
+      options_.emplace_back(arg, "");  // bare flag
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const {
+  for (const auto& [k, v] : options_)
+    if (k == key) return true;
+  return false;
+}
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  for (const auto& [k, v] : options_)
+    if (k == key) return v;
+  return fallback;
+}
+
+long Args::get_int(const std::string& key, long fallback) const {
+  const std::string v = get(key);
+  return v.empty() ? fallback : std::strtol(v.c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const std::string v = get(key);
+  return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+}
+
+long Args::positional_int(std::size_t index, long fallback) const {
+  if (index >= positional_.size()) return fallback;
+  return std::strtol(positional_[index].c_str(), nullptr, 10);
+}
+
+}  // namespace fit

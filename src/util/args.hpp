@@ -1,0 +1,37 @@
+// Tiny command-line argument parser for the examples and benches.
+//
+// Supports --key=value, --key value, and bare --flag forms, with typed
+// getters and defaults. Unrecognized arguments are collected as
+// positional.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fit {
+
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key,
+                  const std::string& fallback = "") const;
+  long get_int(const std::string& key, long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Positional argument by index with a typed default.
+  long positional_int(std::size_t index, long fallback) const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::vector<std::pair<std::string, std::string>> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fit

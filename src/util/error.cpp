@@ -1,0 +1,22 @@
+#include "util/error.hpp"
+
+namespace fit::detail {
+
+[[noreturn]] void throw_precondition(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << "precondition failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw PreconditionError(oss.str());
+}
+
+[[noreturn]] void throw_internal(const char* cond, const char* file, int line,
+                                 const std::string& msg) {
+  std::ostringstream oss;
+  oss << "internal invariant failed: " << cond << " at " << file << ":"
+      << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw InternalError(oss.str());
+}
+
+}  // namespace fit::detail

@@ -1,0 +1,67 @@
+// Error handling primitives for the fourindex library.
+//
+// All recoverable failures are reported as exceptions derived from
+// fit::Error. Precondition violations use FIT_REQUIRE (always on) and
+// internal invariants use FIT_CHECK (always on as well: this library is
+// correctness-first; the cost of the checks is negligible next to the
+// O(n^5) arithmetic they guard).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fit {
+
+/// Base class for all errors thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A precondition on a public API was violated by the caller.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant failed (library bug).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// A simulated node ran out of local memory (see fit::runtime).
+class OutOfMemoryError : public Error {
+ public:
+  explicit OutOfMemoryError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* cond, const char* file,
+                                     int line, const std::string& msg);
+[[noreturn]] void throw_internal(const char* cond, const char* file, int line,
+                                 const std::string& msg);
+}  // namespace detail
+
+}  // namespace fit
+
+#define FIT_REQUIRE(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::std::ostringstream fit_oss_;                                    \
+      fit_oss_ << msg;                                                  \
+      ::fit::detail::throw_precondition(#cond, __FILE__, __LINE__,      \
+                                        fit_oss_.str());                \
+    }                                                                   \
+  } while (0)
+
+#define FIT_CHECK(cond, msg)                                            \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::std::ostringstream fit_oss_;                                    \
+      fit_oss_ << msg;                                                  \
+      ::fit::detail::throw_internal(#cond, __FILE__, __LINE__,          \
+                                    fit_oss_.str());                    \
+    }                                                                   \
+  } while (0)

@@ -1,0 +1,44 @@
+// Human-readable formatting of byte counts, element counts, and simple
+// fixed-width ASCII tables (the benchmark harness prints paper-style
+// tables with these).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fit {
+
+/// "1.50 GB", "312 MB", "17 B" — powers of 1024.
+std::string human_bytes(double bytes);
+
+/// "1.2e9", "4.50M", "123" — powers of 1000 with suffixes K/M/G/T.
+std::string human_count(double count);
+
+/// Fixed-precision double, e.g. fmt_fixed(3.14159, 2) == "3.14".
+std::string fmt_fixed(double value, int digits);
+
+/// Scientific, e.g. fmt_sci(12345.0, 3) == "1.235e+04".
+std::string fmt_sci(double value, int digits);
+
+/// Minimal fixed-width table printer: collects rows of strings, prints
+/// with columns padded to the widest cell, a header underline, and an
+/// optional title. Keeps bench output uniform across all binaries.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render the table to a string (trailing newline included).
+  std::string str(const std::string& title = "") const;
+
+  /// Render and write to stdout.
+  void print(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fit

@@ -1,0 +1,63 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace fit {
+
+namespace {
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level = [] {
+    LogLevel init = LogLevel::Warn;
+    if (const char* env = std::getenv("FIT_LOG_LEVEL"))
+      init = parse_log_level(env, init);
+    return static_cast<int>(init);
+  }();
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_storage().load());
+}
+
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level));
+}
+
+LogLevel parse_log_level(const std::string& name, LogLevel fallback) {
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  return fallback;
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& message) {
+  // Serialize whole lines; the threaded executor logs concurrently.
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  std::cerr << "[fit:" << level_name(level) << "] " << message << "\n";
+}
+
+}  // namespace detail
+
+}  // namespace fit

@@ -1,0 +1,43 @@
+// Minimal leveled logger.
+//
+// Quiet by default (Warn); the FIT_LOG_LEVEL environment variable or
+// set_log_level() raises verbosity. The runtime logs phase summaries
+// at Debug, which makes schedule executions traceable without touching
+// the code.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fit {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Current threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parse "debug" / "info" / "warn" / "error" / "off" (case-sensitive,
+/// unknown strings keep the default).
+LogLevel parse_log_level(const std::string& name, LogLevel fallback);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace fit
+
+#define FIT_LOG(level, msg)                                        \
+  do {                                                             \
+    if (static_cast<int>(level) >=                                 \
+        static_cast<int>(::fit::log_level())) {                    \
+      ::std::ostringstream fit_log_oss_;                           \
+      fit_log_oss_ << msg;                                         \
+      ::fit::detail::log_emit(level, fit_log_oss_.str());          \
+    }                                                              \
+  } while (0)
+
+#define FIT_LOG_DEBUG(msg) FIT_LOG(::fit::LogLevel::Debug, msg)
+#define FIT_LOG_INFO(msg) FIT_LOG(::fit::LogLevel::Info, msg)
+#define FIT_LOG_WARN(msg) FIT_LOG(::fit::LogLevel::Warn, msg)
+#define FIT_LOG_ERROR(msg) FIT_LOG(::fit::LogLevel::Error, msg)

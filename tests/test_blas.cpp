@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "blas/level1.hpp"
+#include "blas/level2.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using fit::blas::Trans;
+
+std::vector<double> random_vec(std::size_t n, std::uint64_t seed) {
+  fit::SplitMix64 g(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = g.next_double(-1.0, 1.0);
+  return v;
+}
+
+TEST(Level1, AxpyDotScalNrm2) {
+  std::vector<double> x = {1, 2, 3}, y = {4, 5, 6};
+  fit::blas::axpy(3, 2.0, x.data(), y.data());
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 12.0);
+  EXPECT_DOUBLE_EQ(fit::blas::dot(3, x.data(), x.data()), 14.0);
+  fit::blas::scal(3, 0.5, x.data());
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+  std::vector<double> z = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(fit::blas::nrm2(2, z.data()), 5.0);
+}
+
+TEST(Level1, StridedVariants) {
+  std::vector<double> x = {1, 0, 2, 0, 3, 0};
+  std::vector<double> y = {1, 1, 1};
+  fit::blas::axpy(3, 1.0, x.data(), 2, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 4.0);
+  EXPECT_DOUBLE_EQ(fit::blas::dot(3, x.data(), 2, x.data(), 2), 14.0);
+}
+
+TEST(Level2, GemvAgainstManual) {
+  // A = [[1,2],[3,4],[5,6]] (3x2), x = [1,10]
+  std::vector<double> a = {1, 2, 3, 4, 5, 6};
+  std::vector<double> x = {1, 10};
+  std::vector<double> y(3, 0.0);
+  fit::blas::gemv_n(3, 2, 1.0, a.data(), 2, x.data(), y.data());
+  EXPECT_DOUBLE_EQ(y[0], 21.0);
+  EXPECT_DOUBLE_EQ(y[1], 43.0);
+  EXPECT_DOUBLE_EQ(y[2], 65.0);
+
+  std::vector<double> xt = {1, 1, 1};
+  std::vector<double> yt(2, 0.0);
+  fit::blas::gemv_t(3, 2, 1.0, a.data(), 2, xt.data(), yt.data());
+  EXPECT_DOUBLE_EQ(yt[0], 9.0);
+  EXPECT_DOUBLE_EQ(yt[1], 12.0);
+}
+
+TEST(Level2, GerRankOne) {
+  std::vector<double> a(6, 0.0);
+  std::vector<double> x = {1, 2, 3}, y = {10, 20};
+  fit::blas::ger(3, 2, 1.0, x.data(), y.data(), a.data(), 2);
+  EXPECT_DOUBLE_EQ(a[0], 10.0);
+  EXPECT_DOUBLE_EQ(a[5], 60.0);
+}
+
+struct GemmCase {
+  std::size_t m, n, k;
+  Trans ta, tb;
+  double alpha, beta;
+};
+
+class GemmParam : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParam, MatchesReference) {
+  const auto c = GetParam();
+  const std::size_t arows = (c.ta == Trans::No) ? c.m : c.k;
+  const std::size_t acols = (c.ta == Trans::No) ? c.k : c.m;
+  const std::size_t brows = (c.tb == Trans::No) ? c.k : c.n;
+  const std::size_t bcols = (c.tb == Trans::No) ? c.n : c.k;
+  auto a = random_vec(arows * acols, 1 + c.m);
+  auto b = random_vec(brows * bcols, 2 + c.n);
+  auto c0 = random_vec(c.m * c.n, 3 + c.k);
+  auto c1 = c0;
+
+  fit::blas::gemm_reference(c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(),
+                            acols, b.data(), bcols, c.beta, c0.data(), c.n);
+  fit::blas::gemm(c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(), acols,
+                  b.data(), bcols, c.beta, c1.data(), c.n);
+  EXPECT_LT(fit::blas::max_abs_diff(c.m * c.n, c0.data(), c1.data()),
+            1e-10 * static_cast<double>(c.k + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParam,
+    ::testing::Values(
+        GemmCase{1, 1, 1, Trans::No, Trans::No, 1.0, 0.0},
+        GemmCase{3, 5, 7, Trans::No, Trans::No, 1.0, 0.0},
+        GemmCase{3, 5, 7, Trans::Yes, Trans::No, 1.0, 0.0},
+        GemmCase{3, 5, 7, Trans::No, Trans::Yes, 1.0, 0.0},
+        GemmCase{3, 5, 7, Trans::Yes, Trans::Yes, 1.0, 0.0},
+        GemmCase{16, 16, 16, Trans::No, Trans::No, 2.0, 0.5},
+        GemmCase{64, 64, 64, Trans::No, Trans::No, 1.0, 1.0},
+        GemmCase{130, 70, 90, Trans::No, Trans::No, 1.0, 0.0},
+        GemmCase{130, 70, 90, Trans::Yes, Trans::No, -1.5, 2.0},
+        GemmCase{130, 70, 90, Trans::No, Trans::Yes, 1.0, 0.0},
+        GemmCase{257, 33, 129, Trans::No, Trans::No, 1.0, 0.0},
+        GemmCase{40, 520, 12, Trans::No, Trans::No, 1.0, 0.0},
+        GemmCase{5, 1, 600, Trans::No, Trans::No, 1.0, 0.0},
+        GemmCase{1, 300, 300, Trans::Yes, Trans::Yes, 0.25, 0.0}));
+
+TEST(Gemm, ZeroDimensionsAreNoops) {
+  std::vector<double> c = {1.0, 2.0};
+  fit::blas::gemm(Trans::No, Trans::No, 0, 2, 3, 1.0, nullptr, 3, nullptr, 2,
+                  1.0, c.data(), 2);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  // k == 0 with beta applies only the scaling.
+  fit::blas::gemm(Trans::No, Trans::No, 1, 2, 0, 1.0, nullptr, 1, nullptr, 2,
+                  0.5, c.data(), 2);
+  EXPECT_DOUBLE_EQ(c[0], 0.5);
+  EXPECT_DOUBLE_EQ(c[1], 1.0);
+}
+
+TEST(Gemm, BetaZeroOverwritesNaNFree) {
+  // beta == 0 must overwrite even if C holds garbage/NaN.
+  std::vector<double> a = {1.0}, b = {2.0};
+  std::vector<double> c = {std::nan("")};
+  fit::blas::gemm(Trans::No, Trans::No, 1, 1, 1, 1.0, a.data(), 1, b.data(),
+                  1, 0.0, c.data(), 1);
+  EXPECT_DOUBLE_EQ(c[0], 2.0);
+}
+
+TEST(Gemm, AccConvenience) {
+  // C += A*B with tight leading dims.
+  std::vector<double> a = {1, 2, 3, 4};   // 2x2
+  std::vector<double> b = {5, 6, 7, 8};   // 2x2
+  std::vector<double> c = {1, 1, 1, 1};
+  fit::blas::gemm_acc(2, 2, 2, a.data(), b.data(), c.data());
+  EXPECT_DOUBLE_EQ(c[0], 1 + 19);
+  EXPECT_DOUBLE_EQ(c[3], 1 + 50);
+}
+
+TEST(Gemm, LeadingDimensionLargerThanWidth) {
+  // Operate on a 2x2 block inside 2x4 storage.
+  std::vector<double> a = {1, 2, -9, -9, 3, 4, -9, -9};
+  std::vector<double> b = {1, 0, -9, -9, 0, 1, -9, -9};
+  std::vector<double> c = {0, 0, -1, -1, 0, 0, -1, -1};
+  fit::blas::gemm(Trans::No, Trans::No, 2, 2, 2, 1.0, a.data(), 4, b.data(),
+                  4, 0.0, c.data(), 4);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], 2.0);
+  EXPECT_DOUBLE_EQ(c[4], 3.0);
+  EXPECT_DOUBLE_EQ(c[5], 4.0);
+  EXPECT_DOUBLE_EQ(c[2], -1.0);  // untouched padding
+}
+
+TEST(Gemm, FlopsFormula) {
+  EXPECT_DOUBLE_EQ(fit::blas::gemm_flops(2, 3, 4), 48.0);
+}
+
+}  // namespace

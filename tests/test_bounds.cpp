@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bounds/fusion_lemma.hpp"
+#include "bounds/matmul_bounds.hpp"
+#include "bounds/transform_bounds.hpp"
+#include "tensor/packed.hpp"
+
+namespace {
+
+using namespace fit::bounds;
+
+TEST(MatmulBounds, OrderingOfPublishedConstants) {
+  // Dongarra's 1.73/sqrt(S) constant dominates Hong-Kung's 1 and
+  // Irony's 1/(2 sqrt 2).
+  const double ni = 100, nj = 100, nk = 100, s = 64;
+  EXPECT_GT(matmul_lb_dongarra(ni, nj, nk, s),
+            matmul_lb_hong_kung(ni, nj, nk, s));
+  EXPECT_GT(matmul_lb_hong_kung(ni, nj, nk, s),
+            matmul_lb_irony(ni, nj, nk, s));
+}
+
+TEST(MatmulBounds, SumBoundDominatesForLargeS) {
+  // Once S is huge, the volume bound collapses and in+out wins.
+  const double n = 64;
+  const double huge_s = 1e12;
+  EXPECT_DOUBLE_EQ(matmul_lb(n, n, n, huge_s), matmul_lb_io_sum(n, n, n));
+  // And for tiny S the Dongarra term wins.
+  EXPECT_DOUBLE_EQ(matmul_lb(n, n, n, 16), matmul_lb_dongarra(n, n, n, 16));
+}
+
+TEST(MatmulBounds, TiledIoIsAboveLowerBound) {
+  for (double s : {64.0, 1024.0, 65536.0}) {
+    const double lb = matmul_lb(128, 128, 128, s);
+    const double achieved = matmul_tiled_io(128, 128, 128, s);
+    EXPECT_GE(achieved, lb * 0.999);
+    // Tiled is within ~2/1.73 of optimal.
+    EXPECT_LE(achieved, lb * 1.2 + matmul_lb_io_sum(128, 128, 128));
+  }
+}
+
+TEST(MatmulBounds, RejectsBadArguments) {
+  EXPECT_THROW(matmul_lb_dongarra(0, 1, 1, 4), fit::PreconditionError);
+  EXPECT_THROW(matmul_lb_dongarra(1, 1, 1, 0), fit::PreconditionError);
+}
+
+TEST(FusionLemma, PairFormula) {
+  StageIO c1{100.0, 120.0}, c2{80.0, 90.0};
+  EXPECT_DOUBLE_EQ(fused_pair_lower_bound(c1, c2, 30.0),
+                   100.0 + 80.0 - 60.0);
+}
+
+TEST(FusionLemma, ChainFormulaMatchesRepeatedPair) {
+  std::vector<StageIO> stages = {{10, 12}, {20, 22}, {30, 33}};
+  std::vector<double> inter = {5, 7};
+  EXPECT_DOUBLE_EQ(fused_chain_lower_bound(stages, inter),
+                   10 + 20 + 30 - 2 * 5 - 2 * 7);
+  EXPECT_THROW(fused_chain_lower_bound(stages, {1.0}),
+               fit::PreconditionError);
+}
+
+TEST(FusionLemma, SquareMatmulChainGainCappedAt27Percent) {
+  // Paper Sec. 4 worked example: E = (A*B)*D, all N x N, N^2 >> S.
+  const double n = 1024, s = 4096;
+  const double lb = matmul_lb_dongarra(n, n, n, s);
+  const double achievable = 2.0 * n * n * n / std::sqrt(s);
+  StageIO stage{lb, achievable};
+  const double benefit = max_fusion_benefit(stage, stage, n * n);
+  const double fraction = benefit / (2.0 * achievable);
+  // Upper bound 0.54/2 ~ 27% plus the lower-order N^2 term.
+  EXPECT_LT(fraction, 0.28);
+  EXPECT_GT(fraction, 0.10);
+  EXPECT_FALSE(fusion_is_useful(stage, stage, n * n, 0.30));
+}
+
+TEST(FusionLemma, RectangularChainFusionIsVeryUseful) {
+  // A: N x K, B: K x N with N >> K: the intermediate N^2 dwarfs the
+  // inherent I/O and fusion can eliminate nearly all of it.
+  const double n = 4096, k = 16, s = 4096;
+  const double lb = matmul_lb_dongarra(n, k, n, s);
+  const double achievable = matmul_tiled_io(n, k, n, s);
+  StageIO stage{lb, achievable};
+  EXPECT_TRUE(fusion_is_useful(stage, stage, n * n, 0.25));
+}
+
+TEST(TransformBounds, Theorem52TotalOrder) {
+  // IO(op1234) <= IO(op12/34) < IO(op123/4) and op12/34 beats unfused.
+  for (double n : {32.0, 64.0, 128.0, 512.0}) {
+    for (double s : {1.0, 8.0}) {
+      const double io1234 = io_opt(FusionChoice::Fused1234, n, s);
+      const double io12_34 = io_opt(FusionChoice::Fused12_34, n, s);
+      const double io123_4 = io_opt(FusionChoice::Fused123_4, n, s);
+      const double io1_23_4 = io_opt(FusionChoice::Fused1_23_4, n, s);
+      const double iounf = io_opt(FusionChoice::Unfused, n, s);
+      EXPECT_LE(io1234, io12_34);
+      EXPECT_LT(io12_34, io123_4) << "n=" << n << " s=" << s;
+      EXPECT_LT(io12_34, iounf);
+      EXPECT_LT(io1_23_4, iounf);
+      EXPECT_GT(io1_23_4, io12_34);
+    }
+  }
+}
+
+TEST(TransformBounds, UnfusedIoMatchesHandFormula) {
+  const double n = 10, s = 1;
+  const auto sz = fit::tensor::approx_sizes(n, s);
+  EXPECT_DOUBLE_EQ(io_opt(FusionChoice::Unfused, n, s),
+                   sz.a + 2 * sz.o1 + 2 * sz.o2 + 2 * sz.o3 + sz.c);
+  EXPECT_DOUBLE_EQ(io_opt(FusionChoice::Fused1234, n, s), sz.a + sz.c);
+}
+
+TEST(TransformBounds, FastMemoryThresholds) {
+  const double n = 100;
+  EXPECT_DOUBLE_EQ(single_contraction_min_fast_memory(n), n * n + n + 1);
+  EXPECT_DOUBLE_EQ(fused_pair_min_fast_memory(n), 3 * n * n + n + 1);
+  EXPECT_TRUE(fusion_possibly_useful(n, 4 * n * n));
+  EXPECT_FALSE(fusion_possibly_useful(n, n * n));
+}
+
+TEST(TransformBounds, FullReuseCondition) {
+  const double n = 64, s = 8;
+  const auto sz = fit::tensor::approx_sizes(n, s);
+  const double smin = full_reuse_min_fast_memory(sz, n);
+  EXPECT_GT(smin, sz.c);
+  EXPECT_TRUE(full_reuse_possible(sz, n, smin));
+  EXPECT_FALSE(full_reuse_possible(sz, n, sz.c * 0.5));
+}
+
+TEST(TransformBounds, Eq7LessThanEq8LessThanUnfused) {
+  // The fused implementations need far less global memory than
+  // unfused for small Tl; eq8 adds the inner-fusion O1 slice.
+  const double n = 128, s = 8, tl = 1;
+  EXPECT_LT(eq7_global_memory(n, tl, s), eq8_global_memory(n, tl, s));
+  EXPECT_LT(eq8_global_memory(n, tl, s), unfused_global_memory(n, s));
+  // Unfused peak is ~3n^4/4.
+  EXPECT_NEAR(unfused_global_memory(n, s) / (0.75 * n * n * n * n), 1.0,
+              0.01);
+  EXPECT_THROW(eq7_global_memory(n, 0, s), fit::PreconditionError);
+  EXPECT_THROW(eq8_global_memory(n, n + 1, s), fit::PreconditionError);
+}
+
+TEST(TransformBounds, MaxProblemFusedBeatsUnfused) {
+  // The headline capability: for the same aggregate memory the fused
+  // implementation admits a larger n. With the paper's 12.1 TB
+  // example scaled down, the fused schedule must fit where unfused
+  // does not.
+  const double words = 9e12 / 8.0 / 4096.0;  // "9 TB cluster" scaled 1/4096
+  const std::size_t nf = max_fused_problem(words, 2, 8);
+  const std::size_t nu = max_unfused_problem(words, 8);
+  EXPECT_GT(nf, nu);
+  // Shell-Mixed scaled (149 orbitals) runs fused but not unfused.
+  EXPECT_GE(nf, 149u);
+  EXPECT_LT(nu, 149u);
+}
+
+TEST(TransformBounds, AnalyzeSortsByBound) {
+  auto rows = analyze_fusion_choices(64, 8);
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows.front().choice, FusionChoice::Fused1234);
+  EXPECT_EQ(rows.back().choice, FusionChoice::Unfused);
+  for (std::size_t i = 1; i < rows.size(); ++i)
+    EXPECT_LE(rows[i - 1].io_lower_bound, rows[i].io_lower_bound);
+}
+
+TEST(TransformBounds, ToStringNames) {
+  EXPECT_EQ(to_string(FusionChoice::Fused12_34), "op12/34");
+  EXPECT_EQ(all_fusion_choices().size(), 5u);
+}
+
+}  // namespace

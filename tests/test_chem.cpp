@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/coeffs.hpp"
+#include "chem/integrals.hpp"
+#include "chem/molecule.hpp"
+#include "chem/mp2.hpp"
+#include "core/problem.hpp"
+#include "core/schedules_seq.hpp"
+#include "tensor/irreps.hpp"
+
+namespace {
+
+using namespace fit;
+
+TEST(Integrals, PermutationSymmetry) {
+  auto ir = tensor::Irreps::contiguous(10, 2);
+  chem::IntegralEngine eng(10, ir, 42);
+  for (std::size_t i = 0; i < 10; i += 3)
+    for (std::size_t j = 0; j < 10; j += 2)
+      for (std::size_t k = 0; k < 10; k += 3)
+        for (std::size_t l = 0; l < 10; l += 2) {
+          const double v = eng.value(i, j, k, l);
+          EXPECT_DOUBLE_EQ(v, eng.value(j, i, k, l));
+          EXPECT_DOUBLE_EQ(v, eng.value(i, j, l, k));
+          EXPECT_DOUBLE_EQ(v, eng.value(j, i, l, k));
+        }
+}
+
+TEST(Integrals, NoAccidentalGroupExchangeSymmetry) {
+  // Table 1 gives A two symmetry groups (not three): (ij)<->(kl)
+  // exchange must NOT be a symmetry in general.
+  auto ir = tensor::Irreps::trivial(8);
+  chem::IntegralEngine eng(8, ir, 7);
+  bool found_asymmetric = false;
+  for (std::size_t i = 0; i < 8 && !found_asymmetric; ++i)
+    for (std::size_t k = 0; k < 8 && !found_asymmetric; ++k)
+      if (eng.value(i, 0, k, 1) != eng.value(k, 1, i, 0))
+        found_asymmetric = true;
+  EXPECT_TRUE(found_asymmetric);
+}
+
+TEST(Integrals, SpatialSymmetryZeroes) {
+  auto ir = tensor::Irreps::contiguous(8, 4);
+  chem::IntegralEngine eng(8, ir, 42);
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j)
+      for (std::size_t k = 0; k < 8; ++k)
+        for (std::size_t l = 0; l < 8; ++l)
+          if (!ir.allowed(i, j, k, l))
+            EXPECT_DOUBLE_EQ(eng.value(i, j, k, l), 0.0);
+}
+
+TEST(Integrals, PureFunctionOfIndices) {
+  auto ir = tensor::Irreps::trivial(6);
+  chem::IntegralEngine eng(6, ir, 9);
+  const double first = eng.value(3, 1, 4, 2);
+  for (int r = 0; r < 5; ++r) EXPECT_DOUBLE_EQ(eng.value(3, 1, 4, 2), first);
+}
+
+TEST(Integrals, EvaluationCounter) {
+  auto ir = tensor::Irreps::trivial(4);
+  chem::IntegralEngine eng(4, ir, 1);
+  eng.reset_evaluations();
+  (void)eng.value(0, 0, 0, 0);
+  (void)eng.value(1, 0, 1, 0);
+  EXPECT_EQ(eng.evaluations(), 2u);
+}
+
+TEST(Integrals, MaterializeMatchesPointwise) {
+  auto ir = tensor::Irreps::contiguous(6, 2);
+  chem::IntegralEngine eng(6, ir, 5);
+  auto a = eng.materialize();
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      for (std::size_t k = 0; k < 6; ++k)
+        for (std::size_t l = 0; l < 6; ++l)
+          EXPECT_DOUBLE_EQ(a(i, j, k, l), eng.value(i, j, k, l));
+}
+
+TEST(Integrals, SeedChangesValues) {
+  auto ir = tensor::Irreps::trivial(6);
+  chem::IntegralEngine e1(6, ir, 1), e2(6, ir, 2);
+  EXPECT_NE(e1.value(3, 1, 4, 2), e2.value(3, 1, 4, 2));
+}
+
+TEST(Coeffs, OrthogonalAndSymmetryAdapted) {
+  for (unsigned s : {1u, 2u, 4u}) {
+    auto ir = tensor::Irreps::contiguous(12, s);
+    auto b = chem::make_mo_coefficients(ir, 99);
+    EXPECT_LT(chem::orthogonality_defect(b), 1e-12);
+    for (std::size_t a = 0; a < 12; ++a)
+      for (std::size_t i = 0; i < 12; ++i)
+        if (ir.of(a) != ir.of(i)) EXPECT_DOUBLE_EQ(b(a, i), 0.0);
+  }
+}
+
+TEST(Coeffs, NotTheIdentity) {
+  auto ir = tensor::Irreps::trivial(8);
+  auto b = chem::make_mo_coefficients(ir, 3);
+  double off = 0.0;
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j)
+      if (i != j) off = std::max(off, std::fabs(b(i, j)));
+  EXPECT_GT(off, 0.05);
+}
+
+TEST(Molecule, PaperSetHasFiveScaledEntries) {
+  auto mols = chem::paper_molecules();
+  ASSERT_EQ(mols.size(), 5u);
+  for (const auto& m : mols) {
+    // 1/8 linear scale of the paper's orbital counts (rounded).
+    EXPECT_NEAR(static_cast<double>(m.n_orbitals),
+                static_cast<double>(m.paper_n_orbitals) / 8.0, 1.0);
+    EXPECT_EQ(m.irrep_order, 8u);
+    EXPECT_GT(m.n_occupied, 0u);
+    EXPECT_LT(m.n_occupied, m.n_orbitals);
+  }
+  EXPECT_EQ(chem::paper_molecule("Uracil").n_orbitals, 87u);
+  EXPECT_THROW(chem::paper_molecule("Benzene"), fit::PreconditionError);
+}
+
+TEST(Molecule, CustomDefaults) {
+  auto m = chem::custom_molecule("test", 20, 2);
+  EXPECT_EQ(m.n_occupied, 5u);
+  EXPECT_THROW(chem::custom_molecule("bad", 1, 1), fit::PreconditionError);
+}
+
+TEST(Mp2, OrbitalEnergiesShape) {
+  auto eps = chem::synthetic_orbital_energies(10, 3);
+  ASSERT_EQ(eps.size(), 10u);
+  for (std::size_t p = 0; p < 3; ++p) EXPECT_LT(eps[p], 0.0);
+  for (std::size_t p = 3; p < 10; ++p) EXPECT_GT(eps[p], 0.0);
+  for (std::size_t p = 1; p < 10; ++p) EXPECT_GE(eps[p], eps[p - 1]);
+  EXPECT_THROW(chem::synthetic_orbital_energies(5, 5),
+               fit::PreconditionError);
+}
+
+TEST(Mp2, EnergyIsFiniteAndScheduleIndependent) {
+  auto mol = chem::custom_molecule("mp2test", 8, 2, 77);
+  auto prob = core::make_problem(mol);
+  auto eps = chem::synthetic_orbital_energies(mol.n_orbitals, mol.n_occupied);
+
+  auto c_ref = core::reference_transform(prob);
+  auto c_fused = core::fused1234_transform(prob);
+  const double e_ref = chem::mp2_energy(c_ref, mol.n_occupied, eps);
+  const double e_fused = chem::mp2_energy(c_fused, mol.n_occupied, eps);
+  EXPECT_TRUE(std::isfinite(e_ref));
+  EXPECT_NEAR(e_ref, e_fused, 1e-9 * (1.0 + std::fabs(e_ref)));
+}
+
+}  // namespace

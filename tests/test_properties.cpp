@@ -1,0 +1,169 @@
+// Cross-cutting property tests: invariants that hold by mathematics
+// rather than by construction, exercised over parameter sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "bounds/matmul_bounds.hpp"
+#include "bounds/transform_bounds.hpp"
+#include "chem/molecule.hpp"
+#include "core/problem.hpp"
+#include "core/schedules_seq.hpp"
+#include "tensor/packed.hpp"
+#include "trace/kernels.hpp"
+
+namespace {
+
+using namespace fit;
+
+// ---- Orthogonal-invariance: B orthogonal => the transform preserves
+// the Frobenius norm of the full dense tensor. This ties together the
+// coefficient generator, the integral engine, and the transform in one
+// nontrivial equation. ------------------------------------------------
+
+class NormPreservation
+    : public ::testing::TestWithParam<std::tuple<std::size_t, unsigned>> {};
+
+TEST_P(NormPreservation, FrobeniusNormInvariant) {
+  const auto [n, s] = GetParam();
+  auto p = core::make_problem(chem::custom_molecule("norm", n, s, n + s));
+  double norm_a = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t k = 0; k < n; ++k)
+        for (std::size_t l = 0; l < n; ++l) {
+          const double v = p.engine.value(i, j, k, l);
+          norm_a += v * v;
+        }
+  auto c = core::reference_dense(p);
+  double norm_c = 0.0;
+  for (std::size_t x = 0; x < c.size(); ++x)
+    norm_c += c.data()[x] * c.data()[x];
+  EXPECT_NEAR(norm_c / norm_a, 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NormPreservation,
+    ::testing::Values(std::make_tuple(6, 1u), std::make_tuple(8, 2u),
+                      std::make_tuple(10, 1u), std::make_tuple(12, 4u),
+                      std::make_tuple(16, 8u)));
+
+// ---- LRU inclusion (stack) property: growing the fast memory can
+// never increase the I/O of a fixed access trace. ---------------------
+
+TEST(LruProperty, MonotoneInCapacityUntiled) {
+  const std::size_t n = 20;
+  std::uint64_t prev = ~0ull;
+  for (std::size_t s : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+    auto r = trace::trace_matmul_untiled(n, n, n, s);
+    EXPECT_LE(r.io(), prev) << "s=" << s;
+    prev = r.io();
+  }
+}
+
+TEST(LruProperty, MonotoneInCapacityFusedSchedule) {
+  const std::size_t n = 8;
+  std::uint64_t prev = ~0ull;
+  for (std::size_t s : {200u, 400u, 800u, 1600u, 3200u}) {
+    auto r = trace::trace_fused1234_schedule(n, s, true);
+    EXPECT_LE(r.io(), prev) << "s=" << s;
+    prev = r.io();
+  }
+}
+
+// ---- Bounds monotonicity and consistency -----------------------------
+
+TEST(BoundsProperty, IoOptMonotoneInN) {
+  for (auto f : bounds::all_fusion_choices()) {
+    double prev = 0;
+    for (double n : {16.0, 32.0, 64.0, 128.0, 256.0}) {
+      const double io = bounds::io_opt(f, n, 8.0);
+      EXPECT_GT(io, prev) << bounds::to_string(f) << " n=" << n;
+      prev = io;
+    }
+  }
+}
+
+TEST(BoundsProperty, IoOptDecreasesWithSpatialSymmetry) {
+  // More spatial symmetry shrinks |C| and hence every bound touching C.
+  for (double n : {64.0, 256.0}) {
+    EXPECT_GT(bounds::io_opt(bounds::FusionChoice::Fused1234, n, 1.0),
+              bounds::io_opt(bounds::FusionChoice::Fused1234, n, 8.0));
+  }
+}
+
+TEST(BoundsProperty, MaxProblemMonotoneInMemory) {
+  std::size_t prev_f = 0, prev_u = 0;
+  for (double words : {1e6, 1e7, 1e8, 1e9, 1e10}) {
+    const auto nf = bounds::max_fused_problem(words, 2, 8);
+    const auto nu = bounds::max_unfused_problem(words, 8);
+    EXPECT_GE(nf, prev_f);
+    EXPECT_GE(nu, prev_u);
+    EXPECT_GE(nf, nu);  // fusion never admits a smaller problem
+    prev_f = nf;
+    prev_u = nu;
+  }
+}
+
+TEST(BoundsProperty, Eq7BelowEq8ForAllTl) {
+  // Eq. 8 adds the inner O1 slice term to Eq. 7's footprint.
+  for (double n : {64.0, 368.0}) {
+    for (double tl : {1.0, 2.0, 8.0, 32.0}) {
+      if (tl > n) continue;
+      EXPECT_LT(bounds::eq7_global_memory(n, tl, 8),
+                bounds::eq8_global_memory(n, tl, 8));
+    }
+  }
+}
+
+TEST(BoundsProperty, MatmulBoundsScaleWithSqrtS) {
+  // Quadrupling S must halve the volume-term bounds.
+  const double b1 = bounds::matmul_lb_dongarra(256, 256, 256, 100);
+  const double b4 = bounds::matmul_lb_dongarra(256, 256, 256, 400);
+  EXPECT_NEAR(b1 / b4, 2.0, 1e-12);
+}
+
+// ---- Exact packed sizes always dominate the asymptotic formulas -----
+
+TEST(SizesProperty, ExactAtLeastAsymptotic) {
+  for (std::size_t n : {8u, 16u, 32u, 64u, 128u}) {
+    for (unsigned s : {1u, 2u, 8u}) {
+      auto ir = tensor::Irreps::contiguous(n, s);
+      auto exact = tensor::packed_sizes(n, ir);
+      auto approx = tensor::approx_sizes(double(n), double(s));
+      EXPECT_GE(double(exact.a), approx.a);
+      EXPECT_GE(double(exact.o1), approx.o1);
+      EXPECT_GE(double(exact.o2), approx.o2);
+      EXPECT_GE(double(exact.o3), approx.o3);
+      // C: the packed diagonal terms dominate the 1/s estimate too.
+      EXPECT_GE(double(exact.c), approx.c * 0.999);
+    }
+  }
+}
+
+// ---- Schedule agreement under every spatial symmetry order ----------
+
+TEST(ScheduleProperty, AllSequentialSchedulesAgreePairwise) {
+  auto p = core::make_problem(chem::custom_molecule("agree", 10, 2, 77));
+  auto a = core::unfused_transform(p);
+  auto b = core::fused12_34_transform(p);
+  auto c = core::recompute_transform(p);
+  auto d = core::fused1234_transform(p);
+  EXPECT_LT(a.max_abs_diff(b), 1e-10);
+  EXPECT_LT(b.max_abs_diff(c), 1e-10);
+  EXPECT_LT(c.max_abs_diff(d), 1e-10);
+  EXPECT_LT(d.max_abs_diff(a), 1e-10);
+}
+
+TEST(ScheduleProperty, ResultIndependentOfMaterialization) {
+  // Listing 2 with A resident and with A generated on the fly must be
+  // bit-identical (same arithmetic order).
+  auto p1 = core::make_problem(chem::custom_molecule("mat", 9, 1, 3));
+  auto p2 = core::make_problem(chem::custom_molecule("mat", 9, 1, 3));
+  auto with_a = core::fused12_34_transform(p1, nullptr, true);
+  auto otf = core::fused12_34_transform(p2, nullptr, false);
+  EXPECT_EQ(with_a.max_abs_diff(otf), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,354 @@
+// Distributed schedules (Listings 4, 8, 10 and the hybrid) validated
+// in Real mode against the sequential reference, plus checks of the
+// memory/communication properties the paper claims for each.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "chem/molecule.hpp"
+#include "core/problem.hpp"
+#include "core/schedules_par.hpp"
+#include "core/schedules_seq.hpp"
+#include "runtime/machine.hpp"
+
+namespace {
+
+using namespace fit;
+using runtime::Cluster;
+using runtime::ExecutionMode;
+using runtime::MachineConfig;
+
+MachineConfig test_machine(std::size_t nodes, std::size_t rpn,
+                           double mem_per_node = 64e6) {
+  MachineConfig m;
+  m.name = "test";
+  m.n_nodes = nodes;
+  m.ranks_per_node = rpn;
+  m.mem_per_node_bytes = mem_per_node;
+  m.flops_per_rank = 1e9;
+  m.integrals_per_sec = 1e8;
+  m.net_bandwidth_bps = 1e9;
+  m.net_latency_s = 1e-6;
+  m.local_bandwidth_bps = 1e10;
+  return m;
+}
+
+struct ParCase {
+  std::size_t n, s, ranks, tile, tile_l;
+};
+
+class ParSchedules : public ::testing::TestWithParam<ParCase> {
+ protected:
+  core::Problem make() {
+    const auto c = GetParam();
+    return core::make_problem(
+        chem::custom_molecule("par", c.n, static_cast<unsigned>(c.s),
+                              17 * c.n + c.s));
+  }
+  core::ParOptions options() {
+    const auto c = GetParam();
+    core::ParOptions o;
+    o.tile = c.tile;
+    o.tile_l = c.tile_l;
+    return o;
+  }
+  Cluster cluster() {
+    return Cluster(test_machine(2, GetParam().ranks / 2),
+                   ExecutionMode::Real);
+  }
+};
+
+TEST_P(ParSchedules, UnfusedMatchesReference) {
+  auto p = make();
+  auto ref = core::reference_transform(p);
+  auto cl = cluster();
+  auto r = core::unfused_par_transform(p, cl, options());
+  ASSERT_TRUE(r.c.has_value());
+  EXPECT_LT(r.c->max_abs_diff(ref), 1e-9);
+  EXPECT_GT(r.stats.flops, 0.0);
+}
+
+TEST_P(ParSchedules, FusedMatchesReference) {
+  auto p = make();
+  auto ref = core::reference_transform(p);
+  auto cl = cluster();
+  auto r = core::fused_par_transform(p, cl, options());
+  ASSERT_TRUE(r.c.has_value());
+  EXPECT_LT(r.c->max_abs_diff(ref), 1e-9);
+}
+
+TEST_P(ParSchedules, FusedInnerMatchesReference) {
+  auto p = make();
+  auto ref = core::reference_transform(p);
+  auto cl = cluster();
+  auto r = core::fused_inner_par_transform(p, cl, options());
+  ASSERT_TRUE(r.c.has_value());
+  EXPECT_LT(r.c->max_abs_diff(ref), 1e-9);
+}
+
+TEST_P(ParSchedules, HybridMatchesReference) {
+  auto p = make();
+  auto ref = core::reference_transform(p);
+  auto cl = cluster();
+  auto r = core::hybrid_transform(p, cl, options());
+  ASSERT_TRUE(r.c.has_value());
+  EXPECT_LT(r.c->max_abs_diff(ref), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ParSchedules,
+    ::testing::Values(ParCase{8, 1, 2, 4, 2}, ParCase{8, 2, 4, 3, 4},
+                      ParCase{12, 4, 4, 4, 4}, ParCase{12, 1, 6, 5, 3},
+                      ParCase{16, 8, 8, 4, 8}, ParCase{10, 2, 2, 10, 10}));
+
+TEST(ParProperties, FusedPeakMemoryFarBelowUnfused) {
+  // The reason the fused schedule exists: its global high-water mark
+  // is ~|C| + O(n^3 Tl) while unfused holds ~3n^4/4.
+  auto p = core::make_problem(chem::custom_molecule("mem", 16, 1, 5));
+  core::ParOptions o;
+  o.tile = 4;
+  o.tile_l = 2;
+  Cluster cu(test_machine(2, 2), ExecutionMode::Simulate);
+  auto ru = core::unfused_par_transform(p, cu, o);
+  Cluster cf(test_machine(2, 2), ExecutionMode::Simulate);
+  auto rf = core::fused_par_transform(p, cf, o);
+  Cluster cfi(test_machine(2, 2), ExecutionMode::Simulate);
+  auto rfi = core::fused_inner_par_transform(p, cfi, o);
+  EXPECT_LT(rf.stats.peak_global_bytes, 0.6 * ru.stats.peak_global_bytes);
+  EXPECT_LT(rfi.stats.peak_global_bytes, rf.stats.peak_global_bytes);
+}
+
+TEST(ParProperties, FusedInnerMovesFewerBytesThanFused) {
+  // Listing 10 eliminates the distributed O1 and O3 slice traffic.
+  auto p = core::make_problem(chem::custom_molecule("comm", 24, 1, 5));
+  core::ParOptions o;
+  o.tile = 6;
+  o.tile_l = 4;
+  Cluster cf(test_machine(4, 4), ExecutionMode::Simulate);
+  auto rf = core::fused_par_transform(p, cf, o);
+  Cluster cfi(test_machine(4, 4), ExecutionMode::Simulate);
+  auto rfi = core::fused_inner_par_transform(p, cfi, o);
+  const double traffic_f = rf.stats.remote_bytes + rf.stats.local_bytes;
+  const double traffic_fi = rfi.stats.remote_bytes + rfi.stats.local_bytes;
+  EXPECT_LT(traffic_fi, 0.75 * traffic_f);
+}
+
+TEST(ParProperties, SimulateAndRealChargeIdenticalCounters) {
+  auto p = core::make_problem(chem::custom_molecule("modes", 12, 2, 5));
+  core::ParOptions o;
+  o.tile = 4;
+  o.tile_l = 3;
+  o.gather_result = false;
+  Cluster cr(test_machine(2, 2), ExecutionMode::Real);
+  auto rr = core::fused_inner_par_transform(p, cr, o);
+  Cluster cs(test_machine(2, 2), ExecutionMode::Simulate);
+  auto rs = core::fused_inner_par_transform(p, cs, o);
+  EXPECT_DOUBLE_EQ(rr.stats.flops, rs.stats.flops);
+  EXPECT_DOUBLE_EQ(rr.stats.remote_bytes, rs.stats.remote_bytes);
+  EXPECT_DOUBLE_EQ(rr.stats.integral_evals, rs.stats.integral_evals);
+  EXPECT_DOUBLE_EQ(rr.stats.peak_global_bytes, rs.stats.peak_global_bytes);
+  EXPECT_NEAR(rr.stats.sim_time, rs.stats.sim_time, 1e-12);
+}
+
+TEST(ParProperties, AlphaParallelIncreasesATraffic) {
+  // Sec. 7.3: parallelizing alpha multiplies the A communication.
+  auto p = core::make_problem(chem::custom_molecule("alpha", 24, 1, 5));
+  core::ParOptions o1;
+  o1.tile = 4;
+  o1.tile_l = 4;
+  o1.alpha_parallel = 1;
+  core::ParOptions o4 = o1;
+  o4.alpha_parallel = 4;
+  Cluster c1(test_machine(4, 6), ExecutionMode::Simulate);
+  auto r1 = core::fused_inner_par_transform(p, c1, o1);
+  Cluster c4(test_machine(4, 6), ExecutionMode::Simulate);
+  auto r4 = core::fused_inner_par_transform(p, c4, o4);
+  const double t1 = r1.stats.remote_bytes + r1.stats.local_bytes;
+  const double t4 = r4.stats.remote_bytes + r4.stats.local_bytes;
+  // Only the A portion of the traffic replicates (O2/C traffic is
+  // unchanged), so total growth is material but sublinear in n_ac.
+  EXPECT_GT(t4, 1.25 * t1);
+}
+
+TEST(ParProperties, UnfusedOomsWhereFusedRuns) {
+  // The headline capability claim at miniature scale: pick a memory
+  // budget between the fused and unfused footprints.
+  auto p = core::make_problem(chem::custom_molecule("oom", 24, 4, 5));
+  const auto sz = p.sizes();
+  // Budget: 5x the output size — far below the ~3n^4/4 intermediates
+  // but enough for C plus the O(n^3 Tl) fused slices.
+  const double budget = 8.0 * 5.0 * static_cast<double>(sz.c);
+  ASSERT_LT(budget, 8.0 * static_cast<double>(sz.unfused_peak()));
+  core::ParOptions o;
+  o.tile = 6;
+  o.tile_l = 2;
+  o.gather_result = false;
+  auto machine = test_machine(2, 2, budget / 2);  // 2 nodes
+  Cluster cu(machine, ExecutionMode::Simulate);
+  EXPECT_THROW(core::unfused_par_transform(p, cu, o), fit::OutOfMemoryError);
+  Cluster cf(machine, ExecutionMode::Simulate);
+  EXPECT_NO_THROW(core::fused_inner_par_transform(p, cf, o));
+}
+
+TEST(ParProperties, HybridPicksByMemory) {
+  auto p = core::make_problem(chem::custom_molecule("hyb", 16, 2, 5));
+  const auto sz = p.sizes();
+  core::ParOptions o;
+  o.tile = 4;
+  o.tile_l = 2;
+  o.gather_result = false;
+  // Plenty of memory: hybrid must choose unfused.
+  Cluster big(test_machine(2, 2, 64e6), ExecutionMode::Simulate);
+  auto rb = core::hybrid_transform(p, big, o);
+  EXPECT_EQ(rb.stats.schedule, "hybrid(unfused)");
+  // Tight memory: hybrid must choose the fused-inner schedule.
+  const double tight = 8.0 * 4.0 * static_cast<double>(sz.c) / 2.0;
+  Cluster small(test_machine(2, 2, tight), ExecutionMode::Simulate);
+  auto rs = core::hybrid_transform(p, small, o);
+  EXPECT_EQ(rs.stats.schedule, "hybrid(fused-inner)");
+}
+
+TEST(ParProperties, FusedFlopOverheadIsAboutOnePointFive) {
+  auto p = core::make_problem(chem::custom_molecule("flp", 24, 1, 5));
+  core::ParOptions o;
+  o.tile = 4;
+  o.tile_l = 4;
+  o.gather_result = false;
+  Cluster cu(test_machine(2, 2), ExecutionMode::Simulate);
+  auto ru = core::unfused_par_transform(p, cu, o);
+  Cluster cf(test_machine(2, 2), ExecutionMode::Simulate);
+  auto rf = core::fused_inner_par_transform(p, cf, o);
+  const double ratio = rf.stats.flops / ru.stats.flops;
+  EXPECT_GT(ratio, 1.2);
+  EXPECT_LT(ratio, 1.9);
+}
+
+TEST(ParProperties, ImbalanceReportedAboveOne) {
+  auto p = core::make_problem(chem::custom_molecule("imb", 16, 1, 5));
+  core::ParOptions o;
+  o.tile = 4;
+  o.tile_l = 4;
+  o.gather_result = false;
+  Cluster cl(test_machine(2, 4), ExecutionMode::Simulate);
+  auto r = core::fused_inner_par_transform(p, cl, o);
+  EXPECT_GE(r.stats.worst_imbalance, 1.0);
+  EXPECT_GT(r.stats.n_phases, 4u);
+  EXPECT_GT(r.stats.sim_time, 0.0);
+}
+
+}  // namespace
+
+// ---- NWChem baseline models -----------------------------------------
+
+#include "core/schedules_baseline.hpp"
+
+namespace {
+
+TEST(Baselines, NwchemUnfusedMatchesReference) {
+  auto p = core::make_problem(chem::custom_molecule("bl1", 10, 2, 5));
+  auto ref = core::reference_transform(p);
+  Cluster cl(test_machine(2, 2), ExecutionMode::Real);
+  core::ParOptions o;
+  o.tile = 4;
+  auto r = core::nwchem_unfused_par_transform(p, cl, o);
+  ASSERT_TRUE(r.c.has_value());
+  EXPECT_LT(r.c->max_abs_diff(ref), 1e-9);
+}
+
+TEST(Baselines, NwchemRecomputeMatchesReference) {
+  auto p = core::make_problem(chem::custom_molecule("bl2", 10, 2, 5));
+  auto ref = core::reference_transform(p);
+  Cluster cl(test_machine(2, 2), ExecutionMode::Real);
+  core::ParOptions o;
+  o.tile = 4;
+  auto r = core::nwchem_recompute_par_transform(p, cl, o);
+  ASSERT_TRUE(r.c.has_value());
+  EXPECT_LT(r.c->max_abs_diff(ref), 1e-9);
+}
+
+TEST(Baselines, NwchemUnfusedPeakExceedsOurUnfused) {
+  // Keeping all five tensors live costs ~2x the eager-free peak.
+  auto p = core::make_problem(chem::custom_molecule("bl3", 20, 1, 5));
+  core::ParOptions o;
+  o.tile = 5;
+  o.gather_result = false;
+  Cluster c1(test_machine(2, 2), ExecutionMode::Simulate);
+  auto ours = core::unfused_par_transform(p, c1, o);
+  Cluster c2(test_machine(2, 2), ExecutionMode::Simulate);
+  auto theirs = core::nwchem_unfused_par_transform(p, c2, o);
+  EXPECT_GT(theirs.stats.peak_global_bytes,
+            1.5 * ours.stats.peak_global_bytes);
+}
+
+TEST(Baselines, RecomputeUsesTinyGlobalMemoryButManyIntegrals) {
+  auto p = core::make_problem(chem::custom_molecule("bl4", 20, 1, 5));
+  core::ParOptions o;
+  o.tile = 5;
+  o.gather_result = false;
+  Cluster c1(test_machine(2, 2), ExecutionMode::Simulate);
+  auto rec = core::nwchem_recompute_par_transform(p, c1, o);
+  Cluster c2(test_machine(2, 2), ExecutionMode::Simulate);
+  auto fus = core::fused_inner_par_transform(p, c2, o);
+  // Global memory: only C (plus nothing else) for recompute.
+  EXPECT_LT(rec.stats.peak_global_bytes, fus.stats.peak_global_bytes);
+  // But many times the integral work (block-level recomputation).
+  EXPECT_GT(rec.stats.integral_evals, 2.0 * fus.stats.integral_evals);
+  EXPECT_GT(rec.stats.sim_time, fus.stats.sim_time);
+}
+
+}  // namespace
+
+TEST(ParProperties, BalancedAlphaChunkingCorrectAndFlatter) {
+  // Sec. 7.3 alternative load balancing: greedy weight-balanced alpha
+  // chunks produce the same result with no more imbalance than the
+  // contiguous baseline in the fused-12 phase.
+  auto p = core::make_problem(chem::custom_molecule("bal", 16, 1, 5));
+  auto ref = core::reference_transform(p);
+
+  core::ParOptions contiguous;
+  contiguous.tile = 2;
+  contiguous.tile_l = 4;
+  contiguous.alpha_parallel = 4;
+  contiguous.alpha_chunking = core::ParOptions::AlphaChunking::Contiguous;
+  core::ParOptions balanced = contiguous;
+  balanced.alpha_chunking = core::ParOptions::AlphaChunking::Balanced;
+
+  Cluster c1(test_machine(2, 4), ExecutionMode::Real);
+  auto r1 = core::fused_inner_par_transform(p, c1, contiguous);
+  Cluster c2(test_machine(2, 4), ExecutionMode::Real);
+  auto r2 = core::fused_inner_par_transform(p, c2, balanced);
+  ASSERT_TRUE(r1.c && r2.c);
+  EXPECT_LT(r1.c->max_abs_diff(ref), 1e-9);
+  EXPECT_LT(r2.c->max_abs_diff(ref), 1e-9);
+
+  // Imbalance of the fused12 phases specifically.
+  auto fused12_imbalance = [](const Cluster& cl) {
+    double w = 1.0;
+    for (const auto& ph : cl.phases())
+      if (ph.label.rfind("fused12", 0) == 0)
+        w = std::max(w, ph.imbalance);
+    return w;
+  };
+  EXPECT_LE(fused12_imbalance(c2), fused12_imbalance(c1) + 1e-9);
+}
+
+TEST(ParProperties, DistributedCStorageTracksExactPackedSize) {
+  // With irrep-aligned tilings, the spatial tile filter is exact: the
+  // distributed C footprint stays within the diagonal-tile padding of
+  // the exact packed size n^4/(4s), rather than collapsing to n^4/4.
+  for (unsigned s : {1u, 4u, 8u}) {
+    auto p = core::make_problem(chem::custom_molecule("cstore", 48, s, 3));
+    const auto sz = p.sizes();
+    core::ParOptions o;
+    o.tile = 6;
+    o.tile_l = 48;  // single slice: peak == C + one slice set
+    o.gather_result = false;
+    Cluster cl(test_machine(2, 2, 1e9), ExecutionMode::Simulate);
+    auto r = core::fused_inner_par_transform(p, cl, o);
+    const double exact_c = 8.0 * double(sz.c);
+    EXPECT_GT(r.stats.peak_global_bytes, exact_c);
+    // C + the n^3-scale slice arrays, with < 2.2x padding overall.
+    const double slices = 8.0 * 2.0 * double(48 * 48 * 48 * 48);
+    EXPECT_LT(r.stats.peak_global_bytes, 2.2 * exact_c + slices) << s;
+  }
+}

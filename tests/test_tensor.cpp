@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tensor/irreps.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/packed.hpp"
+#include "tensor/pairs.hpp"
+#include "tensor/tensor4.hpp"
+#include "tensor/tiling.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace fit::tensor;
+
+TEST(Pairs, PackUnpackRoundTrip) {
+  const std::size_t n = 23;
+  std::set<std::size_t> seen;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const std::size_t p = pack_pair(i, j);
+      EXPECT_LT(p, npairs(n));
+      EXPECT_TRUE(seen.insert(p).second) << "pack not injective";
+      const auto [ii, jj] = unpack_pair(p);
+      EXPECT_EQ(ii, i);
+      EXPECT_EQ(jj, j);
+    }
+  EXPECT_EQ(seen.size(), npairs(n));
+}
+
+TEST(Pairs, SymmetricPackIgnoresOrder) {
+  EXPECT_EQ(pack_pair_sym(3, 7), pack_pair_sym(7, 3));
+  EXPECT_EQ(pack_pair_sym(5, 5), pack_pair(5, 5));
+}
+
+TEST(Pairs, PackRequiresOrdered) {
+  EXPECT_THROW(pack_pair(2, 5), fit::PreconditionError);
+}
+
+TEST(Pairs, UnpackLargeValues) {
+  // Exercise the float estimate fix-up around triangular numbers.
+  for (std::size_t p : {0ul, 1ul, 2ul, 5049ul, 5050ul, 5051ul, 1000000ul}) {
+    const auto [i, j] = unpack_pair(p);
+    EXPECT_EQ(pack_pair(i, j), p);
+  }
+}
+
+TEST(Matrix, AccessAndBounds) {
+  Matrix m(3, 4);
+  m(2, 3) = 7.0;
+  EXPECT_DOUBLE_EQ(m(2, 3), 7.0);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_THROW(m(3, 0), fit::PreconditionError);
+  EXPECT_THROW(m(0, 4), fit::PreconditionError);
+  m.fill(1.5);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.5);
+}
+
+TEST(Tensor4, LayoutIsRowMajor) {
+  Tensor4 t(2, 3, 4, 5);
+  t(1, 2, 3, 4) = 9.0;
+  EXPECT_DOUBLE_EQ(t.data()[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0);
+  EXPECT_EQ(t.size(), 120u);
+  EXPECT_THROW(t(2, 0, 0, 0), fit::PreconditionError);
+}
+
+TEST(Irreps, TrivialAllowsEverything) {
+  auto ir = Irreps::trivial(6);
+  EXPECT_EQ(ir.order(), 1u);
+  EXPECT_TRUE(ir.allowed(0, 1, 2, 3));
+  EXPECT_TRUE(ir.is_contiguous());
+}
+
+TEST(Irreps, ContiguousBlocksCoverAllLabels) {
+  auto ir = Irreps::contiguous(16, 4);
+  EXPECT_TRUE(ir.is_contiguous());
+  std::set<int> labels;
+  for (std::size_t o = 0; o < 16; ++o) labels.insert(ir.of(o));
+  EXPECT_EQ(labels.size(), 4u);
+  // XOR closure property: allowed(a,b,c,d) iff xor == 0.
+  EXPECT_TRUE(ir.allowed(0, 0, 15, 15));
+  EXPECT_FALSE(ir.allowed(0, 0, 0, 15));
+}
+
+TEST(Irreps, RejectsNonPowerOfTwoOrder) {
+  EXPECT_THROW(Irreps::contiguous(10, 3), fit::PreconditionError);
+  EXPECT_THROW(Irreps({0, 1, 2}, 2), fit::PreconditionError);
+}
+
+TEST(PackedSizes, MatchTable1Asymptotics) {
+  // For large n and uniform irreps, exact packed sizes approach
+  // n^4/4, n^4/2, n^4/4, n^4/2, n^4/(4s).
+  const std::size_t n = 64;
+  for (unsigned s : {1u, 2u, 4u, 8u}) {
+    auto ir = Irreps::contiguous(n, s);
+    auto sz = packed_sizes(n, ir);
+    const double n4 = static_cast<double>(n) * n * n * n;
+    EXPECT_NEAR(static_cast<double>(sz.a) / (n4 / 4), 1.0, 0.05);
+    EXPECT_NEAR(static_cast<double>(sz.o1) / (n4 / 2), 1.0, 0.05);
+    EXPECT_NEAR(static_cast<double>(sz.o2) / (n4 / 4), 1.0, 0.05);
+    EXPECT_NEAR(static_cast<double>(sz.o3) / (n4 / 2), 1.0, 0.05);
+    EXPECT_NEAR(static_cast<double>(sz.c) / (n4 / (4 * s)), 1.0, 0.10);
+  }
+}
+
+TEST(PackedSizes, UnfusedPeakIsO1PlusO2) {
+  const std::size_t n = 32;
+  auto ir = Irreps::trivial(n);
+  auto sz = packed_sizes(n, ir);
+  EXPECT_EQ(sz.unfused_peak(), sz.o1 + sz.a);  // |A|+|O1| == |O1|+|O2|
+  EXPECT_EQ(sz.a + sz.o1, sz.o1 + sz.o2);      // since |A| == |O2|
+  // Dominant term ~ 3n^4/4.
+  const double n4 = static_cast<double>(n) * n * n * n;
+  EXPECT_NEAR(static_cast<double>(sz.unfused_peak()) / (0.75 * n4), 1.0, 0.1);
+}
+
+TEST(PackedA, SymmetryInBothGroups) {
+  const std::size_t n = 5;
+  PackedA a(n);
+  a.set(3, 1, 4, 2, 7.5);
+  EXPECT_DOUBLE_EQ(a(3, 1, 4, 2), 7.5);
+  EXPECT_DOUBLE_EQ(a(1, 3, 4, 2), 7.5);
+  EXPECT_DOUBLE_EQ(a(3, 1, 2, 4), 7.5);
+  EXPECT_DOUBLE_EQ(a(1, 3, 2, 4), 7.5);
+  EXPECT_EQ(a.stored_elements(), npairs(n) * npairs(n));
+}
+
+TEST(TensorO1, SymmetryInKlOnly) {
+  TensorO1 o1(4);
+  o1.at(1, 2, 3, 0) = 2.0;
+  EXPECT_DOUBLE_EQ(o1.at(1, 2, 0, 3), 2.0);
+  // kl_row is contiguous over packed pairs.
+  EXPECT_EQ(&o1.at(1, 2, 0, 0), o1.kl_row(1, 2));
+  EXPECT_EQ(o1.stored_elements(), 4u * 4u * npairs(4));
+}
+
+TEST(PackedO2, SymmetryInBothGroups) {
+  PackedO2 o2(4);
+  o2.at(3, 1, 2, 0) = -1.0;
+  EXPECT_DOUBLE_EQ(o2.at(1, 3, 0, 2), -1.0);
+}
+
+TEST(TensorO3, SymmetryInAbOnly) {
+  TensorO3 o3(4);
+  o3.at(2, 1, 3, 0) = 5.0;
+  EXPECT_DOUBLE_EQ(o3.at(1, 2, 3, 0), 5.0);
+  EXPECT_EQ(o3.stored_elements(), npairs(4) * 16u);
+}
+
+TEST(PackedC, SpatialBlockingStoresOnlyAllowed) {
+  const std::size_t n = 8;
+  auto ir = Irreps::contiguous(n, 2);
+  PackedC c(n, ir);
+  // Orbitals 0..3 irrep 0, 4..7 irrep 1. Pair (0,1) has irrep 0,
+  // pair (4,1) has irrep 1.
+  c.add(1, 0, 2, 0, 3.0);
+  EXPECT_DOUBLE_EQ(c.get(1, 0, 2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(c.get(0, 1, 0, 2), 3.0);  // packed symmetry
+  // Forbidden entry reads as zero; nonzero writes throw; zero writes
+  // are dropped.
+  EXPECT_DOUBLE_EQ(c.get(1, 0, 4, 0), 0.0);
+  EXPECT_THROW(c.add(1, 0, 4, 0, 1.0), fit::PreconditionError);
+  EXPECT_NO_THROW(c.add(1, 0, 4, 0, 0.0));
+  // Storage is the sum of per-irrep block squares == exact formula.
+  EXPECT_EQ(c.stored_elements(), packed_sizes(n, ir).c);
+}
+
+TEST(PackedC, DiffAndNorm) {
+  auto ir = Irreps::trivial(4);
+  PackedC x(4, ir), y(4, ir);
+  x.add(2, 1, 3, 0, 3.0);
+  y.add(2, 1, 3, 0, 1.0);
+  EXPECT_DOUBLE_EQ(x.max_abs_diff(y), 2.0);
+  EXPECT_DOUBLE_EQ(y.norm2(), 1.0);
+}
+
+TEST(Tiling, CoverageAndEdges) {
+  Tiling t(10, 3);
+  EXPECT_EQ(t.ntiles(), 4u);
+  EXPECT_EQ(t.lo(0), 0u);
+  EXPECT_EQ(t.hi(3), 10u);
+  EXPECT_EQ(t.len(3), 1u);
+  EXPECT_EQ(t.tile_of(9), 3u);
+  // Tiles partition the range.
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < t.ntiles(); ++i) covered += t.len(i);
+  EXPECT_EQ(covered, 10u);
+  EXPECT_THROW(Tiling(10, 0), fit::PreconditionError);
+  EXPECT_THROW(t.tile_of(10), fit::PreconditionError);
+}
+
+TEST(Tiling, ExactDivision) {
+  Tiling t(12, 3);
+  EXPECT_EQ(t.ntiles(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t.len(i), 3u);
+}
+
+}  // namespace
+
+// ---- Irregular and irrep-aligned tilings ----------------------------
+
+namespace {
+
+using fit::tensor::Irreps;
+using fit::tensor::Tiling;
+
+TEST(TilingIrregular, ExplicitBoundaries) {
+  auto t = Tiling::with_boundaries({0, 3, 4, 10});
+  EXPECT_EQ(t.extent(), 10u);
+  EXPECT_EQ(t.ntiles(), 3u);
+  EXPECT_EQ(t.len(0), 3u);
+  EXPECT_EQ(t.len(1), 1u);
+  EXPECT_EQ(t.len(2), 6u);
+  EXPECT_EQ(t.max_width(), 6u);
+  EXPECT_EQ(t.tile_of(0), 0u);
+  EXPECT_EQ(t.tile_of(3), 1u);
+  EXPECT_EQ(t.tile_of(4), 2u);
+  EXPECT_EQ(t.tile_of(9), 2u);
+  EXPECT_THROW(Tiling::with_boundaries({0, 3, 3, 10}),
+               fit::PreconditionError);
+  EXPECT_THROW(Tiling::with_boundaries({0}), fit::PreconditionError);
+}
+
+TEST(TilingIrregular, IrrepAlignedTilesArePure) {
+  // Every tile of an irrep-aligned tiling contains orbitals of exactly
+  // one irrep, for a sweep of (n, order, width) combinations.
+  for (std::size_t n : {16u, 23u, 46u, 87u, 149u}) {
+    for (unsigned order : {1u, 2u, 4u, 8u}) {
+      for (std::size_t w : {1u, 2u, 5u, 8u, 100u}) {
+        auto ir = Irreps::contiguous(n, order);
+        auto t = Tiling::irrep_aligned(ir, w);
+        EXPECT_EQ(t.extent(), n);
+        std::size_t covered = 0;
+        for (std::size_t ti = 0; ti < t.ntiles(); ++ti) {
+          EXPECT_LE(t.len(ti), w);
+          covered += t.len(ti);
+          for (std::size_t o = t.lo(ti); o < t.hi(ti); ++o)
+            EXPECT_EQ(ir.of(o), ir.of(t.lo(ti)))
+                << "n=" << n << " order=" << order << " w=" << w;
+        }
+        EXPECT_EQ(covered, n);
+      }
+    }
+  }
+}
+
+TEST(TilingIrregular, IrrepAlignedBalanced) {
+  // Chunks within a block differ by at most one element.
+  auto ir = Irreps::contiguous(50, 2);  // blocks of 25
+  auto t = Tiling::irrep_aligned(ir, 8);
+  for (std::size_t ti = 0; ti < t.ntiles(); ++ti) {
+    EXPECT_GE(t.len(ti), 6u);
+    EXPECT_LE(t.len(ti), 9u);
+  }
+}
+
+TEST(TilingIrregular, TileOfMatchesRanges) {
+  auto ir = Irreps::contiguous(37, 4);
+  auto t = Tiling::irrep_aligned(ir, 5);
+  for (std::size_t o = 0; o < 37; ++o) {
+    const std::size_t ti = t.tile_of(o);
+    EXPECT_GE(o, t.lo(ti));
+    EXPECT_LT(o, t.hi(ti));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bounds/matmul_bounds.hpp"
+#include "bounds/transform_bounds.hpp"
+#include "tensor/packed.hpp"
+#include "tensor/pairs.hpp"
+#include "trace/kernels.hpp"
+#include "trace/memory_sim.hpp"
+
+namespace {
+
+using namespace fit;
+using trace::make_addr;
+using trace::MemorySim;
+
+TEST(MemorySim, HitsAndMisses) {
+  MemorySim sim(2);
+  sim.read(1);
+  sim.read(1);
+  EXPECT_EQ(sim.loads(), 1u);
+  sim.read(2);
+  sim.read(3);  // evicts 1 (clean, no store)
+  EXPECT_EQ(sim.loads(), 3u);
+  EXPECT_EQ(sim.stores(), 0u);
+  sim.read(1);  // miss again
+  EXPECT_EQ(sim.loads(), 4u);
+}
+
+TEST(MemorySim, LruOrderRespectsRecency) {
+  MemorySim sim(2);
+  sim.read(1);
+  sim.read(2);
+  sim.read(1);  // 1 is now most recent
+  sim.read(3);  // should evict 2
+  sim.read(1);  // hit
+  EXPECT_EQ(sim.loads(), 3u);
+}
+
+TEST(MemorySim, DirtyEvictionStores) {
+  MemorySim sim(1);
+  sim.write(1, /*fresh=*/true);
+  sim.read(2);  // evicts dirty 1 -> one store
+  EXPECT_EQ(sim.stores(), 1u);
+  EXPECT_EQ(sim.loads(), 1u);
+}
+
+TEST(MemorySim, NonFreshWriteLoadsFirst) {
+  MemorySim sim(4);
+  sim.write(1, /*fresh=*/false);  // read-modify-write: load
+  EXPECT_EQ(sim.loads(), 1u);
+  sim.write(1, /*fresh=*/false);  // resident: free
+  EXPECT_EQ(sim.loads(), 1u);
+}
+
+TEST(MemorySim, DiscardSuppressesWriteback) {
+  MemorySim sim(2);
+  sim.write(1, /*fresh=*/true);
+  sim.discard(1);
+  sim.flush();
+  EXPECT_EQ(sim.stores(), 0u);
+}
+
+TEST(MemorySim, FlushWritesDirtyOnce) {
+  MemorySim sim(4);
+  sim.write(1, true);
+  sim.write(2, true);
+  sim.read(3);
+  sim.flush();
+  EXPECT_EQ(sim.stores(), 2u);
+  sim.flush();  // idempotent
+  EXPECT_EQ(sim.stores(), 2u);
+}
+
+TEST(MemorySim, RejectsZeroCapacity) {
+  EXPECT_THROW(MemorySim(0), fit::PreconditionError);
+}
+
+TEST(TraceMatmul, UntiledBlowupAndTiledEfficiency) {
+  // Sec. 2.3: with S < N^2, the untiled version streams B N times
+  // (~N^3 loads) while the tiled version attains ~2N^3/sqrt(S/3).
+  const std::size_t n = 48;
+  const std::size_t s = 800;  // < n^2 = 2304
+  auto untiled = trace::trace_matmul_untiled(n, n, n, s);
+  const double n3 = static_cast<double>(n) * n * n;
+  EXPECT_GT(static_cast<double>(untiled.loads), 0.8 * n3);
+
+  const std::size_t t = 16;  // 3*t^2 = 768 <= s
+  auto tiled = trace::trace_matmul_tiled(n, n, n, t, s);
+  EXPECT_LT(tiled.io() * 4, untiled.io());
+  // Above the Dongarra lower bound, as any valid schedule must be.
+  EXPECT_GE(static_cast<double>(tiled.io()),
+            bounds::matmul_lb_dongarra(n, n, n, s) * 0.99);
+}
+
+TEST(TraceMatmul, TiledMeetsTwoNCubedOverT) {
+  // The C-block-resident scheme: loads = 2 n^3 / t, stores = n^2,
+  // exactly, when the block plus stream segments fit (t^2 + 2t <= s).
+  const std::size_t n = 24;
+  for (std::size_t t : {4u, 8u, 12u}) {
+    const std::size_t s = t * t + 2 * t + 2;
+    auto r = trace::trace_matmul_tiled(n, n, n, t, s);
+    EXPECT_EQ(r.loads, 2 * n * n * n / t) << "t=" << t;
+    EXPECT_EQ(r.stores, n * n);
+  }
+}
+
+TEST(TraceContraction, Listing5MeetsTightBound) {
+  // C[a,m] = A[i,m] B[a,i]: with S >= na*ni + ni + 1 the I/O equals
+  // |A| + |B| + |C| exactly.
+  const std::size_t na = 8, ni = 8, nm = 64;
+  const std::size_t s = na * ni + ni + 8;
+  auto r = trace::trace_contraction(na, ni, nm, s);
+  EXPECT_EQ(r.loads, ni * nm + na * ni);
+  EXPECT_EQ(r.stores, na * nm);
+}
+
+TEST(TraceContraction, BelowThresholdExceedsBound) {
+  const std::size_t na = 8, ni = 8, nm = 64;
+  auto r = trace::trace_contraction(na, ni, nm, /*s=*/16);
+  EXPECT_GT(r.loads, ni * nm + na * ni);
+}
+
+TEST(TraceFusedPair, Listing6MeetsTightBound) {
+  // Dense fused pair: I/O = |A| + |C| + |B1| + |B2| = 2n^4 + 2n^2
+  // when S >= 3n^2 + n + 1.
+  const std::size_t n = 6;
+  const std::size_t n4 = n * n * n * n;
+  const std::size_t s = 3 * n * n + n + 8;
+  auto r = trace::trace_fused_pair_dense(n, s);
+  EXPECT_EQ(r.loads, n4 + 2 * n * n);
+  EXPECT_EQ(r.stores, n4);
+}
+
+TEST(TraceSchedules, UnfusedMatchesIoOptWithPackedSizes) {
+  const std::size_t n = 10;
+  const std::size_t np = tensor::npairs(n);
+  // Generous fast memory (>= 3n^2-ish streams) but << tensor sizes.
+  const std::size_t s = 8 * n * n;
+  auto r = trace::trace_unfused_schedule(n, s);
+  const auto sz = tensor::packed_sizes(n, tensor::Irreps::trivial(n));
+  // io_opt(op1/2/3/4) with exact packed sizes, plus B traffic (4n^2).
+  const double expect =
+      static_cast<double>(sz.a + 2 * sz.o1 + 2 * sz.o2 + 2 * sz.o3 + sz.c) +
+      4.0 * n * n;
+  EXPECT_NEAR(static_cast<double>(r.io()), expect, 0.02 * expect);
+  (void)np;
+}
+
+TEST(TraceSchedules, Fused12_34MatchesIoOpt) {
+  const std::size_t n = 10;
+  const std::size_t s = 8 * n * n;
+  auto r = trace::trace_fused12_34_schedule(n, s);
+  const auto sz = tensor::packed_sizes(n, tensor::Irreps::trivial(n));
+  const double expect =
+      static_cast<double>(sz.a + 2 * sz.o2 + sz.c) + 4.0 * n * n;
+  EXPECT_NEAR(static_cast<double>(r.io()), expect, 0.02 * expect);
+}
+
+TEST(TraceSchedules, Theorem52OrderHoldsInMeasurement) {
+  const std::size_t n = 10;
+  const std::size_t s = 8 * n * n;
+  auto unf = trace::trace_unfused_schedule(n, s);
+  auto f12 = trace::trace_fused12_34_schedule(n, s);
+  EXPECT_LT(f12.io(), unf.io());
+}
+
+TEST(TraceSchedules, Fused1234OnTheFlyIsJustCPlusB) {
+  // Sec. 7.1: with A produced on the fly and S >= |C| + 2n^3, the
+  // external I/O collapses to the C write-back (plus B reads).
+  const std::size_t n = 8;
+  const auto sz = tensor::packed_sizes(n, tensor::Irreps::trivial(n));
+  const std::size_t s = sz.c + 3 * n * n * n;
+  auto r = trace::trace_fused1234_schedule(n, s, /*on_the_fly_a=*/true);
+  EXPECT_EQ(r.stores, sz.c);
+  EXPECT_EQ(r.loads, 4u * n * n);  // B1..B4 only
+}
+
+TEST(TraceSchedules, Fused1234LoadedAEqualsBrokenSymmetryVolume) {
+  const std::size_t n = 8;
+  const auto sz = tensor::packed_sizes(n, tensor::Irreps::trivial(n));
+  const std::size_t s = sz.c + 3 * n * n * n;
+  auto r = trace::trace_fused1234_schedule(n, s, /*on_the_fly_a=*/false);
+  // A loads: packed (ij) x full (k, l) = np * n^2 elements, once each.
+  EXPECT_EQ(r.loads, tensor::npairs(n) * n * n + 4u * n * n);
+  EXPECT_EQ(r.stores, sz.c);
+}
+
+TEST(TraceSchedules, Theorem62NecessaryConditionVisible) {
+  // Below S = |C| the fully fused schedule can no longer keep the
+  // output resident: measured I/O blows up by orders of magnitude.
+  const std::size_t n = 8;
+  const auto sz = tensor::packed_sizes(n, tensor::Irreps::trivial(n));
+  const std::size_t s_ok = sz.c + 3 * n * n * n;
+  const std::size_t s_small = sz.c / 2;
+  auto ok = trace::trace_fused1234_schedule(n, s_ok, true);
+  auto small = trace::trace_fused1234_schedule(n, s_small, true);
+  EXPECT_GT(small.io(), 3 * ok.io());
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+TEST(Error, RequireThrowsPrecondition) {
+  EXPECT_THROW(FIT_REQUIRE(false, "boom " << 42), fit::PreconditionError);
+  EXPECT_NO_THROW(FIT_REQUIRE(true, "fine"));
+}
+
+TEST(Error, CheckThrowsInternal) {
+  EXPECT_THROW(FIT_CHECK(false, "bug"), fit::InternalError);
+}
+
+TEST(Error, MessageContainsContext) {
+  try {
+    FIT_REQUIRE(1 == 2, "value was " << 7);
+    FAIL() << "should have thrown";
+  } catch (const fit::PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("value was 7"), std::string::npos);
+  }
+}
+
+TEST(Rng, Deterministic) {
+  fit::SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  fit::SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  fit::SplitMix64 g(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = g.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  fit::SplitMix64 g(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(g.next_below(17), 17u);
+}
+
+TEST(Rng, HashToUnitIsPure) {
+  EXPECT_EQ(fit::hash_to_unit(3, 5, 7), fit::hash_to_unit(3, 5, 7));
+  EXPECT_NE(fit::hash_to_unit(3, 5, 7), fit::hash_to_unit(3, 5, 8));
+  const double v = fit::hash_to_unit(12, 34, 56);
+  EXPECT_GE(v, -1.0);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(Stats, BasicMoments) {
+  fit::RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, Imbalance) {
+  fit::RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.imbalance(), 1.5);
+}
+
+TEST(Format, HumanBytes) {
+  EXPECT_EQ(fit::human_bytes(512), "512 B");
+  EXPECT_EQ(fit::human_bytes(1024), "1.00 KB");
+  EXPECT_EQ(fit::human_bytes(1536), "1.50 KB");
+  EXPECT_EQ(fit::human_bytes(1024.0 * 1024 * 1024), "1.00 GB");
+}
+
+TEST(Format, HumanCount) {
+  EXPECT_EQ(fit::human_count(999), "999");
+  EXPECT_EQ(fit::human_count(1500), "1.50K");
+  EXPECT_EQ(fit::human_count(2.5e6), "2.50M");
+}
+
+TEST(Format, Table) {
+  fit::TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.str("demo");
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one-cell"}), fit::PreconditionError);
+}
+
+}  // namespace
+
+// ---- Logging ---------------------------------------------------------
+
+#include "util/logging.hpp"
+
+namespace {
+
+TEST(Logging, LevelRoundTrip) {
+  const auto saved = fit::log_level();
+  fit::set_log_level(fit::LogLevel::Error);
+  EXPECT_EQ(fit::log_level(), fit::LogLevel::Error);
+  fit::set_log_level(saved);
+}
+
+TEST(Logging, ParseNames) {
+  using fit::LogLevel;
+  EXPECT_EQ(fit::parse_log_level("debug", LogLevel::Off), LogLevel::Debug);
+  EXPECT_EQ(fit::parse_log_level("warn", LogLevel::Off), LogLevel::Warn);
+  EXPECT_EQ(fit::parse_log_level("bogus", LogLevel::Info), LogLevel::Info);
+}
+
+TEST(Logging, BelowThresholdIsNotEvaluated) {
+  // The message expression must not run when filtered out.
+  const auto saved = fit::log_level();
+  fit::set_log_level(fit::LogLevel::Off);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  FIT_LOG_DEBUG("value " << expensive());
+  EXPECT_EQ(evaluations, 0);
+  fit::set_log_level(saved);
+}
+
+}  // namespace
+
+// ---- Args ------------------------------------------------------------
+
+#include "util/args.hpp"
+
+namespace {
+
+TEST(Args, AllForms) {
+  // A bare flag consumes a following non-option token as its value,
+  // so trailing flags and leading positionals keep forms unambiguous.
+  const char* argv[] = {"prog", "--n=32",  "--tile", "8",
+                        "positional1", "77", "--verbose"};
+  fit::Args args(7, const_cast<char**>(argv));
+  EXPECT_EQ(args.program(), "prog");
+  EXPECT_EQ(args.get_int("n", 0), 32);
+  EXPECT_EQ(args.get_int("tile", 0), 8);
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.has("quiet"));
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "positional1");
+  EXPECT_EQ(args.positional_int(1, -1), 77);
+  EXPECT_EQ(args.positional_int(5, -1), -1);
+}
+
+TEST(Args, DoubleValues) {
+  const char* argv[] = {"prog", "--scale=2.5"};
+  fit::Args args(2, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(args.get_double("other", 1.5), 1.5);
+}
+
+}  // namespace
