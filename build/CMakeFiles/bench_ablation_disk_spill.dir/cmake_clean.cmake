@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_disk_spill.dir/bench/bench_ablation_disk_spill.cpp.o"
+  "CMakeFiles/bench_ablation_disk_spill.dir/bench/bench_ablation_disk_spill.cpp.o.d"
+  "bench/bench_ablation_disk_spill"
+  "bench/bench_ablation_disk_spill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_disk_spill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hybrid_switch.dir/bench/bench_ablation_hybrid_switch.cpp.o"
+  "CMakeFiles/bench_ablation_hybrid_switch.dir/bench/bench_ablation_hybrid_switch.cpp.o.d"
+  "bench/bench_ablation_hybrid_switch"
+  "bench/bench_ablation_hybrid_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hybrid_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

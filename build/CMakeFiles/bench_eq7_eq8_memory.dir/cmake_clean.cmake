@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq7_eq8_memory.dir/bench/bench_eq7_eq8_memory.cpp.o"
+  "CMakeFiles/bench_eq7_eq8_memory.dir/bench/bench_eq7_eq8_memory.cpp.o.d"
+  "bench/bench_eq7_eq8_memory"
+  "bench/bench_eq7_eq8_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq7_eq8_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_eq7_eq8_memory.
+# This may be replaced when dependencies are built.

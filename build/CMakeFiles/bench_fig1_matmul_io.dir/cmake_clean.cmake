@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_matmul_io.dir/bench/bench_fig1_matmul_io.cpp.o"
+  "CMakeFiles/bench_fig1_matmul_io.dir/bench/bench_fig1_matmul_io.cpp.o.d"
+  "bench/bench_fig1_matmul_io"
+  "bench/bench_fig1_matmul_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_matmul_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2a_hyperpolar.dir/bench/bench_fig2a_hyperpolar.cpp.o"
+  "CMakeFiles/bench_fig2a_hyperpolar.dir/bench/bench_fig2a_hyperpolar.cpp.o.d"
+  "bench/bench_fig2a_hyperpolar"
+  "bench/bench_fig2a_hyperpolar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2a_hyperpolar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

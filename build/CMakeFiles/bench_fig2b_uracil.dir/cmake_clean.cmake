@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2b_uracil.dir/bench/bench_fig2b_uracil.cpp.o"
+  "CMakeFiles/bench_fig2b_uracil.dir/bench/bench_fig2b_uracil.cpp.o.d"
+  "bench/bench_fig2b_uracil"
+  "bench/bench_fig2b_uracil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b_uracil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2c_c60h20.dir/bench/bench_fig2c_c60h20.cpp.o"
+  "CMakeFiles/bench_fig2c_c60h20.dir/bench/bench_fig2c_c60h20.cpp.o.d"
+  "bench/bench_fig2c_c60h20"
+  "bench/bench_fig2c_c60h20.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2c_c60h20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

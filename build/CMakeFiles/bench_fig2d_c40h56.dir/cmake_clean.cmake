@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2d_c40h56.dir/bench/bench_fig2d_c40h56.cpp.o"
+  "CMakeFiles/bench_fig2d_c40h56.dir/bench/bench_fig2d_c40h56.cpp.o.d"
+  "bench/bench_fig2d_c40h56"
+  "bench/bench_fig2d_c40h56.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2d_c40h56.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

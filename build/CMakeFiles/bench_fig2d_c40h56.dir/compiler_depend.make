@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig2d_c40h56.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2e_shellmixed.dir/bench/bench_fig2e_shellmixed.cpp.o"
+  "CMakeFiles/bench_fig2e_shellmixed.dir/bench/bench_fig2e_shellmixed.cpp.o.d"
+  "bench/bench_fig2e_shellmixed"
+  "bench/bench_fig2e_shellmixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2e_shellmixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_fusion_lemma.dir/bench/bench_sec4_fusion_lemma.cpp.o"
+  "CMakeFiles/bench_sec4_fusion_lemma.dir/bench/bench_sec4_fusion_lemma.cpp.o.d"
+  "bench/bench_sec4_fusion_lemma"
+  "bench/bench_sec4_fusion_lemma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_fusion_lemma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

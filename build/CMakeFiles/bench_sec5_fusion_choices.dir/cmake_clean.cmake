@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_fusion_choices.dir/bench/bench_sec5_fusion_choices.cpp.o"
+  "CMakeFiles/bench_sec5_fusion_choices.dir/bench/bench_sec5_fusion_choices.cpp.o.d"
+  "bench/bench_sec5_fusion_choices"
+  "bench/bench_sec5_fusion_choices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_fusion_choices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_full_reuse.dir/bench/bench_sec6_full_reuse.cpp.o"
+  "CMakeFiles/bench_sec6_full_reuse.dir/bench/bench_sec6_full_reuse.cpp.o.d"
+  "bench/bench_sec6_full_reuse"
+  "bench/bench_sec6_full_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_full_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

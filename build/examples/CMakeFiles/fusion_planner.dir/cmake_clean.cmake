@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_planner.dir/fusion_planner.cpp.o"
+  "CMakeFiles/fusion_planner.dir/fusion_planner.cpp.o.d"
+  "fusion_planner"
+  "fusion_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/largest_problem.dir/largest_problem.cpp.o"
+  "CMakeFiles/largest_problem.dir/largest_problem.cpp.o.d"
+  "largest_problem"
+  "largest_problem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/largest_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

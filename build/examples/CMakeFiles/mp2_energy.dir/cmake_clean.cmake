@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp2_energy.dir/mp2_energy.cpp.o"
+  "CMakeFiles/mp2_energy.dir/mp2_energy.cpp.o.d"
+  "mp2_energy"
+  "mp2_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp2_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blas/gemm.cpp" "src/CMakeFiles/fourindex.dir/blas/gemm.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/blas/gemm.cpp.o.d"
+  "/root/repo/src/bounds/chain_planner.cpp" "src/CMakeFiles/fourindex.dir/bounds/chain_planner.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/bounds/chain_planner.cpp.o.d"
+  "/root/repo/src/bounds/fusion_lemma.cpp" "src/CMakeFiles/fourindex.dir/bounds/fusion_lemma.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/bounds/fusion_lemma.cpp.o.d"
+  "/root/repo/src/bounds/matmul_bounds.cpp" "src/CMakeFiles/fourindex.dir/bounds/matmul_bounds.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/bounds/matmul_bounds.cpp.o.d"
+  "/root/repo/src/bounds/transform_bounds.cpp" "src/CMakeFiles/fourindex.dir/bounds/transform_bounds.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/bounds/transform_bounds.cpp.o.d"
+  "/root/repo/src/chem/antisym_integrals.cpp" "src/CMakeFiles/fourindex.dir/chem/antisym_integrals.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/chem/antisym_integrals.cpp.o.d"
+  "/root/repo/src/chem/coeffs.cpp" "src/CMakeFiles/fourindex.dir/chem/coeffs.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/chem/coeffs.cpp.o.d"
+  "/root/repo/src/chem/integrals.cpp" "src/CMakeFiles/fourindex.dir/chem/integrals.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/chem/integrals.cpp.o.d"
+  "/root/repo/src/chem/molecule.cpp" "src/CMakeFiles/fourindex.dir/chem/molecule.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/chem/molecule.cpp.o.d"
+  "/root/repo/src/chem/mp2.cpp" "src/CMakeFiles/fourindex.dir/chem/mp2.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/chem/mp2.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/CMakeFiles/fourindex.dir/core/planner.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/core/planner.cpp.o.d"
+  "/root/repo/src/core/problem.cpp" "src/CMakeFiles/fourindex.dir/core/problem.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/core/problem.cpp.o.d"
+  "/root/repo/src/core/schedules_antisym.cpp" "src/CMakeFiles/fourindex.dir/core/schedules_antisym.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/core/schedules_antisym.cpp.o.d"
+  "/root/repo/src/core/schedules_par.cpp" "src/CMakeFiles/fourindex.dir/core/schedules_par.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/core/schedules_par.cpp.o.d"
+  "/root/repo/src/core/schedules_seq.cpp" "src/CMakeFiles/fourindex.dir/core/schedules_seq.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/core/schedules_seq.cpp.o.d"
+  "/root/repo/src/core/transform.cpp" "src/CMakeFiles/fourindex.dir/core/transform.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/core/transform.cpp.o.d"
+  "/root/repo/src/ga/global_array.cpp" "src/CMakeFiles/fourindex.dir/ga/global_array.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/ga/global_array.cpp.o.d"
+  "/root/repo/src/pebble/cdag.cpp" "src/CMakeFiles/fourindex.dir/pebble/cdag.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/pebble/cdag.cpp.o.d"
+  "/root/repo/src/pebble/pebble_game.cpp" "src/CMakeFiles/fourindex.dir/pebble/pebble_game.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/pebble/pebble_game.cpp.o.d"
+  "/root/repo/src/runtime/cluster.cpp" "src/CMakeFiles/fourindex.dir/runtime/cluster.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/runtime/cluster.cpp.o.d"
+  "/root/repo/src/runtime/machine.cpp" "src/CMakeFiles/fourindex.dir/runtime/machine.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/runtime/machine.cpp.o.d"
+  "/root/repo/src/tensor/antisym.cpp" "src/CMakeFiles/fourindex.dir/tensor/antisym.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/tensor/antisym.cpp.o.d"
+  "/root/repo/src/tensor/irreps.cpp" "src/CMakeFiles/fourindex.dir/tensor/irreps.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/tensor/irreps.cpp.o.d"
+  "/root/repo/src/tensor/packed.cpp" "src/CMakeFiles/fourindex.dir/tensor/packed.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/tensor/packed.cpp.o.d"
+  "/root/repo/src/tensor/pairs.cpp" "src/CMakeFiles/fourindex.dir/tensor/pairs.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/tensor/pairs.cpp.o.d"
+  "/root/repo/src/trace/kernels.cpp" "src/CMakeFiles/fourindex.dir/trace/kernels.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/trace/kernels.cpp.o.d"
+  "/root/repo/src/trace/memory_sim.cpp" "src/CMakeFiles/fourindex.dir/trace/memory_sim.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/trace/memory_sim.cpp.o.d"
+  "/root/repo/src/util/args.cpp" "src/CMakeFiles/fourindex.dir/util/args.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/util/args.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "src/CMakeFiles/fourindex.dir/util/error.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/util/error.cpp.o.d"
+  "/root/repo/src/util/format.cpp" "src/CMakeFiles/fourindex.dir/util/format.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/util/format.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/fourindex.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/fourindex.dir/util/logging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

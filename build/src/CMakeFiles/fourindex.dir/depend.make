@@ -1,0 +1,2 @@
+# Empty dependencies file for fourindex.
+# This may be replaced when dependencies are built.

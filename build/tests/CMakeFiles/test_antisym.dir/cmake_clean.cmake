@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_antisym.dir/test_antisym.cpp.o"
+  "CMakeFiles/test_antisym.dir/test_antisym.cpp.o.d"
+  "test_antisym"
+  "test_antisym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_antisym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

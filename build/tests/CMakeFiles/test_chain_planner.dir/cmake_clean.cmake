@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chain_planner.dir/test_chain_planner.cpp.o"
+  "CMakeFiles/test_chain_planner.dir/test_chain_planner.cpp.o.d"
+  "test_chain_planner"
+  "test_chain_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chain_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chem.dir/test_chem.cpp.o"
+  "CMakeFiles/test_chem.dir/test_chem.cpp.o.d"
+  "test_chem"
+  "test_chem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

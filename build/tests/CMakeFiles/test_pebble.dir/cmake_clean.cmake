@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pebble.dir/test_pebble.cpp.o"
+  "CMakeFiles/test_pebble.dir/test_pebble.cpp.o.d"
+  "test_pebble"
+  "test_pebble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pebble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_ga.dir/test_runtime_ga.cpp.o"
+  "CMakeFiles/test_runtime_ga.dir/test_runtime_ga.cpp.o.d"
+  "test_runtime_ga"
+  "test_runtime_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

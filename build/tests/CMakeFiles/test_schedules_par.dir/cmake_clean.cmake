@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedules_par.dir/test_schedules_par.cpp.o"
+  "CMakeFiles/test_schedules_par.dir/test_schedules_par.cpp.o.d"
+  "test_schedules_par"
+  "test_schedules_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedules_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

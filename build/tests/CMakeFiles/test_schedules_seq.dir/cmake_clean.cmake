@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedules_seq.dir/test_schedules_seq.cpp.o"
+  "CMakeFiles/test_schedules_seq.dir/test_schedules_seq.cpp.o.d"
+  "test_schedules_seq"
+  "test_schedules_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedules_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
