@@ -10,12 +10,14 @@
 #include "chem/molecule.hpp"
 #include "core/problem.hpp"
 #include "core/schedules_par.hpp"
+#include "obs/bench_json.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/machine.hpp"
 #include "util/format.hpp"
 
 int main() {
   using namespace fit;
+  obs::BenchReport report("bench_ablation_alpha_parallel");
   auto p = core::make_problem(chem::custom_molecule("alpha", 64, 8, 21));
 
   runtime::MachineConfig m;
@@ -49,8 +51,13 @@ int main() {
                human_bytes(bytes), fmt_fixed(bytes / base_bytes, 2) + "x",
                fmt_fixed(r.stats.worst_imbalance, 2),
                fmt_fixed(r.stats.sim_time, 4)});
+    report.add_scalar("ac" + std::to_string(ac) + ".sim_time_s",
+                      r.stats.sim_time);
+    report.add_scalar("ac" + std::to_string(ac) + ".traffic_factor",
+                      bytes / base_bytes);
   }
   t.print("Sec 7.3 — alpha parallelization sweep (n = 64, 64 ranks)");
+  report.add_table("Sec 7.3 — alpha parallelization sweep", t);
   std::cout << "(more chunks -> more parallelism and lower time up to a "
                "point, at the cost of replicated A traffic; the "
                "triangular distribution keeps imbalance > 1)\n\n";
@@ -70,12 +77,18 @@ int main() {
     o.gather_result = false;
     runtime::Cluster cl(m, runtime::ExecutionMode::Simulate);
     auto r = core::fused_inner_par_transform(p, cl, o);
-    t2.add_row({mode == core::ParOptions::AlphaChunking::Contiguous
-                    ? "contiguous"
-                    : "balanced",
-                "4", fmt_fixed(r.stats.worst_imbalance, 2),
+    const bool contiguous =
+        mode == core::ParOptions::AlphaChunking::Contiguous;
+    t2.add_row({contiguous ? "contiguous" : "balanced", "4",
+                fmt_fixed(r.stats.worst_imbalance, 2),
                 fmt_fixed(r.stats.sim_time, 4)});
+    report.add_scalar(std::string(contiguous ? "contiguous" : "balanced") +
+                          ".worst_imbalance",
+                      r.stats.worst_imbalance);
   }
   t2.print("Sec 7.3 — alpha chunking strategy (load balancing)");
+  report.add_table("Sec 7.3 — alpha chunking strategy", t2);
+  const std::string written = report.write();
+  if (!written.empty()) std::cout << "bench JSON: " << written << "\n";
   return 0;
 }

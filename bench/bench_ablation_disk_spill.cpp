@@ -17,12 +17,14 @@
 #include "chem/molecule.hpp"
 #include "core/problem.hpp"
 #include "core/schedules_par.hpp"
+#include "obs/bench_json.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/machine.hpp"
 #include "util/format.hpp"
 
 int main() {
   using namespace fit;
+  obs::BenchReport report("bench_ablation_disk_spill");
   auto p = core::make_problem(chem::paper_molecule("Shell-Mixed"));
   auto machine = runtime::system_b(18);  // 2.10 GB aggregate (scaled)
   // Parallel file system: ~2 GB/s collective at paper scale is
@@ -47,6 +49,10 @@ int main() {
                human_bytes(r.stats.peak_global_bytes),
                cl.disk_peak() > 0 ? "yes (" +
                    human_bytes(cl.disk_peak()) + " on disk)" : "no"});
+    report.add_scalar("unfused.sim_time_s", r.stats.sim_time);
+    report.add_scalar("unfused.disk_bytes",
+                      double(cl.totals().disk_bytes));
+    report.add_metrics("unfused", cl.metrics());
   }
   {
     runtime::Cluster cl(machine, runtime::ExecutionMode::Simulate);
@@ -56,9 +62,16 @@ int main() {
                human_bytes(r.stats.remote_bytes),
                human_bytes(r.stats.peak_global_bytes),
                cl.disk_peak() > 0 ? "yes" : "no"});
+    report.add_scalar("fused_inner.sim_time_s", r.stats.sim_time);
+    report.add_scalar("fused_inner.disk_bytes",
+                      double(cl.totals().disk_bytes));
+    report.add_metrics("fused_inner", cl.metrics());
   }
   t.print("Sec 3 — cost of spilling vs fusing, Shell-Mixed on System B "
           "(504 cores)");
+  report.add_table("Sec 3 — cost of spilling vs fusing", t);
+  const std::string written = report.write();
+  if (!written.empty()) std::cout << "bench JSON: " << written << "\n";
   std::cout << "(the fused schedule is the only way to stay entirely in "
                "memory: Theorem 6.2's S >= |C| bound is satisfiable, the "
                "unfused schedule's ~3n^4/4 requirement is not)\n";

@@ -11,12 +11,14 @@
 #include "chem/molecule.hpp"
 #include "core/problem.hpp"
 #include "core/schedules_par.hpp"
+#include "obs/bench_json.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/machine.hpp"
 #include "util/format.hpp"
 
 int main() {
   using namespace fit;
+  obs::BenchReport report("bench_ablation_hybrid_switch");
   auto p = core::make_problem(chem::custom_molecule("hyb", 64, 8, 3));
   const auto sz = p.sizes();
   const double footprint = 8.0 * double(sz.unfused_peak() + sz.c);
@@ -40,6 +42,7 @@ int main() {
     o.tile_l = 4;
     o.gather_result = false;
     runtime::Cluster cl(m, runtime::ExecutionMode::Simulate);
+    const std::string key = "f" + fmt_fixed(f, 2);
     try {
       auto r = core::hybrid_transform(p, cl, o);
       t.add_row({fmt_fixed(f, 2),
@@ -47,13 +50,20 @@ int main() {
                  r.stats.schedule, fmt_fixed(r.stats.sim_time, 4),
                  human_bytes(r.stats.peak_global_bytes),
                  human_bytes(r.stats.remote_bytes)});
+      report.add_scalar(key + ".sim_time_s", r.stats.sim_time);
+      report.add_note(key + " chose " + r.stats.schedule);
     } catch (const fit::OutOfMemoryError&) {
       t.add_row({fmt_fixed(f, 2),
                  human_bytes(m.aggregate_memory_bytes()), "Failed", "-",
                  "-", "-"});
+      report.add_note(key + " Failed (out of memory)");
     }
   }
   t.print("Sec 7.4 — hybrid decision boundary (n = 64, s = 8, "
           "unfused footprint " + human_bytes(footprint) + ")");
+  report.add_table("Sec 7.4 — hybrid decision boundary", t);
+  report.add_scalar("unfused_footprint_bytes", footprint);
+  const std::string written = report.write();
+  if (!written.empty()) std::cout << "bench JSON: " << written << "\n";
   return 0;
 }

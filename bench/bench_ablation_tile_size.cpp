@@ -13,6 +13,7 @@
 #include "chem/molecule.hpp"
 #include "core/problem.hpp"
 #include "core/schedules_par.hpp"
+#include "obs/bench_json.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/machine.hpp"
 #include "tensor/packed.hpp"
@@ -20,6 +21,7 @@
 
 int main() {
   using namespace fit;
+  obs::BenchReport report("bench_ablation_tile_size");
   auto p = core::make_problem(chem::custom_molecule("tiles", 64, 8, 13));
   const auto sz = p.sizes();
 
@@ -48,9 +50,17 @@ int main() {
                fmt_fixed(pad, 2) + "x",
                fmt_fixed(r.stats.worst_imbalance, 2),
                fmt_fixed(r.stats.sim_time, 4)});
+    const std::string key = "tile" + std::to_string(tile);
+    report.add_scalar(key + ".sim_time_s", r.stats.sim_time);
+    report.add_scalar(key + ".remote_messages",
+                      double(cl.totals().remote_messages));
+    report.add_scalar(key + ".c_padding", pad);
   }
   t.print("tile-width sweep — fused-inner schedule (n = 64, s = 8, "
           "32 ranks)");
+  report.add_table("tile-width sweep — fused-inner schedule", t);
+  const std::string written = report.write();
+  if (!written.empty()) std::cout << "bench JSON: " << written << "\n";
   std::cout << "(|C| exact packed = " << human_bytes(8.0 * double(sz.c))
             << "; the sweet spot balances message count against padding "
                "and load balance — the search space the paper's "

@@ -8,12 +8,14 @@
 #include "chem/molecule.hpp"
 #include "core/problem.hpp"
 #include "core/schedules_par.hpp"
+#include "obs/bench_json.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/machine.hpp"
 #include "util/format.hpp"
 
 int main() {
   using namespace fit;
+  obs::BenchReport report("bench_eq7_eq8_memory");
   const std::size_t n = 64;
   const unsigned s = 8;
   auto p = core::make_problem(chem::custom_molecule("eq78", n, s, 11));
@@ -46,9 +48,18 @@ int main() {
                human_bytes(eq8),
                human_bytes(ri.stats.peak_global_bytes),
                fmt_fixed(ri.stats.peak_global_bytes / eq8, 2)});
+    report.add_scalar("tl" + std::to_string(tl) + ".fused_over_eq7",
+                      rf.stats.peak_global_bytes / eq7);
+    report.add_scalar("tl" + std::to_string(tl) + ".inner_over_eq8",
+                      ri.stats.peak_global_bytes / eq8);
+    if (tl == 4) report.add_metrics("tl4.inner", ci.metrics());
   }
   t.print("Eq. 7 / Eq. 8 — global memory vs fused tile width Tl (n = " +
           std::to_string(n) + ", s = " + std::to_string(s) + ")");
+  report.add_table("Eq. 7 / Eq. 8 — global memory vs fused tile width",
+                   t);
+  const std::string written = report.write();
+  if (!written.empty()) std::cout << "bench JSON: " << written << "\n";
   std::cout <<
       "\nNote: the measured Listing-8 peak exceeds Eq. 7 because the\n"
       "unpacked O1 slice (n^3*Tl) is live together with the A slice —\n"

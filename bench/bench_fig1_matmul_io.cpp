@@ -10,11 +10,13 @@
 #include <iostream>
 
 #include "bounds/matmul_bounds.hpp"
+#include "obs/bench_json.hpp"
 #include "trace/kernels.hpp"
 #include "util/format.hpp"
 
 int main() {
   using namespace fit;
+  obs::BenchReport report("bench_fig1_matmul_io");
   const std::size_t n = 96;
   const double n3 = double(n) * n * n;
 
@@ -33,8 +35,14 @@ int main() {
                human_count(double(v.io())),
                fmt_fixed(double(v.io()) / tiled_ref, 2),
                human_count(lb), fmt_fixed(double(v.io()) / lb, 2)});
+    report.add_scalar("S" + std::to_string(s) + ".untiled_over_n3",
+                      double(u.io()) / n3);
+    report.add_scalar("S" + std::to_string(s) + ".tiled_over_lb",
+                      double(v.io()) / lb);
   }
   t.print("Figure 1 / Sec 2.3 — matmul I/O, N = " + std::to_string(n));
+  report.add_table("Figure 1 / Sec 2.3 — matmul I/O, N = " +
+                       std::to_string(n), t);
 
   std::cout << "\nListing 5 check: one tensor contraction attains "
                "|A|+|B|+|C| exactly once S >= na*ni + ni + 1:\n";
@@ -50,7 +58,13 @@ int main() {
     l5.add_row({std::to_string(d), std::to_string(nm), std::to_string(s),
                 human_count(double(r.io())), human_count(bound),
                 fmt_fixed(double(r.io()) / bound, 3)});
+    report.add_scalar("listing5.d" + std::to_string(d) + ".io_over_bound",
+                      double(r.io()) / bound);
   }
   l5.print("");
+  report.add_table("Listing 5 — single contraction attains |A|+|B|+|C|",
+                   l5);
+  const std::string written = report.write();
+  if (!written.empty()) std::cout << "bench JSON: " << written << "\n";
   return 0;
 }

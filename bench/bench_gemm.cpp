@@ -3,9 +3,11 @@
 // contraction of the four-index transform reduces to (Sec. 5.1).
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "blas/gemm.hpp"
+#include "obs/bench_json.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -68,6 +70,44 @@ void BM_GemmReferenceSquare(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmReferenceSquare)->Arg(64)->Arg(128)->Arg(256);
 
+// Console output as usual, plus every run captured into the shared
+// fourindex.bench/1 JSON document (scalars <name>.seconds_per_iter and
+// <name>.items_per_second) so CI archives this bench like the others.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(fit::obs::BenchReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      if (run.iterations > 0)
+        report_->add_scalar(name + ".seconds_per_iter",
+                            run.real_accumulated_time /
+                                static_cast<double>(run.iterations));
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end())
+        report_->add_scalar(name + ".items_per_second", it->second);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  fit::obs::BenchReport* report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  fit::obs::BenchReport report("bench_gemm");
+  report.add_note("flops = items processed; items_per_second is the "
+                  "DGEMM flop rate");
+  JsonTeeReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  report.write();
+  return 0;
+}

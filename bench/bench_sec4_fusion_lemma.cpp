@@ -12,10 +12,14 @@
 // IO(C12) >= IO(C1) + IO(C2) - 2|O1| and showing how close fused
 // optima come to the bound.
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
+#include <string_view>
+#include <vector>
 
 #include "bounds/fusion_lemma.hpp"
 #include "bounds/matmul_bounds.hpp"
+#include "obs/bench_json.hpp"
 #include "pebble/cdag.hpp"
 #include "pebble/pebble_game.hpp"
 #include "util/format.hpp"
@@ -23,12 +27,22 @@
 
 namespace {
 
-void analytic_part() {
+bool smoke_mode() {
+  const char* e = std::getenv("FOURINDEX_BENCH_SMOKE");
+  return e && *e && std::string_view(e) != "0";
+}
+
+void analytic_part(fit::obs::BenchReport& report) {
   using namespace fit;
   TextTable t({"chain", "N", "K", "S", "unfused I/O", "fused LB",
                "max gain", "gain frac", "useful?"});
   const double s = 4096;
-  for (double n : {512.0, 2048.0, 8192.0}) {
+  const std::vector<double> ns = smoke_mode()
+                                     ? std::vector<double>{512.0, 2048.0}
+                                     : std::vector<double>{512.0, 2048.0,
+                                                           8192.0};
+  double square_gain_frac = 0, rect_gain_frac = 0;
+  for (double n : ns) {
     {
       // Square chain.
       const double lb = bounds::matmul_lb_dongarra(n, n, n, s);
@@ -41,6 +55,7 @@ void analytic_part() {
                      bounds::fused_pair_lower_bound(st, st, n * n)),
                  human_count(gain), fmt_fixed(gain / unfused, 3),
                  bounds::fusion_is_useful(st, st, n * n) ? "yes" : "no"});
+      square_gain_frac = gain / unfused;
     }
     {
       // Rectangular chain, K << N.
@@ -55,20 +70,26 @@ void analytic_part() {
                      bounds::fused_pair_lower_bound(st, st, n * n)),
                  human_count(gain), fmt_fixed(gain / unfused, 3),
                  bounds::fusion_is_useful(st, st, n * n) ? "yes" : "no"});
+      rect_gain_frac = gain / unfused;
     }
   }
   t.print("Sec 4 — Fusion Lemma on chained matrix products");
   std::cout << "(square chains cap out near 0.27; rectangular chains "
                "approach 1.0 — fusion removes almost all I/O)\n\n";
+  report.add_table("Sec 4 — Fusion Lemma on chained matrix products", t);
+  report.add_scalar("square.gain_frac", square_gain_frac);
+  report.add_scalar("rect.gain_frac", rect_gain_frac);
 }
 
-void pebble_part() {
+void pebble_part(fit::obs::BenchReport& report) {
   using namespace fit;
   using namespace fit::pebble;
   TextTable t({"seed", "S", "IO(C1)", "IO(C2)", "|O1|", "lemma RHS",
                "IO(C12)", "slack"});
+  const int target_rows = smoke_mode() ? 4 : 10;
+  long min_slack = -1;
   int rows = 0;
-  for (std::uint64_t seed = 1; rows < 10 && seed < 60; ++seed) {
+  for (std::uint64_t seed = 1; rows < target_rows && seed < 60; ++seed) {
     SplitMix64 rng(seed * 77);
     // Producer: 3 inputs, 2 outputs each reading a random input pair.
     Cdag prod(5);
@@ -93,22 +114,33 @@ void pebble_part() {
       auto io12 = min_io(fused.graph, s);
       if (!io1 || !io2 || !io12) continue;
       const long rhs = static_cast<long>(io1->min_io) + io2->min_io - 4;
+      const long slack = static_cast<long>(io12->min_io) - rhs;
       t.add_row({std::to_string(seed), std::to_string(s),
                  std::to_string(io1->min_io), std::to_string(io2->min_io),
                  "2", std::to_string(rhs), std::to_string(io12->min_io),
-                 std::to_string(static_cast<long>(io12->min_io) - rhs)});
+                 std::to_string(slack)});
+      if (min_slack < 0 || slack < min_slack) min_slack = slack;
       ++rows;
-      if (rows >= 10) break;
+      if (rows >= target_rows) break;
     }
   }
   t.print("Sec 4 / Appendix A — exact pebble-game optima vs. the lemma");
   std::cout << "(slack >= 0 always: the lemma is a valid lower bound)\n";
+  report.add_table(
+      "Sec 4 / Appendix A — exact pebble-game optima vs. the lemma", t);
+  report.add_scalar("pebble.min_slack", double(min_slack));
+  report.add_scalar("pebble.rows", double(rows));
 }
 
 }  // namespace
 
 int main() {
-  analytic_part();
-  pebble_part();
+  fit::obs::BenchReport report("bench_sec4_fusion_lemma");
+  if (smoke_mode())
+    report.add_note("smoke mode: reduced n sweep and pebble row count");
+  analytic_part(report);
+  pebble_part(report);
+  const std::string written = report.write();
+  if (!written.empty()) std::cout << "bench JSON: " << written << "\n";
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include "bounds/transform_bounds.hpp"
 #include "core/planner.hpp"
+#include "obs/bench_json.hpp"
 #include "tensor/packed.hpp"
 #include "trace/kernels.hpp"
 #include "util/format.hpp"
@@ -14,6 +15,8 @@
 int main() {
   using namespace fit;
   using bounds::FusionChoice;
+  obs::BenchReport report("bench_sec5_fusion_choices");
+  bool order_holds_everywhere = true;
 
   // ---- IO_opt per fusion choice (Theorem 5.2 total order) ----------
   for (double s : {1.0, 8.0}) {
@@ -26,6 +29,7 @@ int main() {
       const double f123 = bounds::io_opt(FusionChoice::Fused123_4, n, s);
       const double f23 = bounds::io_opt(FusionChoice::Fused1_23_4, n, s);
       const bool order = f1234 <= f12 && f12 < f123 && f123 <= unf;
+      order_holds_everywhere = order_holds_everywhere && order;
       t.add_row({fmt_fixed(n, 0), human_count(unf), human_count(f23),
                  human_count(f123), human_count(f12), human_count(f1234),
                  order ? "yes" : "NO"});
@@ -33,7 +37,11 @@ int main() {
     t.print("Sec 5.3 — IO_opt per fusion configuration, s = " +
             fmt_fixed(s, 0));
     std::cout << "\n";
+    report.add_table("Sec 5.3 — IO_opt per fusion configuration, s = " +
+                         fmt_fixed(s, 0), t);
   }
+  report.add_scalar("theorem52.order_holds",
+                    order_holds_everywhere ? 1.0 : 0.0);
 
   // ---- Theorem 5.1 threshold ----------------------------------------
   TextTable th({"n", "S = 3n^2+n+1", "S = n^2+n+1 (single contraction)"});
@@ -43,6 +51,7 @@ int main() {
                 human_count(bounds::single_contraction_min_fast_memory(n))});
   th.print("Theorem 5.1 — fast-memory thresholds");
   std::cout << "\n";
+  report.add_table("Theorem 5.1 — fast-memory thresholds", th);
 
   // ---- Measured: LRU traces of the packed schedules meet the bounds -
   TextTable m({"n", "schedule", "measured I/O", "analytic bound",
@@ -58,6 +67,8 @@ int main() {
       m.add_row({std::to_string(n), "op1/2/3/4",
                  human_count(double(r.io())), human_count(bound),
                  fmt_fixed(double(r.io()) / bound, 3)});
+      report.add_scalar("n" + std::to_string(n) + ".unfused_io_over_bound",
+                        double(r.io()) / bound);
     }
     {
       auto r = trace::trace_fused12_34_schedule(n, s);
@@ -65,13 +76,23 @@ int main() {
           double(sz.a + 2 * sz.o2 + sz.c) + 4.0 * n * n;
       m.add_row({std::to_string(n), "op12/34", human_count(double(r.io())),
                  human_count(bound), fmt_fixed(double(r.io()) / bound, 3)});
+      report.add_scalar("n" + std::to_string(n) + ".fused12_io_over_bound",
+                        double(r.io()) / bound);
     }
   }
   m.print("Sec 5 — measured LRU-trace I/O vs analytic tight bounds");
   std::cout << "\n";
+  report.add_table("Sec 5 — measured LRU-trace I/O vs analytic bounds", m);
 
   // ---- The planner's pruning in action ------------------------------
-  std::cout << core::to_string(core::plan_fusion(368, 8, 6e5)) << "\n";
-  std::cout << core::to_string(core::plan_fusion(368, 8, 4.6e9)) << "\n";
+  const std::string plan_small = core::to_string(core::plan_fusion(
+      368, 8, 6e5));
+  const std::string plan_large = core::to_string(core::plan_fusion(
+      368, 8, 4.6e9));
+  std::cout << plan_small << "\n" << plan_large << "\n";
+  report.add_note(plan_small);
+  report.add_note(plan_large);
+  const std::string written = report.write();
+  if (!written.empty()) std::cout << "bench JSON: " << written << "\n";
   return 0;
 }

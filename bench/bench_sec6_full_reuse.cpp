@@ -7,12 +7,14 @@
 #include <iostream>
 
 #include "bounds/transform_bounds.hpp"
+#include "obs/bench_json.hpp"
 #include "tensor/packed.hpp"
 #include "trace/kernels.hpp"
 #include "util/format.hpp"
 
 int main() {
   using namespace fit;
+  obs::BenchReport report("bench_sec6_full_reuse");
   for (std::size_t n : {10u, 14u}) {
     const auto sz = tensor::packed_sizes(n, tensor::Irreps::trivial(n));
     const std::size_t n3 = n * n * n;
@@ -32,10 +34,16 @@ int main() {
                  fmt_fixed(double(otf.io()) / bound_otf, 2),
                  human_count(double(mem.io())),
                  fmt_fixed(double(mem.io()) / bound_mem, 2)});
+      if (f == 0.25 || f == 1.5)
+        report.add_scalar("n" + std::to_string(n) + ".f" + fmt_fixed(f, 2) +
+                              ".otf_io_over_bound",
+                          double(otf.io()) / bound_otf);
     }
     t.print("Sec 6 — op1234 I/O vs fast-memory size, n = " +
             std::to_string(n) + " (|C| = " + human_count(double(sz.c)) +
             ")");
+    report.add_table("Sec 6 — op1234 I/O vs fast-memory size, n = " +
+                         std::to_string(n), t);
     std::cout << "(ratio 1.00 at S >= |C| + working set; blow-up below "
                  "|C| — Theorem 6.2's necessary condition)\n\n";
   }
@@ -50,9 +58,15 @@ int main() {
     t.add_row({human_bytes(gb * 1e9), std::to_string(nu),
                std::to_string(nf),
                fmt_fixed(double(nf) / double(nu), 2) + "x"});
+    report.add_scalar("gb" + fmt_fixed(gb, 0) + ".capability_gain",
+                      double(nf) / double(nu));
   }
   t.print("Sec 7.1 — largest in-memory transform per aggregate memory");
   std::cout << "(the paper's 12.1 TB Shell-Mixed example runs within "
                "9.2 TB because max-n(fused) >> max-n(unfused))\n";
+  report.add_table("Sec 7.1 — largest in-memory transform per aggregate "
+                   "memory", t);
+  const std::string written = report.write();
+  if (!written.empty()) std::cout << "bench JSON: " << written << "\n";
   return 0;
 }

@@ -4,18 +4,33 @@
 // For each n we print the *measured* packed storage of our tensor
 // classes next to the paper's formulas (n^4/4, n^4/2, n^4/4, n^4/2,
 // n^4/(4s)); the ratio columns should approach 1 as n grows.
+#include <cstdlib>
 #include <iostream>
+#include <vector>
 
+#include "obs/bench_json.hpp"
 #include "tensor/irreps.hpp"
 #include "tensor/packed.hpp"
 #include "util/format.hpp"
 
 int main() {
   using namespace fit;
+  obs::BenchReport report("bench_table1_sizes");
+
+  // FOURINDEX_BENCH_SMOKE=1 (CI): drop the large-n rows so the bench
+  // finishes in seconds while still exercising the full output path.
+  const char* smoke_env = std::getenv("FOURINDEX_BENCH_SMOKE");
+  const bool smoke = smoke_env && *smoke_env &&
+                     std::string_view(smoke_env) != "0";
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{16, 32, 64}
+            : std::vector<std::size_t>{16, 32, 64, 128, 256};
+  if (smoke) report.add_note("smoke mode: n capped at 64");
+
   for (unsigned s : {1u, 8u}) {
     TextTable t({"n", "|A|", "A/(n^4/4)", "|O1|", "O1/(n^4/2)", "|O2|",
                  "O2/(n^4/4)", "|O3|", "O3/(n^4/2)", "|C|", "C/(n^4/4s)"});
-    for (std::size_t n : {16u, 32u, 64u, 128u, 256u}) {
+    for (std::size_t n : sizes) {
       auto ir = tensor::Irreps::contiguous(n, s);
       auto sz = tensor::packed_sizes(n, ir);
       const double n4 = double(n) * n * n * n;
@@ -33,6 +48,17 @@ int main() {
     t.print("Table 1 — packed tensor sizes, spatial group order s = " +
             std::to_string(s));
     std::cout << "\n";
+    report.add_table("Table 1 — packed tensor sizes, s = " +
+                         std::to_string(s), t);
+
+    // Convergence scalars at the largest n: should approach 1.
+    const std::size_t n = sizes.back();
+    const auto sz = tensor::packed_sizes(n, tensor::Irreps::contiguous(n, s));
+    const double n4 = double(n) * n * n * n;
+    report.add_scalar("s" + std::to_string(s) + ".a_ratio",
+                      double(sz.a) / (n4 / 4));
+    report.add_scalar("s" + std::to_string(s) + ".c_ratio",
+                      double(sz.c) / (n4 / (4 * s)));
   }
 
   // The paper's Sec. 8 memory figures: minimum aggregate memory of the
@@ -50,5 +76,8 @@ int main() {
                human_bytes(0.75 * n4 * 8)});
   }
   t.print("Sec. 8 aggregate-memory requirements (validates the formula)");
+  report.add_table("Sec. 8 aggregate-memory requirements", t);
+  const std::string written = report.write();
+  if (!written.empty()) std::cout << "bench JSON: " << written << "\n";
   return 0;
 }

@@ -13,6 +13,8 @@
 // where the Failed boundaries fall.
 #pragma once
 
+#include <cctype>
+#include <cstdlib>
 #include <exception>
 #include <iostream>
 #include <string>
@@ -22,11 +24,24 @@
 #include "core/problem.hpp"
 #include "core/schedules_baseline.hpp"
 #include "core/schedules_par.hpp"
+#include "obs/bench_json.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/machine.hpp"
 #include "util/format.hpp"
 
 namespace fig2 {
+
+/// Lower-cased alphanumerics only: "Shell-Mixed" -> "shellmixed".
+/// Used to derive the bench binary's name from the molecule so every
+/// panel emits <binary>.bench.json without each main repeating it.
+inline std::string slug(const std::string& s) {
+  std::string out;
+  for (char c : s)
+    if (std::isalnum(static_cast<unsigned char>(c)))
+      out.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+  return out;
+}
 
 struct Config {
   fit::runtime::MachineConfig machine;
@@ -63,6 +78,9 @@ inline void run_panel(const std::string& panel, const std::string& molecule,
   auto mol = fit::chem::paper_molecule(molecule);
   auto p = fit::core::make_problem(mol);
 
+  const std::string bench_name = "bench_fig2" + panel + "_" + slug(molecule);
+  fit::obs::BenchReport report(bench_name);
+
   std::cout << "Reproducing Figure 2" << panel << ": " << molecule
             << " (paper: " << mol.paper_n_orbitals << " orbitals, scaled: "
             << mol.n_orbitals << "; cluster memories scaled 1/4096)\n";
@@ -70,6 +88,15 @@ inline void run_panel(const std::string& panel, const std::string& molecule,
   std::cout << "unfused footprint (|O1|+|O2|+...): "
             << fit::human_bytes(8.0 * double(sz.unfused_peak() + sz.c))
             << ", |C|: " << fit::human_bytes(8.0 * double(sz.c)) << "\n\n";
+  report.add_note("molecule " + molecule + ": paper " +
+                  std::to_string(mol.paper_n_orbitals) + " orbitals, scaled " +
+                  std::to_string(mol.n_orbitals) +
+                  "; cluster memories scaled 1/4096");
+  report.add_scalar("n_orbitals", double(mol.n_orbitals));
+  report.add_scalar("unfused_footprint_bytes",
+                    8.0 * double(sz.unfused_peak() + sz.c));
+
+  const char* trace_dir = std::getenv("FOURINDEX_TRACE_DIR");
 
   fit::TextTable t({"system", "cores", "aggregate mem", "hybrid (s)",
                     "hybrid schedule", "NWChem best (s)", "best variant",
@@ -80,16 +107,27 @@ inline void run_panel(const std::string& panel, const std::string& molecule,
     o.tile_l = 4;
     o.gather_result = false;
 
+    const std::string key = cfg.machine.name + "." +
+                            std::to_string(cfg.cores);
     Outcome hybrid;
     std::string hybrid_sched = "-";
-    try {
+    {
       fit::runtime::Cluster cl(cfg.machine,
                                fit::runtime::ExecutionMode::Simulate);
-      auto r = fit::core::hybrid_transform(p, cl, o);
-      hybrid.ran = true;
-      hybrid.time = r.stats.sim_time;
-      hybrid_sched = r.stats.schedule;
-    } catch (const fit::OutOfMemoryError&) {
+      try {
+        auto r = fit::core::hybrid_transform(p, cl, o);
+        hybrid.ran = true;
+        hybrid.time = r.stats.sim_time;
+        hybrid_sched = r.stats.schedule;
+      } catch (const fit::OutOfMemoryError&) {
+      }
+      report.add_metrics(key, cl.metrics());
+      if (trace_dir && *trace_dir) {
+        const std::string path = std::string(trace_dir) + "/" + bench_name +
+                                 "_" + slug(key) + ".trace.json";
+        if (cl.write_chrome_trace(path))
+          std::cout << "phase timeline: " << path << "\n";
+      }
     }
 
     // NWChem's default memory model splits process memory into heap/
@@ -119,9 +157,18 @@ inline void run_panel(const std::string& panel, const std::string& molecule,
          (hybrid.ran && best.ran)
              ? fit::fmt_fixed(best.time / hybrid.time, 2) + "x"
              : (hybrid.ran ? "runs where NWChem fails" : "-")});
+
+    if (hybrid.ran) report.add_scalar(key + ".hybrid_s", hybrid.time);
+    if (best.ran) report.add_scalar(key + ".nwchem_best_s", best.time);
+    if (hybrid.ran && best.ran)
+      report.add_scalar(key + ".speedup", best.time / hybrid.time);
   }
   t.print("Figure 2" + panel + " — " + molecule);
   std::cout << std::endl;
+
+  report.add_table("Figure 2" + panel + " — " + molecule, t);
+  const std::string written = report.write();
+  if (!written.empty()) std::cout << "bench JSON: " << written << "\n";
 }
 
 }  // namespace fig2

@@ -10,6 +10,7 @@
 #include "chem/mp2.hpp"
 #include "core/problem.hpp"
 #include "core/schedules_seq.hpp"
+#include "obs/metrics.hpp"
 #include "util/format.hpp"
 
 int main(int argc, char** argv) {
@@ -60,5 +61,14 @@ int main(int argc, char** argv) {
   auto eps = chem::synthetic_orbital_energies(mol.n_orbitals, mol.n_occupied);
   const double e2 = chem::mp2_energy(c_fused, mol.n_occupied, eps);
   std::cout << "MP2-style correlation energy: " << fmt_fixed(e2, 6) << "\n";
+
+  // The observability registry the runtime layers share, fed here from
+  // the sequential stats; dump it as JSON (the same form the bench
+  // documents embed).
+  obs::MetricsRegistry registry(1);
+  unfused_stats.publish(registry, "unfused");
+  fused_stats.publish(registry, "fused1234");
+  std::cout << "\nmetrics registry snapshot:\n"
+            << registry.to_json(false).dump(2) << "\n";
   return diff < 1e-8 ? 0 : 1;
 }

@@ -308,16 +308,25 @@ ParResult finish(Par& par, const char* name,
                  double sim_before) {
   ParResult r;
   r.stats.schedule = name;
+  // The cluster's metrics registry is the source of truth; totals()
+  // is its aggregate view, so these fields are registry-backed.
+  const auto after = par.cl.totals();
   r.stats.sim_time = par.cl.sim_time() - sim_before;
-  r.stats.flops = par.cl.totals().flops - before.flops;
-  r.stats.integral_evals =
-      par.cl.totals().integral_evals - before.integral_evals;
-  r.stats.remote_bytes = par.cl.totals().remote_bytes - before.remote_bytes;
-  r.stats.local_bytes = par.cl.totals().local_bytes - before.local_bytes;
+  r.stats.flops = after.flops - before.flops;
+  r.stats.integral_evals = after.integral_evals - before.integral_evals;
+  r.stats.remote_bytes = after.remote_bytes - before.remote_bytes;
+  r.stats.local_bytes = after.local_bytes - before.local_bytes;
   r.stats.peak_global_bytes = par.cl.global_peak();
   r.stats.worst_imbalance = par.cl.worst_imbalance();
   r.stats.n_phases = par.cl.phases().size();
   r.stats.wall_seconds = timer.seconds();
+  // Schedule-level registry entries: which schedule ran on this
+  // cluster, how often, and the modeled time it contributed.
+  auto& reg = par.cl.metrics();
+  const std::string prefix = std::string("schedule.") + name;
+  reg.add(reg.counter(prefix + ".runs"), 0, 1);
+  reg.add(reg.counter(prefix + ".sim_time_s"), 0, r.stats.sim_time);
+  reg.add(reg.counter(prefix + ".host_wall_s"), 0, r.stats.wall_seconds);
   if (par.cl.mode() == runtime::ExecutionMode::Real &&
       par.opt.gather_result && c_ga)
     r.c = gather_c(par, *c_ga);

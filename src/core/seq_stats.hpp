@@ -7,6 +7,9 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
 
 namespace fit::core {
 
@@ -15,6 +18,21 @@ struct SeqStats {
   std::uint64_t integral_evals = 0; // ComputeA calls
   std::size_t peak_words = 0;       // max simultaneously live tensor words
   double wall_seconds = 0;
+
+  /// Register these counters under "<prefix>.flops" / ".integral_evals"
+  /// (counters, rank 0) and "<prefix>.peak_words" / ".wall_seconds"
+  /// (gauges) — the sequential schedules' view into the shared
+  /// observability registry.
+  void publish(obs::MetricsRegistry& registry,
+               const std::string& prefix) const {
+    registry.add(registry.counter(prefix + ".flops"), 0, flops);
+    registry.add(registry.counter(prefix + ".integral_evals"), 0,
+                 static_cast<double>(integral_evals));
+    registry.set(registry.gauge(prefix + ".peak_words"), 0,
+                 static_cast<double>(peak_words));
+    registry.set(registry.gauge(prefix + ".wall_seconds"), 0,
+                 wall_seconds);
+  }
 };
 
 /// Tracks current/peak live tensor words. Schedules charge/release

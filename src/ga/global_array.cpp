@@ -75,11 +75,18 @@ GlobalArray::GlobalArray(runtime::Cluster& cluster, std::string name,
       }
     }
   } catch (...) {
+    if (charged < tiles_.size())
+      cluster_.note_instant("oom: GA '" + name_ + "'",
+                            tiles_[charged].info.owner);
     for (std::size_t i = 0; i < charged; ++i)
       cluster_.memory(tiles_[i].info.owner)
           .release(8.0 * double(tiles_[i].info.elements));
     throw;
   }
+  if (n_spilled_ > 0)
+    cluster_.note_instant("spill: GA '" + name_ + "' (" +
+                              std::to_string(n_spilled_) + " tiles)",
+                          0);
   if (cluster_.mode() == runtime::ExecutionMode::Real)
     for (auto& t : tiles_) t.data.assign(t.info.elements, 0.0);
   cluster_.note_global_usage();
@@ -155,6 +162,7 @@ const GlobalArray::Tile& GlobalArray::tile_at(
 void GlobalArray::get(RankCtx& ctx, std::span<const std::size_t> coord,
                       double* buf) const {
   FIT_REQUIRE(!destroyed_, name_ << ": get after destroy");
+  ctx.count_ga_get();
   const Tile& t = tile_at(coord);
   FIT_CHECK(t.write_epoch.load(std::memory_order_acquire) <
                 cluster_.epoch(),
@@ -173,6 +181,7 @@ void GlobalArray::get(RankCtx& ctx, std::span<const std::size_t> coord,
 void GlobalArray::put(RankCtx& ctx, std::span<const std::size_t> coord,
                       const double* buf) {
   FIT_REQUIRE(!destroyed_, name_ << ": put after destroy");
+  ctx.count_ga_put();
   Tile& t = tile_at(coord);
   if (t.spilled)
     ctx.charge_disk(8.0 * double(t.info.elements));
@@ -188,6 +197,7 @@ void GlobalArray::put(RankCtx& ctx, std::span<const std::size_t> coord,
 void GlobalArray::acc(RankCtx& ctx, std::span<const std::size_t> coord,
                       const double* buf) {
   FIT_REQUIRE(!destroyed_, name_ << ": acc after destroy");
+  ctx.count_ga_acc();
   Tile& t = tile_at(coord);
   if (t.spilled)
     ctx.charge_disk(8.0 * double(t.info.elements));

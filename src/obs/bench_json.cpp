@@ -1,0 +1,135 @@
+#include "obs/bench_json.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "util/logging.hpp"
+
+namespace fit::obs {
+
+BenchReport::BenchReport(std::string bench_name)
+    : name_(std::move(bench_name)) {
+  FIT_REQUIRE(!name_.empty(), "bench report needs a name");
+}
+
+void BenchReport::add_table(const std::string& title,
+                            const TextTable& table) {
+  json::Value t = json::Value::object();
+  t["title"] = title;
+  json::Value cols = json::Value::array();
+  for (const auto& c : table.header()) cols.push_back(c);
+  t["columns"] = std::move(cols);
+  json::Value rows = json::Value::array();
+  for (const auto& row : table.rows()) {
+    json::Value r = json::Value::array();
+    for (const auto& cell : row) r.push_back(cell);
+    rows.push_back(std::move(r));
+  }
+  t["rows"] = std::move(rows);
+  tables_.push_back(std::move(t));
+}
+
+void BenchReport::add_scalar(const std::string& name, double value) {
+  scalars_[name] = value;
+}
+
+void BenchReport::add_note(const std::string& text) {
+  notes_.push_back(text);
+}
+
+void BenchReport::add_metrics(const std::string& label,
+                              const MetricsRegistry& reg) {
+  metrics_[label] = reg.to_json(/*per_rank_views=*/false);
+}
+
+json::Value BenchReport::to_json() const {
+  json::Value doc = json::Value::object();
+  doc["schema"] = "fourindex.bench/1";
+  doc["bench"] = name_;
+  doc["tables"] = tables_;
+  doc["scalars"] = scalars_;
+  doc["notes"] = notes_;
+  doc["metrics"] = metrics_;
+  return doc;
+}
+
+std::string BenchReport::write() const {
+  const char* toggle = std::getenv("FOURINDEX_BENCH_JSON");
+  if (toggle && std::string(toggle) == "0") return "";
+  std::string path = name_ + ".bench.json";
+  if (const char* dir = std::getenv("FOURINDEX_BENCH_JSON_DIR")) {
+    if (*dir) path = std::string(dir) + "/" + path;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    FIT_LOG_WARN("cannot write bench JSON to '" << path << "'");
+    return "";
+  }
+  out << to_json().dump(2);
+  if (!out.good()) {
+    FIT_LOG_WARN("short write of bench JSON to '" << path << "'");
+    return "";
+  }
+  return path;
+}
+
+bool validate_bench_json(const json::Value& doc, std::string* why) {
+  auto fail = [&](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  if (!doc.is_object()) return fail("document is not an object");
+  const json::Value* schema = doc.find("schema");
+  if (!schema || !schema->is_string())
+    return fail("missing string key 'schema'");
+  if (schema->as_string() != "fourindex.bench/1")
+    return fail("unknown schema '" + schema->as_string() + "'");
+  const json::Value* bench = doc.find("bench");
+  if (!bench || !bench->is_string() || bench->as_string().empty())
+    return fail("missing non-empty string key 'bench'");
+  const json::Value* tables = doc.find("tables");
+  if (!tables || !tables->is_array()) return fail("missing array 'tables'");
+  for (std::size_t i = 0; i < tables->size(); ++i) {
+    const json::Value& t = tables->at(i);
+    const std::string at = "tables[" + std::to_string(i) + "]";
+    if (!t.is_object()) return fail(at + " is not an object");
+    const json::Value* title = t.find("title");
+    if (!title || !title->is_string())
+      return fail(at + " missing string 'title'");
+    const json::Value* cols = t.find("columns");
+    if (!cols || !cols->is_array() || cols->size() == 0)
+      return fail(at + " missing non-empty array 'columns'");
+    for (std::size_t c = 0; c < cols->size(); ++c)
+      if (!cols->at(c).is_string())
+        return fail(at + ".columns holds a non-string");
+    const json::Value* rows = t.find("rows");
+    if (!rows || !rows->is_array()) return fail(at + " missing array 'rows'");
+    for (std::size_t r = 0; r < rows->size(); ++r) {
+      const json::Value& row = rows->at(r);
+      if (!row.is_array() || row.size() != cols->size())
+        return fail(at + ".rows[" + std::to_string(r) +
+                    "] does not match the column count");
+      for (std::size_t c = 0; c < row.size(); ++c)
+        if (!row.at(c).is_string())
+          return fail(at + ".rows holds a non-string cell");
+    }
+  }
+  const json::Value* scalars = doc.find("scalars");
+  if (!scalars || !scalars->is_object())
+    return fail("missing object 'scalars'");
+  for (std::size_t i = 0; i < scalars->size(); ++i)
+    if (!scalars->member(i).second.is_number())
+      return fail("scalar '" + scalars->member(i).first +
+                  "' is not a number");
+  const json::Value* notes = doc.find("notes");
+  if (!notes || !notes->is_array()) return fail("missing array 'notes'");
+  for (std::size_t i = 0; i < notes->size(); ++i)
+    if (!notes->at(i).is_string()) return fail("notes holds a non-string");
+  const json::Value* metrics = doc.find("metrics");
+  if (!metrics || !metrics->is_object())
+    return fail("missing object 'metrics'");
+  if (why) why->clear();
+  return true;
+}
+
+}  // namespace fit::obs

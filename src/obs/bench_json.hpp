@@ -1,0 +1,69 @@
+// Machine-readable benchmark results: every bench binary routes its
+// output through a BenchReport, which emits one JSON document with the
+// stable schema below — the artifact CI archives and the BENCH_*.json
+// trajectory tracking consumes.
+//
+// Schema "fourindex.bench/1" (all keys always present):
+//   {
+//     "schema":  "fourindex.bench/1",
+//     "bench":   "<binary name>",
+//     "tables":  [ {"title": str, "columns": [str..],
+//                   "rows": [[str..]..]} .. ],
+//     "scalars": { "<name>": number, .. },
+//     "notes":   [ str.. ],
+//     "metrics": { .. MetricsRegistry::to_json() snapshots keyed by
+//                  label, possibly empty .. }
+//   }
+// Tables mirror the human-readable TextTables cell-for-cell (cells
+// stay strings — they carry formatted units); scalars carry the raw
+// numbers trajectory tracking should plot.
+//
+// Output location, in precedence order:
+//   FOURINDEX_BENCH_JSON=0        disables emission entirely;
+//   FOURINDEX_BENCH_JSON_DIR=DIR  write DIR/<bench>.bench.json;
+//   otherwise                     write ./<bench>.bench.json.
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/format.hpp"
+
+namespace fit::obs {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  void add_table(const std::string& title, const TextTable& table);
+  void add_scalar(const std::string& name, double value);
+  void add_note(const std::string& text);
+  /// Attach a registry snapshot under `label` (per-rank views are
+  /// dropped — aggregate sums/maxes only, to keep documents small).
+  void add_metrics(const std::string& label, const MetricsRegistry& reg);
+
+  const std::string& bench_name() const { return name_; }
+
+  /// The full document in the stable schema.
+  json::Value to_json() const;
+
+  /// Write the document per the environment-variable policy above.
+  /// Returns the path written, or "" when emission is disabled or the
+  /// write failed (a warning is logged; benches never fail on this).
+  std::string write() const;
+
+ private:
+  std::string name_;
+  json::Value tables_ = json::Value::array();
+  json::Value scalars_ = json::Value::object();
+  json::Value notes_ = json::Value::array();
+  json::Value metrics_ = json::Value::object();
+};
+
+/// Structural validation of a bench document against the
+/// "fourindex.bench/1" schema. Returns true when valid; otherwise
+/// false with a diagnostic in `*why` (when non-null).
+bool validate_bench_json(const json::Value& doc, std::string* why = nullptr);
+
+}  // namespace fit::obs

@@ -1,0 +1,98 @@
+// Minimal JSON document model for the observability layer: an ordered
+// value type with a writer (stable key order — insertion order — so
+// emitted documents diff cleanly across runs) and a strict parser
+// (used by tests to validate that every emitted document is
+// well-formed, and by tools/validate_bench_json for CI).
+//
+// Deliberately small: objects/arrays/strings/numbers/bools/null, UTF-8
+// passed through verbatim, no comments, no trailing commas. Non-finite
+// numbers serialize as null (JSON has no NaN/Inf).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fit::obs::json {
+
+/// Malformed document given to parse().
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+class Value {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;                       // null
+  Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Value(double v) : kind_(Kind::Number), num_(v) {}
+  Value(int v) : kind_(Kind::Number), num_(v) {}
+  Value(std::size_t v)
+      : kind_(Kind::Number), num_(static_cast<double>(v)) {}
+  Value(const char* s) : kind_(Kind::String), str_(s) {}
+  Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+
+  static Value array() {
+    Value v;
+    v.kind_ = Kind::Array;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.kind_ = Kind::Object;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Array access. push_back() converts a null value into an array.
+  void push_back(Value v);
+  std::size_t size() const;  // array length or object member count
+  const Value& at(std::size_t i) const;
+
+  /// Object access. operator[] converts a null value into an object
+  /// and inserts the key if absent (insertion order is preserved).
+  Value& operator[](std::string_view key);
+  /// Member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+  const std::pair<std::string, Value>& member(std::size_t i) const;
+
+  /// Serialize. indent < 0 emits the compact single-line form;
+  /// indent >= 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> obj_;
+};
+
+/// Parse a complete JSON document (trailing garbage is an error).
+/// Throws ParseError on malformed input.
+Value parse(std::string_view text);
+
+/// Escape a string for embedding in a JSON document (adds the quotes).
+std::string quote(std::string_view s);
+
+}  // namespace fit::obs::json

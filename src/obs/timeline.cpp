@@ -1,0 +1,111 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace fit::obs {
+
+std::size_t Timeline::intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return i;
+  names_.emplace_back(name);
+  return names_.size() - 1;
+}
+
+void Timeline::add_span(std::size_t name_id, std::size_t track,
+                        double t_start, double duration) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FIT_REQUIRE(name_id < names_.size(), "unknown timeline name id");
+  FIT_REQUIRE(duration >= 0, "negative span duration");
+  spans_.push_back({name_id, track, t_start, duration});
+  max_track_ = std::max(max_track_, track);
+}
+
+void Timeline::add_instant(std::size_t name_id, std::size_t track,
+                           double t) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FIT_REQUIRE(name_id < names_.size(), "unknown timeline name id");
+  instants_.push_back({name_id, track, t});
+  max_track_ = std::max(max_track_, track);
+}
+
+std::size_t Timeline::n_spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::size_t Timeline::n_instants() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return instants_.size();
+}
+
+std::string Timeline::name(std::size_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FIT_REQUIRE(id < names_.size(), "unknown timeline name id");
+  return names_[id];
+}
+
+json::Value Timeline::to_chrome_json(const std::string& process_name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  constexpr double kMicro = 1e6;  // trace timestamps are microseconds
+  json::Value events = json::Value::array();
+  {
+    json::Value meta = json::Value::object();
+    meta["name"] = "process_name";
+    meta["ph"] = "M";
+    meta["pid"] = 0;
+    meta["args"]["name"] = process_name;
+    events.push_back(std::move(meta));
+  }
+  for (std::size_t t = 0; t <= max_track_; ++t) {
+    json::Value meta = json::Value::object();
+    meta["name"] = "thread_name";
+    meta["ph"] = "M";
+    meta["pid"] = 0;
+    meta["tid"] = t;
+    meta["args"]["name"] = "rank " + std::to_string(t);
+    events.push_back(std::move(meta));
+  }
+  for (const Span& s : spans_) {
+    json::Value e = json::Value::object();
+    e["name"] = names_[s.name_id];
+    e["ph"] = "X";
+    e["pid"] = 0;
+    e["tid"] = s.track;
+    e["ts"] = s.t_start * kMicro;
+    e["dur"] = s.duration * kMicro;
+    events.push_back(std::move(e));
+  }
+  for (const Instant& i : instants_) {
+    json::Value e = json::Value::object();
+    e["name"] = names_[i.name_id];
+    e["ph"] = "i";
+    e["s"] = "t";  // scope: thread
+    e["pid"] = 0;
+    e["tid"] = i.track;
+    e["ts"] = i.t * kMicro;
+    events.push_back(std::move(e));
+  }
+  json::Value doc = json::Value::object();
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = "ms";
+  return doc;
+}
+
+bool Timeline::write_chrome_trace(const std::string& path,
+                                  const std::string& process_name) const {
+  std::ofstream out(path);
+  if (!out) {
+    FIT_LOG_WARN("cannot write chrome trace to '" << path << "'");
+    return false;
+  }
+  out << to_chrome_json(process_name).dump();
+  out << '\n';
+  return out.good();
+}
+
+}  // namespace fit::obs

@@ -65,6 +65,10 @@ void RankCtx::charge_transfer(std::size_t owner, double bytes) {
   }
 }
 
+void RankCtx::note_instant(const std::string& name) {
+  cluster_.note_instant(name, rank_);
+}
+
 void RankCtx::charge_disk(double bytes) {
   const auto& m = cluster_.machine();
   FIT_CHECK(m.disk_bandwidth_bps > 0, "disk access with no disk configured");
@@ -78,18 +82,27 @@ void RankCtx::charge_disk(double bytes) {
 void Cluster::note_spill(double bytes) {
   disk_used_ += bytes;
   disk_peak_ = std::max(disk_peak_, disk_used_);
+  registry_.set(id_disk_used_, 0, disk_used_);
+  registry_.set(id_disk_peak_, 0, disk_peak_);
 }
 
 void Cluster::note_unspill(double bytes) {
   disk_used_ -= bytes;
   FIT_CHECK(disk_used_ >= -1e-6, "disk accounting went negative");
   if (disk_used_ < 0) disk_used_ = 0;
+  registry_.set(id_disk_used_, 0, disk_used_);
+}
+
+void Cluster::note_instant(const std::string& name, std::size_t rank) {
+  timeline_.add_instant(timeline_.intern(name),
+                        std::min(rank, n_ranks() - 1), sim_time_);
 }
 
 Cluster::Cluster(MachineConfig config, ExecutionMode mode,
                  std::size_t host_threads)
     : config_(std::move(config)), mode_(mode),
-      host_threads_(std::max<std::size_t>(1, host_threads)) {
+      host_threads_(std::max<std::size_t>(1, host_threads)),
+      registry_(config_.n_ranks()) {
   FIT_REQUIRE(config_.n_ranks() >= 1, "cluster needs at least one rank");
   mem_.reserve(config_.n_ranks());
   scratch_.reserve(config_.n_ranks());
@@ -97,12 +110,47 @@ Cluster::Cluster(MachineConfig config, ExecutionMode mode,
     mem_.emplace_back(r, config_.mem_per_rank_bytes());
     scratch_.emplace_back(r, config_.local_scratch_bytes);
   }
+  charge_ids_ = {registry_.counter("comm.remote_bytes"),
+                 registry_.counter("comm.local_bytes"),
+                 registry_.counter("comm.remote_messages"),
+                 registry_.counter("comm.disk_bytes"),
+                 registry_.counter("compute.flops"),
+                 registry_.counter("compute.integral_evals"),
+                 registry_.counter("ga.gets"),
+                 registry_.counter("ga.puts"),
+                 registry_.counter("ga.accs"),
+                 registry_.counter("rank.busy_time_s")};
+  id_mem_used_ = registry_.gauge("mem.used_bytes");
+  id_mem_peak_ = registry_.gauge("mem.peak_bytes");
+  id_scratch_peak_ = registry_.gauge("scratch.peak_bytes");
+  id_global_peak_ = registry_.gauge("mem.global_peak_bytes");
+  id_disk_used_ = registry_.gauge("disk.used_bytes");
+  id_disk_peak_ = registry_.gauge("disk.peak_bytes");
+  id_phase_makespan_ = registry_.histogram("phase.makespan_s");
+  id_phase_imbalance_ = registry_.histogram("phase.imbalance");
+}
+
+void Cluster::merge_rank(const RankCtx& ctx) {
+  const std::size_t r = ctx.rank_;
+  const CommStats& c = ctx.comm_;
+  registry_.add(charge_ids_.remote_bytes, r, c.remote_bytes);
+  registry_.add(charge_ids_.local_bytes, r, c.local_bytes);
+  registry_.add(charge_ids_.remote_messages, r, c.remote_messages);
+  registry_.add(charge_ids_.disk_bytes, r, c.disk_bytes);
+  registry_.add(charge_ids_.flops, r, c.flops);
+  registry_.add(charge_ids_.integral_evals, r, c.integral_evals);
+  registry_.add(charge_ids_.ga_gets, r, c.ga_gets);
+  registry_.add(charge_ids_.ga_puts, r, c.ga_puts);
+  registry_.add(charge_ids_.ga_accs, r, c.ga_accs);
+  registry_.add(charge_ids_.busy_time, r, ctx.time_);
 }
 
 void Cluster::run_phase(const std::string& label,
                         const std::function<void(RankCtx&)>& body) {
   PhaseRecord rec;
   rec.label = label;
+  rec.t_start = sim_time_;
+  const std::size_t span_name = timeline_.intern(label);
   if (host_threads_ <= 1 || n_ranks() == 1) {
     for (std::size_t r = 0; r < n_ranks(); ++r) {
       RankCtx ctx(*this, r);
@@ -110,12 +158,15 @@ void Cluster::run_phase(const std::string& label,
       rec.makespan = std::max(rec.makespan, ctx.time_);
       rec.total_rank_time += ctx.time_;
       rec.comm += ctx.comm_;
+      merge_rank(ctx);
+      timeline_.add_span(span_name, r, rec.t_start, ctx.time_);
     }
   } else {
     // Each rank is processed by exactly one host thread (strided
     // assignment), so per-rank state needs no locking; the phase
-    // record is merged under a mutex. Exceptions (e.g. scratch OOM)
-    // are captured and rethrown on the calling thread.
+    // record is merged under a mutex (registry and timeline have
+    // their own). Exceptions (e.g. scratch OOM) are captured and
+    // rethrown on the calling thread.
     const std::size_t nthreads = std::min(host_threads_, n_ranks());
     std::mutex merge_mutex;
     std::exception_ptr first_error;
@@ -131,6 +182,8 @@ void Cluster::run_phase(const std::string& label,
             local.makespan = std::max(local.makespan, ctx.time_);
             local.total_rank_time += ctx.time_;
             local.comm += ctx.comm_;
+            merge_rank(ctx);
+            timeline_.add_span(span_name, r, rec.t_start, ctx.time_);
           }
           std::lock_guard<std::mutex> lock(merge_mutex);
           rec.makespan = std::max(rec.makespan, local.makespan);
@@ -149,7 +202,8 @@ void Cluster::run_phase(const std::string& label,
     rec.imbalance = rec.makespan * static_cast<double>(n_ranks()) /
                     rec.total_rank_time;
   sim_time_ += rec.makespan;
-  totals_ += rec.comm;
+  registry_.observe(id_phase_makespan_, rec.makespan);
+  registry_.observe(id_phase_imbalance_, rec.imbalance);
   FIT_LOG_DEBUG("phase '" << rec.label << "': makespan "
                 << fmt_sci(rec.makespan, 2) << " s, imbalance "
                 << fmt_fixed(rec.imbalance, 2) << ", remote "
@@ -160,6 +214,20 @@ void Cluster::run_phase(const std::string& label,
   ++epoch_;  // the barrier
 }
 
+CommStats Cluster::totals() const {
+  CommStats t;
+  t.remote_bytes = registry_.sum("comm.remote_bytes");
+  t.local_bytes = registry_.sum("comm.local_bytes");
+  t.remote_messages = registry_.sum("comm.remote_messages");
+  t.disk_bytes = registry_.sum("comm.disk_bytes");
+  t.flops = registry_.sum("compute.flops");
+  t.integral_evals = registry_.sum("compute.integral_evals");
+  t.ga_gets = registry_.sum("ga.gets");
+  t.ga_puts = registry_.sum("ga.puts");
+  t.ga_accs = registry_.sum("ga.accs");
+  return t;
+}
+
 double Cluster::global_used() const {
   double total = 0;
   for (const auto& m : mem_) total += m.used();
@@ -168,6 +236,12 @@ double Cluster::global_used() const {
 
 void Cluster::note_global_usage() {
   global_peak_ = std::max(global_peak_, global_used());
+  for (std::size_t r = 0; r < n_ranks(); ++r) {
+    registry_.set(id_mem_used_, r, mem_[r].used());
+    registry_.set(id_mem_peak_, r, mem_[r].peak());
+    registry_.set(id_scratch_peak_, r, scratch_[r].peak());
+  }
+  registry_.set(id_global_peak_, 0, global_peak_);
 }
 
 double Cluster::worst_imbalance() const {
@@ -176,9 +250,19 @@ double Cluster::worst_imbalance() const {
   return w;
 }
 
+bool Cluster::write_chrome_trace(const std::string& path) const {
+  return timeline_.write_chrome_trace(
+      path, config_.name.empty() ? "fourindex cluster" : config_.name);
+}
+
 RankBuffer::RankBuffer(RankCtx& ctx, std::size_t words, const char* what)
     : ctx_(ctx), words_(words) {
-  ctx_.scratch().alloc(8.0 * static_cast<double>(words), what);
+  try {
+    ctx_.scratch().alloc(8.0 * static_cast<double>(words), what);
+  } catch (const OutOfMemoryError&) {
+    ctx_.note_instant(std::string("oom: ") + what);
+    throw;
+  }
   if (ctx_.real()) storage_.assign(words, 0.0);
 }
 

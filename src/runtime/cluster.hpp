@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "runtime/machine.hpp"
 #include "util/error.hpp"
 
@@ -64,7 +66,10 @@ class MemTracker {
   double peak_ = 0;
 };
 
-/// Communication/computation counters, kept per rank and aggregated.
+/// Communication/computation counters. This is a *view* type: ranks
+/// accumulate one locally during a phase, and the cluster's
+/// obs::MetricsRegistry is the authoritative store the aggregate
+/// views (Cluster::totals(), per-phase records) are assembled from.
 struct CommStats {
   double remote_bytes = 0;
   double local_bytes = 0;
@@ -72,6 +77,9 @@ struct CommStats {
   double disk_bytes = 0;
   double flops = 0;
   double integral_evals = 0;
+  double ga_gets = 0;  // one-sided tile operations (GA layer)
+  double ga_puts = 0;
+  double ga_accs = 0;
 
   void operator+=(const CommStats& o) {
     remote_bytes += o.remote_bytes;
@@ -80,11 +88,15 @@ struct CommStats {
     disk_bytes += o.disk_bytes;
     flops += o.flops;
     integral_evals += o.integral_evals;
+    ga_gets += o.ga_gets;
+    ga_puts += o.ga_puts;
+    ga_accs += o.ga_accs;
   }
 };
 
 struct PhaseRecord {
   std::string label;
+  double t_start = 0;        // cumulative sim time when the phase began
   double makespan = 0;       // max rank time
   double total_rank_time = 0;
   double imbalance = 1.0;    // makespan * ranks / total_rank_time
@@ -110,6 +122,14 @@ class RankCtx {
   /// Charge a transfer of `bytes` to/from the shared parallel file
   /// system (spilled tiles). Requires disk_bandwidth_bps > 0.
   void charge_disk(double bytes);
+
+  /// One-sided-operation counters (charged by the GA layer).
+  void count_ga_get() { comm_.ga_gets += 1; }
+  void count_ga_put() { comm_.ga_puts += 1; }
+  void count_ga_acc() { comm_.ga_accs += 1; }
+
+  /// Record a point event on this rank's timeline track.
+  void note_instant(const std::string& name);
 
   MemTracker& memory();
   MemTracker& scratch();
@@ -166,15 +186,48 @@ class Cluster {
   void note_spill(double bytes);
   void note_unspill(double bytes);
 
+  /// Record a point event (OOM, spill, ...) on `rank`'s track at the
+  /// current simulated time; shows up as an instant in the exported
+  /// Chrome trace.
+  void note_instant(const std::string& name, std::size_t rank);
+
   double sim_time() const { return sim_time_; }
-  const CommStats& totals() const { return totals_; }
+  /// Aggregate counters, assembled from the metrics registry (the
+  /// registry is the source of truth; this is the legacy view).
+  CommStats totals() const;
   const std::vector<PhaseRecord>& phases() const { return phases_; }
 
   /// Max per-phase imbalance observed so far.
   double worst_imbalance() const;
 
+  /// All counters/gauges/histograms this cluster maintains: per-rank
+  /// communication and compute charges ("comm.*", "compute.*",
+  /// "ga.*", "rank.busy_time_s"), memory gauges ("mem.*", "disk.*"),
+  /// and per-phase histograms ("phase.*").
+  obs::MetricsRegistry& metrics() { return registry_; }
+  const obs::MetricsRegistry& metrics() const { return registry_; }
+
+  /// Phase timeline: one track per rank, one span per (phase, rank),
+  /// instants for OOM/spill events.
+  const obs::Timeline& timeline() const { return timeline_; }
+
+  /// Export the timeline as Chrome trace-event JSON (open in
+  /// chrome://tracing or ui.perfetto.dev). Returns false when the
+  /// file cannot be written.
+  bool write_chrome_trace(const std::string& path) const;
+
  private:
   friend class RankCtx;
+
+  /// Metric ids for the per-rank charge counters, resolved once.
+  struct ChargeIds {
+    obs::MetricsRegistry::Id remote_bytes, local_bytes, remote_messages,
+        disk_bytes, flops, integral_evals, ga_gets, ga_puts, ga_accs,
+        busy_time;
+  };
+
+  void merge_rank(const RankCtx& ctx);
+
   MachineConfig config_;
   ExecutionMode mode_;
   std::size_t host_threads_;
@@ -185,8 +238,14 @@ class Cluster {
   double global_peak_ = 0;
   double disk_used_ = 0;
   double disk_peak_ = 0;
-  CommStats totals_;
   std::vector<PhaseRecord> phases_;
+  obs::MetricsRegistry registry_;
+  obs::Timeline timeline_;
+  ChargeIds charge_ids_{};
+  obs::MetricsRegistry::Id id_mem_used_ = 0, id_mem_peak_ = 0,
+                           id_scratch_peak_ = 0, id_global_peak_ = 0,
+                           id_disk_used_ = 0, id_disk_peak_ = 0,
+                           id_phase_makespan_ = 0, id_phase_imbalance_ = 0;
 };
 
 /// RAII local (per-rank) scratch buffer: charges the rank's memory

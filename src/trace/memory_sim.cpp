@@ -67,4 +67,14 @@ void MemorySim::flush() {
   }
 }
 
+void MemorySim::publish(obs::MetricsRegistry& registry, std::size_t rank,
+                        const std::string& prefix) const {
+  registry.add(registry.counter(prefix + ".loads"), rank,
+               static_cast<double>(loads_));
+  registry.add(registry.counter(prefix + ".stores"), rank,
+               static_cast<double>(stores_));
+  registry.add(registry.counter(prefix + ".capacity"), rank,
+               static_cast<double>(capacity_));
+}
+
 }  // namespace fit::trace

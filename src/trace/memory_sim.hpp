@@ -17,8 +17,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <string>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace fit::trace {
@@ -62,6 +64,13 @@ class MemorySim {
   std::uint64_t loads() const { return loads_; }
   std::uint64_t stores() const { return stores_; }
   std::uint64_t io() const { return loads_ + stores_; }
+
+  /// Register this simulator's counters into a metrics registry under
+  /// "<prefix>.loads" / ".stores" / ".capacity" on `rank`'s slot
+  /// (counter adds, so repeated publishes of successive simulations
+  /// accumulate like any other charge).
+  void publish(obs::MetricsRegistry& registry, std::size_t rank,
+               const std::string& prefix) const;
 
  private:
   struct Entry {

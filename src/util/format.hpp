@@ -36,6 +36,13 @@ class TextTable {
   /// Render and write to stdout.
   void print(const std::string& title = "") const;
 
+  /// Structured access for machine-readable export (fit::obs routes
+  /// every bench table through these).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

@@ -74,7 +74,9 @@ TEST(AntisymEngine, Properties) {
           EXPECT_DOUBLE_EQ(eng.value(j, i, k, l), -v);
           EXPECT_DOUBLE_EQ(eng.value(i, j, l, k), -v);
           EXPECT_DOUBLE_EQ(eng.value(j, i, l, k), v);
-          if (!ir.allowed(i, j, k, l)) EXPECT_DOUBLE_EQ(v, 0.0);
+          if (!ir.allowed(i, j, k, l)) {
+            EXPECT_DOUBLE_EQ(v, 0.0);
+          }
         }
   EXPECT_DOUBLE_EQ(eng.value(3, 3, 1, 0), 0.0);
   EXPECT_DOUBLE_EQ(eng.value(3, 1, 2, 2), 0.0);

@@ -48,8 +48,9 @@ TEST(Integrals, SpatialSymmetryZeroes) {
     for (std::size_t j = 0; j < 8; ++j)
       for (std::size_t k = 0; k < 8; ++k)
         for (std::size_t l = 0; l < 8; ++l)
-          if (!ir.allowed(i, j, k, l))
+          if (!ir.allowed(i, j, k, l)) {
             EXPECT_DOUBLE_EQ(eng.value(i, j, k, l), 0.0);
+          }
 }
 
 TEST(Integrals, PureFunctionOfIndices) {
@@ -92,7 +93,9 @@ TEST(Coeffs, OrthogonalAndSymmetryAdapted) {
     EXPECT_LT(chem::orthogonality_defect(b), 1e-12);
     for (std::size_t a = 0; a < 12; ++a)
       for (std::size_t i = 0; i < 12; ++i)
-        if (ir.of(a) != ir.of(i)) EXPECT_DOUBLE_EQ(b(a, i), 0.0);
+        if (ir.of(a) != ir.of(i)) {
+          EXPECT_DOUBLE_EQ(b(a, i), 0.0);
+        }
   }
 }
 

@@ -185,8 +185,9 @@ TEST(Integration, GatheredResultSpatiallySparse) {
     for (std::size_t b = 0; b <= a; b += 2)
       for (std::size_t c = 0; c < n; c += 3)
         for (std::size_t d = 0; d <= c; d += 2)
-          if (!p.irreps.allowed(a, b, c, d))
+          if (!p.irreps.allowed(a, b, c, d)) {
             EXPECT_EQ(r.c->get(a, b, c, d), 0.0);
+          }
 }
 
 TEST(Integration, RecomputeChargesIdenticalAcrossModes) {
@@ -254,8 +255,12 @@ TEST(Integration, AllPaperMoleculesPlanAndSimulate) {
     const bool fused = r.stats.schedule == "hybrid(fused-inner)";
     EXPECT_EQ(fused, plan.use_fused_outer) << mol.name;
     // Shell-Mixed is the paper's capability case: must have fused.
-    if (mol.name == "Shell-Mixed") EXPECT_TRUE(fused);
-    if (mol.name == "Hyperpolar") EXPECT_FALSE(fused);
+    if (mol.name == "Shell-Mixed") {
+      EXPECT_TRUE(fused);
+    }
+    if (mol.name == "Hyperpolar") {
+      EXPECT_FALSE(fused);
+    }
   }
 }
 

@@ -56,11 +56,9 @@ TEST(PebbleGame, ChainReusesPebbles) {
 }
 
 TEST(PebbleGame, DiamondNeedsNoSpillWithThreePebbles) {
-  //     0
-  //   /   \
-  //  1     2
-  //   \   /
-  //     3 (output)
+  //      0
+  //  edges: 0 -> 1, 0 -> 2,
+  //         1 -> 3, 2 -> 3 (diamond; 3 is the output)
   Cdag g(4);
   g.add_edge(0, 1);
   g.add_edge(0, 2);

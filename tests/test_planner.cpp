@@ -20,8 +20,9 @@ TEST(Planner, SelectsFullFusionWhenCFits) {
   EXPECT_EQ(plan.selected, FusionChoice::Fused1234);
   // Everything else is pruned or infeasible — never "ok".
   for (const auto& e : plan.entries)
-    if (e.choice != FusionChoice::Fused1234)
+    if (e.choice != FusionChoice::Fused1234) {
       EXPECT_TRUE(e.pruned || !e.feasible);
+    }
 }
 
 TEST(Planner, SelectsOp12_34WhenCDoesNotFit) {

@@ -89,8 +89,9 @@ TEST(SeqSchedules, SpatiallyForbiddenDenseEntriesVanish) {
     for (std::size_t b = 0; b < 8; ++b)
       for (std::size_t c = 0; c < 8; ++c)
         for (std::size_t d = 0; d < 8; ++d)
-          if (!p.irreps.allowed(a, b, c, d))
+          if (!p.irreps.allowed(a, b, c, d)) {
             EXPECT_LT(std::fabs(dense(a, b, c, d)), 1e-12);
+          }
 }
 
 TEST(SeqSchedules, FlopRatioFusedVsUnfusedIsAboutOnePointFive) {
