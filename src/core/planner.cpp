@@ -16,6 +16,8 @@ Plan plan_fusion(double n, double s, double fast_memory_elements) {
               "bad planner arguments");
   Plan plan;
   plan.fast_memory_elements = fast_memory_elements;
+  plan.n = n;
+  plan.s = s;
   auto rows = bounds::analyze_fusion_choices(n, s);
   for (const auto& r : rows) {
     PlanEntry e;
@@ -48,6 +50,23 @@ Plan plan_fusion(double n, double s, double fast_memory_elements) {
   FIT_REQUIRE(found, "no feasible fusion configuration: fast memory "
                          << human_count(fast_memory_elements)
                          << " elements is below even the unfused need");
+  return plan;
+}
+
+Plan replan_fusion(const Plan& previous, double new_fast_memory_elements) {
+  FIT_REQUIRE(previous.n >= 2, "previous plan carries no problem size");
+  Plan plan =
+      plan_fusion(previous.n, previous.s, new_fast_memory_elements);
+  if (plan.selected != previous.selected) {
+    for (auto& e : plan.entries) {
+      if (e.choice != plan.selected) continue;
+      e.note = "degraded: " + bounds::to_string(previous.selected) +
+               " -> " + bounds::to_string(plan.selected) +
+               " after capacity loss (S " +
+               human_count(previous.fast_memory_elements) + " -> " +
+               human_count(new_fast_memory_elements) + " elements)";
+    }
+  }
   return plan;
 }
 
@@ -85,7 +104,7 @@ std::string to_string(const Plan& plan) {
   TextTable t({"fusion", "I/O lower bound", "min fast memory", "status"});
   for (const auto& e : plan.entries) {
     std::string status = e.pruned ? "pruned" : e.feasible
-                             ? (e.note == "selected" ? "SELECTED" : "ok")
+                             ? (e.choice == plan.selected ? "SELECTED" : "ok")
                              : "infeasible";
     t.add_row({bounds::to_string(e.choice), human_count(e.io_lower_bound),
                human_count(e.min_fast_memory), status});

@@ -37,12 +37,21 @@ struct Plan {
   std::vector<PlanEntry> entries;        // all five choices, annotated
   bounds::FusionChoice selected;
   double fast_memory_elements;
+  double n = 0, s = 1;                   // problem the plan was made for
 };
 
 /// Analyze all fusion configurations for extent n, spatial factor s,
 /// against a fast memory of `fast_memory_elements`, and select the
 /// best feasible one.
 Plan plan_fusion(double n, double s, double fast_memory_elements);
+
+/// Graceful degradation: re-plan `previous` against a reduced fast
+/// memory (a capacity-shrink fault or rank death lowered S). Selection
+/// walks Theorem 5.2's total order downward exactly when the capacity
+/// conditions (Thm 5.1 / Thm 6.2) stop holding; the selected entry's
+/// note records any downgrade. Throws like plan_fusion when even the
+/// unfused transform no longer fits.
+Plan replan_fusion(const Plan& previous, double new_fast_memory_elements);
 
 /// Cluster-level plan (Sec. 7): disk <-> aggregate-memory level picks
 /// fused vs unfused (the hybrid decision); the aggregate <-> local

@@ -10,6 +10,7 @@
 #include "bounds/transform_bounds.hpp"
 #include "tensor/pairs.hpp"
 #include "tensor/tiling.hpp"
+#include "util/format.hpp"
 #include "util/timer.hpp"
 
 namespace fit::core {
@@ -352,7 +353,7 @@ bool unfused_fits(const Problem& p, const runtime::Cluster& cluster) {
   const double need = 8.0 * (static_cast<double>(sz.unfused_peak()) +
                              static_cast<double>(sz.c)) *
                       1.10;
-  return need <= cluster.machine().aggregate_memory_bytes();
+  return need <= cluster.aggregate_capacity_bytes();
 }
 
 ParResult unfused_par_transform(const Problem& p, Cluster& cluster,
@@ -635,6 +636,35 @@ ParResult hybrid_transform(const Problem& p, Cluster& cluster,
   }
   auto r = fused_inner_par_transform(p, cluster, opt);
   r.stats.schedule = "hybrid(fused-inner)";
+  return r;
+}
+
+ParResult resilient_transform(const Problem& p, Cluster& cluster,
+                              const ParOptions& opt) {
+  auto& reg = cluster.metrics();
+  if (unfused_fits(p, cluster)) {
+    try {
+      auto r = unfused_par_transform(p, cluster, opt);
+      r.stats.schedule = "resilient(unfused)";
+      return r;
+    } catch (const OutOfMemoryError& e) {
+      // A capacity-shrink fault or rank death invalidated the choice
+      // mid-run. The intermediates' GAs have been rolled back; degrade
+      // along Thm 5.2's order to the O(n^3 Tl) fused-inner schedule
+      // and recompute from the integrals.
+      reg.add(reg.counter("plan.replans"), 0, 1);
+      cluster.note_instant("replan: unfused -> fused-inner", 0);
+      auto r = fused_inner_par_transform(p, cluster, opt);
+      r.stats.schedule = "resilient(unfused->fused-inner)";
+      r.stats.note =
+          std::string("downgraded after capacity loss (live aggregate ") +
+          human_bytes(cluster.aggregate_capacity_bytes()) + "): " + e.what();
+      return r;
+    }
+  }
+  auto r = fused_inner_par_transform(p, cluster, opt);
+  r.stats.schedule = "resilient(fused-inner)";
+  r.stats.note = "unfused intermediates exceed the live aggregate capacity";
   return r;
 }
 

@@ -67,6 +67,7 @@ struct ParStats {
   double worst_imbalance = 1.0;
   std::size_t n_phases = 0;
   double wall_seconds = 0;    // host time spent simulating
+  std::string note;           // degradation/replan rationale, if any
 };
 
 struct ParResult {
@@ -89,9 +90,20 @@ ParResult fused_inner_par_transform(const Problem& p,
 ParResult hybrid_transform(const Problem& p, runtime::Cluster& cluster,
                            const ParOptions& opt = {});
 
+/// The hybrid's fault-aware sibling: chooses like hybrid_transform but
+/// against the *live* aggregate capacity (rank deaths and
+/// capacity-shrink faults lower it), and when a mid-run capacity loss
+/// turns the unfused chain's allocation into an OOM, degrades along
+/// Theorem 5.2's order to the fused-inner schedule and re-runs instead
+/// of failing. `stats.note` records the rationale; FaultError (retry
+/// budget exhausted) still propagates.
+ParResult resilient_transform(const Problem& p, runtime::Cluster& cluster,
+                              const ParOptions& opt = {});
+
 /// Decision function of the hybrid: true if the unfused intermediates
 /// fit into the cluster's aggregate memory (with a small safety
-/// margin).
+/// margin). Uses the live capacity view, which capacity-shrink faults
+/// and rank deaths reduce.
 bool unfused_fits(const Problem& p, const runtime::Cluster& cluster);
 
 }  // namespace fit::core

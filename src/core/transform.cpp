@@ -15,6 +15,7 @@ std::string to_string(Schedule s) {
     case Schedule::ParFused: return "par-fused";
     case Schedule::ParFusedInner: return "par-fused-inner";
     case Schedule::Hybrid: return "hybrid";
+    case Schedule::Resilient: return "resilient";
   }
   return "?";
 }
@@ -59,6 +60,9 @@ TransformOutcome four_index_transform(const Problem& p,
       break;
     case Schedule::Hybrid:
       r = hybrid_transform(p, *cluster, opt.par);
+      break;
+    case Schedule::Resilient:
+      r = resilient_transform(p, *cluster, opt.par);
       break;
     default:
       FIT_CHECK(false, "unreachable schedule dispatch");

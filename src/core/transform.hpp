@@ -26,6 +26,7 @@ enum class Schedule {
   ParFused,      // Listing 8, distributed
   ParFusedInner, // Listing 10, distributed
   Hybrid,        // Sec. 7.4 fuse/unfuse hybrid, distributed
+  Resilient,     // hybrid + fault recovery and bound-guided degradation
 };
 
 std::string to_string(Schedule s);

@@ -48,8 +48,11 @@ GlobalArray::GlobalArray(runtime::Cluster& cluster, std::string name,
   by_owner_.assign(nranks, {});
   for (std::size_t i = 0; i < tiles_.size(); ++i) {
     auto& t = tiles_[i];
-    t.info.owner = owner ? owner(t.info.coord, nranks) : i % nranks;
-    FIT_REQUIRE(t.info.owner < nranks, "owner function out of range");
+    const std::size_t nominal =
+        owner ? owner(t.info.coord, nranks) : i % nranks;
+    FIT_REQUIRE(nominal < nranks, "owner function out of range");
+    // Arrays created after a rank death land on the survivors.
+    t.info.owner = cluster_.live_owner(nominal);
     by_owner_[t.info.owner].push_back(i);
     total_elements_ += t.info.elements;
   }
@@ -89,6 +92,7 @@ GlobalArray::GlobalArray(runtime::Cluster& cluster, std::string name,
                           0);
   if (cluster_.mode() == runtime::ExecutionMode::Real)
     for (auto& t : tiles_) t.data.assign(t.info.elements, 0.0);
+  cluster_.register_array(this);
   cluster_.note_global_usage();
   FIT_LOG_DEBUG("GA_Create '" << name_ << "': " << tiles_.size()
                 << " tiles, " << human_bytes(total_bytes())
@@ -109,6 +113,7 @@ GlobalArray::~GlobalArray() {
 void GlobalArray::destroy() {
   if (destroyed_) return;
   destroyed_ = true;
+  cluster_.unregister_array(this);
   for (auto& t : tiles_) {
     const double bytes = 8.0 * double(t.info.elements);
     if (t.spilled)
@@ -162,6 +167,7 @@ const GlobalArray::Tile& GlobalArray::tile_at(
 void GlobalArray::get(RankCtx& ctx, std::span<const std::size_t> coord,
                       double* buf) const {
   FIT_REQUIRE(!destroyed_, name_ << ": get after destroy");
+  ctx.fault_point("get");
   ctx.count_ga_get();
   const Tile& t = tile_at(coord);
   FIT_CHECK(t.write_epoch.load(std::memory_order_acquire) <
@@ -181,6 +187,7 @@ void GlobalArray::get(RankCtx& ctx, std::span<const std::size_t> coord,
 void GlobalArray::put(RankCtx& ctx, std::span<const std::size_t> coord,
                       const double* buf) {
   FIT_REQUIRE(!destroyed_, name_ << ": put after destroy");
+  ctx.fault_point("put");
   ctx.count_ga_put();
   Tile& t = tile_at(coord);
   if (t.spilled)
@@ -197,6 +204,7 @@ void GlobalArray::put(RankCtx& ctx, std::span<const std::size_t> coord,
 void GlobalArray::acc(RankCtx& ctx, std::span<const std::size_t> coord,
                       const double* buf) {
   FIT_REQUIRE(!destroyed_, name_ << ": acc after destroy");
+  ctx.fault_point("acc");
   ctx.count_ga_acc();
   Tile& t = tile_at(coord);
   if (t.spilled)
@@ -223,6 +231,62 @@ double GlobalArray::peek(std::span<const std::size_t> element) const {
   for (std::size_t d = 0; d < dims_.size(); ++d)
     off = off * t.info.len[d] + (element[d] - t.info.lo[d]);
   return t.data[off];
+}
+
+void GlobalArray::restore_tile(std::size_t idx,
+                               const std::vector<double>& data,
+                               std::uint64_t epoch) {
+  FIT_REQUIRE(idx < tiles_.size(), name_ << ": restore of bad tile index");
+  Tile& t = tiles_[idx];
+  if (cluster_.mode() == runtime::ExecutionMode::Real) {
+    if (data.empty()) {
+      std::fill(t.data.begin(), t.data.end(), 0.0);
+    } else {
+      FIT_CHECK(data.size() == t.info.elements,
+                name_ << ": checkpoint tile size mismatch");
+      std::copy(data.begin(), data.end(), t.data.begin());
+    }
+  }
+  t.write_epoch.store(epoch, std::memory_order_release);
+}
+
+std::vector<std::size_t> GlobalArray::reassign_owner(
+    std::size_t dead, std::span<const std::size_t> targets) {
+  FIT_REQUIRE(dead < by_owner_.size(), "rank out of range");
+  FIT_REQUIRE(!targets.empty(), "no surviving ranks to re-own tiles");
+  const bool can_spill = cluster_.machine().disk_bandwidth_bps > 0;
+  std::vector<std::size_t> moved;
+  std::size_t next = 0;
+  for (std::size_t idx : by_owner_[dead]) {
+    Tile& t = tiles_[idx];
+    const std::size_t target = targets[next++ % targets.size()];
+    if (t.spilled) {
+      // Bytes live on the shared file system; only the nominal owner
+      // (used for locality decisions) changes.
+      t.info.owner = target;
+      by_owner_[target].push_back(idx);
+      continue;
+    }
+    const double bytes = 8.0 * double(t.info.elements);
+    cluster_.memory(dead).release(bytes);
+    if (cluster_.memory(target).try_alloc(bytes)) {
+      t.info.owner = target;
+    } else if (can_spill) {
+      t.info.owner = target;
+      t.spilled = true;
+      ++n_spilled_;
+      cluster_.note_spill(bytes);
+    } else {
+      // No headroom anywhere: surface as the usual OOM so the caller's
+      // degradation path (replan against the shrunken S) can engage.
+      cluster_.memory(target).alloc(bytes, name_.c_str());
+    }
+    by_owner_[target].push_back(idx);
+    moved.push_back(idx);
+  }
+  by_owner_[dead].clear();
+  cluster_.note_global_usage();
+  return moved;
 }
 
 OwnerFn owner_cyclic() {

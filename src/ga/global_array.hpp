@@ -115,6 +115,30 @@ class GlobalArray {
   /// results in Real mode; not charged).
   double peek(std::span<const std::size_t> element) const;
 
+  // --- checkpoint/recovery interface (used by CheckpointManager) ---
+
+  /// Write epoch of tile `idx` (0 = never written).
+  std::uint64_t tile_write_epoch(std::size_t idx) const {
+    return tiles_[idx].write_epoch.load(std::memory_order_acquire);
+  }
+  /// Tile payload (empty in Simulate mode and for never-written tiles
+  /// snapshotted as zeros).
+  const std::vector<double>& tile_data(std::size_t idx) const {
+    return tiles_[idx].data;
+  }
+  /// Overwrite tile `idx` with checkpointed content (`data` empty =
+  /// zeros in Real mode) and rewind its write epoch to `epoch`.
+  void restore_tile(std::size_t idx, const std::vector<double>& data,
+                    std::uint64_t epoch);
+  /// Move every tile owned by `dead` to the `targets` ranks
+  /// (round-robin), transferring the memory accounting; spilled tiles
+  /// only change nominal owner (their bytes live on the shared file
+  /// system, which survives rank death). Returns the indices of the
+  /// re-owned in-memory tiles — the ones whose content was lost and
+  /// must be restored from a checkpoint.
+  std::vector<std::size_t> reassign_owner(std::size_t dead,
+                                          std::span<const std::size_t> targets);
+
  private:
   struct Tile {
     TileInfo info;

@@ -1,0 +1,113 @@
+#include "runtime/checkpoint.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "ga/global_array.hpp"
+#include "runtime/cluster.hpp"
+#include "util/error.hpp"
+
+namespace fit::runtime {
+
+CheckpointManager::CheckpointManager(Cluster& cluster, CheckpointConfig cfg)
+    : cl_(cluster), cfg_(cfg) {}
+
+void CheckpointManager::forget(ga::GlobalArray* array) {
+  states_.erase(array);
+}
+
+CheckpointManager::ArrayState& CheckpointManager::state_for(
+    ga::GlobalArray* array) {
+  ArrayState& st = states_[array];
+  if (st.data.size() != array->n_tiles()) {
+    st.data.resize(array->n_tiles());
+    st.epochs.resize(array->n_tiles(), 0);
+  }
+  return st;
+}
+
+double CheckpointManager::write() {
+  std::vector<double> bytes_per_rank(cl_.n_ranks(), 0.0);
+  double total = 0;
+  for (ga::GlobalArray* arr : cl_.registered_arrays()) {
+    ArrayState& st = state_for(arr);
+    for (std::size_t idx = 0; idx < arr->n_tiles(); ++idx) {
+      const std::uint64_t ep = arr->tile_write_epoch(idx);
+      // Incremental: first checkpoint writes every ever-written tile,
+      // later ones only tiles written since the previous checkpoint.
+      // Never-written tiles stay elided (empty snapshot = zeros).
+      const bool dirty = st.valid ? ep >= ckpt_epoch_ : ep > 0;
+      if (!dirty) continue;
+      st.data[idx] = arr->tile_data(idx);  // empty in Simulate mode
+      st.epochs[idx] = ep;
+      const double bytes = 8.0 * double(arr->tile_by_index(idx).elements);
+      bytes_per_rank[arr->tile_by_index(idx).owner] += bytes;
+      total += bytes;
+    }
+    st.valid = true;
+  }
+  ckpt_epoch_ = cl_.epoch();
+  auto& reg = cl_.metrics();
+  reg.add(reg.counter("checkpoint.writes"), 0, 1);
+  reg.add(reg.counter("checkpoint.bytes"), 0, total);
+  if (total > 0) cl_.charge_disk_phase("checkpoint", bytes_per_rank);
+  return total;
+}
+
+double CheckpointManager::restore_tile(ga::GlobalArray* array,
+                                       const ArrayState& st, std::size_t idx,
+                                       std::vector<double>& bytes_per_rank) {
+  static const std::vector<double> kEmpty;
+  const std::vector<double>& snap =
+      idx < st.data.size() ? st.data[idx] : kEmpty;
+  const std::uint64_t snap_epoch =
+      idx < st.epochs.size() ? st.epochs[idx] : 0;
+  array->restore_tile(idx, snap, snap_epoch);
+  if (snap_epoch == 0) return 0;  // zeros need no disk read
+  const double bytes = 8.0 * double(array->tile_by_index(idx).elements);
+  bytes_per_rank[array->tile_by_index(idx).owner] += bytes;
+  return bytes;
+}
+
+double CheckpointManager::restore_dirty() {
+  std::vector<double> bytes_per_rank(cl_.n_ranks(), 0.0);
+  double total = 0;
+  for (ga::GlobalArray* arr : cl_.registered_arrays()) {
+    const ArrayState& st = state_for(arr);
+    for (std::size_t idx = 0; idx < arr->n_tiles(); ++idx) {
+      // Only tiles the failed attempt touched (stamped with the
+      // still-open epoch) are rolled back.
+      if (arr->tile_write_epoch(idx) != cl_.epoch()) continue;
+      total += restore_tile(arr, st, idx, bytes_per_rank);
+    }
+  }
+  auto& reg = cl_.metrics();
+  reg.add(reg.counter("checkpoint.restores"), 0, 1);
+  reg.add(reg.counter("checkpoint.restored_bytes"), 0, total);
+  if (total > 0) cl_.charge_disk_phase("restore (retry)", bytes_per_rank);
+  return total;
+}
+
+double CheckpointManager::restore_rank(std::size_t dead) {
+  std::vector<std::size_t> targets;
+  for (std::size_t r = 0; r < cl_.n_ranks(); ++r)
+    if (!cl_.is_dead(r)) targets.push_back(r);
+  if (targets.empty()) throw FaultError("no live ranks left to restore to");
+
+  std::vector<double> bytes_per_rank(cl_.n_ranks(), 0.0);
+  double total = 0;
+  for (ga::GlobalArray* arr : cl_.registered_arrays()) {
+    const ArrayState& st = state_for(arr);
+    for (std::size_t idx : arr->reassign_owner(dead, targets))
+      total += restore_tile(arr, st, idx, bytes_per_rank);
+  }
+  auto& reg = cl_.metrics();
+  reg.add(reg.counter("checkpoint.restores"), 0, 1);
+  reg.add(reg.counter("checkpoint.restored_bytes"), 0, total);
+  if (total > 0)
+    cl_.charge_disk_phase("restore rank " + std::to_string(dead),
+                          bytes_per_rank);
+  return total;
+}
+
+}  // namespace fit::runtime

@@ -1,0 +1,99 @@
+// Phase-boundary checkpoint/restart for the simulated cluster.
+//
+// Why phase boundaries: the execution model is BSP — all remote state
+// is produced by earlier phases and published at the barrier, so a
+// barrier is the only point where the distributed tensors form a
+// consistent cut. A checkpoint taken there is trivially coordinated
+// (no message logging, no in-flight one-sided ops), which is exactly
+// why NWChem-era GA codes restart from GA_Sync points.
+//
+// The checkpoint target is the simulated parallel file system of the
+// paper's disk-based variant (Sec. 3/7): every write/restore is
+// charged through the existing alpha-beta disk model via
+// Cluster::charge_disk_phase, so fault-recovery overhead shows up in
+// simulated time, `comm.disk_bytes`, and the `checkpoint.*` counters.
+//
+// Checkpoints are incremental: only tiles whose write epoch advanced
+// since the previous checkpoint are written, and never-written (all
+// zero) tiles are elided entirely. Three restore paths:
+//   write()         after every barrier — snapshot dirty tiles;
+//   restore_dirty() undo the partial writes of a failed phase attempt
+//                   before Cluster::run_phase retries it;
+//   restore_rank()  rank death — re-own the dead rank's tiles across
+//                   the survivors and reload them from the newest
+//                   checkpoint epoch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fit::ga {
+class GlobalArray;
+}
+
+namespace fit::runtime {
+
+class Cluster;
+
+struct CheckpointConfig {
+  /// How many times run_phase re-executes a phase whose attempt was
+  /// aborted by a transient fault before giving up with FaultError.
+  std::size_t max_retries = 3;
+  /// Simulated backoff charged before the first retry; doubles on
+  /// every subsequent one.
+  double backoff_s = 1e-3;
+  /// Watchdog on a single phase's accumulated simulated makespan
+  /// (work + retries + backoff). 0 disables; when positive, exceeding
+  /// it raises TimeoutError instead of retrying further.
+  double phase_sim_timeout_s = 0;
+};
+
+/// Owned by Cluster (see Cluster::enable_recovery); tracks one
+/// incremental snapshot per live GlobalArray.
+class CheckpointManager {
+ public:
+  CheckpointManager(Cluster& cluster, CheckpointConfig cfg);
+
+  const CheckpointConfig& config() const { return cfg_; }
+  /// Epoch recorded by the newest checkpoint (0 = none written yet).
+  std::uint64_t last_checkpoint_epoch() const { return ckpt_epoch_; }
+
+  /// Drop the snapshot of a destroyed array.
+  void forget(ga::GlobalArray* array);
+
+  /// Snapshot every live array's dirty tiles; charges the disk writes.
+  /// Returns bytes written.
+  double write();
+
+  /// Undo the current (failed) phase attempt: every tile written in
+  /// the current epoch is restored to its checkpointed content (or to
+  /// zeros for tiles/arrays younger than the checkpoint); charges the
+  /// disk reads. Returns bytes read.
+  double restore_dirty();
+
+  /// Rank-death recovery: move `dead`'s tiles to the surviving ranks
+  /// (round-robin, transferring the memory accounting) and restore
+  /// their content from the newest checkpoint; charges the disk reads.
+  /// Returns bytes read.
+  double restore_rank(std::size_t dead);
+
+ private:
+  struct ArrayState {
+    bool valid = false;  // at least one checkpoint covers this array
+    std::vector<std::vector<double>> data;  // per tile; empty = zeros
+    std::vector<std::uint64_t> epochs;      // write epoch at snapshot
+  };
+
+  ArrayState& state_for(ga::GlobalArray* array);
+  double restore_tile(ga::GlobalArray* array, const ArrayState& st,
+                      std::size_t idx, std::vector<double>& bytes_per_rank);
+
+  Cluster& cl_;
+  CheckpointConfig cfg_;
+  std::uint64_t ckpt_epoch_ = 0;
+  std::unordered_map<ga::GlobalArray*, ArrayState> states_;
+};
+
+}  // namespace fit::runtime

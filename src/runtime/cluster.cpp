@@ -30,8 +30,12 @@ bool MemTracker::try_alloc(double bytes) {
 }
 
 void MemTracker::release(double bytes) {
+  FIT_REQUIRE(bytes >= 0, "negative release");
+  FIT_CHECK(bytes <= used_ + 1e-6,
+            "rank " << rank_ << ": double release — freeing "
+                    << human_bytes(bytes) << " with only "
+                    << human_bytes(used_) << " in use");
   used_ -= bytes;
-  FIT_CHECK(used_ >= -1e-6, "memory tracker went negative");
   if (used_ < 0) used_ = 0;
 }
 
@@ -67,6 +71,18 @@ void RankCtx::charge_transfer(std::size_t owner, double bytes) {
 
 void RankCtx::note_instant(const std::string& name) {
   cluster_.note_instant(name, rank_);
+}
+
+void RankCtx::fault_point(const char* what) {
+  if (!cluster_.faults_.armed()) return;
+  const std::size_t seq = op_seq_++;
+  if (cluster_.faults_.should_fail_op(cluster_.phase_index(), attempt_,
+                                      rank_, seq)) {
+    cluster_.registry_.add(cluster_.id_fault_transient_, rank_, 1);
+    note_instant(std::string("fault: transient ") + what);
+    throw FaultError("rank " + std::to_string(rank_) + ": transient " +
+                     what + " failure (injected)");
+  }
 }
 
 void RankCtx::charge_disk(double bytes) {
@@ -128,6 +144,156 @@ Cluster::Cluster(MachineConfig config, ExecutionMode mode,
   id_disk_peak_ = registry_.gauge("disk.peak_bytes");
   id_phase_makespan_ = registry_.histogram("phase.makespan_s");
   id_phase_imbalance_ = registry_.histogram("phase.imbalance");
+  id_fault_kills_ = registry_.counter("fault.kills");
+  id_fault_transient_ = registry_.counter("fault.transient_ops");
+  id_fault_shrinks_ = registry_.counter("fault.capacity_shrinks");
+  id_fault_degrades_ = registry_.counter("fault.bandwidth_degrades");
+  id_ckpt_writes_ = registry_.counter("checkpoint.writes");
+  id_ckpt_bytes_ = registry_.counter("checkpoint.bytes");
+  id_ckpt_restores_ = registry_.counter("checkpoint.restores");
+  id_ckpt_restored_bytes_ = registry_.counter("checkpoint.restored_bytes");
+  id_retry_attempts_ = registry_.counter("retry.attempts");
+  id_retry_exhausted_ = registry_.counter("retry.exhausted");
+  dead_.assign(config_.n_ranks(), 0);
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::install_faults(FaultInjector injector) { faults_ = injector; }
+
+void Cluster::enable_recovery(CheckpointConfig cfg) {
+  FIT_REQUIRE(config_.disk_bandwidth_bps > 0,
+              "recovery requires a parallel file system "
+              "(disk_bandwidth_bps > 0) to hold the checkpoints");
+  ckpt_ = std::make_unique<CheckpointManager>(*this, cfg);
+}
+
+std::size_t Cluster::n_live() const {
+  std::size_t live = 0;
+  for (char d : dead_) live += (d == 0);
+  return live;
+}
+
+std::size_t Cluster::live_owner(std::size_t rank) const {
+  FIT_REQUIRE(rank < n_ranks(), "rank out of range");
+  for (std::size_t i = 0; i < n_ranks(); ++i) {
+    const std::size_t r = (rank + i) % n_ranks();
+    if (!dead_[r]) return r;
+  }
+  throw FaultError("no live ranks left");
+}
+
+void Cluster::kill_rank(std::size_t rank) {
+  FIT_REQUIRE(rank < n_ranks(), "rank out of range");
+  if (dead_[rank]) return;
+  dead_[rank] = 1;
+  registry_.add(id_fault_kills_, rank, 1);
+  note_instant("fault: kill rank " + std::to_string(rank), rank);
+}
+
+double Cluster::aggregate_capacity_bytes() const {
+  double total = 0;
+  for (std::size_t r = 0; r < n_ranks(); ++r) {
+    if (!dead_[r]) total += mem_[r].capacity();
+  }
+  return total;
+}
+
+void Cluster::register_array(ga::GlobalArray* array) {
+  arrays_.push_back(array);
+}
+
+void Cluster::unregister_array(ga::GlobalArray* array) {
+  arrays_.erase(std::remove(arrays_.begin(), arrays_.end(), array),
+                arrays_.end());
+  if (ckpt_) ckpt_->forget(array);
+}
+
+void Cluster::charge_disk_phase(const std::string& label,
+                                const std::vector<double>& bytes_per_rank) {
+  FIT_CHECK(config_.disk_bandwidth_bps > 0,
+            "disk phase with no disk configured");
+  const double share =
+      config_.disk_bandwidth_bps / static_cast<double>(n_ranks());
+  double makespan = 0;
+  for (std::size_t r = 0; r < bytes_per_rank.size(); ++r) {
+    const double bytes = bytes_per_rank[r];
+    if (bytes <= 0) continue;
+    const double t = config_.disk_latency_s + bytes / share;
+    registry_.add(charge_ids_.disk_bytes, r, bytes);
+    registry_.add(charge_ids_.busy_time, r, t);
+    makespan = std::max(makespan, t);
+  }
+  sim_time_ += makespan;
+  if (makespan > 0) note_instant(label, 0);
+}
+
+void Cluster::process_boundary_faults() {
+  if (!faults_.armed()) return;
+  // Recovery itself replays GA traffic through run_phase-adjacent
+  // machinery; don't let it re-trigger boundary faults recursively.
+  in_recovery_ = true;
+  struct Reset {
+    bool& flag;
+    ~Reset() { flag = false; }
+  } reset{in_recovery_};
+
+  const std::size_t phase = phase_index();
+  auto events = faults_.take_boundary_faults(phase);
+  if (faults_.kill_prob() > 0) {
+    for (std::size_t r = 0; r < n_ranks(); ++r) {
+      if (!dead_[r] && faults_.kill_roll(phase, r)) {
+        FaultEvent ev;
+        ev.kind = FaultKind::KillRank;
+        ev.phase = phase;
+        ev.rank = r;
+        events.push_back(ev);
+      }
+    }
+  }
+
+  std::vector<std::size_t> killed;
+  for (const auto& ev : events) {
+    switch (ev.kind) {
+      case FaultKind::KillRank:
+        if (ev.rank < n_ranks() && !dead_[ev.rank]) {
+          kill_rank(ev.rank);
+          killed.push_back(ev.rank);
+        }
+        break;
+      case FaultKind::CapacityShrink:
+        for (std::size_t r = 0; r < n_ranks(); ++r) {
+          if (!dead_[r])
+            mem_[r].set_capacity(mem_[r].capacity() * ev.factor);
+        }
+        registry_.add(id_fault_shrinks_, 0, 1);
+        note_instant("fault: capacity x" + fmt_fixed(ev.factor, 2), 0);
+        break;
+      case FaultKind::NetDegrade:
+        config_.net_bandwidth_bps *= ev.factor;
+        registry_.add(id_fault_degrades_, 0, 1);
+        note_instant("fault: net bandwidth x" + fmt_fixed(ev.factor, 2), 0);
+        break;
+      case FaultKind::DiskDegrade:
+        config_.disk_bandwidth_bps *= ev.factor;
+        registry_.add(id_fault_degrades_, 0, 1);
+        note_instant("fault: disk bandwidth x" + fmt_fixed(ev.factor, 2), 0);
+        break;
+      case FaultKind::TransientOp:
+        break;  // fired inside the phase via RankCtx::fault_point
+    }
+  }
+
+  if (killed.empty()) return;
+  if (n_live() == 0)
+    throw FaultError("all ranks dead at phase " + std::to_string(phase));
+  if (!arrays_.empty()) {
+    if (!ckpt_)
+      throw CheckpointError(
+          "rank death with live global arrays and no recovery enabled "
+          "(call Cluster::enable_recovery before the faulty run)");
+    for (std::size_t dead : killed) ckpt_->restore_rank(dead);
+  }
 }
 
 void Cluster::merge_rank(const RankCtx& ctx) {
@@ -145,28 +311,38 @@ void Cluster::merge_rank(const RankCtx& ctx) {
   registry_.add(charge_ids_.busy_time, r, ctx.time_);
 }
 
-void Cluster::run_phase(const std::string& label,
-                        const std::function<void(RankCtx&)>& body) {
-  PhaseRecord rec;
-  rec.label = label;
-  rec.t_start = sim_time_;
-  const std::size_t span_name = timeline_.intern(label);
+void Cluster::execute_attempt(const std::function<void(RankCtx&)>& body,
+                              PhaseRecord& rec, const std::string& label,
+                              std::size_t attempt) {
+  const std::size_t span_name = timeline_.intern(
+      attempt == 0 ? label
+                   : label + " (retry " + std::to_string(attempt) + ")");
+  // Retries execute after the failed attempt's work and the backoff,
+  // so this attempt's spans start at the phase's accumulated offset.
+  const double t0 = rec.t_start + rec.makespan;
+  double attempt_makespan = 0;
   if (host_threads_ <= 1 || n_ranks() == 1) {
-    for (std::size_t r = 0; r < n_ranks(); ++r) {
-      RankCtx ctx(*this, r);
-      body(ctx);
-      rec.makespan = std::max(rec.makespan, ctx.time_);
-      rec.total_rank_time += ctx.time_;
-      rec.comm += ctx.comm_;
-      merge_rank(ctx);
-      timeline_.add_span(span_name, r, rec.t_start, ctx.time_);
+    try {
+      for (std::size_t r = 0; r < n_ranks(); ++r) {
+        if (dead_[r]) continue;
+        RankCtx ctx(*this, r, attempt);
+        body(ctx);
+        attempt_makespan = std::max(attempt_makespan, ctx.time_);
+        rec.total_rank_time += ctx.time_;
+        rec.comm += ctx.comm_;
+        merge_rank(ctx);
+        timeline_.add_span(span_name, r, t0, ctx.time_);
+      }
+    } catch (...) {
+      rec.makespan += attempt_makespan;
+      throw;
     }
   } else {
     // Each rank is processed by exactly one host thread (strided
     // assignment), so per-rank state needs no locking; the phase
     // record is merged under a mutex (registry and timeline have
-    // their own). Exceptions (e.g. scratch OOM) are captured and
-    // rethrown on the calling thread.
+    // their own). Exceptions (e.g. scratch OOM, injected transient
+    // faults) are captured and rethrown on the calling thread.
     const std::size_t nthreads = std::min(host_threads_, n_ranks());
     std::mutex merge_mutex;
     std::exception_ptr first_error;
@@ -175,18 +351,20 @@ void Cluster::run_phase(const std::string& label,
     for (std::size_t t = 0; t < nthreads; ++t) {
       pool.emplace_back([&, t] {
         PhaseRecord local;
+        double local_makespan = 0;
         try {
           for (std::size_t r = t; r < n_ranks(); r += nthreads) {
-            RankCtx ctx(*this, r);
+            if (dead_[r]) continue;
+            RankCtx ctx(*this, r, attempt);
             body(ctx);
-            local.makespan = std::max(local.makespan, ctx.time_);
+            local_makespan = std::max(local_makespan, ctx.time_);
             local.total_rank_time += ctx.time_;
             local.comm += ctx.comm_;
             merge_rank(ctx);
-            timeline_.add_span(span_name, r, rec.t_start, ctx.time_);
+            timeline_.add_span(span_name, r, t0, ctx.time_);
           }
           std::lock_guard<std::mutex> lock(merge_mutex);
-          rec.makespan = std::max(rec.makespan, local.makespan);
+          attempt_makespan = std::max(attempt_makespan, local_makespan);
           rec.total_rank_time += local.total_rank_time;
           rec.comm += local.comm;
         } catch (...) {
@@ -196,10 +374,56 @@ void Cluster::run_phase(const std::string& label,
       });
     }
     for (auto& th : pool) th.join();
-    if (first_error) std::rethrow_exception(first_error);
+    if (first_error) {
+      rec.makespan += attempt_makespan;
+      std::rethrow_exception(first_error);
+    }
+  }
+  rec.makespan += attempt_makespan;
+}
+
+void Cluster::run_phase(const std::string& label,
+                        const std::function<void(RankCtx&)>& body) {
+  if (!in_recovery_) process_boundary_faults();
+  PhaseRecord rec;
+  rec.label = label;
+  rec.t_start = sim_time_;
+  const std::size_t max_retries = ckpt_ ? ckpt_->config().max_retries : 0;
+  std::size_t attempt = 0;
+  for (;;) {
+    try {
+      execute_attempt(body, rec, label, attempt);
+      break;
+    } catch (const FaultError& e) {
+      registry_.add(id_retry_attempts_, 0, 1);
+      if (attempt >= max_retries) {
+        registry_.add(id_retry_exhausted_, 0, 1);
+        note_instant("retry budget exhausted: " + label, 0);
+        throw FaultError("phase '" + label + "' failed after " +
+                         std::to_string(attempt + 1) +
+                         " attempt(s): " + e.what());
+      }
+      // Roll back this attempt's partial writes to the pre-phase
+      // checkpoint, charge an exponential backoff, and go again on
+      // the (still consistent) pre-phase state.
+      ckpt_->restore_dirty();
+      const double backoff =
+          ckpt_->config().backoff_s * static_cast<double>(1ull << attempt);
+      rec.makespan += backoff;
+      const double watchdog = ckpt_->config().phase_sim_timeout_s;
+      if (watchdog > 0 && rec.makespan > watchdog) {
+        throw TimeoutError("phase '" + label +
+                           "' exceeded its simulated-time watchdog (" +
+                           fmt_sci(rec.makespan, 2) + " s > " +
+                           fmt_sci(watchdog, 2) + " s) while retrying: " +
+                           e.what());
+      }
+      note_instant("retry " + std::to_string(attempt + 1) + ": " + label, 0);
+      ++attempt;
+    }
   }
   if (rec.total_rank_time > 0)
-    rec.imbalance = rec.makespan * static_cast<double>(n_ranks()) /
+    rec.imbalance = rec.makespan * static_cast<double>(n_live()) /
                     rec.total_rank_time;
   sim_time_ += rec.makespan;
   registry_.observe(id_phase_makespan_, rec.makespan);
@@ -212,6 +436,8 @@ void Cluster::run_phase(const std::string& label,
   phases_.push_back(std::move(rec));
   note_global_usage();
   ++epoch_;  // the barrier
+  // The barrier is the consistent cut: snapshot what this phase wrote.
+  if (ckpt_ && !in_recovery_) ckpt_->write();
 }
 
 CommStats Cluster::totals() const {

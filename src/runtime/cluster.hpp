@@ -29,13 +29,20 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/faults.hpp"
 #include "runtime/machine.hpp"
 #include "util/error.hpp"
+
+namespace fit::ga {
+class GlobalArray;
+}
 
 namespace fit::runtime {
 
@@ -53,11 +60,16 @@ class MemTracker {
   /// Non-throwing variant: returns false (and charges nothing) when
   /// the allocation would exceed capacity. Used by the spill path.
   bool try_alloc(double bytes);
+  /// Releasing more than is in use (a double release) is an internal
+  /// accounting bug and raises InternalError without touching used_.
   void release(double bytes);
 
   double used() const { return used_; }
   double peak() const { return peak_; }
   double capacity() const { return capacity_; }
+  /// Capacity-shrink faults lower the ceiling mid-run; used_ may then
+  /// exceed capacity until the owner frees (new allocations fail).
+  void set_capacity(double capacity_bytes) { capacity_ = capacity_bytes; }
 
  private:
   std::size_t rank_ = 0;
@@ -131,16 +143,23 @@ class RankCtx {
   /// Record a point event on this rank's timeline track.
   void note_instant(const std::string& name);
 
+  /// Fault-injection probe, called by the GA layer before every
+  /// one-sided op. Throws FaultError when the installed injector
+  /// decrees a transient failure; run_phase's retry path absorbs it.
+  void fault_point(const char* what);
+
   MemTracker& memory();
   MemTracker& scratch();
   double elapsed() const { return time_; }
 
  private:
   friend class Cluster;
-  RankCtx(Cluster& cluster, std::size_t rank)
-      : cluster_(cluster), rank_(rank) {}
+  RankCtx(Cluster& cluster, std::size_t rank, std::size_t attempt = 0)
+      : cluster_(cluster), rank_(rank), attempt_(attempt) {}
   Cluster& cluster_;
   std::size_t rank_;
+  std::size_t attempt_;
+  std::size_t op_seq_ = 0;  // one-sided ops issued so far this attempt
   double time_ = 0;
   CommStats comm_;
 };
@@ -153,6 +172,7 @@ class Cluster {
   /// accumulation order; all counters are exactly deterministic.
   Cluster(MachineConfig config, ExecutionMode mode,
           std::size_t host_threads = 1);
+  ~Cluster();
 
   const MachineConfig& machine() const { return config_; }
   ExecutionMode mode() const { return mode_; }
@@ -169,6 +189,52 @@ class Cluster {
   /// Barrier epoch counter (incremented by every run_phase); the GA
   /// layer uses it to enforce the sync-before-read discipline.
   std::uint64_t epoch() const { return epoch_; }
+
+  /// Index the *next* run_phase call will get (0-based). FaultEvent
+  /// phases refer to this numbering.
+  std::size_t phase_index() const { return phases_.size(); }
+
+  /// Install a fault injector; replaces any previous one.
+  void install_faults(FaultInjector injector);
+  FaultInjector& faults() { return faults_; }
+
+  /// Turn on phase-boundary checkpointing and bounded phase retry.
+  /// Requires a parallel file system (disk_bandwidth_bps > 0): the
+  /// checkpoints are charged through the disk alpha-beta model.
+  void enable_recovery(CheckpointConfig cfg = {});
+  bool recovery_enabled() const { return ckpt_ != nullptr; }
+  CheckpointManager* checkpoints() { return ckpt_.get(); }
+
+  /// Rank liveness. Dead ranks are skipped by run_phase; their tiles
+  /// are re-owned by the survivors (see CheckpointManager).
+  bool is_dead(std::size_t rank) const { return dead_[rank] != 0; }
+  std::size_t n_live() const;
+  /// Remap a nominal owner rank to a live one (identity for live
+  /// ranks; next live rank cyclically for dead ones).
+  std::size_t live_owner(std::size_t rank) const;
+  void kill_rank(std::size_t rank);
+
+  /// Sum of the live ranks' *current* memory capacities — the live
+  /// view of aggregate S, which capacity-shrink faults and rank deaths
+  /// reduce (MachineConfig::aggregate_memory_bytes() is the nominal
+  /// one). The planner's degradation path replans against this.
+  double aggregate_capacity_bytes() const;
+
+  /// Live GlobalArray registry, maintained by the GA layer; the
+  /// checkpoint manager snapshots/restores exactly these.
+  void register_array(ga::GlobalArray* array);
+  void unregister_array(ga::GlobalArray* array);
+  const std::vector<ga::GlobalArray*>& registered_arrays() const {
+    return arrays_;
+  }
+
+  /// Charge a bulk parallel-file-system transfer (checkpoint write or
+  /// restore) outside any compute phase: advances simulated time by
+  /// the slowest rank's share but does NOT append a PhaseRecord or
+  /// bump the epoch, so phase indices and the sync discipline are
+  /// unaffected.
+  void charge_disk_phase(const std::string& label,
+                         const std::vector<double>& bytes_per_rank);
 
   MemTracker& memory(std::size_t rank) { return mem_[rank]; }
   const MemTracker& memory(std::size_t rank) const { return mem_[rank]; }
@@ -227,6 +293,13 @@ class Cluster {
   };
 
   void merge_rank(const RankCtx& ctx);
+  /// Apply scheduled + probabilistic boundary faults for the phase
+  /// about to run; performs rank-death recovery when enabled.
+  void process_boundary_faults();
+  /// One attempt at a phase body over all live ranks.
+  void execute_attempt(const std::function<void(RankCtx&)>& body,
+                       PhaseRecord& rec, const std::string& span_name,
+                       std::size_t attempt);
 
   MachineConfig config_;
   ExecutionMode mode_;
@@ -246,6 +319,16 @@ class Cluster {
                            id_scratch_peak_ = 0, id_global_peak_ = 0,
                            id_disk_used_ = 0, id_disk_peak_ = 0,
                            id_phase_makespan_ = 0, id_phase_imbalance_ = 0;
+  obs::MetricsRegistry::Id id_fault_kills_ = 0, id_fault_transient_ = 0,
+                           id_fault_shrinks_ = 0, id_fault_degrades_ = 0,
+                           id_ckpt_writes_ = 0, id_ckpt_bytes_ = 0,
+                           id_ckpt_restores_ = 0, id_ckpt_restored_bytes_ = 0,
+                           id_retry_attempts_ = 0, id_retry_exhausted_ = 0;
+  FaultInjector faults_;
+  std::unique_ptr<CheckpointManager> ckpt_;
+  std::vector<char> dead_;
+  std::vector<ga::GlobalArray*> arrays_;
+  bool in_recovery_ = false;  // guards re-entrant fault processing
 };
 
 /// RAII local (per-rank) scratch buffer: charges the rank's memory

@@ -1,0 +1,104 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// The paper's planner picks a fusion configuration from capacity
+// conditions (Thm 5.1, Sec. 6) — so the right response to losing a
+// node or a slab of memory mid-run is not a crash but the degradation
+// ladder those bounds prescribe: restore lost tiles from the last
+// phase-boundary checkpoint, retry the phase on the survivors, and
+// replan against the shrunken aggregate S. The FaultInjector is the
+// test harness for that machinery: it decides, reproducibly, when a
+// rank dies, when a one-sided operation fails transiently, and when
+// capacity or bandwidth degrade.
+//
+// Two configuration styles, freely mixed:
+//   plan-based      schedule(FaultEvent{...}) pins a fault to an exact
+//                   phase index — the deterministic unit-test mode;
+//   probability     set_kill_prob / set_op_failure_prob draw from a
+//                   pure hash of (seed, phase, attempt, rank, op) — no
+//                   mutable RNG state, so outcomes are identical across
+//                   runs, host-thread counts, and rank interleavings.
+//
+// Boundary faults (kill, capacity shrink, bandwidth degradation) fire
+// between phases, at the BSP barrier — the only point where the global
+// state is consistent enough to recover from. Transient op faults fire
+// inside a phase and are absorbed by Cluster::run_phase's bounded
+// retry-with-backoff path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fit::runtime {
+
+enum class FaultKind {
+  KillRank,        // permanent rank death at a phase boundary
+  TransientOp,     // one-sided get/put/acc failure inside a phase
+  CapacityShrink,  // multiply every live rank's memory capacity
+  NetDegrade,      // multiply the network bandwidth
+  DiskDegrade,     // multiply the parallel-file-system bandwidth
+};
+
+std::string to_string(FaultKind k);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::TransientOp;
+  std::size_t phase = 0;  // 0-based phase index (Cluster::phase_index())
+  std::size_t rank = 0;   // target rank (KillRank / TransientOp)
+  double factor = 1.0;    // capacity/bandwidth multiplier (shrink/degrade)
+  std::size_t count = 1;  // one-sided ops to fail (TransientOp)
+};
+
+class FaultInjector {
+ public:
+  /// Default-constructed injector is inert: armed() is false and the
+  /// cluster skips every fault check.
+  FaultInjector() = default;
+  explicit FaultInjector(std::uint64_t seed) : seed_(seed) {}
+  // Copyable despite the mutex (the copy gets a fresh one), so an
+  // injector can be configured externally and handed to a Cluster.
+  FaultInjector(const FaultInjector& other);
+  FaultInjector& operator=(const FaultInjector& other);
+
+  /// Pin a fault to an exact phase. TransientOp events carry a failure
+  /// budget (`count`): the target rank's first `count` one-sided ops in
+  /// that phase fail, across retry attempts, until the budget drains.
+  void schedule(const FaultEvent& ev);
+
+  /// Per-(phase, rank) probability that the rank dies at the boundary.
+  void set_kill_prob(double p);
+  /// Per-one-sided-op transient failure probability.
+  void set_op_failure_prob(double p);
+
+  bool armed() const;
+  std::uint64_t seed() const { return seed_; }
+  double kill_prob() const { return kill_prob_; }
+
+  /// Scheduled boundary faults (every kind except TransientOp) for
+  /// `phase`, in schedule order. Each event is returned exactly once.
+  std::vector<FaultEvent> take_boundary_faults(std::size_t phase);
+
+  /// Probability-driven kill decision — a pure function of the seed.
+  bool kill_roll(std::size_t phase, std::size_t rank) const;
+
+  /// Should the `op_seq`-th one-sided op by `rank` in (phase, attempt)
+  /// fail? Consumes scheduled TransientOp budgets first, then rolls
+  /// the op probability. The roll mixes in `attempt` so a retried
+  /// phase redraws — transient means transient. Thread safe.
+  bool should_fail_op(std::size_t phase, std::size_t attempt,
+                      std::size_t rank, std::size_t op_seq);
+
+ private:
+  double roll(std::uint64_t tag, std::uint64_t a, std::uint64_t b,
+              std::uint64_t c) const;
+
+  std::uint64_t seed_ = 0;
+  double kill_prob_ = 0;
+  double op_prob_ = 0;
+  std::vector<FaultEvent> plan_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace fit::runtime

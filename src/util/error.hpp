@@ -37,6 +37,28 @@ class OutOfMemoryError : public Error {
   explicit OutOfMemoryError(const std::string& what) : Error(what) {}
 };
 
+/// A fault (injected or detected) that recovery could not absorb: every
+/// rank died, a rank died with recovery disabled, or a phase exhausted
+/// its retry budget (see fit::runtime::FaultInjector).
+class FaultError : public Error {
+ public:
+  explicit FaultError(const std::string& what) : Error(what) {}
+};
+
+/// A bounded wait expired — e.g. a phase's cumulative retry/backoff
+/// time exceeded the configured simulated-time watchdog.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// Checkpoint/restart could not produce a usable state: no parallel
+/// file system configured, or a restore had no checkpoint to read.
+class CheckpointError : public Error {
+ public:
+  explicit CheckpointError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_precondition(const char* cond, const char* file,
                                      int line, const std::string& msg);

@@ -1,0 +1,435 @@
+// Fault injection, phase-boundary checkpoint/restart, and
+// bound-guided graceful degradation.
+//
+// The deterministic headline scenarios of the robustness work:
+//   - a rank killed mid-transform is recovered from the last
+//     phase-boundary checkpoint and the Real-mode result is
+//     bit-identical to a fault-free run;
+//   - a capacity shrink triggers a replan that downgrades the fusion
+//     choice exactly when the Thm 5.1 / Thm 6.2 conditions fail;
+//   - an exhausted retry budget raises FaultError instead of hanging.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "bounds/transform_bounds.hpp"
+#include "chem/molecule.hpp"
+#include "chem/mp2.hpp"
+#include "core/planner.hpp"
+#include "core/problem.hpp"
+#include "core/schedules_par.hpp"
+#include "core/transform.hpp"
+#include "obs/bench_json.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/faults.hpp"
+#include "runtime/machine.hpp"
+
+namespace {
+
+using namespace fit;
+using bounds::FusionChoice;
+using runtime::Cluster;
+using runtime::ExecutionMode;
+using runtime::FaultEvent;
+using runtime::FaultInjector;
+using runtime::FaultKind;
+using runtime::MachineConfig;
+
+MachineConfig fault_machine(std::size_t nodes, std::size_t rpn,
+                            double mem_per_node = 64e6,
+                            double disk_bps = 1e9) {
+  MachineConfig m;
+  m.name = "fault-test";
+  m.n_nodes = nodes;
+  m.ranks_per_node = rpn;
+  m.mem_per_node_bytes = mem_per_node;
+  m.flops_per_rank = 1e9;
+  m.integrals_per_sec = 1e8;
+  m.net_bandwidth_bps = 1e9;
+  m.net_latency_s = 1e-6;
+  m.local_bandwidth_bps = 1e10;
+  m.disk_bandwidth_bps = disk_bps;
+  m.disk_latency_s = 1e-3;
+  return m;
+}
+
+core::Problem small_problem(std::size_t n = 10, unsigned s = 2) {
+  return core::make_problem(chem::custom_molecule("faulty", n, s, 17 * n + s));
+}
+
+FaultEvent kill_event(std::size_t phase, std::size_t rank) {
+  FaultEvent ev;
+  ev.kind = FaultKind::KillRank;
+  ev.phase = phase;
+  ev.rank = rank;
+  return ev;
+}
+
+FaultEvent transient_event(std::size_t phase, std::size_t rank,
+                           std::size_t count) {
+  FaultEvent ev;
+  ev.kind = FaultKind::TransientOp;
+  ev.phase = phase;
+  ev.rank = rank;
+  ev.count = count;
+  return ev;
+}
+
+// ---- FaultInjector determinism --------------------------------------
+
+TEST(FaultInjector, DecisionsArePureFunctionsOfTheSeed) {
+  FaultInjector a(42), b(42), c(43);
+  a.set_kill_prob(0.3);
+  b.set_kill_prob(0.3);
+  c.set_kill_prob(0.3);
+  a.set_op_failure_prob(0.3);
+  b.set_op_failure_prob(0.3);
+  c.set_op_failure_prob(0.3);
+  bool any_differs = false;
+  for (std::size_t phase = 0; phase < 4; ++phase)
+    for (std::size_t rank = 0; rank < 4; ++rank) {
+      EXPECT_EQ(a.kill_roll(phase, rank), b.kill_roll(phase, rank));
+      any_differs |= a.kill_roll(phase, rank) != c.kill_roll(phase, rank);
+      for (std::size_t op = 0; op < 8; ++op) {
+        EXPECT_EQ(a.should_fail_op(phase, 0, rank, op),
+                  b.should_fail_op(phase, 0, rank, op));
+        any_differs |= a.should_fail_op(phase, 1, rank, op) !=
+                       c.should_fail_op(phase, 1, rank, op);
+      }
+    }
+  EXPECT_TRUE(any_differs);  // a different seed gives a different storm
+}
+
+TEST(FaultInjector, InertByDefaultAndValidatesProbabilities) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.armed());
+  EXPECT_FALSE(inj.kill_roll(0, 0));
+  EXPECT_FALSE(inj.should_fail_op(0, 0, 0, 0));
+  EXPECT_THROW(inj.set_kill_prob(1.5), PreconditionError);
+  EXPECT_THROW(inj.set_op_failure_prob(-0.1), PreconditionError);
+  inj.set_op_failure_prob(1.0);
+  EXPECT_TRUE(inj.armed());
+  EXPECT_TRUE(inj.should_fail_op(3, 1, 2, 7));
+}
+
+// ---- rank death + checkpoint/restart --------------------------------
+
+TEST(FaultRecovery, KilledRankIsRecoveredBitIdentically) {
+  const auto p = small_problem();
+  core::ParOptions opt;
+  opt.tile = 4;
+  opt.tile_l = 2;
+
+  Cluster clean(fault_machine(2, 2), ExecutionMode::Real);
+  const auto ref = core::unfused_par_transform(p, clean, opt);
+  ASSERT_TRUE(ref.c.has_value());
+
+  Cluster faulty(fault_machine(2, 2), ExecutionMode::Real);
+  faulty.enable_recovery();
+  FaultInjector inj(7);
+  inj.schedule(kill_event(/*phase=*/2, /*rank=*/1));  // boundary before c2
+  faulty.install_faults(inj);
+  const auto got = core::unfused_par_transform(p, faulty, opt);
+  ASSERT_TRUE(got.c.has_value());
+
+  EXPECT_EQ(got.c->max_abs_diff(*ref.c), 0.0);  // bit-identical
+  const auto eps = chem::synthetic_orbital_energies(p.n(), p.n() / 2);
+  EXPECT_EQ(chem::mp2_energy(*got.c, p.n() / 2, eps),
+            chem::mp2_energy(*ref.c, p.n() / 2, eps));
+
+  const auto& reg = faulty.metrics();
+  EXPECT_EQ(reg.sum("fault.kills"), 1.0);
+  EXPECT_GE(reg.sum("checkpoint.writes"), 2.0);
+  EXPECT_GE(reg.sum("checkpoint.restores"), 1.0);
+  EXPECT_GT(reg.sum("checkpoint.bytes"), 0.0);
+  EXPECT_EQ(faulty.n_live(), 3u);
+  EXPECT_TRUE(faulty.is_dead(1));
+  // Recovery traffic is charged: the faulty run is slower, not free.
+  EXPECT_GT(faulty.sim_time(), clean.sim_time());
+}
+
+TEST(FaultRecovery, RankDeathWithoutRecoveryIsACheckpointError) {
+  const auto p = small_problem(8, 1);
+  core::ParOptions opt;
+  opt.tile = 4;
+  Cluster cl(fault_machine(2, 2, 64e6, /*disk_bps=*/0),
+             ExecutionMode::Real);
+  FaultInjector inj(3);
+  inj.schedule(kill_event(1, 0));
+  cl.install_faults(inj);
+  EXPECT_THROW(core::unfused_par_transform(p, cl, opt), CheckpointError);
+}
+
+TEST(FaultRecovery, AllRanksDeadIsAFaultError) {
+  Cluster cl(fault_machine(2, 1), ExecutionMode::Simulate);
+  FaultInjector inj(5);
+  inj.schedule(kill_event(0, 0));
+  inj.schedule(kill_event(0, 1));
+  cl.install_faults(inj);
+  EXPECT_THROW(cl.run_phase("noop", [](runtime::RankCtx&) {}), FaultError);
+}
+
+TEST(FaultRecovery, EnableRecoveryRequiresAFileSystem) {
+  Cluster cl(fault_machine(1, 2, 64e6, /*disk_bps=*/0),
+             ExecutionMode::Simulate);
+  EXPECT_THROW(cl.enable_recovery(), PreconditionError);
+}
+
+// ---- transient op faults + bounded retry ----------------------------
+
+TEST(FaultRecovery, TransientOpFaultsAreRetriedBitIdentically) {
+  const auto p = small_problem();
+  core::ParOptions opt;
+  opt.tile = 4;
+
+  Cluster clean(fault_machine(2, 2), ExecutionMode::Real);
+  const auto ref = core::unfused_par_transform(p, clean, opt);
+
+  Cluster faulty(fault_machine(2, 2), ExecutionMode::Real);
+  faulty.enable_recovery();
+  FaultInjector inj(11);
+  // Rank 0's first two one-sided ops of phase "c1" fail: attempt 0 and
+  // the first retry both abort, the second retry drains through.
+  inj.schedule(transient_event(/*phase=*/1, /*rank=*/0, /*count=*/2));
+  faulty.install_faults(inj);
+  const auto got = core::unfused_par_transform(p, faulty, opt);
+
+  ASSERT_TRUE(got.c.has_value());
+  EXPECT_EQ(got.c->max_abs_diff(*ref.c), 0.0);
+  const auto& reg = faulty.metrics();
+  EXPECT_EQ(reg.sum("fault.transient_ops"), 2.0);
+  EXPECT_EQ(reg.sum("retry.attempts"), 2.0);
+  EXPECT_EQ(reg.sum("retry.exhausted"), 0.0);
+  EXPECT_GE(reg.sum("checkpoint.restores"), 2.0);  // one rollback per retry
+}
+
+TEST(FaultRecovery, ExhaustedRetryBudgetRaisesFaultError) {
+  const auto p = small_problem(8, 1);
+  core::ParOptions opt;
+  opt.tile = 4;
+  Cluster cl(fault_machine(2, 2), ExecutionMode::Real);
+  runtime::CheckpointConfig cfg;
+  cfg.max_retries = 2;
+  cl.enable_recovery(cfg);
+  FaultInjector inj(13);
+  inj.schedule(transient_event(1, 0, static_cast<std::size_t>(-1)));
+  cl.install_faults(inj);
+  EXPECT_THROW(core::unfused_par_transform(p, cl, opt), FaultError);
+  EXPECT_EQ(cl.metrics().sum("retry.exhausted"), 1.0);
+  EXPECT_EQ(cl.metrics().sum("retry.attempts"), 3.0);  // budget + 1
+}
+
+TEST(FaultRecovery, WatchdogRaisesTimeoutError) {
+  const auto p = small_problem(8, 1);
+  core::ParOptions opt;
+  opt.tile = 4;
+  Cluster cl(fault_machine(2, 2), ExecutionMode::Real);
+  runtime::CheckpointConfig cfg;
+  cfg.max_retries = 100;           // budget alone would retry for long
+  cfg.backoff_s = 1.0;
+  cfg.phase_sim_timeout_s = 2.5;   // 1.0 + 2.0 backoff crosses this
+  cl.enable_recovery(cfg);
+  FaultInjector inj(17);
+  inj.schedule(transient_event(1, 0, static_cast<std::size_t>(-1)));
+  cl.install_faults(inj);
+  EXPECT_THROW(core::unfused_par_transform(p, cl, opt), TimeoutError);
+}
+
+// ---- capacity / bandwidth degradation -------------------------------
+
+TEST(FaultDegradation, CapacityShrinkAndDeathLowerAggregateCapacity) {
+  Cluster cl(fault_machine(2, 2, 64e6), ExecutionMode::Simulate);
+  const double full = cl.aggregate_capacity_bytes();
+  EXPECT_EQ(full, cl.machine().aggregate_memory_bytes());
+
+  FaultInjector inj(1);
+  FaultEvent shrink;
+  shrink.kind = FaultKind::CapacityShrink;
+  shrink.phase = 0;
+  shrink.factor = 0.5;
+  inj.schedule(shrink);
+  cl.install_faults(inj);
+  cl.run_phase("noop", [](runtime::RankCtx&) {});
+  EXPECT_DOUBLE_EQ(cl.aggregate_capacity_bytes(), 0.5 * full);
+  EXPECT_EQ(cl.metrics().sum("fault.capacity_shrinks"), 1.0);
+
+  cl.kill_rank(3);
+  EXPECT_DOUBLE_EQ(cl.aggregate_capacity_bytes(), 0.375 * full);
+}
+
+TEST(FaultDegradation, BandwidthDegradeSlowsTheSimulatedClock) {
+  const auto run = [](bool degrade) {
+    Cluster cl(fault_machine(2, 1), ExecutionMode::Simulate);
+    if (degrade) {
+      FaultInjector inj(1);
+      FaultEvent ev;
+      ev.kind = FaultKind::NetDegrade;
+      ev.phase = 0;
+      ev.factor = 0.1;
+      inj.schedule(ev);
+      cl.install_faults(inj);
+    }
+    cl.run_phase("xfer", [](runtime::RankCtx& ctx) {
+      ctx.charge_transfer(1 - ctx.rank(), 1e8);
+    });
+    return cl.sim_time();
+  };
+  EXPECT_GT(run(true), 5.0 * run(false));
+}
+
+// ---- bound-guided replanning (Thm 5.1 / 5.2 / 6.2) ------------------
+
+TEST(Replan, DowngradesExactlyAtTheCapacityThresholds) {
+  const double n = 24, s = 1;
+  const auto sz = tensor::approx_sizes(n, s);
+  const double full_reuse = bounds::full_reuse_min_fast_memory(sz, n);
+  const double pair = bounds::fused_pair_min_fast_memory(n);
+  ASSERT_GT(full_reuse, pair);
+
+  const auto base = core::plan_fusion(n, s, 2.0 * full_reuse);
+  EXPECT_EQ(base.selected, FusionChoice::Fused1234);
+
+  // Exactly at the Thm 6.2 threshold full reuse still stands ...
+  EXPECT_EQ(core::replan_fusion(base, full_reuse).selected,
+            FusionChoice::Fused1234);
+  // ... one element below it the selection must walk down Thm 5.2's
+  // order, and the plan records the degradation.
+  const auto below = core::replan_fusion(base, full_reuse - 1.0);
+  EXPECT_NE(below.selected, FusionChoice::Fused1234);
+  bool noted = false;
+  for (const auto& e : below.entries)
+    if (e.choice == below.selected)
+      noted = e.note.find("degraded") != std::string::npos;
+  EXPECT_TRUE(noted);
+
+  // Below the Thm 5.1 pair-fusion threshold no fusion is useful: the
+  // plan falls all the way back to the unfused chain.
+  EXPECT_EQ(core::replan_fusion(base, pair - 1.0).selected,
+            FusionChoice::Unfused);
+  // replan on a replanned plan keeps the problem parameters.
+  EXPECT_EQ(core::replan_fusion(below, 2.0 * full_reuse).selected,
+            FusionChoice::Fused1234);
+}
+
+TEST(Replan, ResilientTransformDowngradesOnCapacityShrink) {
+  const std::size_t n = 16;
+  const auto p = small_problem(n, 1);
+  core::ParOptions opt;
+  opt.tile = 4;
+  opt.tile_l = 1;  // keeps the fused-inner slices well under the peak
+
+  // Tiled (not packed) footprints of the distributed arrays: the
+  // unfused chain's peak live pair is |O1|+|O2| in tile granularity.
+  const double tile4 = static_cast<double>(opt.tile * opt.tile) *
+                       static_cast<double>(opt.tile * opt.tile);
+  const double nt = static_cast<double>(n / opt.tile);
+  const double pair_tiles = nt * (nt + 1) / 2;
+  const double o1_words = nt * nt * pair_tiles * tile4;
+  const double o2_words = pair_tiles * pair_tiles * tile4;
+  const double pair_peak_bytes = 8.0 * (o1_words + o2_words);
+  // The shrunken aggregate must separate the two schedules: too small
+  // for the unfused intermediates, roomy for the fused-inner slices.
+  const double target = 0.9 * pair_peak_bytes;
+  ASSERT_GT(target,
+            1.5 * 8.0 * bounds::eq8_global_memory(
+                            static_cast<double>(n),
+                            static_cast<double>(opt.tile_l), 1.0));
+
+  const double full = 1.25 * pair_peak_bytes;  // unfused fits initially
+  MachineConfig m = fault_machine(2, 1, full / 2.0, /*disk_bps=*/0);
+  Cluster cl(m, ExecutionMode::Real);
+  ASSERT_TRUE(core::unfused_fits(p, cl));
+
+  FaultInjector inj(2);
+  FaultEvent shrink;
+  shrink.kind = FaultKind::CapacityShrink;
+  shrink.phase = 1;  // boundary before c1: O1 is live, O2 comes next
+  shrink.factor = target / full;
+  inj.schedule(shrink);
+  cl.install_faults(inj);
+
+  const auto got = core::resilient_transform(p, cl, opt);
+  EXPECT_EQ(got.stats.schedule, "resilient(unfused->fused-inner)");
+  EXPECT_NE(got.stats.note.find("downgraded"), std::string::npos);
+  EXPECT_EQ(cl.metrics().sum("plan.replans"), 1.0);
+
+  ASSERT_TRUE(got.c.has_value());
+  const auto ref = core::reference_transform(p);
+  EXPECT_LT(got.c->max_abs_diff(ref), 1e-9);
+}
+
+TEST(Replan, ResilientTransformUsesUnfusedWhenItFits) {
+  const auto p = small_problem(8, 1);
+  Cluster cl(fault_machine(2, 2), ExecutionMode::Real);
+  core::TransformOptions opt;
+  opt.schedule = core::Schedule::Resilient;
+  opt.par.tile = 4;
+  const auto out = core::four_index_transform(p, opt, &cl);
+  EXPECT_EQ(out.par.schedule, "resilient(unfused)");
+  EXPECT_EQ(core::to_string(core::Schedule::Resilient), "resilient");
+  const auto ref = core::reference_transform(p);
+  ASSERT_TRUE(out.c.has_value());
+  EXPECT_LT(out.c->max_abs_diff(ref), 1e-9);
+}
+
+// ---- observability --------------------------------------------------
+
+TEST(FaultObservability, BenchReportWithFaultMetricsValidates) {
+  const auto p = small_problem(8, 1);
+  core::ParOptions opt;
+  opt.tile = 4;
+  opt.gather_result = false;
+  Cluster cl(fault_machine(2, 2), ExecutionMode::Simulate);
+  cl.enable_recovery();
+  FaultInjector inj(9);
+  inj.schedule(kill_event(2, 1));
+  cl.install_faults(inj);
+  core::unfused_par_transform(p, cl, opt);
+
+  obs::BenchReport report("test_fault_recovery");
+  report.add_scalar("sim_time_s", cl.sim_time());
+  report.add_metrics("faulty", cl.metrics());
+  std::string why;
+  EXPECT_TRUE(obs::validate_bench_json(report.to_json(), &why)) << why;
+  const std::string doc = report.to_json().dump();
+  EXPECT_NE(doc.find("fault.kills"), std::string::npos);
+  EXPECT_NE(doc.find("checkpoint.bytes"), std::string::npos);
+  EXPECT_NE(doc.find("retry.attempts"), std::string::npos);
+}
+
+// ---- seeded stress matrix (CI fault-matrix job) ---------------------
+
+TEST(FaultMatrix, SeededStormEitherCompletesExactlyOrFailsCleanly) {
+  std::uint64_t seed = 1;
+  if (const char* env = std::getenv("FOURINDEX_FAULT_SEED"))
+    seed = std::strtoull(env, nullptr, 10);
+
+  const auto p = small_problem(8, 1);
+  core::ParOptions opt;
+  opt.tile = 4;
+
+  Cluster clean(fault_machine(2, 2), ExecutionMode::Real);
+  const auto ref = core::unfused_par_transform(p, clean, opt);
+
+  Cluster faulty(fault_machine(2, 2), ExecutionMode::Real);
+  runtime::CheckpointConfig cfg;
+  cfg.max_retries = 5;
+  faulty.enable_recovery(cfg);
+  FaultInjector inj(seed);
+  inj.set_kill_prob(0.02);
+  inj.set_op_failure_prob(0.002);
+  faulty.install_faults(inj);
+
+  try {
+    const auto got = core::unfused_par_transform(p, faulty, opt);
+    ASSERT_TRUE(got.c.has_value());
+    // Recovery is exact or it is a bug: no silent corruption allowed.
+    EXPECT_EQ(got.c->max_abs_diff(*ref.c), 0.0);
+  } catch (const FaultError&) {
+    // Acceptable outcome: the storm exceeded the recovery envelope
+    // (all ranks dead or retry budget drained) and said so.
+  }
+}
+
+}  // namespace

@@ -80,6 +80,21 @@ TEST(Cluster, MemTrackerOom) {
   EXPECT_NEAR(mem.peak(), 500, 1e-9);
 }
 
+TEST(Cluster, MemTrackerDoubleReleaseIsAnInternalError) {
+  // Releasing more than is in use is an accounting bug in the caller
+  // (double free of a tile). The tracker must refuse instead of
+  // silently going negative and inflating later capacity checks.
+  Cluster cl(tiny_machine(1, 1, 1000), ExecutionMode::Simulate);
+  auto& mem = cl.memory(0);
+  mem.alloc(400, "x");
+  mem.release(400);
+  EXPECT_THROW(mem.release(400), fit::InternalError);
+  EXPECT_THROW(mem.release(-1.0), fit::PreconditionError);
+  // The tracker stays usable after the refused release.
+  EXPECT_NO_THROW(mem.alloc(1000, "y"));
+  EXPECT_NEAR(mem.used(), 1000, 1e-9);
+}
+
 TEST(Cluster, RankBufferChargesScratchAndReleases) {
   auto m = tiny_machine(1, 1, 1e9);
   m.local_scratch_bytes = 8 * 100 + 64;
@@ -233,6 +248,77 @@ TEST(GlobalArray, DestroyReleasesMemory) {
   a->destroy();  // idempotent
   EXPECT_NEAR(cl.memory(0).used(), 0.0, 1e-9);
   EXPECT_NEAR(cl.global_peak(), 800.0, 1e-9);
+}
+
+TEST(GlobalArray, OpsAfterDestroyArePreconditionErrors) {
+  // A destroyed array must reject one-sided traffic instead of
+  // touching freed tile storage.
+  Cluster cl(tiny_machine(1, 1, 1e6), ExecutionMode::Real);
+  std::vector<tensor::Tiling> dims = {tensor::Tiling(8, 4)};
+  ga::GlobalArray a(cl, "gone", dims);
+  a.destroy();
+  cl.run_phase("use-after-destroy", [&](runtime::RankCtx& ctx) {
+    std::vector<double> buf(4, 0.0);
+    const std::vector<std::size_t> coord = {0};
+    EXPECT_THROW(a.get(ctx, coord, buf.data()), fit::PreconditionError);
+    EXPECT_THROW(a.put(ctx, coord, buf.data()), fit::PreconditionError);
+    EXPECT_THROW(a.acc(ctx, coord, buf.data()), fit::PreconditionError);
+  });
+}
+
+TEST(GlobalArray, RestoreTileRoundTripsDataAndEpoch) {
+  // The checkpoint interface: a tile snapshot (data + write epoch)
+  // restores bit-identically, and an empty snapshot means zeros.
+  Cluster cl(tiny_machine(1, 1, 1e6), ExecutionMode::Real);
+  std::vector<tensor::Tiling> dims = {tensor::Tiling(8, 4)};  // 2 tiles
+  ga::GlobalArray a(cl, "ck", dims);
+  const std::vector<std::size_t> coord = {1};
+  cl.run_phase("fill", [&](runtime::RankCtx& ctx) {
+    std::vector<double> buf = {5, 6, 7, 8};
+    a.put(ctx, coord, buf.data());
+  });
+  std::size_t idx = a.n_tiles();
+  for (std::size_t i = 0; i < a.n_tiles(); ++i)
+    if (a.tile_by_index(i).coord == coord) idx = i;
+  ASSERT_LT(idx, a.n_tiles());
+  const auto snap = a.tile_data(idx);           // copy = the snapshot
+  const auto epoch = a.tile_write_epoch(idx);
+  EXPECT_GT(epoch, 0u);
+
+  cl.run_phase("clobber", [&](runtime::RankCtx& ctx) {
+    std::vector<double> buf = {0, 0, 0, 0};
+    a.put(ctx, coord, buf.data());
+  });
+  a.restore_tile(idx, snap, epoch);
+  EXPECT_EQ(a.tile_write_epoch(idx), epoch);
+  EXPECT_DOUBLE_EQ(a.peek(std::vector<std::size_t>{7}), 8.0);
+
+  a.restore_tile(idx, {}, 0);  // empty snapshot = never written
+  EXPECT_EQ(a.tile_write_epoch(idx), 0u);
+  EXPECT_DOUBLE_EQ(a.peek(std::vector<std::size_t>{7}), 0.0);
+}
+
+TEST(GlobalArray, ReassignOwnerMovesTilesToSurvivors) {
+  // When a rank dies its tiles get new owners among the survivors and
+  // the dead rank's memory accounting is emptied.
+  Cluster cl(tiny_machine(1, 4, 1e6), ExecutionMode::Real);
+  std::vector<tensor::Tiling> dims = {tensor::Tiling(16, 4)};  // 4 tiles
+  ga::GlobalArray a(cl, "mv", dims);
+  ASSERT_EQ(a.tiles_of(2).size(), 1u);
+  const std::size_t dead_tile = a.tiles_of(2)[0];
+  const double dead_used = cl.memory(2).used();
+  EXPECT_GT(dead_used, 0.0);
+
+  const std::vector<std::size_t> targets = {0, 1, 3};
+  auto moved = a.reassign_owner(2, targets);
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved[0], dead_tile);
+  EXPECT_TRUE(a.tiles_of(2).empty());
+  const auto new_owner = a.tile_by_index(dead_tile).owner;
+  EXPECT_NE(new_owner, 2u);
+  EXPECT_NEAR(cl.memory(2).used(), 0.0, 1e-9);
+  EXPECT_NEAR(cl.memory(new_owner).used(),
+              dead_used + 8.0 * 4, 1e-9);  // its own tile + the moved one
 }
 
 }  // namespace

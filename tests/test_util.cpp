@@ -27,6 +27,45 @@ TEST(Error, MessageContainsContext) {
   }
 }
 
+TEST(Error, FaultTaxonomyDerivesFromError) {
+  // Every recovery-related exception is a fit::Error, so a single
+  // catch (const fit::Error&) at the driver level is sufficient.
+  EXPECT_THROW(throw fit::FaultError("rank died"), fit::Error);
+  EXPECT_THROW(throw fit::TimeoutError("watchdog"), fit::Error);
+  EXPECT_THROW(throw fit::CheckpointError("no pfs"), fit::Error);
+  EXPECT_THROW(throw fit::OutOfMemoryError("oom"), fit::Error);
+}
+
+TEST(Error, FaultTaxonomyIsDistinguishable) {
+  // The three recovery errors are siblings, not subtypes of each
+  // other: catching one must not swallow the others.
+  try {
+    throw fit::FaultError("exhausted retries");
+  } catch (const fit::TimeoutError&) {
+    FAIL() << "FaultError caught as TimeoutError";
+  } catch (const fit::CheckpointError&) {
+    FAIL() << "FaultError caught as CheckpointError";
+  } catch (const fit::FaultError& e) {
+    EXPECT_NE(std::string(e.what()).find("exhausted"), std::string::npos);
+  }
+  try {
+    throw fit::CheckpointError("rank death with no recovery enabled");
+  } catch (const fit::FaultError&) {
+    FAIL() << "CheckpointError caught as FaultError";
+  } catch (const fit::CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("recovery"), std::string::npos);
+  }
+}
+
+TEST(Error, StdExceptionCatchSeesTaxonomy) {
+  // what() survives a catch through the std::exception base.
+  try {
+    throw fit::TimeoutError("phase c2 watchdog: 3.5s > 2.5s budget");
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("watchdog"), std::string::npos);
+  }
+}
+
 TEST(Rng, Deterministic) {
   fit::SplitMix64 a(123), b(123);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
