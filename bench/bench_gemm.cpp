@@ -1,12 +1,25 @@
 // Supporting microbenchmark: throughput of the from-scratch blocked
 // DGEMM (fit::blas), including the n^3 x n "macro" shape every tensor
 // contraction of the four-index transform reduces to (Sec. 5.1).
+//
+// Besides the google-benchmark sweep, a head-to-head section measures
+// the engine against gemm_reference at n = 512 for 1/2/4 lanes and
+// records the results as fourindex.bench/1 scalars
+// (gemm.n512.gflops_t{1,2,4}, gemm.n512.speedup_vs_reference, ...);
+// CI's bench-smoke job gates on speedup_vs_reference >= 2. With
+// FOURINDEX_BENCH_SMOKE=1 only the head-to-head section runs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "blas/gemm.hpp"
+#include "blas/tune.hpp"
 #include "obs/bench_json.hpp"
 #include "util/rng.hpp"
 
@@ -97,6 +110,76 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
   fit::obs::BenchReport* report_;
 };
 
+double timed_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double best_of(int reps, const std::function<void()>& fn) {
+  double best = timed_seconds(fn);
+  for (int r = 1; r < reps; ++r) best = std::min(best, timed_seconds(fn));
+  return best;
+}
+
+// Engine vs. reference at n = 512, plus lane scaling — the numbers the
+// CI gate and the README "Performance" section quote.
+void head_to_head(fit::obs::BenchReport& report) {
+  const std::size_t n = 512;
+  const double flops = fit::blas::gemm_flops(n, n, n);
+  auto a = random_vec(n * n, 1);
+  auto b = random_vec(n * n, 2);
+  std::vector<double> c(n * n, 0.0);
+  auto run_blocked = [&] {
+    fit::blas::gemm(fit::blas::Trans::No, fit::blas::Trans::No, n, n, n, 1.0,
+                    a.data(), n, b.data(), n, 0.0, c.data(), n);
+  };
+  auto run_reference = [&] {
+    fit::blas::gemm_reference(fit::blas::Trans::No, fit::blas::Trans::No, n,
+                              n, n, 1.0, a.data(), n, b.data(), n, 0.0,
+                              c.data(), n);
+  };
+
+  const auto base = fit::blas::gemm_config();
+  report.add_scalar("gemm.config.mc", double(base.mc));
+  report.add_scalar("gemm.config.kc", double(base.kc));
+  report.add_scalar("gemm.config.nc", double(base.nc));
+  report.add_scalar("gemm.config.threads", double(base.threads));
+  report.add_scalar("gemm.config.deterministic",
+                    base.deterministic ? 1.0 : 0.0);
+
+  const double t_ref = best_of(2, run_reference);
+  const double ref_gflops = flops / t_ref / 1e9;
+  report.add_scalar("gemm.n512.reference_gflops", ref_gflops);
+  std::printf("n=512 head-to-head: reference %.2f GFLOP/s\n", ref_gflops);
+
+  double t1 = 0.0, t4 = 0.0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    auto cfg = base;
+    cfg.threads = threads;
+    fit::blas::set_gemm_config(cfg);
+    run_blocked();  // warm the packing buffers / pool
+    const double t = best_of(3, run_blocked);
+    if (threads == 1) t1 = t;
+    if (threads == 4) t4 = t;
+    report.add_scalar("gemm.n512.gflops_t" + std::to_string(threads),
+                      flops / t / 1e9);
+    std::printf("n=512 head-to-head: engine t%zu %.2f GFLOP/s\n", threads,
+                flops / t / 1e9);
+  }
+  fit::blas::set_gemm_config(base);
+
+  const double speedup = t_ref / t1;
+  report.add_scalar("gemm.n512.speedup_vs_reference", speedup);
+  report.add_scalar("gemm.n512.parallel_efficiency_t4", t1 / t4 / 4.0);
+  std::printf(
+      "n=512 head-to-head: single-thread speedup vs reference %.2fx, "
+      "4-lane efficiency %.0f%%\n",
+      speedup, 100.0 * t1 / t4 / 4.0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,9 +188,15 @@ int main(int argc, char** argv) {
   fit::obs::BenchReport report("bench_gemm");
   report.add_note("flops = items processed; items_per_second is the "
                   "DGEMM flop rate");
-  JsonTeeReporter reporter(&report);
-  benchmark::RunSpecifiedBenchmarks(&reporter);
+  report.add_note("gemm.n512.* scalars: blocked engine vs gemm_reference "
+                  "head-to-head (CI gates speedup_vs_reference >= 2)");
+  const char* smoke = std::getenv("FOURINDEX_BENCH_SMOKE");
+  if (!(smoke && smoke[0] == '1')) {
+    JsonTeeReporter reporter(&report);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
   benchmark::Shutdown();
+  head_to_head(report);
   report.write();
   return 0;
 }

@@ -1,22 +1,25 @@
 #include "blas/gemm.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
 #include <vector>
 
+#include "blas/tune.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fit::blas {
 
 namespace {
 
-// Cache blocking parameters. MC x KC panel of A is packed to stay in L2,
-// KC x NC panel of B to stay in L3; the micro-kernel updates an
-// MR x NR register block.
-constexpr std::size_t MC = 128;
-constexpr std::size_t KC = 256;
-constexpr std::size_t NC = 512;
-constexpr std::size_t MR = 4;
-constexpr std::size_t NR = 8;
+constexpr std::size_t MR = kGemmMR;
+constexpr std::size_t NR = kGemmNR;
 
 inline double at(const double* x, std::size_t ld, std::size_t i,
                  std::size_t j, Trans t) {
@@ -49,9 +52,12 @@ void pack_b(const double* b, std::size_t ldb, Trans tb, std::size_t row0,
   }
 }
 
-// MR x NR micro-kernel over packed panels: acc += Apanel * Bpanel.
-void micro_kernel(std::size_t kc, const double* ap, const double* bp,
-                  double acc[MR][NR]) {
+// Scalar MR x NR micro-kernel over packed panels: acc += Apanel *
+// Bpanel. The deterministic reference: one product and one add per
+// (i, j, p) in a fixed order, never contracted into FMA differently by
+// the vector path's lane structure.
+void micro_kernel_scalar(std::size_t kc, const double* ap, const double* bp,
+                         double acc[MR][NR]) {
   for (std::size_t p = 0; p < kc; ++p) {
     const double* arow = ap + p * MR;
     const double* brow = bp + p * NR;
@@ -60,6 +66,181 @@ void micro_kernel(std::size_t kc, const double* ap, const double* bp,
       for (std::size_t j = 0; j < NR; ++j) acc[i][j] += av * brow[j];
     }
   }
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#define FIT_GEMM_HAVE_VEC 1
+// Portable SIMD via compiler vector extensions: a 4-wide double vector
+// lowers to AVX on machines that have it and to pairs of SSE2 ops (or
+// NEON pairs) otherwise — no intrinsics, no ISA ifdefs. The unaligned
+// alias is what we load through: packing buffers are only guaranteed
+// 16-byte aligned by the allocator.
+typedef double vd4 __attribute__((vector_size(4 * sizeof(double))));
+typedef vd4 vd4u __attribute__((aligned(8)));
+
+// Vectorized micro-kernel. Each p-step broadcasts one A element per
+// row and multiply-accumulates it against B vectors. Accumulation
+// order over p is identical to the scalar kernel, so results are
+// bit-stable across thread counts; only the per-element rounding (FMA
+// contraction, lane math) may differ from the scalar kernel, which is
+// what FOURINDEX_DETERMINISTIC=1 opts out of.
+#if defined(__AVX__)
+// Wide variant: the MR x NR accumulator lives in MR x 2 ymm registers
+// (11 of 16 live vectors — fits the AVX register file and keeps 8
+// independent accumulation chains to hide FMA latency).
+void micro_kernel_vec(std::size_t kc, const double* ap, const double* bp,
+                      double acc[MR][NR]) {
+  vd4 c0[MR], c1[MR];
+  for (std::size_t i = 0; i < MR; ++i) {
+    c0[i] = vd4{0.0, 0.0, 0.0, 0.0};
+    c1[i] = vd4{0.0, 0.0, 0.0, 0.0};
+  }
+  for (std::size_t p = 0; p < kc; ++p) {
+    const double* arow = ap + p * MR;
+    const double* brow = bp + p * NR;
+    const vd4 b0 = *reinterpret_cast<const vd4u*>(brow);
+    const vd4 b1 = *reinterpret_cast<const vd4u*>(brow + 4);
+    for (std::size_t i = 0; i < MR; ++i) {
+      const double s = arow[i];
+      const vd4 av = {s, s, s, s};
+      c0[i] += av * b0;
+      c1[i] += av * b1;
+    }
+  }
+  for (std::size_t i = 0; i < MR; ++i) {
+    *reinterpret_cast<vd4u*>(&acc[i][0]) = c0[i];
+    *reinterpret_cast<vd4u*>(&acc[i][4]) = c1[i];
+  }
+}
+#else
+// Narrow variant for generic builds, where each vd4 lowers to a PAIR
+// of 2-wide SSE2/NEON registers: the wide variant's 8 vd4 accumulators
+// would need all 16 xmm registers and spill every iteration (measured
+// ~6x slower than this). Two passes over the packed A panel, each
+// keeping only MR accumulators (8 xmm) live; A stays L1-resident so
+// the second pass is nearly free.
+void micro_kernel_vec(std::size_t kc, const double* ap, const double* bp,
+                      double acc[MR][NR]) {
+  for (std::size_t half = 0; half < 2; ++half) {
+    vd4 cc[MR];
+    for (std::size_t i = 0; i < MR; ++i) cc[i] = vd4{0.0, 0.0, 0.0, 0.0};
+    const double* bhalf = bp + half * 4;
+    for (std::size_t p = 0; p < kc; ++p) {
+      const double* arow = ap + p * MR;
+      const vd4 bv = *reinterpret_cast<const vd4u*>(bhalf + p * NR);
+      for (std::size_t i = 0; i < MR; ++i) {
+        const double s = arow[i];
+        const vd4 av = {s, s, s, s};
+        cc[i] += av * bv;
+      }
+    }
+    for (std::size_t i = 0; i < MR; ++i)
+      *reinterpret_cast<vd4u*>(&acc[i][half * 4]) = cc[i];
+  }
+}
+#endif
+#endif
+
+using MicroKernelFn = void (*)(std::size_t, const double*, const double*,
+                               double[MR][NR]);
+
+MicroKernelFn select_kernel(bool deterministic) {
+#ifdef FIT_GEMM_HAVE_VEC
+  if (!deterministic) return micro_kernel_vec;
+#else
+  (void)deterministic;
+#endif
+  return micro_kernel_scalar;
+}
+
+// Persistent per-thread packing buffers: grown on demand, reused across
+// gemm calls (the ISSUE's "thread-local persistent packing buffers" —
+// the steady state does zero allocations per call).
+std::vector<double>& tls_pack_a_buf() {
+  thread_local std::vector<double> buf;
+  return buf;
+}
+std::vector<double>& tls_pack_b_buf() {
+  thread_local std::vector<double> buf;
+  return buf;
+}
+
+double* grown(std::vector<double>& buf, std::size_t n) {
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
+// ---- engine metrics -------------------------------------------------
+
+struct EngineMetrics {
+  obs::MetricsRegistry::Id calls;
+  obs::MetricsRegistry::Id flops;
+  obs::MetricsRegistry::Id pack_bytes;
+  obs::MetricsRegistry::Id gflops;
+};
+
+EngineMetrics& engine_metrics() {
+  static EngineMetrics m = [] {
+    auto& reg = gemm_metrics();
+    return EngineMetrics{reg.counter("gemm.calls"), reg.counter("gemm.flops"),
+                         reg.counter("gemm.pack_bytes"),
+                         reg.gauge("gemm.gflops")};
+  }();
+  return m;
+}
+
+// ---- optional kernel trace ------------------------------------------
+//
+// When FOURINDEX_TRACE_DIR is set, every blocked gemm call records a
+// span (track = calling thread) into a process-global timeline written
+// to $FOURINDEX_TRACE_DIR/gemm_kernels.trace.json at exit.
+
+struct TraceState {
+  bool enabled = false;
+  std::string path;
+  obs::Timeline timeline;
+  std::mutex track_mutex;
+  std::size_t next_track = 0;
+  std::chrono::steady_clock::time_point t0;
+};
+
+TraceState* g_trace = nullptr;
+
+TraceState& trace_state() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    g_trace = new TraceState;  // leaked: must outlive atexit
+    if (const char* dir = std::getenv("FOURINDEX_TRACE_DIR")) {
+      if (dir[0] != '\0') {
+        g_trace->enabled = true;
+        g_trace->path = std::string(dir) + "/gemm_kernels.trace.json";
+        g_trace->t0 = std::chrono::steady_clock::now();
+        std::atexit([] {
+          g_trace->timeline.write_chrome_trace(g_trace->path, "gemm kernels");
+        });
+      }
+    }
+  });
+  return *g_trace;
+}
+
+std::size_t trace_track(TraceState& ts) {
+  thread_local std::size_t track = static_cast<std::size_t>(-1);
+  if (track == static_cast<std::size_t>(-1)) {
+    std::lock_guard<std::mutex> lock(ts.track_mutex);
+    track = ts.next_track++;
+  }
+  return track;
+}
+
+double trace_now(TraceState& ts) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       ts.t0)
+      .count();
+}
+
+std::size_t round_up(std::size_t v, std::size_t unit) {
+  return ((v + unit - 1) / unit) * unit;
 }
 
 }  // namespace
@@ -82,15 +263,30 @@ void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
           double alpha, const double* a, std::size_t lda, const double* b,
           std::size_t ldb, double beta, double* c, std::size_t ldc) {
   FIT_REQUIRE(ldc >= n || m == 0, "gemm: ldc too small");
+  // op(A) is read as a[i*lda+p] (No) or a[p*lda+i] (Yes); op(B) as
+  // b[p*ldb+j] (No) or b[j*ldb+p] (Yes).
+  const std::size_t lda_min = (ta == Trans::No) ? k : m;
+  const std::size_t ldb_min = (tb == Trans::No) ? n : k;
+  FIT_REQUIRE(lda >= lda_min || m == 0 || k == 0,
+              "gemm: lda too small for op(A)");
+  FIT_REQUIRE(ldb >= ldb_min || n == 0 || k == 0,
+              "gemm: ldb too small for op(B)");
   if (m == 0 || n == 0) return;
 
-  // Scale C by beta once, up front.
-  if (beta != 1.0) {
+  // Scale C by beta once, up front; beta == 1 skips the pass entirely.
+  if (beta == 0.0) {
     for (std::size_t i = 0; i < m; ++i)
-      for (std::size_t j = 0; j < n; ++j)
-        c[i * ldc + j] = (beta == 0.0) ? 0.0 : beta * c[i * ldc + j];
+      std::fill(c + i * ldc, c + i * ldc + n, 0.0);
+  } else if (beta != 1.0) {
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
   }
   if (k == 0 || alpha == 0.0) return;
+
+  auto& em = engine_metrics();
+  auto& reg = gemm_metrics();
+  reg.add(em.calls, 0, 1.0);
+  reg.add(em.flops, 0, gemm_flops(m, n, k));
 
   // Small problems: the packing overhead dominates; use the reference
   // loop with alpha folded in (beta already applied).
@@ -105,33 +301,93 @@ void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
     return;
   }
 
-  std::vector<double> abuf(MC * KC);
-  std::vector<double> bbuf(KC * NC);
+  const GemmConfig cfg = gemm_config();
+  const std::size_t KC = cfg.kc;
+  const std::size_t NC = cfg.nc;
+  const MicroKernelFn kernel = select_kernel(cfg.deterministic);
+
+  // Thread partitioning: lanes split the ic loop (M dimension) only —
+  // each C row block is written by exactly one task and the pc loop
+  // stays sequential, so every C element accumulates its k-products in
+  // the same order at any thread count (bit-reproducibility across
+  // FOURINDEX_GEMM_THREADS by construction). Shrink MC below the
+  // cache-tuned value when needed so every lane gets >= 2 blocks.
+  const std::size_t lanes = std::max<std::size_t>(
+      1, std::min({cfg.threads, util::ThreadPool::shared().size(),
+                   (m + MR - 1) / MR}));
+  std::size_t MC = cfg.mc;
+  if (lanes > 1) {
+    const std::size_t balanced =
+        round_up((m + 2 * lanes - 1) / (2 * lanes), MR);
+    MC = std::max<std::size_t>(MR, std::min(MC, balanced));
+  }
+  const std::size_t n_ic_blocks = (m + MC - 1) / MC;
+  const std::size_t n_tasks = std::min(lanes, n_ic_blocks);
+
+  TraceState& ts = trace_state();
+  const double t_trace0 = ts.enabled ? trace_now(ts) : 0.0;
+  const auto t_wall0 = std::chrono::steady_clock::now();
+
+  double pack_bytes = 0.0;
+  double* bbuf = grown(tls_pack_b_buf(), KC * NC);
 
   for (std::size_t jc = 0; jc < n; jc += NC) {
     const std::size_t nc = std::min(NC, n - jc);
     for (std::size_t pc = 0; pc < k; pc += KC) {
       const std::size_t kc = std::min(KC, k - pc);
-      pack_b(b, ldb, tb, pc, jc, kc, nc, bbuf.data());
-      for (std::size_t ic = 0; ic < m; ic += MC) {
-        const std::size_t mc = std::min(MC, m - ic);
-        pack_a(a, lda, ta, ic, pc, mc, kc, abuf.data());
-        for (std::size_t jr = 0; jr < nc; jr += NR) {
-          const std::size_t jb = std::min(NR, nc - jr);
-          const double* bp = bbuf.data() + (jr / NR) * kc * NR;
-          for (std::size_t ir = 0; ir < mc; ir += MR) {
-            const std::size_t ib = std::min(MR, mc - ir);
-            const double* ap = abuf.data() + (ir / MR) * kc * MR;
-            double acc[MR][NR] = {};
-            micro_kernel(kc, ap, bp, acc);
-            double* cblk = c + (ic + ir) * ldc + jc + jr;
-            for (std::size_t i = 0; i < ib; ++i)
-              for (std::size_t j = 0; j < jb; ++j)
-                cblk[i * ldc + j] += alpha * acc[i][j];
+      // One packed-B panel per (jc, pc), shared read-only by all lanes.
+      pack_b(b, ldb, tb, pc, jc, kc, nc, bbuf);
+      pack_bytes +=
+          static_cast<double>(round_up(nc, NR) * kc) * sizeof(double);
+
+      auto body = [&](std::size_t task) {
+        // Strided ic-block assignment: block sizes are uniform except
+        // the last, so a static partition stays balanced.
+        for (std::size_t blk = task; blk < n_ic_blocks; blk += n_tasks) {
+          const std::size_t ic = blk * MC;
+          const std::size_t mc = std::min(MC, m - ic);
+          double* abuf = grown(tls_pack_a_buf(), MC * KC);
+          pack_a(a, lda, ta, ic, pc, mc, kc, abuf);
+          for (std::size_t jr = 0; jr < nc; jr += NR) {
+            const std::size_t jb = std::min(NR, nc - jr);
+            const double* bp = bbuf + (jr / NR) * kc * NR;
+            for (std::size_t ir = 0; ir < mc; ir += MR) {
+              const std::size_t ib = std::min(MR, mc - ir);
+              const double* ap = abuf + (ir / MR) * kc * MR;
+              double acc[MR][NR] = {};
+              kernel(kc, ap, bp, acc);
+              double* cblk = c + (ic + ir) * ldc + jc + jr;
+              for (std::size_t i = 0; i < ib; ++i)
+                for (std::size_t j = 0; j < jb; ++j)
+                  cblk[i * ldc + j] += alpha * acc[i][j];
+            }
           }
         }
-      }
+      };
+      if (n_tasks <= 1)
+        body(0);
+      else
+        util::ThreadPool::shared().run_tasks(n_tasks, body);
+
+      // A is repacked per (jc, pc): every ic block contributes one
+      // MR-rounded mc x kc micro-panel set.
+      pack_bytes +=
+          static_cast<double>(round_up(m, MR) * kc) * sizeof(double);
     }
+  }
+
+  reg.add(em.pack_bytes, 0, pack_bytes);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_wall0)
+          .count();
+  if (secs > 0.0)
+    reg.set(em.gflops, 0, gemm_flops(m, n, k) / secs / 1e9);
+  if (ts.enabled) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "gemm %zux%zux%zu", m, n, k);
+    const std::size_t name_id = ts.timeline.intern(label);
+    ts.timeline.add_span(name_id, trace_track(ts), t_trace0,
+                         trace_now(ts) - t_trace0);
   }
 }
 

@@ -1,0 +1,137 @@
+#include "blas/tune.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "obs/metrics.hpp"
+
+namespace fit::blas {
+
+namespace {
+
+std::size_t sysconf_bytes(int name) {
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  const long v = ::sysconf(name);
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
+#else
+  (void)name;
+  return 0;
+#endif
+}
+
+/// Positive integer from the environment, or `fallback`.
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+std::size_t round_up(std::size_t v, std::size_t unit) {
+  return ((v + unit - 1) / unit) * unit;
+}
+
+std::mutex config_mutex;
+GemmConfig* active_config = nullptr;  // never freed (process lifetime)
+
+}  // namespace
+
+std::size_t l1d_cache_bytes() {
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  return sysconf_bytes(_SC_LEVEL1_DCACHE_SIZE);
+#else
+  return 0;
+#endif
+}
+
+std::size_t l2_cache_bytes() {
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  return sysconf_bytes(_SC_LEVEL2_CACHE_SIZE);
+#else
+  return 0;
+#endif
+}
+
+std::size_t l3_cache_bytes() {
+#if defined(_SC_LEVEL3_CACHE_SIZE)
+  return sysconf_bytes(_SC_LEVEL3_CACHE_SIZE);
+#else
+  return 0;
+#endif
+}
+
+GemmConfig GemmConfig::autotuned() {
+  const std::size_t l1 = l1d_cache_bytes() ? l1d_cache_bytes() : 32u << 10;
+  const std::size_t l2 = l2_cache_bytes() ? l2_cache_bytes() : 512u << 10;
+  const std::size_t l3 = l3_cache_bytes() ? l3_cache_bytes() : 8u << 20;
+
+  GemmConfig cfg;
+  // KC: one MR x KC A micro-panel plus one KC x NR B micro-panel
+  // should occupy about half of L1, leaving room for the C tile and
+  // streaming traffic.
+  cfg.kc = std::clamp<std::size_t>(
+      l1 / (2 * sizeof(double) * (kGemmMR + kGemmNR)), 64, 512);
+  // MC: the packed MC x KC A block targets about half of L2.
+  cfg.mc = std::clamp<std::size_t>(
+      round_up(l2 / (2 * sizeof(double) * cfg.kc), kGemmMR), kGemmMR, 1024);
+  // NC: the packed KC x NC B panel targets about half of L3.
+  cfg.nc = std::clamp<std::size_t>(
+      round_up(l3 / (2 * sizeof(double) * cfg.kc), kGemmNR), kGemmNR, 8192);
+
+  cfg.threads = env_size(
+      "FOURINDEX_GEMM_THREADS",
+      env_size("FOURINDEX_THREADS", [] {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return static_cast<std::size_t>(hw > 0 ? hw : 1);
+      }()));
+
+  // Explicit blocking overrides (rounded to the micro-tile so packing
+  // never splits a micro-panel).
+  cfg.mc = round_up(env_size("FOURINDEX_GEMM_MC", cfg.mc), kGemmMR);
+  cfg.kc = env_size("FOURINDEX_GEMM_KC", cfg.kc);
+  cfg.nc = round_up(env_size("FOURINDEX_GEMM_NC", cfg.nc), kGemmNR);
+
+  if (const char* env = std::getenv("FOURINDEX_DETERMINISTIC"))
+    cfg.deterministic = (env[0] != '\0' && env[0] != '0');
+  return cfg;
+}
+
+GemmConfig gemm_config() {
+  std::lock_guard<std::mutex> lock(config_mutex);
+  if (!active_config) active_config = new GemmConfig(GemmConfig::autotuned());
+  return *active_config;
+}
+
+void set_gemm_config(const GemmConfig& cfg) {
+  GemmConfig sane = cfg;
+  sane.mc = std::max<std::size_t>(kGemmMR, round_up(sane.mc, kGemmMR));
+  sane.kc = std::max<std::size_t>(1, sane.kc);
+  sane.nc = std::max<std::size_t>(kGemmNR, round_up(sane.nc, kGemmNR));
+  sane.threads = std::max<std::size_t>(1, sane.threads);
+  std::lock_guard<std::mutex> lock(config_mutex);
+  if (!active_config)
+    active_config = new GemmConfig(sane);
+  else
+    *active_config = sane;
+}
+
+GemmConfig reset_gemm_config() {
+  const GemmConfig cfg = GemmConfig::autotuned();
+  set_gemm_config(cfg);
+  return cfg;
+}
+
+obs::MetricsRegistry& gemm_metrics() {
+  static obs::MetricsRegistry registry(1);
+  return registry;
+}
+
+}  // namespace fit::blas

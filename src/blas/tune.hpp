@@ -1,0 +1,64 @@
+// GEMM engine configuration: cache-size-probed blocking parameters,
+// thread count, and the deterministic-kernel switch, with environment
+// overrides. The blocked DGEMM (gemm.cpp) reads the active config on
+// every call, so tests and benchmarks can retune at runtime via
+// set_gemm_config().
+//
+// Environment variables (all optional):
+//   FOURINDEX_GEMM_MC / _KC / _NC   blocking parameters (elements);
+//                                   rounded to the micro-tile (MR/NR)
+//   FOURINDEX_GEMM_THREADS          macro-loop parallelism for GEMM
+//   FOURINDEX_THREADS               process-wide default lane count
+//                                   (shared thread pool, Cluster)
+//   FOURINDEX_DETERMINISTIC=1       scalar micro-kernel: results are
+//                                   bit-reproducible across builds
+//                                   that vectorize differently
+#pragma once
+
+#include <cstddef>
+
+namespace fit::obs {
+class MetricsRegistry;
+}
+
+namespace fit::blas {
+
+/// Register micro-tile of the GEMM engine (compile-time constants of
+/// gemm.cpp, exposed for autotuning/rounding and tests).
+inline constexpr std::size_t kGemmMR = 4;
+inline constexpr std::size_t kGemmNR = 8;
+
+struct GemmConfig {
+  std::size_t mc = 128;       // A panel rows (L2-resident: mc*kc)
+  std::size_t kc = 256;       // contraction block (L1-resident microtiles)
+  std::size_t nc = 2048;      // B panel columns (L3-resident: kc*nc)
+  std::size_t threads = 1;    // lanes for the ic/jr macro loops
+  bool deterministic = false; // force the scalar micro-kernel
+
+  /// Cache-size-probed defaults (sysconf cache probes with
+  /// conservative fallbacks) with every FOURINDEX_GEMM_* /
+  /// FOURINDEX_THREADS / FOURINDEX_DETERMINISTIC override applied.
+  /// Reads the environment on every call.
+  static GemmConfig autotuned();
+};
+
+/// Active engine configuration. Initialized to autotuned() on first
+/// use; set_gemm_config replaces it (thread-safe snapshot semantics —
+/// in-flight gemm calls finish under the config they started with).
+GemmConfig gemm_config();
+void set_gemm_config(const GemmConfig& cfg);
+/// Re-probe caches and environment, install and return the result.
+GemmConfig reset_gemm_config();
+
+/// Probed data-cache sizes in bytes (0 when the probe has no answer —
+/// the autotuner then falls back to 32 KiB / 512 KiB / 8 MiB).
+std::size_t l1d_cache_bytes();
+std::size_t l2_cache_bytes();
+std::size_t l3_cache_bytes();
+
+/// Process-wide engine metrics: counters gemm.calls / gemm.flops /
+/// gemm.pack_bytes and gauge gemm.gflops (rate of the last blocked
+/// call). Single-rank registry, safe from any thread.
+obs::MetricsRegistry& gemm_metrics();
+
+}  // namespace fit::blas

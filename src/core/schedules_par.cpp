@@ -7,6 +7,7 @@
 
 #include "blas/gemm.hpp"
 #include "blas/level1.hpp"
+#include "blas/tune.hpp"
 #include "bounds/transform_bounds.hpp"
 #include "tensor/pairs.hpp"
 #include "tensor/tiling.hpp"
@@ -40,11 +41,24 @@ struct Par {
   std::vector<std::uint32_t> irrep_mask;
   std::vector<std::vector<std::uint32_t>> pair_mask;
 
+  // Kernel-engine counter levels at construction; finish() records the
+  // deltas so each cluster's registry shows the real gemm work (and
+  // packing traffic) its transforms triggered, next to the modeled
+  // compute.flops charges.
+  double gemm_calls0 = 0, gemm_flops0 = 0, gemm_pack0 = 0;
+
   Par(const Problem& problem, Cluster& cluster, const ParOptions& options)
       : p(problem), cl(cluster), opt(options),
         t(Tiling::irrep_aligned(problem.irreps,
                                 std::min(options.tile, problem.n()))),
         nt(t.ntiles()) {
+    auto& gm = blas::gemm_metrics();
+    gm.counter("gemm.calls");  // get-or-create so sum() is always valid
+    gm.counter("gemm.flops");
+    gm.counter("gemm.pack_bytes");
+    gemm_calls0 = gm.sum("gemm.calls");
+    gemm_flops0 = gm.sum("gemm.flops");
+    gemm_pack0 = gm.sum("gemm.pack_bytes");
     irrep_mask.assign(nt, 0);
     for (std::size_t ti = 0; ti < nt; ++ti)
       for (std::size_t o = t.lo(ti); o < t.hi(ti); ++o)
@@ -328,6 +342,15 @@ ParResult finish(Par& par, const char* name,
   reg.add(reg.counter(prefix + ".runs"), 0, 1);
   reg.add(reg.counter(prefix + ".sim_time_s"), 0, r.stats.sim_time);
   reg.add(reg.counter(prefix + ".host_wall_s"), 0, r.stats.wall_seconds);
+  // Actual kernel-engine activity during this transform (Real mode
+  // drives the blocked gemm; Simulate mode leaves these at zero).
+  auto& gm = blas::gemm_metrics();
+  reg.add(reg.counter("gemm.calls"), 0,
+          gm.sum("gemm.calls") - par.gemm_calls0);
+  reg.add(reg.counter("gemm.flops"), 0,
+          gm.sum("gemm.flops") - par.gemm_flops0);
+  reg.add(reg.counter("gemm.pack_bytes"), 0,
+          gm.sum("gemm.pack_bytes") - par.gemm_pack0);
   if (par.cl.mode() == runtime::ExecutionMode::Real &&
       par.opt.gather_result && c_ga)
     r.c = gather_c(par, *c_ga);

@@ -166,9 +166,7 @@ tensor::PackedC unfused_transform(const Problem& p, SeqStats* stats) {
     Matrix o2u(n, n);  // unpacked O2 slice for fixed ab: o2u[k, l]
     for (std::size_t pab = 0; pab < np; ++pab) {
       const auto [aa, bb] = unpack_pair(pab);
-      for (std::size_t k = 0; k < n; ++k)
-        for (std::size_t l = 0; l < n; ++l)
-          o2u(k, l) = o2->at(aa, bb, k, l);
+      o2->unpack_ab(aa, bb, o2u);
       blas::gemm(blas::Trans::No, blas::Trans::No, n, n, n, 1.0, b.data(), n,
                  o2u.data(), n, 0.0, &o3->at(aa, bb, 0, 0), n);
       local.flops += blas::gemm_flops(n, n, n);
@@ -235,9 +233,7 @@ tensor::PackedC fused12_34_transform(const Problem& p, SeqStats* stats,
     for (std::size_t k = 0; k < n; ++k) {
       for (std::size_t l = 0; l <= k; ++l) {
         if (materialize_a) {
-          for (std::size_t i = 0; i < n; ++i)
-            for (std::size_t j = 0; j < n; ++j)
-              akl(i, j) = (*a)(i, j, k, l);
+          a->unpack_kl(k, l, akl);
         } else {
           // On-the-fly A slice: evaluate the canonical i>=j triangle
           // and mirror (the engine is symmetric in (i, j)).
@@ -277,8 +273,7 @@ tensor::PackedC fused12_34_transform(const Problem& p, SeqStats* stats,
     for (std::size_t pab = 0; pab < np; ++pab) {
       const auto [aa, bb] = unpack_pair(pab);
       const auto hab = p.irreps.pair_irrep(aa, bb);
-      for (std::size_t k = 0; k < n; ++k)
-        for (std::size_t l = 0; l < n; ++l) o2u(k, l) = o2->at(aa, bb, k, l);
+      o2->unpack_ab(aa, bb, o2u);
       blas::gemm(blas::Trans::No, blas::Trans::No, n, n, n, 1.0, b.data(), n,
                  o2u.data(), n, 0.0, o3buf.data(), n);
       local.flops += blas::gemm_flops(n, n, n);

@@ -1,13 +1,34 @@
 #include "runtime/cluster.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 
 #include "util/format.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fit::runtime {
+
+namespace {
+
+// Host-thread policy: FOURINDEX_THREADS (when set, >= 1) overrides the
+// constructor argument; the result is clamped to the hardware thread
+// count so oversubscription cannot distort timing-sensitive benches
+// (fault-recovery makespans in particular).
+std::size_t effective_host_threads(std::size_t requested) {
+  std::size_t want = std::max<std::size_t>(1, requested);
+  if (const char* env = std::getenv("FOURINDEX_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) want = static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::min<std::size_t>(want, hw > 0 ? hw : 1);
+}
+
+}  // namespace
 
 void MemTracker::alloc(double bytes, const char* what) {
   FIT_REQUIRE(bytes >= 0, "negative allocation");
@@ -117,7 +138,7 @@ void Cluster::note_instant(const std::string& name, std::size_t rank) {
 Cluster::Cluster(MachineConfig config, ExecutionMode mode,
                  std::size_t host_threads)
     : config_(std::move(config)), mode_(mode),
-      host_threads_(std::max<std::size_t>(1, host_threads)),
+      host_threads_(effective_host_threads(host_threads)),
       registry_(config_.n_ranks()) {
   FIT_REQUIRE(config_.n_ranks() >= 1, "cluster needs at least one rank");
   mem_.reserve(config_.n_ranks());
@@ -338,42 +359,41 @@ void Cluster::execute_attempt(const std::function<void(RankCtx&)>& body,
       throw;
     }
   } else {
-    // Each rank is processed by exactly one host thread (strided
-    // assignment), so per-rank state needs no locking; the phase
+    // Each rank is processed by exactly one task (strided assignment
+    // by task index), so per-rank state needs no locking; the phase
     // record is merged under a mutex (registry and timeline have
     // their own). Exceptions (e.g. scratch OOM, injected transient
-    // faults) are captured and rethrown on the calling thread.
+    // faults) are captured and rethrown on the calling thread. Tasks
+    // run on the process-wide util::ThreadPool — workers are created
+    // once per process, not once per phase — and the strided rank ->
+    // task mapping keeps all counters deterministic no matter which
+    // worker executes which task.
     const std::size_t nthreads = std::min(host_threads_, n_ranks());
     std::mutex merge_mutex;
     std::exception_ptr first_error;
-    std::vector<std::thread> pool;
-    pool.reserve(nthreads);
-    for (std::size_t t = 0; t < nthreads; ++t) {
-      pool.emplace_back([&, t] {
-        PhaseRecord local;
-        double local_makespan = 0;
-        try {
-          for (std::size_t r = t; r < n_ranks(); r += nthreads) {
-            if (dead_[r]) continue;
-            RankCtx ctx(*this, r, attempt);
-            body(ctx);
-            local_makespan = std::max(local_makespan, ctx.time_);
-            local.total_rank_time += ctx.time_;
-            local.comm += ctx.comm_;
-            merge_rank(ctx);
-            timeline_.add_span(span_name, r, t0, ctx.time_);
-          }
-          std::lock_guard<std::mutex> lock(merge_mutex);
-          attempt_makespan = std::max(attempt_makespan, local_makespan);
-          rec.total_rank_time += local.total_rank_time;
-          rec.comm += local.comm;
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(merge_mutex);
-          if (!first_error) first_error = std::current_exception();
+    util::ThreadPool::shared().run_tasks(nthreads, [&](std::size_t t) {
+      PhaseRecord local;
+      double local_makespan = 0;
+      try {
+        for (std::size_t r = t; r < n_ranks(); r += nthreads) {
+          if (dead_[r]) continue;
+          RankCtx ctx(*this, r, attempt);
+          body(ctx);
+          local_makespan = std::max(local_makespan, ctx.time_);
+          local.total_rank_time += ctx.time_;
+          local.comm += ctx.comm_;
+          merge_rank(ctx);
+          timeline_.add_span(span_name, r, t0, ctx.time_);
         }
-      });
-    }
-    for (auto& th : pool) th.join();
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        attempt_makespan = std::max(attempt_makespan, local_makespan);
+        rec.total_rank_time += local.total_rank_time;
+        rec.comm += local.comm;
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
     if (first_error) {
       rec.makespan += attempt_makespan;
       std::rethrow_exception(first_error);

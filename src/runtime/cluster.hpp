@@ -176,6 +176,11 @@ class Cluster {
 
   const MachineConfig& machine() const { return config_; }
   ExecutionMode mode() const { return mode_; }
+  /// Effective host-thread count: the constructor argument (or
+  /// FOURINDEX_THREADS, which overrides it) clamped to
+  /// std::thread::hardware_concurrency() so simulated-timing benches
+  /// never run oversubscribed.
+  std::size_t host_threads() const { return host_threads_; }
   std::size_t n_ranks() const { return config_.n_ranks(); }
   std::size_t node_of(std::size_t rank) const {
     return rank / config_.ranks_per_node;

@@ -33,6 +33,33 @@ ApproxSizes approx_sizes(double n, double s) {
   return ApproxSizes{n4 / 4, n4 / 2, n4 / 4, n4 / 2, n4 / (4 * s)};
 }
 
+void PackedA::unpack_kl(std::size_t k, std::size_t l, Matrix& out) const {
+  FIT_REQUIRE(out.rows() == n_ && out.cols() == n_,
+              "unpack_kl: output must be n x n");
+  const std::size_t col = pack_pair_sym(k, l);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = data_(pack_pair(i, j), col);
+      out(i, j) = v;
+      out(j, i) = v;
+    }
+}
+
+void PackedO2::unpack_ab(std::size_t a, std::size_t b, Matrix& out) const {
+  FIT_REQUIRE(out.rows() == n_ && out.cols() == n_,
+              "unpack_ab: output must be n x n");
+  // The (a, b) row of the packed view holds the (kl) pairs
+  // contiguously in canonical k >= l order.
+  const double* row = data_.row(pack_pair_sym(a, b));
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double* krow = row + pack_pair(k, 0);
+    for (std::size_t l = 0; l <= k; ++l) {
+      out(k, l) = krow[l];
+      out(l, k) = krow[l];
+    }
+  }
+}
+
 PackedC::PackedC(std::size_t n, Irreps irreps)
     : n_(n), irreps_(std::move(irreps)) {
   FIT_REQUIRE(irreps_.n_orbitals() == n, "irrep map extent mismatch");

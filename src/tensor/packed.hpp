@@ -65,6 +65,12 @@ class PackedA {
   Matrix& packed() { return data_; }
   const Matrix& packed() const { return data_; }
 
+  /// Unpack the full n x n (i, j) slice for fixed (k, l) into `out`
+  /// (mirroring the (i, j) symmetry). `out` must be n x n; no
+  /// allocation — the caller's buffer is reused across slices, which
+  /// keeps the GEMM feed path of the schedules allocation-free.
+  void unpack_kl(std::size_t k, std::size_t l, Matrix& out) const;
+
  private:
   std::size_t n_;
   Matrix data_;
@@ -119,6 +125,11 @@ class PackedO2 {
 
   Matrix& packed() { return data_; }
   const Matrix& packed() const { return data_; }
+
+  /// Unpack the full n x n (k, l) slice for fixed (a, b) into `out`
+  /// (mirroring the (k, l) symmetry). `out` must be n x n; no
+  /// allocation.
+  void unpack_ab(std::size_t a, std::size_t b, Matrix& out) const;
 
  private:
   std::size_t n_;

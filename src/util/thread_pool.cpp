@@ -1,0 +1,137 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace fit::util {
+
+namespace {
+thread_local bool tls_on_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(1, threads);
+  workers_.reserve(n - 1);
+  for (std::size_t t = 0; t + 1 < n; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_job_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::on_worker() { return tls_on_worker; }
+
+std::size_t ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("FOURINDEX_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  tls_on_worker = true;
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_job_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    drain_job();
+  }
+}
+
+void ThreadPool::drain_job() {
+  for (;;) {
+    std::size_t task;
+    const std::function<void(std::size_t)>* fn;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (job_next_ >= job_total_) return;
+      task = job_next_++;
+      fn = job_fn_;
+    }
+    try {
+      (*fn)(task);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!job_error_) job_error_ = std::current_exception();
+    }
+    bool done = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done = (--job_pending_ == 0);
+    }
+    if (done) cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::run_tasks(std::size_t n_tasks,
+                           const std::function<void(std::size_t)>& fn) {
+  if (n_tasks == 0) return;
+  // Nested (called from a pool task), trivially serial, or no workers:
+  // run inline. Exceptions propagate naturally.
+  if (tls_on_worker || workers_.empty() || n_tasks == 1) {
+    for (std::size_t t = 0; t < n_tasks; ++t) fn(t);
+    return;
+  }
+  std::lock_guard<std::mutex> job_guard(job_lock_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_fn_ = &fn;
+    job_total_ = n_tasks;
+    job_next_ = 0;
+    job_pending_ = n_tasks;
+    job_error_ = nullptr;
+    ++generation_;
+  }
+  cv_job_.notify_all();
+  // The calling thread is a lane too: mark it as a worker for the
+  // duration so tasks that re-enter run_tasks degrade to inline.
+  tls_on_worker = true;
+  drain_job();
+  tls_on_worker = false;
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return job_pending_ == 0; });
+    err = job_error_;
+    job_fn_ = nullptr;
+    job_total_ = 0;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t g = std::max<std::size_t>(1, grain);
+  // ~4 chunks per lane for dynamic balance, but never below the grain.
+  const std::size_t target = size() * 4;
+  const std::size_t chunk = std::max(g, (n + target - 1) / target);
+  const std::size_t n_chunks = (n + chunk - 1) / chunk;
+  run_tasks(n_chunks, [&](std::size_t c) {
+    const std::size_t lo = c * chunk;
+    fn(lo, std::min(n, lo + chunk));
+  });
+}
+
+}  // namespace fit::util

@@ -1,0 +1,95 @@
+// Reusable host thread pool shared by every parallel layer of the
+// library: the GEMM engine parallelizes its macro loops on it and
+// runtime::Cluster executes the rank bodies of each BSP phase on it
+// (replacing per-phase std::thread spawning — workers are created once
+// and persist, so a schedule with hundreds of phases pays thread
+// creation once, not per phase).
+//
+// Execution model: run_tasks(n, fn) runs fn(0..n-1), dynamically
+// claimed by the workers *and* the calling thread, and blocks until
+// all tasks finish. The partition of work into tasks is the caller's
+// — determinism contracts (e.g. GEMM bit-reproducibility across
+// thread counts) are expressed by making each task's writes disjoint,
+// never by pinning tasks to workers.
+//
+// Re-entrancy: a task that itself calls run_tasks (e.g. a Cluster
+// rank body invoking the threaded GEMM) executes the nested tasks
+// inline on the current thread — nesting degrades to serial instead
+// of deadlocking on the shared pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fit::util {
+
+class ThreadPool {
+ public:
+  /// A pool of `threads` execution lanes: the caller participates, so
+  /// `threads - 1` worker threads are spawned (1 => fully serial, no
+  /// threads at all).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Execution lanes (workers + the calling thread).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Run fn(0), ..., fn(n_tasks - 1) across the pool; blocks until all
+  /// complete. Tasks are claimed dynamically; the first exception is
+  /// rethrown on the calling thread after every task has finished or
+  /// been abandoned. Concurrent run_tasks calls from different
+  /// threads serialize on an internal job lock; calls from inside a
+  /// task run inline.
+  void run_tasks(std::size_t n_tasks,
+                 const std::function<void(std::size_t)>& fn);
+
+  /// Static-partition parallel for over [0, n): fn(begin, end) for
+  /// contiguous chunks of at least `grain` indices.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// True when the current thread is executing a pool task (of any
+  /// pool) — used by nested parallel code to fall back to serial.
+  static bool on_worker();
+
+  /// Process-wide pool: sized by FOURINDEX_THREADS when set (>= 1),
+  /// else std::thread::hardware_concurrency(). Constructed on first
+  /// use.
+  static ThreadPool& shared();
+
+  /// The lane count shared() will use / used: FOURINDEX_THREADS or
+  /// hardware concurrency (>= 1). Reads the environment on every call.
+  static std::size_t default_thread_count();
+
+ private:
+  void worker_loop();
+  /// Claim-and-run loop; returns when the current job has no
+  /// unclaimed tasks left.
+  void drain_job();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+
+  // Current job state (guarded by mutex_).
+  std::uint64_t generation_ = 0;
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_total_ = 0;
+  std::size_t job_next_ = 0;
+  std::size_t job_pending_ = 0;
+  std::exception_ptr job_error_;
+
+  std::mutex job_lock_;  // serializes concurrent run_tasks callers
+};
+
+}  // namespace fit::util

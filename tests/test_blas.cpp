@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <iterator>
 #include <tuple>
 #include <vector>
 
 #include "blas/gemm.hpp"
 #include "blas/level1.hpp"
 #include "blas/level2.hpp"
+#include "blas/tune.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -158,6 +163,144 @@ TEST(Gemm, LeadingDimensionLargerThanWidth) {
 
 TEST(Gemm, FlopsFormula) {
   EXPECT_DOUBLE_EQ(fit::blas::gemm_flops(2, 3, 4), 48.0);
+}
+
+TEST(Gemm, RejectsTooSmallLeadingDims) {
+  std::vector<double> a(12, 0.0), b(12, 0.0), c(6, 0.0);
+  // op(A) = A (2x3): lda must be >= k = 3.
+  EXPECT_THROW(fit::blas::gemm(Trans::No, Trans::No, 2, 2, 3, 1.0, a.data(),
+                               2, b.data(), 2, 0.0, c.data(), 2),
+               fit::PreconditionError);
+  // op(A) = A^T with m = 4: lda must be >= m.
+  EXPECT_THROW(fit::blas::gemm(Trans::Yes, Trans::No, 4, 2, 3, 1.0, a.data(),
+                               3, b.data(), 2, 0.0, c.data(), 2),
+               fit::PreconditionError);
+  // op(B) = B (3x2): ldb must be >= n = 2.
+  EXPECT_THROW(fit::blas::gemm(Trans::No, Trans::No, 2, 2, 3, 1.0, a.data(),
+                               3, b.data(), 1, 0.0, c.data(), 2),
+               fit::PreconditionError);
+  // op(B) = B^T with k = 3: ldb must be >= k.
+  EXPECT_THROW(fit::blas::gemm(Trans::No, Trans::Yes, 2, 2, 3, 1.0, a.data(),
+                               3, b.data(), 2, 0.0, c.data(), 2),
+               fit::PreconditionError);
+  // Degenerate dimensions skip the operand checks (nothing is read).
+  EXPECT_NO_THROW(fit::blas::gemm(Trans::No, Trans::No, 0, 2, 3, 1.0,
+                                  a.data(), 0, b.data(), 2, 1.0, c.data(),
+                                  2));
+  EXPECT_NO_THROW(fit::blas::gemm(Trans::No, Trans::No, 2, 2, 0, 1.0,
+                                  a.data(), 0, b.data(), 0, 1.0, c.data(),
+                                  2));
+}
+
+// Property test: the blocked engine against the reference oracle over
+// randomized shapes (0, 1, and non-multiples of the MR/NR micro-tile),
+// all four Trans combinations, padded strides, and the scalar grid
+// alpha/beta in {0, 1, -0.5}.
+TEST(GemmProperty, RandomizedAgainstReference) {
+  fit::SplitMix64 g(0xf1e2d3c4);
+  const std::size_t dims[] = {0,  1,  2,  3,  5,  7,  8,  9,
+                              16, 17, 31, 33, 63, 65, 90, 129};
+  const double scalars[] = {0.0, 1.0, -0.5};
+  for (int iter = 0; iter < 80; ++iter) {
+    const std::size_t m = dims[g.next_below(std::size(dims))];
+    const std::size_t n = dims[g.next_below(std::size(dims))];
+    const std::size_t k = dims[g.next_below(std::size(dims))];
+    const Trans ta = (g.next_u64() & 1) ? Trans::Yes : Trans::No;
+    const Trans tb = (g.next_u64() & 1) ? Trans::Yes : Trans::No;
+    const double alpha = scalars[g.next_below(std::size(scalars))];
+    const double beta = scalars[g.next_below(std::size(scalars))];
+    // Padded leading dimensions (>= the operand width).
+    const std::size_t arows = (ta == Trans::No) ? m : k;
+    const std::size_t acols = (ta == Trans::No) ? k : m;
+    const std::size_t brows = (tb == Trans::No) ? k : n;
+    const std::size_t bcols = (tb == Trans::No) ? n : k;
+    const std::size_t lda = acols + g.next_below(4);
+    const std::size_t ldb = bcols + g.next_below(4);
+    const std::size_t ldc = n + g.next_below(4);
+
+    auto a = random_vec(arows * lda, g.next_u64());
+    auto b = random_vec(brows * ldb, g.next_u64());
+    auto c0 = random_vec(m * ldc, g.next_u64());
+    auto c1 = c0;
+    fit::blas::gemm_reference(ta, tb, m, n, k, alpha, a.data(), lda, b.data(),
+                              ldb, beta, c0.data(), ldc);
+    fit::blas::gemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb,
+                    beta, c1.data(), ldc);
+    const double err =
+        (m * n == 0) ? 0.0
+                     : fit::blas::max_abs_diff(m * ldc, c0.data(), c1.data());
+    EXPECT_LT(err, 1e-10 * static_cast<double>(k + 1))
+        << "m=" << m << " n=" << n << " k=" << k << " ta=" << int(ta)
+        << " tb=" << int(tb) << " alpha=" << alpha << " beta=" << beta
+        << " lda=" << lda << " ldb=" << ldb << " ldc=" << ldc;
+  }
+}
+
+// The engine's determinism contract: for a fixed blocking config,
+// results are bit-identical run-to-run and across thread counts (the
+// lanes split only the M dimension; every C element accumulates its
+// k-products in the same order no matter how many threads run). This
+// holds for the vectorized kernel and for the scalar kernel that
+// FOURINDEX_DETERMINISTIC=1 pins.
+TEST(GemmDeterminism, BitIdenticalAcrossThreadCounts) {
+  const std::size_t n = 96;  // above the small-problem cutoff
+  auto a = random_vec(n * n, 11);
+  auto b = random_vec(n * n, 22);
+  const auto c_init = random_vec(n * n, 33);
+  const auto base = fit::blas::gemm_config();
+  for (const bool deterministic : {false, true}) {
+    std::vector<double> first;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}}) {
+      auto cfg = base;
+      cfg.threads = threads;
+      cfg.deterministic = deterministic;
+      fit::blas::set_gemm_config(cfg);
+      for (int run = 0; run < 2; ++run) {
+        auto c = c_init;
+        fit::blas::gemm(Trans::No, Trans::No, n, n, n, 1.0, a.data(), n,
+                        b.data(), n, 1.0, c.data(), n);
+        if (first.empty()) {
+          first = c;
+        } else {
+          ASSERT_EQ(0, std::memcmp(first.data(), c.data(),
+                                   c.size() * sizeof(double)))
+              << "bits differ: threads=" << threads << " run=" << run
+              << " deterministic=" << deterministic;
+        }
+      }
+    }
+    // Scalar and vector kernels agree numerically (to rounding) even
+    // when their bits differ.
+    ASSERT_FALSE(first.empty());
+  }
+  fit::blas::set_gemm_config(base);
+}
+
+TEST(GemmEngine, AutotunedConfigIsSane) {
+  const auto cfg = fit::blas::GemmConfig::autotuned();
+  EXPECT_GE(cfg.kc, 64u);
+  EXPECT_LE(cfg.kc, 512u);
+  EXPECT_EQ(cfg.mc % fit::blas::kGemmMR, 0u);
+  EXPECT_EQ(cfg.nc % fit::blas::kGemmNR, 0u);
+  EXPECT_GE(cfg.threads, 1u);
+}
+
+TEST(GemmEngine, MetricsAccumulate) {
+  auto& reg = fit::blas::gemm_metrics();
+  reg.counter("gemm.calls");
+  reg.counter("gemm.flops");
+  const double calls0 = reg.sum("gemm.calls");
+  const double flops0 = reg.sum("gemm.flops");
+  const std::size_t n = 48;
+  auto a = random_vec(n * n, 1);
+  auto b = random_vec(n * n, 2);
+  std::vector<double> c(n * n, 0.0);
+  fit::blas::gemm(Trans::No, Trans::No, n, n, n, 1.0, a.data(), n, b.data(),
+                  n, 0.0, c.data(), n);
+  EXPECT_DOUBLE_EQ(reg.sum("gemm.calls") - calls0, 1.0);
+  EXPECT_DOUBLE_EQ(reg.sum("gemm.flops") - flops0,
+                   fit::blas::gemm_flops(n, n, n));
 }
 
 }  // namespace

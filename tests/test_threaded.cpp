@@ -3,7 +3,10 @@
 // agree with the serial executor to accumulation-order tolerance.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <thread>
 
 #include "chem/molecule.hpp"
 #include "core/problem.hpp"
@@ -101,6 +104,26 @@ TEST(Threaded, ExceptionsPropagateToCaller) {
                      runtime::RankBuffer big(ctx, 1000, "too big");
                    }),
       fit::OutOfMemoryError);
+}
+
+TEST(Threaded, HostThreadsClampedToHardware) {
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  // An absurd request is clamped so timing benches never oversubscribe.
+  Cluster big(machine(1, 4), ExecutionMode::Simulate, 10000);
+  EXPECT_LE(big.host_threads(), hw);
+  EXPECT_GE(big.host_threads(), 1u);
+  // A serial request stays serial.
+  Cluster one(machine(1, 4), ExecutionMode::Simulate, 1);
+  EXPECT_EQ(one.host_threads(), 1u);
+}
+
+TEST(Threaded, FourindexThreadsEnvOverridesRequest) {
+  // FOURINDEX_THREADS takes precedence over the constructor argument
+  // (still clamped to the hardware, so expect exactly 1 when set to 1).
+  ASSERT_EQ(setenv("FOURINDEX_THREADS", "1", /*overwrite=*/1), 0);
+  Cluster cl(machine(1, 4), ExecutionMode::Simulate, 8);
+  unsetenv("FOURINDEX_THREADS");
+  EXPECT_EQ(cl.host_threads(), 1u);
 }
 
 TEST(Threaded, HybridEndToEnd) {

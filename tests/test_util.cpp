@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
 #include "util/error.hpp"
 #include "util/format.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -206,6 +211,71 @@ TEST(Args, DoubleValues) {
   fit::Args args(2, const_cast<char**>(argv));
   EXPECT_DOUBLE_EQ(args.get_double("scale", 0.0), 2.5);
   EXPECT_DOUBLE_EQ(args.get_double("other", 1.5), 1.5);
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  fit::util::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  const std::size_t n = 100;
+  std::vector<std::atomic<int>> hits(n);
+  pool.run_tasks(n, [&](std::size_t t) { hits[t].fetch_add(1); });
+  for (std::size_t t = 0; t < n; ++t) EXPECT_EQ(hits[t].load(), 1);
+  // The pool is reusable: a second job on the same workers.
+  std::atomic<int> total{0};
+  pool.run_tasks(7, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 7);
+}
+
+TEST(ThreadPool, SerialPoolNeedsNoWorkers) {
+  fit::util::ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  int sum = 0;
+  pool.run_tasks(5, [&](std::size_t t) { sum += static_cast<int>(t); });
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(ThreadPool, NestedRunTasksDegradesToInline) {
+  fit::util::ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.run_tasks(8, [&](std::size_t) {
+    EXPECT_TRUE(fit::util::ThreadPool::on_worker());
+    // Re-entering the pool from a task must not deadlock.
+    pool.run_tasks(3, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 24);
+  EXPECT_FALSE(fit::util::ThreadPool::on_worker());
+}
+
+TEST(ThreadPool, FirstExceptionPropagates) {
+  fit::util::ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  try {
+    pool.run_tasks(16, [&](std::size_t t) {
+      executed.fetch_add(1);
+      if (t == 5) throw std::runtime_error("task 5 failed");
+    });
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 5 failed");
+  }
+  // All claimed tasks ran to completion before the rethrow.
+  EXPECT_EQ(executed.load(), 16);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeInChunks) {
+  fit::util::ThreadPool pool(3);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, 8, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_LT(lo, hi);
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(fit::util::ThreadPool::default_thread_count(), 1u);
+  EXPECT_GE(fit::util::ThreadPool::shared().size(), 1u);
 }
 
 }  // namespace
