@@ -1,0 +1,105 @@
+// Comm/compute overlap ablation: what do the nonblocking pipelines buy?
+//
+// Runs the comm-bound headline configuration — Uracil (87 scaled
+// orbitals) on System B at 504 cores, the Figure 2b point where the
+// unfused intermediates fit and the transform is limited by one-sided
+// traffic — once with the double-buffered prefetch pipelines enabled
+// (ParOptions::overlap, the default) and once with the blocking
+// ablation baseline. Both runs move identical bytes and issue the GA
+// operations in the same order; only the clock model differs, so the
+// sim-time delta is exactly the transfer time the pipelines hid.
+//
+// Reported per schedule: simulated time for both modes, the
+// overlapped/exposed decomposition of the transfer time, and the
+// speedup. CI gates: overlapped_s > 0, exposed_s <= total comm
+// seconds, and overlap sim time <= blocking sim time.
+//
+// FOURINDEX_BENCH_SMOKE=1 shrinks the molecule and the cluster so the
+// bench finishes in seconds.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "chem/molecule.hpp"
+#include "core/problem.hpp"
+#include "core/schedules_par.hpp"
+#include "obs/bench_json.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/machine.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace fit;
+  obs::BenchReport report("bench_ablation_comm_overlap");
+
+  const bool smoke = std::getenv("FOURINDEX_BENCH_SMOKE") != nullptr;
+
+  auto p = smoke
+               ? core::make_problem(chem::custom_molecule("ovl", 20, 2, 7))
+               : core::make_problem(chem::paper_molecule("Uracil"));
+  auto m = smoke ? runtime::system_b(2) : runtime::system_b(18);
+
+  core::ParOptions overlap_on;
+  overlap_on.tile = smoke ? 6 : 8;
+  overlap_on.tile_l = 4;
+  overlap_on.gather_result = false;
+  overlap_on.overlap = true;
+  core::ParOptions overlap_off = overlap_on;
+  overlap_off.overlap = false;
+
+  report.add_note(std::string(smoke ? "smoke" : "uracil") + " on " + m.name +
+                  " with " + std::to_string(m.n_ranks()) + " ranks");
+  std::cout << "Comm/compute overlap ablation: "
+            << (smoke ? "smoke problem" : "Uracil (87 scaled orbitals)")
+            << " on " << m.name << ", " << m.n_ranks() << " ranks\n\n";
+
+  struct Sched {
+    const char* key;
+    core::ParResult (*fn)(const core::Problem&, runtime::Cluster&,
+                          const core::ParOptions&);
+  };
+  const Sched schedules[] = {
+      {"unfused", &core::unfused_par_transform},
+      {"fused_inner", &core::fused_inner_par_transform},
+  };
+
+  TextTable t({"schedule", "blocking (s)", "overlap (s)", "speedup",
+               "hidden (s)", "exposed (s)", "hidden frac"});
+  for (const auto& s : schedules) {
+    runtime::Cluster con(m, runtime::ExecutionMode::Simulate);
+    const auto ron = s.fn(p, con, overlap_on);
+    runtime::Cluster coff(m, runtime::ExecutionMode::Simulate);
+    const auto roff = s.fn(p, coff, overlap_off);
+
+    const double total_comm =
+        ron.stats.overlapped_seconds + ron.stats.exposed_seconds;
+    const double speedup = ron.stats.sim_time > 0
+                               ? roff.stats.sim_time / ron.stats.sim_time
+                               : 1.0;
+    t.add_row({s.key, fmt_fixed(roff.stats.sim_time, 3),
+               fmt_fixed(ron.stats.sim_time, 3),
+               fmt_fixed(speedup, 3) + "x",
+               fmt_fixed(ron.stats.overlapped_seconds, 3),
+               fmt_fixed(ron.stats.exposed_seconds, 3),
+               total_comm > 0
+                   ? fmt_fixed(ron.stats.overlapped_seconds / total_comm, 3)
+                   : "-"});
+
+    const std::string k = std::string(s.key);
+    report.add_scalar(k + ".blocking.sim_time_s", roff.stats.sim_time);
+    report.add_scalar(k + ".overlap.sim_time_s", ron.stats.sim_time);
+    report.add_scalar(k + ".overlap.overlapped_s",
+                      ron.stats.overlapped_seconds);
+    report.add_scalar(k + ".overlap.exposed_s", ron.stats.exposed_seconds);
+    report.add_scalar(k + ".overlap.total_comm_s", total_comm);
+    report.add_scalar(k + ".speedup", speedup);
+    report.add_metrics(k + ".overlap", con.metrics());
+  }
+  t.print("Nonblocking pipelines vs blocking baseline");
+  std::cout << std::endl;
+
+  report.add_table("Nonblocking pipelines vs blocking baseline", t);
+  const std::string written = report.write();
+  if (!written.empty()) std::cout << "bench JSON: " << written << "\n";
+  return 0;
+}

@@ -10,30 +10,24 @@
 #endif
 
 #include "obs/metrics.hpp"
+#include "util/parse.hpp"
 
 namespace fit::blas {
 
 namespace {
 
+using util::env_size;
+
+// Guarded on unistd availability only: each cache-level probe below
+// guards on its *own* _SC_ macro. (Gating this shared helper on
+// _SC_LEVEL1_DCACHE_SIZE — the old bug — silently disabled the L2/L3
+// probes on platforms that define the L2/L3 macros but not the L1 one.)
+#if defined(__unix__) || defined(__APPLE__)
 std::size_t sysconf_bytes(int name) {
-#if defined(_SC_LEVEL1_DCACHE_SIZE)
   const long v = ::sysconf(name);
   return v > 0 ? static_cast<std::size_t>(v) : 0;
-#else
-  (void)name;
-  return 0;
+}
 #endif
-}
-
-/// Positive integer from the environment, or `fallback`.
-std::size_t env_size(const char* name, std::size_t fallback) {
-  if (const char* env = std::getenv(name)) {
-    char* end = nullptr;
-    const long long v = std::strtoll(env, &end, 10);
-    if (end != env && v >= 1) return static_cast<std::size_t>(v);
-  }
-  return fallback;
-}
 
 std::size_t round_up(std::size_t v, std::size_t unit) {
   return ((v + unit - 1) / unit) * unit;

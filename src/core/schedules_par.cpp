@@ -1,14 +1,17 @@
 #include "core/schedules_par.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/schedules_baseline.hpp"
-#include <memory>
 
 #include "blas/gemm.hpp"
 #include "blas/level1.hpp"
 #include "blas/tune.hpp"
 #include "bounds/transform_bounds.hpp"
+#include "core/sym_tile.hpp"
 #include "tensor/pairs.hpp"
 #include "tensor/tiling.hpp"
 #include "util/format.hpp"
@@ -88,43 +91,34 @@ struct Par {
   std::size_t n() const { return p.n(); }
 };
 
-/// Transpose two dimensions of a dense row-major 4-D tile. `len` gives
-/// the input extents; output extents have d0/d1 swapped.
-void transpose4(const double* in, double* out, const std::size_t len[4],
-                int d0, int d1) {
-  std::size_t olen[4] = {len[0], len[1], len[2], len[3]};
-  std::swap(olen[d0], olen[d1]);
-  std::size_t c[4];
-  for (c[0] = 0; c[0] < len[0]; ++c[0])
-    for (c[1] = 0; c[1] < len[1]; ++c[1])
-      for (c[2] = 0; c[2] < len[2]; ++c[2])
-        for (c[3] = 0; c[3] < len[3]; ++c[3]) {
-          std::size_t oc[4] = {c[0], c[1], c[2], c[3]};
-          std::swap(oc[d0], oc[d1]);
-          out[((oc[0] * olen[1] + oc[1]) * olen[2] + oc[2]) * olen[3] +
-              oc[3]] =
-              in[((c[0] * len[1] + c[1]) * len[2] + c[2]) * len[3] + c[3]];
-        }
-}
-
-/// Fetch tile (c0,c1,rest...) of an array whose dims (d0,d1) form a
-/// triangular-stored symmetric pair: when c[d0] < c[d1] the mirrored
-/// tile is fetched and transposed. `buf` receives the tile in the
-/// requested orientation; `scratch` must be at least as large.
-void get_sym_tile(const GlobalArray& arr, RankCtx& ctx, ga::TileCoord coord,
-                  int d0, int d1, double* buf, double* scratch) {
-  if (coord[d0] >= coord[d1]) {
-    arr.get(ctx, coord, buf);
+/// Double-buffered fetch/compute pipeline. `issue(i, slot)` starts the
+/// nonblocking fetch for iteration i into buffer `slot`, `finish(i,
+/// slot)` completes it, `compute(i, slot)` consumes it. With `overlap`
+/// the fetch of iteration i+1 is in flight while iteration i
+/// multiplies; without, the three steps run back to back, which costs
+/// exactly what the blocking ops always did (an nb issue followed
+/// immediately by its wait is fully exposed). Either way the GA
+/// operations execute in the same order, so fault-injection points and
+/// Real-mode results are identical.
+template <class Issue, class Finish, class Compute>
+void pipelined_fetch(std::size_t n, bool overlap, Issue&& issue,
+                     Finish&& finish, Compute&& compute) {
+  if (!overlap) {
+    for (std::size_t i = 0; i < n; ++i) {
+      issue(i, 0);
+      finish(i, 0);
+      compute(i, 0);
+    }
     return;
   }
-  ga::TileCoord mirrored = coord;
-  std::swap(mirrored[d0], mirrored[d1]);
-  arr.get(ctx, mirrored, scratch);
-  if (ctx.real()) {
-    const auto& info = arr.info(mirrored);
-    std::size_t len[4] = {info.len[0], info.len[1], info.len[2],
-                          info.len[3]};
-    transpose4(scratch, buf, len, d0, d1);
+  if (n == 0) return;
+  std::size_t cur = 0;
+  issue(0, cur);
+  for (std::size_t i = 0; i < n; ++i) {
+    finish(i, cur);
+    if (i + 1 < n) issue(i + 1, 1 - cur);
+    compute(i, cur);
+    cur = 1 - cur;
   }
 }
 
@@ -146,7 +140,14 @@ void fill_a(Par& par, GlobalArray& a, std::size_t l_base,
               for (std::size_t l = ti.lo[3]; l < ti.lo[3] + ti.len[3]; ++l)
                 *out++ = par.p.engine.value(i, j, k, l_base + l);
       }
-      a.put(ctx, ti.coord, buf.data());
+      // Nonblocking: the put's wire time hides behind the next tile's
+      // integral evaluation (the buffer is consumed eagerly at issue,
+      // so reusing it next iteration is safe); the phase barrier waits
+      // for whatever is still in flight.
+      if (par.opt.overlap)
+        a.nbput(ctx, ti.coord, buf.data());
+      else
+        a.put(ctx, ti.coord, buf.data());
     }
   });
 }
@@ -161,27 +162,44 @@ void contract1(Par& par, const GlobalArray& a, GlobalArray& o1,
     const std::size_t max_tile =
         par.t.max_width() * par.t.max_width() * a.tiling(2).max_width() *
         a.tiling(3).max_width();
+    const std::size_t nslots = par.opt.overlap ? 2 : 1;
     for (std::size_t idx : o1.tiles_of(ctx.rank())) {
       const auto& ti = o1.tile_by_index(idx);
       const std::size_t lkl = ti.len[2] * ti.len[3];
       RankBuffer out(ctx, ti.elements, "O1 tile");
-      RankBuffer abuf(ctx, max_tile, "A fetch");
-      RankBuffer tbuf(ctx, max_tile, "A transpose");
+      RankBuffer abuf(ctx, nslots * max_tile, "A fetch");
+      RankBuffer tbuf(ctx, nslots * max_tile, "A transpose");
+      auto at = [&](RankBuffer& b, std::size_t s) {
+        return ctx.real() ? b.data() + s * max_tile : nullptr;
+      };
       const std::size_t ta = ti.coord[0], tj = ti.coord[1];
-      for (std::size_t tii = 0; tii < par.nt; ++tii) {
-        ga::TileCoord ac = {tii, tj, ti.coord[2], ti.coord[3]};
-        get_sym_tile(a, ctx, ac, 0, 1, abuf.data(), tbuf.data());
-        const std::size_t leni = par.t.len(tii);
-        ctx.charge_flops(gemm_flops(ti.len[0], ti.len[1] * lkl, leni));
-        if (ctx.real()) {
-          // out[a, (j k l)] += B[a, i] * abuf[i, (j k l)]
-          gemm(Trans::No, Trans::No, ti.len[0], ti.len[1] * lkl, leni, 1.0,
-               par.b() + par.t.lo(ta) * par.n() + par.t.lo(tii), par.n(),
-               abuf.data(), ti.len[1] * lkl, 1.0, out.data(),
-               ti.len[1] * lkl);
-        }
-      }
-      o1.put(ctx, ti.coord, out.data());
+      SymFetch fetch[2];
+      pipelined_fetch(
+          par.nt, par.opt.overlap,
+          [&](std::size_t tii, std::size_t s) {
+            ga::TileCoord ac = {tii, tj, ti.coord[2], ti.coord[3]};
+            fetch[s] = nbget_sym_tile(a, ctx, ac, 0, 1, at(abuf, s),
+                                      at(tbuf, s));
+          },
+          [&](std::size_t, std::size_t s) {
+            finish_sym_tile(ctx, fetch[s]);
+          },
+          [&](std::size_t tii, std::size_t s) {
+            const std::size_t leni = par.t.len(tii);
+            ctx.charge_flops(gemm_flops(ti.len[0], ti.len[1] * lkl, leni));
+            if (ctx.real()) {
+              // out[a, (j k l)] += B[a, i] * abuf[i, (j k l)]
+              gemm(Trans::No, Trans::No, ti.len[0], ti.len[1] * lkl, leni,
+                   1.0,
+                   par.b() + par.t.lo(ta) * par.n() + par.t.lo(tii),
+                   par.n(), at(abuf, s), ti.len[1] * lkl, 1.0, out.data(),
+                   ti.len[1] * lkl);
+            }
+          });
+      if (par.opt.overlap)
+        o1.nbput(ctx, ti.coord, out.data());
+      else
+        o1.put(ctx, ti.coord, out.data());
     }
   });
 }
@@ -193,27 +211,40 @@ void contract2(Par& par, const GlobalArray& o1, GlobalArray& o2,
     const std::size_t max_tile =
         par.t.max_width() * par.t.max_width() * o1.tiling(2).max_width() *
         o1.tiling(3).max_width();
+    const std::size_t nslots = par.opt.overlap ? 2 : 1;
     for (std::size_t idx : o2.tiles_of(ctx.rank())) {
       const auto& ti = o2.tile_by_index(idx);
       const std::size_t lkl = ti.len[2] * ti.len[3];
       RankBuffer out(ctx, ti.elements, "O2 tile");
-      RankBuffer o1buf(ctx, max_tile, "O1 fetch");
+      RankBuffer o1buf(ctx, nslots * max_tile, "O1 fetch");
+      auto at = [&](std::size_t s) {
+        return ctx.real() ? o1buf.data() + s * max_tile : nullptr;
+      };
       const std::size_t ta = ti.coord[0], tb = ti.coord[1];
-      for (std::size_t tjj = 0; tjj < par.nt; ++tjj) {
-        ga::TileCoord oc = {ta, tjj, ti.coord[2], ti.coord[3]};
-        o1.get(ctx, oc, o1buf.data());
-        const std::size_t lenj = par.t.len(tjj);
-        ctx.charge_flops(
-            gemm_flops(ti.len[1], lkl, lenj) * double(ti.len[0]));
-        if (ctx.real()) {
-          for (std::size_t ia = 0; ia < ti.len[0]; ++ia)
-            gemm(Trans::No, Trans::No, ti.len[1], lkl, lenj, 1.0,
-                 par.b() + par.t.lo(tb) * par.n() + par.t.lo(tjj), par.n(),
-                 o1buf.data() + ia * lenj * lkl, lkl, 1.0,
-                 out.data() + ia * ti.len[1] * lkl, lkl);
-        }
-      }
-      o2.put(ctx, ti.coord, out.data());
+      GlobalArray::NbHandle fetch[2];
+      pipelined_fetch(
+          par.nt, par.opt.overlap,
+          [&](std::size_t tjj, std::size_t s) {
+            ga::TileCoord oc = {ta, tjj, ti.coord[2], ti.coord[3]};
+            fetch[s] = o1.nbget(ctx, oc, at(s));
+          },
+          [&](std::size_t, std::size_t s) { ctx.wait_transfer(fetch[s]); },
+          [&](std::size_t tjj, std::size_t s) {
+            const std::size_t lenj = par.t.len(tjj);
+            ctx.charge_flops(
+                gemm_flops(ti.len[1], lkl, lenj) * double(ti.len[0]));
+            if (ctx.real()) {
+              for (std::size_t ia = 0; ia < ti.len[0]; ++ia)
+                gemm(Trans::No, Trans::No, ti.len[1], lkl, lenj, 1.0,
+                     par.b() + par.t.lo(tb) * par.n() + par.t.lo(tjj),
+                     par.n(), at(s) + ia * lenj * lkl, lkl, 1.0,
+                     out.data() + ia * ti.len[1] * lkl, lkl);
+            }
+          });
+      if (par.opt.overlap)
+        o2.nbput(ctx, ti.coord, out.data());
+      else
+        o2.put(ctx, ti.coord, out.data());
     }
   });
 }
@@ -229,30 +260,50 @@ void contract3(Par& par, const GlobalArray& o2, GlobalArray& o3,
         par.t.max_width() * par.t.max_width() *
         std::max(o2.tiling(2).max_width(), o2.tiling(3).max_width()) *
         std::max(o2.tiling(2).max_width(), o2.tiling(3).max_width());
+    const std::size_t nslots = par.opt.overlap ? 2 : 1;
     for (std::size_t idx : o3.tiles_of(ctx.rank())) {
       const auto& ti = o3.tile_by_index(idx);
       RankBuffer out(ctx, ti.elements, "O3 tile");
-      RankBuffer o2buf(ctx, max_tile, "O2 fetch");
-      RankBuffer tbuf(ctx, max_tile, "O2 transpose");
+      RankBuffer o2buf(ctx, nslots * max_tile, "O2 fetch");
+      RankBuffer tbuf(ctx, nslots * max_tile, "O2 transpose");
+      auto at = [&](RankBuffer& b, std::size_t s) {
+        return ctx.real() ? b.data() + s * max_tile : nullptr;
+      };
       const std::size_t tc = ti.coord[2];
-      for (std::size_t tkk = 0; tkk < par.nt; ++tkk) {
-        ga::TileCoord oc = {ti.coord[0], ti.coord[1], tkk, ti.coord[3]};
-        if (kl_symmetric)
-          get_sym_tile(o2, ctx, oc, 2, 3, o2buf.data(), tbuf.data());
-        else
-          o2.get(ctx, oc, o2buf.data());
-        const std::size_t lenk = par.t.len(tkk);
-        ctx.charge_flops(gemm_flops(ti.len[2], ti.len[3], lenk) *
-                         double(ti.len[0] * ti.len[1]));
-        if (ctx.real()) {
-          for (std::size_t iab = 0; iab < ti.len[0] * ti.len[1]; ++iab)
-            gemm(Trans::No, Trans::No, ti.len[2], ti.len[3], lenk, 1.0,
-                 par.b() + par.t.lo(tc) * par.n() + par.t.lo(tkk), par.n(),
-                 o2buf.data() + iab * lenk * ti.len[3], ti.len[3], 1.0,
-                 out.data() + iab * ti.len[2] * ti.len[3], ti.len[3]);
-        }
-      }
-      o3.put(ctx, ti.coord, out.data());
+      SymFetch fetch[2];
+      pipelined_fetch(
+          par.nt, par.opt.overlap,
+          [&](std::size_t tkk, std::size_t s) {
+            ga::TileCoord oc = {ti.coord[0], ti.coord[1], tkk,
+                                ti.coord[3]};
+            if (kl_symmetric) {
+              fetch[s] = nbget_sym_tile(o2, ctx, oc, 2, 3, at(o2buf, s),
+                                        at(tbuf, s));
+            } else {
+              fetch[s] = SymFetch{};
+              fetch[s].handle = o2.nbget(ctx, oc, at(o2buf, s));
+            }
+          },
+          [&](std::size_t, std::size_t s) {
+            finish_sym_tile(ctx, fetch[s]);
+          },
+          [&](std::size_t tkk, std::size_t s) {
+            const std::size_t lenk = par.t.len(tkk);
+            ctx.charge_flops(gemm_flops(ti.len[2], ti.len[3], lenk) *
+                             double(ti.len[0] * ti.len[1]));
+            if (ctx.real()) {
+              for (std::size_t iab = 0; iab < ti.len[0] * ti.len[1]; ++iab)
+                gemm(Trans::No, Trans::No, ti.len[2], ti.len[3], lenk, 1.0,
+                     par.b() + par.t.lo(tc) * par.n() + par.t.lo(tkk),
+                     par.n(), at(o2buf, s) + iab * lenk * ti.len[3],
+                     ti.len[3], 1.0,
+                     out.data() + iab * ti.len[2] * ti.len[3], ti.len[3]);
+            }
+          });
+      if (par.opt.overlap)
+        o3.nbput(ctx, ti.coord, out.data());
+      else
+        o3.put(ctx, ti.coord, out.data());
     }
   });
 }
@@ -266,32 +317,50 @@ void contract4(Par& par, const GlobalArray& o3, GlobalArray& c,
   par.cl.run_phase(label, [&](RankCtx& ctx) {
     const std::size_t max_tile = par.t.max_width() * par.t.max_width() *
                                  par.t.max_width() * o3.tiling(3).max_width();
+    const std::size_t nslots = par.opt.overlap ? 2 : 1;
     for (std::size_t idx : c.tiles_of(ctx.rank())) {
       const auto& ti = c.tile_by_index(idx);
       RankBuffer out(ctx, ti.elements, "C tile");
-      RankBuffer o3buf(ctx, max_tile, "O3 fetch");
+      RankBuffer o3buf(ctx, nslots * max_tile, "O3 fetch");
+      auto at = [&](std::size_t s) {
+        return ctx.real() ? o3buf.data() + s * max_tile : nullptr;
+      };
       const std::size_t td = ti.coord[3];
       const std::size_t nlt = o3.tiling(3).ntiles();
-      for (std::size_t tll = 0; tll < nlt; ++tll) {
-        ga::TileCoord oc = {ti.coord[0], ti.coord[1], ti.coord[2], tll};
-        o3.get(ctx, oc, o3buf.data());
-        const std::size_t lenl = o3.tiling(3).len(tll);
-        ctx.charge_flops(gemm_flops(ti.len[2], ti.len[3], lenl) *
-                         double(ti.len[0] * ti.len[1]));
-        if (ctx.real()) {
-          for (std::size_t iab = 0; iab < ti.len[0] * ti.len[1]; ++iab)
-            gemm(Trans::No, Trans::Yes, ti.len[2], ti.len[3], lenl, 1.0,
-                 o3buf.data() + iab * ti.len[2] * lenl, lenl,
-                 par.b() + par.t.lo(td) * par.n() + l_base +
-                     o3.tiling(3).lo(tll),
-                 par.n(), 1.0, out.data() + iab * ti.len[2] * ti.len[3],
-                 ti.len[3]);
-        }
+      GlobalArray::NbHandle fetch[2];
+      pipelined_fetch(
+          nlt, par.opt.overlap,
+          [&](std::size_t tll, std::size_t s) {
+            ga::TileCoord oc = {ti.coord[0], ti.coord[1], ti.coord[2],
+                                tll};
+            fetch[s] = o3.nbget(ctx, oc, at(s));
+          },
+          [&](std::size_t, std::size_t s) { ctx.wait_transfer(fetch[s]); },
+          [&](std::size_t tll, std::size_t s) {
+            const std::size_t lenl = o3.tiling(3).len(tll);
+            ctx.charge_flops(gemm_flops(ti.len[2], ti.len[3], lenl) *
+                             double(ti.len[0] * ti.len[1]));
+            if (ctx.real()) {
+              for (std::size_t iab = 0; iab < ti.len[0] * ti.len[1]; ++iab)
+                gemm(Trans::No, Trans::Yes, ti.len[2], ti.len[3], lenl,
+                     1.0, at(s) + iab * ti.len[2] * lenl, lenl,
+                     par.b() + par.t.lo(td) * par.n() + l_base +
+                         o3.tiling(3).lo(tll),
+                     par.n(), 1.0,
+                     out.data() + iab * ti.len[2] * ti.len[3], ti.len[3]);
+            }
+          });
+      if (accumulate) {
+        if (par.opt.overlap)
+          c.nbacc(ctx, ti.coord, out.data());
+        else
+          c.acc(ctx, ti.coord, out.data());
+      } else {
+        if (par.opt.overlap)
+          c.nbput(ctx, ti.coord, out.data());
+        else
+          c.put(ctx, ti.coord, out.data());
       }
-      if (accumulate)
-        c.acc(ctx, ti.coord, out.data());
-      else
-        c.put(ctx, ti.coord, out.data());
     }
   });
 }
@@ -331,6 +400,9 @@ ParResult finish(Par& par, const char* name,
   r.stats.integral_evals = after.integral_evals - before.integral_evals;
   r.stats.remote_bytes = after.remote_bytes - before.remote_bytes;
   r.stats.local_bytes = after.local_bytes - before.local_bytes;
+  r.stats.overlapped_seconds =
+      after.overlapped_seconds - before.overlapped_seconds;
+  r.stats.exposed_seconds = after.exposed_seconds - before.exposed_seconds;
   r.stats.peak_global_bytes = par.cl.global_peak();
   r.stats.worst_imbalance = par.cl.worst_imbalance();
   r.stats.n_phases = par.cl.phases().size();
@@ -530,6 +602,13 @@ ParResult fused_inner_par_transform(const Problem& p, Cluster& cluster,
     auto o2 = std::make_unique<GlobalArray>(
         cluster, "O2_l", sdims, ga::filter_triangular(0, 1), o2_owner);
 
+    // Tile pairs of the triangular A gather, in the historical
+    // (tj outer, ti >= tj) order; indexable for the prefetch pipeline.
+    std::vector<std::pair<std::size_t, std::size_t>> ij_tiles;
+    for (std::size_t tj = 0; tj < par.nt; ++tj)
+      for (std::size_t ti = tj; ti < par.nt; ++ti)
+        ij_tiles.emplace_back(ti, tj);
+
     // ---- Fused contractions 1+2 (k-parallel, Listing 10 top) -------
     cluster.run_phase("fused12" + tag, [&](RankCtx& ctx) {
       for (std::size_t tk = 0; tk < par.nt; ++tk) {
@@ -542,24 +621,39 @@ ParResult fused_inner_par_transform(const Problem& p, Cluster& cluster,
           RankBuffer bufa(ctx, n * n * m, "A block");
           {
             const std::size_t tw = par.t.max_width();
-            RankBuffer fetch(ctx, tw * tw * m, "A fetch");
-            for (std::size_t tj = 0; tj < par.nt; ++tj)
-              for (std::size_t ti = tj; ti < par.nt; ++ti) {
-                ga::TileCoord ac4 = {ti, tj, tk, 0};
-                al->get(ctx, ac4, fetch.data());
-                if (!ctx.real()) continue;
-                const auto& info = al->info(ac4);
-                const double* src = fetch.data();
-                for (std::size_t i = info.lo[0];
-                     i < info.lo[0] + info.len[0]; ++i)
-                  for (std::size_t j = info.lo[1];
-                       j < info.lo[1] + info.len[1]; ++j)
-                    for (std::size_t x = 0; x < m; ++x) {
-                      const double v = *src++;
-                      bufa.data()[(i * n + j) * m + x] = v;
-                      bufa.data()[(j * n + i) * m + x] = v;
-                    }
-              }
+            const std::size_t fmax = tw * tw * m;
+            const std::size_t nslots = par.opt.overlap ? 2 : 1;
+            RankBuffer fetchbuf(ctx, nslots * fmax, "A fetch");
+            auto at = [&](std::size_t s) {
+              return ctx.real() ? fetchbuf.data() + s * fmax : nullptr;
+            };
+            GlobalArray::NbHandle fh[2];
+            pipelined_fetch(
+                ij_tiles.size(), par.opt.overlap,
+                [&](std::size_t q, std::size_t s) {
+                  ga::TileCoord ac4 = {ij_tiles[q].first,
+                                       ij_tiles[q].second, tk, 0};
+                  fh[s] = al->nbget(ctx, ac4, at(s));
+                },
+                [&](std::size_t, std::size_t s) {
+                  ctx.wait_transfer(fh[s]);
+                },
+                [&](std::size_t q, std::size_t s) {
+                  if (!ctx.real()) return;
+                  ga::TileCoord ac4 = {ij_tiles[q].first,
+                                       ij_tiles[q].second, tk, 0};
+                  const auto& info = al->info(ac4);
+                  const double* src = at(s);
+                  for (std::size_t i = info.lo[0];
+                       i < info.lo[0] + info.len[0]; ++i)
+                    for (std::size_t j = info.lo[1];
+                         j < info.lo[1] + info.len[1]; ++j)
+                      for (std::size_t x = 0; x < m; ++x) {
+                        const double v = *src++;
+                        bufa.data()[(i * n + j) * m + x] = v;
+                        bufa.data()[(j * n + i) * m + x] = v;
+                      }
+                });
           }
           // Alpha-tile chunk [ta0, ta1) assigned to chunk ac.
           for (std::size_t ta = 0; ta < par.nt; ++ta) {
@@ -583,7 +677,13 @@ ParResult fused_inner_par_transform(const Problem& p, Cluster& cluster,
                        par.b() + par.t.lo(tb) * n, n,
                        o1blk.data() + ia * n * m, m, 0.0,
                        o2tile.data() + ia * lenb * m, m);
-              o2->put(ctx, ga::TileCoord{ta, tb, tk, 0}, o2tile.data());
+              // Nonblocking: the O2 tile is consumed at issue, so the
+              // put hides behind the next (tb / ta) iteration's gemm.
+              if (par.opt.overlap)
+                o2->nbput(ctx, ga::TileCoord{ta, tb, tk, 0},
+                          o2tile.data());
+              else
+                o2->put(ctx, ga::TileCoord{ta, tb, tk, 0}, o2tile.data());
             }
           }
         }
@@ -603,21 +703,35 @@ ParResult fused_inner_par_transform(const Problem& p, Cluster& cluster,
           RankBuffer bufo2(ctx, lena * lenb * n * llen, "O2 row");
           {
             const std::size_t tw = par.t.max_width();
-            RankBuffer fetch(ctx, tw * tw * tw * llen, "O2 fetch");
-            for (std::size_t tk = 0; tk < par.nt; ++tk) {
-              ga::TileCoord oc = {ta, tb, tk, 0};
-              o2->get(ctx, oc, fetch.data());
-              if (!ctx.real()) continue;
-              const auto& info = o2->info(oc);
-              const double* src = fetch.data();
-              for (std::size_t ia = 0; ia < lena; ++ia)
-                for (std::size_t ib = 0; ib < lenb; ++ib)
-                  for (std::size_t k = info.lo[2];
-                       k < info.lo[2] + info.len[2]; ++k)
-                    for (std::size_t ll = 0; ll < llen; ++ll)
-                      bufo2.data()[((ia * lenb + ib) * n + k) * llen + ll] =
-                          *src++;
-            }
+            const std::size_t fmax = tw * tw * tw * llen;
+            const std::size_t nslots = par.opt.overlap ? 2 : 1;
+            RankBuffer fetchbuf(ctx, nslots * fmax, "O2 fetch");
+            auto at = [&](std::size_t s) {
+              return ctx.real() ? fetchbuf.data() + s * fmax : nullptr;
+            };
+            GlobalArray::NbHandle fh[2];
+            pipelined_fetch(
+                par.nt, par.opt.overlap,
+                [&](std::size_t tk, std::size_t s) {
+                  ga::TileCoord oc = {ta, tb, tk, 0};
+                  fh[s] = o2->nbget(ctx, oc, at(s));
+                },
+                [&](std::size_t, std::size_t s) {
+                  ctx.wait_transfer(fh[s]);
+                },
+                [&](std::size_t tk, std::size_t s) {
+                  if (!ctx.real()) return;
+                  ga::TileCoord oc = {ta, tb, tk, 0};
+                  const auto& info = o2->info(oc);
+                  const double* src = at(s);
+                  for (std::size_t ia = 0; ia < lena; ++ia)
+                    for (std::size_t ib = 0; ib < lenb; ++ib)
+                      for (std::size_t k = info.lo[2];
+                           k < info.lo[2] + info.len[2]; ++k)
+                        for (std::size_t ll = 0; ll < llen; ++ll)
+                          bufo2.data()[((ia * lenb + ib) * n + k) * llen +
+                                       ll] = *src++;
+                });
           }
           RankBuffer bufo3(ctx, lena * lenb * n * llen, "O3 block");
           ctx.charge_flops(gemm_flops(n, llen, n) * double(lena * lenb));
@@ -640,7 +754,14 @@ ParResult fused_inner_par_transform(const Problem& p, Cluster& cluster,
                        bufo3.data() + (iab * n + par.t.lo(tc)) * llen, llen,
                        par.b() + par.t.lo(td) * n + llo, n, 1.0,
                        ctile.data() + iab * lenc * lend, lend);
-              c->acc(ctx, ga::TileCoord{ta, tb, tc, td}, ctile.data());
+              // Nonblocking: the accumulate lands at issue (under the
+              // GA acc mutex); its wire time hides behind the next
+              // (tc,td) tile's gemm.
+              if (par.opt.overlap)
+                c->nbacc(ctx, ga::TileCoord{ta, tb, tc, td},
+                         ctile.data());
+              else
+                c->acc(ctx, ga::TileCoord{ta, tb, tc, td}, ctile.data());
             }
         }
       }

@@ -54,6 +54,15 @@ struct ParOptions {
   // Gather the distributed result into a PackedC at the end (Real
   // mode only; disable for timing runs).
   bool gather_result = true;
+  // Double-buffered prefetch pipelines: fetch the next tile with a
+  // nonblocking get while the current one multiplies, and issue puts /
+  // accumulates nonblocking so their wire time hides behind the next
+  // iteration. Results are bit-identical with the blocking schedule
+  // (the GA layer moves data eagerly at issue and the accumulation
+  // order is unchanged); only the modeled comm/compute overlap —
+  // ParStats::overlapped_seconds — differs. Off = the blocking
+  // baseline, kept for ablation.
+  bool overlap = true;
 };
 
 struct ParStats {
@@ -64,6 +73,11 @@ struct ParStats {
   double remote_bytes = 0;
   double local_bytes = 0;
   double peak_global_bytes = 0;  // aggregate GA high-water mark
+  // Transfer-time decomposition (see runtime::CommStats): seconds of
+  // wire/disk time hidden behind compute by the nonblocking pipelines
+  // vs. seconds the ranks' clocks actually stalled.
+  double overlapped_seconds = 0;
+  double exposed_seconds = 0;
   double worst_imbalance = 1.0;
   std::size_t n_phases = 0;
   double wall_seconds = 0;    // host time spent simulating

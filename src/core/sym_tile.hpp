@@ -1,0 +1,56 @@
+// Symmetric-pair tile fetches over triangular GA storage.
+//
+// Arrays whose dims (d0,d1) form a symmetric index pair store only the
+// unique tiles (tile[d0] >= tile[d1]). A logical tile below the
+// diagonal is materialized by fetching the mirrored stored tile and
+// transposing dims d0/d1 locally. get_sym_tile is the blocking form
+// the schedules have always used; nbget_sym_tile/finish_sym_tile split
+// it around a nonblocking GA get so the wire time can overlap compute
+// (the transpose runs at finish, after the data has "arrived").
+#pragma once
+
+#include <cstddef>
+
+#include "ga/global_array.hpp"
+#include "runtime/cluster.hpp"
+
+namespace fit::core {
+
+/// Transpose two dimensions of a dense row-major 4-D tile. `len` gives
+/// the input extents; output extents have d0/d1 swapped.
+void transpose4(const double* in, double* out, const std::size_t len[4],
+                int d0, int d1);
+
+/// Fetch tile (c0,c1,rest...) of an array whose dims (d0,d1) form a
+/// triangular-stored symmetric pair: when c[d0] < c[d1] the mirrored
+/// tile is fetched and transposed. `buf` receives the tile in the
+/// requested orientation; `scratch` must be at least as large.
+void get_sym_tile(const ga::GlobalArray& arr, runtime::RankCtx& ctx,
+                  ga::TileCoord coord, int d0, int d1, double* buf,
+                  double* scratch);
+
+/// An in-flight symmetric-tile fetch started by nbget_sym_tile. The
+/// `buf`/`scratch` pointers it was issued with must stay valid (and
+/// untouched) until finish_sym_tile runs.
+struct SymFetch {
+  ga::GlobalArray::NbHandle handle;
+  bool mirrored = false;           // data landed transposed in scratch
+  std::size_t len[4] = {0, 0, 0, 0};  // stored-tile extents
+  int d0 = 0, d1 = 0;
+  double* buf = nullptr;
+  double* scratch = nullptr;
+};
+
+/// Nonblocking get_sym_tile: issues the GA nbget (into `buf` directly
+/// for stored tiles, into `scratch` for mirrored ones) and returns the
+/// in-flight fetch descriptor.
+SymFetch nbget_sym_tile(const ga::GlobalArray& arr, runtime::RankCtx& ctx,
+                        ga::TileCoord coord, int d0, int d1, double* buf,
+                        double* scratch);
+
+/// Complete a SymFetch: wait for the transfer and, for mirrored tiles,
+/// transpose scratch into buf. After this `buf` holds exactly what
+/// get_sym_tile would have produced. Idempotent like wait_transfer.
+void finish_sym_tile(runtime::RankCtx& ctx, const SymFetch& fetch);
+
+}  // namespace fit::core

@@ -219,6 +219,70 @@ void GlobalArray::acc(RankCtx& ctx, std::span<const std::size_t> coord,
   }
 }
 
+GlobalArray::NbHandle GlobalArray::nbget(RankCtx& ctx,
+                                         std::span<const std::size_t> coord,
+                                         double* buf) const {
+  FIT_REQUIRE(!destroyed_, name_ << ": nbget after destroy");
+  ctx.fault_point("nbget");
+  ctx.count_ga_get();
+  const Tile& t = tile_at(coord);
+  FIT_CHECK(t.write_epoch.load(std::memory_order_acquire) <
+                cluster_.epoch(),
+            name_ << ": nbget of a tile written in the current epoch — "
+                     "missing GA_Sync before the read");
+  const double bytes = 8.0 * double(t.info.elements);
+  const NbHandle h =
+      t.spilled ? ctx.begin_disk_transfer(bytes, runtime::NbKind::Get)
+                : ctx.begin_transfer(t.info.owner, bytes,
+                                     runtime::NbKind::Get);
+  if (ctx.real()) {
+    FIT_REQUIRE(buf != nullptr, "null buffer in Real mode");
+    std::copy(t.data.begin(), t.data.end(), buf);
+  }
+  return h;
+}
+
+GlobalArray::NbHandle GlobalArray::nbput(RankCtx& ctx,
+                                         std::span<const std::size_t> coord,
+                                         const double* buf) {
+  FIT_REQUIRE(!destroyed_, name_ << ": nbput after destroy");
+  ctx.fault_point("nbput");
+  ctx.count_ga_put();
+  Tile& t = tile_at(coord);
+  const double bytes = 8.0 * double(t.info.elements);
+  const NbHandle h =
+      t.spilled ? ctx.begin_disk_transfer(bytes, runtime::NbKind::Put)
+                : ctx.begin_transfer(t.info.owner, bytes,
+                                     runtime::NbKind::Put);
+  t.write_epoch.store(cluster_.epoch(), std::memory_order_release);
+  if (ctx.real()) {
+    FIT_REQUIRE(buf != nullptr, "null buffer in Real mode");
+    std::copy(buf, buf + t.info.elements, t.data.begin());
+  }
+  return h;
+}
+
+GlobalArray::NbHandle GlobalArray::nbacc(RankCtx& ctx,
+                                         std::span<const std::size_t> coord,
+                                         const double* buf) {
+  FIT_REQUIRE(!destroyed_, name_ << ": nbacc after destroy");
+  ctx.fault_point("nbacc");
+  ctx.count_ga_acc();
+  Tile& t = tile_at(coord);
+  const double bytes = 8.0 * double(t.info.elements);
+  const NbHandle h =
+      t.spilled ? ctx.begin_disk_transfer(bytes, runtime::NbKind::Acc)
+                : ctx.begin_transfer(t.info.owner, bytes,
+                                     runtime::NbKind::Acc);
+  t.write_epoch.store(cluster_.epoch(), std::memory_order_release);
+  if (ctx.real()) {
+    FIT_REQUIRE(buf != nullptr, "null buffer in Real mode");
+    std::lock_guard<std::mutex> lock(acc_mutex_);
+    for (std::size_t i = 0; i < t.info.elements; ++i) t.data[i] += buf[i];
+  }
+  return h;
+}
+
 double GlobalArray::peek(std::span<const std::size_t> element) const {
   FIT_REQUIRE(cluster_.mode() == runtime::ExecutionMode::Real,
               "peek only in Real mode");

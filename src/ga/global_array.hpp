@@ -111,6 +111,48 @@ class GlobalArray {
   void acc(runtime::RankCtx& ctx, std::span<const std::size_t> coord,
            const double* buf);
 
+  // --- nonblocking variants (GA_NbGet / GA_NbPut / GA_NbAcc) ---
+  //
+  // Identical semantics and counters to get/put/acc, but the wire time
+  // is charged to the rank's injection-link timeline instead of the
+  // clock: compute charged before the matching wait() overlaps the
+  // transfer. In Real mode the data movement happens *eagerly at
+  // issue* — legal because the sync-before-read discipline freezes a
+  // tile's remote value within an epoch (nbget reads data no put of
+  // this epoch may touch; nbput/nbacc land exactly where the blocking
+  // op would, and readers cannot observe the tile until the next
+  // barrier anyway). Results are therefore bit-identical to the
+  // blocking ops regardless of when wait() runs.
+
+  /// Handle for an in-flight nb operation; pass back to wait()/test()
+  /// on the same RankCtx. The phase barrier waits any leftovers.
+  using NbHandle = runtime::NbTransfer;
+
+  /// Nonblocking get: `buf` is filled at issue (Real mode); the sim
+  /// clock only advances at wait().
+  NbHandle nbget(runtime::RankCtx& ctx, std::span<const std::size_t> coord,
+                 double* buf) const;
+  /// Nonblocking put: the tile is written (and its epoch stamped) at
+  /// issue; `buf` may be reused as soon as the call returns.
+  NbHandle nbput(runtime::RankCtx& ctx, std::span<const std::size_t> coord,
+                 const double* buf);
+  /// Nonblocking accumulate; same issue-time semantics as nbput.
+  NbHandle nbacc(runtime::RankCtx& ctx, std::span<const std::size_t> coord,
+                 const double* buf);
+
+  /// Complete an nb operation: advances the clock past its wire time
+  /// (idempotent). Equivalent to ctx.wait_transfer(h).
+  static void wait(runtime::RankCtx& ctx, NbHandle h) {
+    ctx.wait_transfer(h);
+  }
+  /// True when waiting on `h` now would not stall the clock.
+  static bool test(runtime::RankCtx& ctx, NbHandle h) {
+    return ctx.test_transfer(h);
+  }
+  /// Complete every outstanding nb operation on this rank (all
+  /// arrays — the link timeline is per rank, not per array).
+  static void wait_all(runtime::RankCtx& ctx) { ctx.quiesce(); }
+
   /// Direct read of one element (root-only convenience for gathering
   /// results in Real mode; not charged).
   double peek(std::span<const std::size_t> element) const;

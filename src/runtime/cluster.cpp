@@ -7,6 +7,7 @@
 
 #include "util/format.hpp"
 #include "util/logging.hpp"
+#include "util/parse.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fit::runtime {
@@ -18,12 +19,9 @@ namespace {
 // count so oversubscription cannot distort timing-sensitive benches
 // (fault-recovery makespans in particular).
 std::size_t effective_host_threads(std::size_t requested) {
-  std::size_t want = std::max<std::size_t>(1, requested);
-  if (const char* env = std::getenv("FOURINDEX_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v >= 1) want = static_cast<std::size_t>(v);
-  }
+  const std::size_t want =
+      util::env_size("FOURINDEX_THREADS",
+                     std::max<std::size_t>(1, requested));
   const unsigned hw = std::thread::hardware_concurrency();
   return std::min<std::size_t>(want, hw > 0 ? hw : 1);
 }
@@ -80,14 +78,23 @@ void RankCtx::charge_integrals(double count) {
 
 void RankCtx::charge_transfer(std::size_t owner, double bytes) {
   const auto& m = cluster_.machine();
+  double duration;
   if (cluster_.node_of(owner) == cluster_.node_of(rank_)) {
     comm_.local_bytes += bytes;
-    time_ += bytes / m.local_bandwidth_bps;
+    duration = bytes / m.local_bandwidth_bps;
   } else {
     comm_.remote_bytes += bytes;
     comm_.remote_messages += 1;
-    time_ += m.net_latency_s + bytes / m.net_bandwidth_bps;
+    duration = m.net_latency_s + bytes / m.net_bandwidth_bps;
   }
+  // A blocking transfer queues behind any in-flight nonblocking ones
+  // on this rank's injection link and is fully exposed. With no
+  // nonblocking traffic link_free_ <= time_, so this reduces exactly
+  // to the historical time_ += duration.
+  const double start = std::max(time_, link_free_);
+  comm_.exposed_seconds += (start + duration) - time_;
+  time_ = start + duration;
+  link_free_ = time_;
 }
 
 void RankCtx::note_instant(const std::string& name) {
@@ -111,9 +118,78 @@ void RankCtx::charge_disk(double bytes) {
   FIT_CHECK(m.disk_bandwidth_bps > 0, "disk access with no disk configured");
   comm_.disk_bytes += bytes;
   // The file system bandwidth is collective: each rank sees its share.
-  time_ += m.disk_latency_s +
-           bytes / (m.disk_bandwidth_bps /
-                    static_cast<double>(cluster_.n_ranks()));
+  const double duration =
+      m.disk_latency_s + bytes / (m.disk_bandwidth_bps /
+                                  static_cast<double>(cluster_.n_ranks()));
+  const double start = std::max(time_, link_free_);
+  comm_.exposed_seconds += (start + duration) - time_;
+  time_ = start + duration;
+  link_free_ = time_;
+}
+
+NbTransfer RankCtx::enqueue_nb(double duration, NbKind kind) {
+  NbOp op;
+  op.start = std::max(time_, link_free_);
+  op.done = op.start + duration;
+  op.kind = kind;
+  link_free_ = op.done;
+  nb_ops_.push_back(op);
+  ++nb_outstanding_;
+  return NbTransfer{nb_ops_.size() - 1};
+}
+
+NbTransfer RankCtx::begin_transfer(std::size_t owner, double bytes,
+                                   NbKind kind) {
+  const auto& m = cluster_.machine();
+  double duration;
+  if (cluster_.node_of(owner) == cluster_.node_of(rank_)) {
+    comm_.local_bytes += bytes;
+    duration = bytes / m.local_bandwidth_bps;
+  } else {
+    comm_.remote_bytes += bytes;
+    comm_.remote_messages += 1;
+    duration = m.net_latency_s + bytes / m.net_bandwidth_bps;
+  }
+  return enqueue_nb(duration, kind);
+}
+
+NbTransfer RankCtx::begin_disk_transfer(double bytes, NbKind kind) {
+  const auto& m = cluster_.machine();
+  FIT_CHECK(m.disk_bandwidth_bps > 0, "disk access with no disk configured");
+  comm_.disk_bytes += bytes;
+  const double duration =
+      m.disk_latency_s + bytes / (m.disk_bandwidth_bps /
+                                  static_cast<double>(cluster_.n_ranks()));
+  return enqueue_nb(duration, kind);
+}
+
+void RankCtx::wait_transfer(NbTransfer handle) {
+  FIT_REQUIRE(handle.valid() && handle.id < nb_ops_.size(),
+              "wait on an invalid nonblocking-transfer handle");
+  NbOp& op = nb_ops_[handle.id];
+  if (op.waited) return;
+  op.waited = true;
+  --nb_outstanding_;
+  const double duration = op.done - op.start;
+  // Time past the current clock is a stall (this includes link queueing
+  // delay when the op had not even started); the rest was hidden
+  // behind whatever the rank computed since the issue.
+  const double exposed = std::max(0.0, op.done - time_);
+  comm_.exposed_seconds += exposed;
+  comm_.overlapped_seconds += std::max(0.0, duration - exposed);
+  time_ = std::max(time_, op.done);
+}
+
+bool RankCtx::test_transfer(NbTransfer handle) const {
+  FIT_REQUIRE(handle.valid() && handle.id < nb_ops_.size(),
+              "test on an invalid nonblocking-transfer handle");
+  const NbOp& op = nb_ops_[handle.id];
+  return op.waited || op.done <= time_;
+}
+
+void RankCtx::quiesce() {
+  for (std::size_t i = 0; i < nb_ops_.size() && nb_outstanding_ > 0; ++i)
+    wait_transfer(NbTransfer{i});
 }
 
 void Cluster::note_spill(double bytes) {
@@ -156,6 +232,8 @@ Cluster::Cluster(MachineConfig config, ExecutionMode mode,
                  registry_.counter("ga.gets"),
                  registry_.counter("ga.puts"),
                  registry_.counter("ga.accs"),
+                 registry_.counter("comm.overlapped_seconds"),
+                 registry_.counter("comm.exposed_seconds"),
                  registry_.counter("rank.busy_time_s")};
   id_mem_used_ = registry_.gauge("mem.used_bytes");
   id_mem_peak_ = registry_.gauge("mem.peak_bytes");
@@ -175,6 +253,15 @@ Cluster::Cluster(MachineConfig config, ExecutionMode mode,
   id_ckpt_restored_bytes_ = registry_.counter("checkpoint.restored_bytes");
   id_retry_attempts_ = registry_.counter("retry.attempts");
   id_retry_exhausted_ = registry_.counter("retry.exhausted");
+  // Per-op in-flight spans are only worth their memory when a trace
+  // will actually be written; set_comm_tracing overrides.
+  trace_comm_ = std::getenv("FOURINDEX_TRACE_DIR") != nullptr;
+  nb_span_names_[static_cast<int>(NbKind::Get)] =
+      timeline_.intern("nb get (in flight)");
+  nb_span_names_[static_cast<int>(NbKind::Put)] =
+      timeline_.intern("nb put (in flight)");
+  nb_span_names_[static_cast<int>(NbKind::Acc)] =
+      timeline_.intern("nb acc (in flight)");
   dead_.assign(config_.n_ranks(), 0);
 }
 
@@ -329,7 +416,17 @@ void Cluster::merge_rank(const RankCtx& ctx) {
   registry_.add(charge_ids_.ga_gets, r, c.ga_gets);
   registry_.add(charge_ids_.ga_puts, r, c.ga_puts);
   registry_.add(charge_ids_.ga_accs, r, c.ga_accs);
+  registry_.add(charge_ids_.overlapped_seconds, r, c.overlapped_seconds);
+  registry_.add(charge_ids_.exposed_seconds, r, c.exposed_seconds);
   registry_.add(charge_ids_.busy_time, r, ctx.time_);
+}
+
+void Cluster::flush_nb_spans(const RankCtx& ctx, double t0) {
+  if (!trace_comm_) return;
+  for (const auto& op : ctx.nb_ops_) {
+    timeline_.add_span(nb_span_names_[static_cast<int>(op.kind)], ctx.rank_,
+                       t0 + op.start, op.done - op.start);
+  }
 }
 
 void Cluster::execute_attempt(const std::function<void(RankCtx&)>& body,
@@ -348,11 +445,16 @@ void Cluster::execute_attempt(const std::function<void(RankCtx&)>& body,
         if (dead_[r]) continue;
         RankCtx ctx(*this, r, attempt);
         body(ctx);
+        // The barrier is also the nonblocking quiescence point: no
+        // handle outlives the phase, and the makespan below already
+        // includes every in-flight transfer's completion.
+        ctx.quiesce();
         attempt_makespan = std::max(attempt_makespan, ctx.time_);
         rec.total_rank_time += ctx.time_;
         rec.comm += ctx.comm_;
         merge_rank(ctx);
         timeline_.add_span(span_name, r, t0, ctx.time_);
+        flush_nb_spans(ctx, t0);
       }
     } catch (...) {
       rec.makespan += attempt_makespan;
@@ -379,11 +481,13 @@ void Cluster::execute_attempt(const std::function<void(RankCtx&)>& body,
           if (dead_[r]) continue;
           RankCtx ctx(*this, r, attempt);
           body(ctx);
+          ctx.quiesce();  // barrier = nonblocking quiescence point
           local_makespan = std::max(local_makespan, ctx.time_);
           local.total_rank_time += ctx.time_;
           local.comm += ctx.comm_;
           merge_rank(ctx);
           timeline_.add_span(span_name, r, t0, ctx.time_);
+          flush_nb_spans(ctx, t0);
         }
         std::lock_guard<std::mutex> lock(merge_mutex);
         attempt_makespan = std::max(attempt_makespan, local_makespan);
@@ -471,6 +575,8 @@ CommStats Cluster::totals() const {
   t.ga_gets = registry_.sum("ga.gets");
   t.ga_puts = registry_.sum("ga.puts");
   t.ga_accs = registry_.sum("ga.accs");
+  t.overlapped_seconds = registry_.sum("comm.overlapped_seconds");
+  t.exposed_seconds = registry_.sum("comm.exposed_seconds");
   return t;
 }
 

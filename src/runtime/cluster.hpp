@@ -92,6 +92,13 @@ struct CommStats {
   double ga_gets = 0;  // one-sided tile operations (GA layer)
   double ga_puts = 0;
   double ga_accs = 0;
+  // Decomposition of the alpha-beta transfer time: seconds a rank's
+  // clock actually stalled on transfers (exposed) vs. seconds the
+  // link worked while the rank computed (overlapped). Blocking
+  // operations are fully exposed; nonblocking ones split by how much
+  // compute was charged between issue and wait.
+  double overlapped_seconds = 0;
+  double exposed_seconds = 0;
 
   void operator+=(const CommStats& o) {
     remote_bytes += o.remote_bytes;
@@ -103,6 +110,8 @@ struct CommStats {
     ga_gets += o.ga_gets;
     ga_puts += o.ga_puts;
     ga_accs += o.ga_accs;
+    overlapped_seconds += o.overlapped_seconds;
+    exposed_seconds += o.exposed_seconds;
   }
 };
 
@@ -116,6 +125,21 @@ struct PhaseRecord {
 };
 
 class Cluster;
+
+/// Handle for a nonblocking transfer issued through
+/// RankCtx::begin_transfer / begin_disk_transfer. Value type; hand it
+/// back to wait_transfer / test_transfer on the same RankCtx (handles
+/// do not outlive the phase — the barrier quiesces every outstanding
+/// one).
+struct NbTransfer {
+  static constexpr std::size_t kInvalid = ~static_cast<std::size_t>(0);
+  std::size_t id = kInvalid;
+  bool valid() const { return id != kInvalid; }
+};
+
+/// What a nonblocking transfer does at the GA level; used only to
+/// label the in-flight span on the Chrome-trace timeline.
+enum class NbKind { Get, Put, Acc };
 
 /// Handle given to a rank body during a phase; all cost charging goes
 /// through it.
@@ -134,6 +158,39 @@ class RankCtx {
   /// Charge a transfer of `bytes` to/from the shared parallel file
   /// system (spilled tiles). Requires disk_bandwidth_bps > 0.
   void charge_disk(double bytes);
+
+  // --- nonblocking transfers (the GA nb* operations build on these) --
+  //
+  // Each rank owns one injection link. A nonblocking transfer occupies
+  // the link for its alpha-beta (or disk) time starting at
+  // max(now, link free) but does NOT advance the rank's clock: compute
+  // charged before the matching wait_transfer runs concurrently with
+  // the wire time. wait_transfer advances the clock to the completion
+  // time and splits the transfer duration into comm.overlapped_seconds
+  // (hidden behind compute) and comm.exposed_seconds (stalled).
+  // Blocking charge_transfer/charge_disk also respect the link
+  // timeline, so a blocking op issued behind an in-flight nonblocking
+  // one queues after it; with no nonblocking traffic their cost is
+  // byte-for-byte what it always was.
+
+  /// Begin a nonblocking transfer of `bytes` between this rank and
+  /// `owner`. Counters (bytes, messages) are charged at issue.
+  NbTransfer begin_transfer(std::size_t owner, double bytes,
+                            NbKind kind = NbKind::Get);
+  /// Begin a nonblocking transfer to/from the shared parallel file
+  /// system. Requires disk_bandwidth_bps > 0.
+  NbTransfer begin_disk_transfer(double bytes, NbKind kind = NbKind::Get);
+  /// Complete a transfer: advances the clock to its completion time.
+  /// Idempotent — waiting twice (or waiting after quiesce) is a no-op.
+  void wait_transfer(NbTransfer handle);
+  /// True when the transfer has already completed at the current
+  /// clock (a wait now would not stall).
+  bool test_transfer(NbTransfer handle) const;
+  /// Wait for every outstanding nonblocking transfer. The phase
+  /// barrier calls this, so no transfer ever leaks across an epoch.
+  void quiesce();
+  /// Outstanding (begun, not yet waited) nonblocking transfers.
+  std::size_t nb_outstanding() const { return nb_outstanding_; }
 
   /// One-sided-operation counters (charged by the GA layer).
   void count_ga_get() { comm_.ga_gets += 1; }
@@ -156,11 +213,23 @@ class RankCtx {
   friend class Cluster;
   RankCtx(Cluster& cluster, std::size_t rank, std::size_t attempt = 0)
       : cluster_(cluster), rank_(rank), attempt_(attempt) {}
+
+  struct NbOp {
+    double start = 0;     // when the link begins moving the bytes
+    double done = 0;      // completion time on this rank's clock
+    NbKind kind = NbKind::Get;
+    bool waited = false;
+  };
+  NbTransfer enqueue_nb(double duration, NbKind kind);
+
   Cluster& cluster_;
   std::size_t rank_;
   std::size_t attempt_;
   std::size_t op_seq_ = 0;  // one-sided ops issued so far this attempt
   double time_ = 0;
+  double link_free_ = 0;  // when this rank's injection link frees up
+  std::vector<NbOp> nb_ops_;
+  std::size_t nb_outstanding_ = 0;
   CommStats comm_;
 };
 
@@ -287,6 +356,13 @@ class Cluster {
   /// file cannot be written.
   bool write_chrome_trace(const std::string& path) const;
 
+  /// Record one timeline span per in-flight nonblocking transfer
+  /// (named "nb get/put/acc (in flight)"). Defaults to on when
+  /// FOURINDEX_TRACE_DIR is set — per-op spans are too many to keep
+  /// around when no trace will ever be written.
+  void set_comm_tracing(bool on) { trace_comm_ = on; }
+  bool comm_tracing() const { return trace_comm_; }
+
  private:
   friend class RankCtx;
 
@@ -294,10 +370,13 @@ class Cluster {
   struct ChargeIds {
     obs::MetricsRegistry::Id remote_bytes, local_bytes, remote_messages,
         disk_bytes, flops, integral_evals, ga_gets, ga_puts, ga_accs,
-        busy_time;
+        overlapped_seconds, exposed_seconds, busy_time;
   };
 
   void merge_rank(const RankCtx& ctx);
+  /// Record one in-flight span per nonblocking op (when comm tracing
+  /// is on); `t0` is the attempt's absolute start time.
+  void flush_nb_spans(const RankCtx& ctx, double t0);
   /// Apply scheduled + probabilistic boundary faults for the phase
   /// about to run; performs rank-death recovery when enabled.
   void process_boundary_faults();
@@ -334,6 +413,8 @@ class Cluster {
   std::vector<char> dead_;
   std::vector<ga::GlobalArray*> arrays_;
   bool in_recovery_ = false;  // guards re-entrant fault processing
+  bool trace_comm_ = false;
+  std::size_t nb_span_names_[3] = {0, 0, 0};  // interned per NbKind
 };
 
 /// RAII local (per-rank) scratch buffer: charges the rank's memory

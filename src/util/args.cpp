@@ -1,8 +1,21 @@
 #include "util/args.hpp"
 
-#include <cstdlib>
+#include <limits>
 
 #include "util/error.hpp"
+#include "util/parse.hpp"
+
+namespace {
+
+long require_long(const std::string& what, const std::string& v) {
+  const auto parsed = fit::util::parse_int(v);
+  if (!parsed || *parsed < std::numeric_limits<long>::min() ||
+      *parsed > std::numeric_limits<long>::max())
+    throw fit::ParseError(what + ": '" + v + "' is not a valid integer");
+  return static_cast<long>(*parsed);
+}
+
+}  // namespace
 
 namespace fit {
 
@@ -42,17 +55,22 @@ std::string Args::get(const std::string& key,
 
 long Args::get_int(const std::string& key, long fallback) const {
   const std::string v = get(key);
-  return v.empty() ? fallback : std::strtol(v.c_str(), nullptr, 10);
+  return v.empty() ? fallback : require_long("--" + key, v);
 }
 
 double Args::get_double(const std::string& key, double fallback) const {
   const std::string v = get(key);
-  return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+  if (v.empty()) return fallback;
+  const auto parsed = util::parse_double(v);
+  if (!parsed)
+    throw ParseError("--" + key + ": '" + v + "' is not a valid number");
+  return *parsed;
 }
 
 long Args::positional_int(std::size_t index, long fallback) const {
   if (index >= positional_.size()) return fallback;
-  return std::strtol(positional_[index].c_str(), nullptr, 10);
+  return require_long("positional argument " + std::to_string(index),
+                      positional_[index]);
 }
 
 }  // namespace fit

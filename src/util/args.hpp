@@ -2,7 +2,9 @@
 //
 // Supports --key=value, --key value, and bare --flag forms, with typed
 // getters and defaults. Unrecognized arguments are collected as
-// positional.
+// positional. Typed getters parse strictly: a present-but-malformed
+// value ("--tile=8abc", overflow) throws fit::ParseError instead of
+// silently truncating to a numeric prefix or zero.
 #pragma once
 
 #include <cstddef>

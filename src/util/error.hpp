@@ -59,6 +59,14 @@ class CheckpointError : public Error {
   explicit CheckpointError(const std::string& what) : Error(what) {}
 };
 
+/// Malformed numeric input where a number was required — a CLI option
+/// with trailing garbage, non-numeric text, or an out-of-range value
+/// (see fit::Args and util/parse.hpp).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_precondition(const char* cond, const char* file,
                                      int line, const std::string& msg);

@@ -1,0 +1,50 @@
+#include "util/parse.hpp"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.hpp"
+
+namespace fit::util {
+
+std::optional<long long> parse_int(std::string_view s) {
+  if (!s.empty() && s.front() == '+') s.remove_prefix(1);  // from_chars has no '+'
+  if (s.empty()) return std::nullopt;
+  long long v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  // strtod accepts leading whitespace and inf/nan spellings; require a
+  // numeric first character so only plain decimal/scientific forms pass.
+  const char c = s.front();
+  if (!(c == '+' || c == '-' || c == '.' || (c >= '0' && c <= '9')))
+    return std::nullopt;
+  const std::string owned(s);  // strtod needs a terminator
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size() || errno == ERANGE)
+    return std::nullopt;
+  return v;
+}
+
+std::size_t env_size(const char* name, std::size_t fallback,
+                     std::size_t min) {
+  const char* env = std::getenv(name);
+  if (!env) return fallback;
+  const auto v = parse_int(env);
+  if (!v || *v < static_cast<long long>(min)) {
+    FIT_LOG_WARN(name << "='" << env << "' is not an integer >= " << min
+                      << "; using " << fallback);
+    return fallback;
+  }
+  return static_cast<std::size_t>(*v);
+}
+
+}  // namespace fit::util

@@ -1,0 +1,37 @@
+// Strict numeric parsing shared by the environment-variable and CLI
+// layers.
+//
+// Before this helper existed, four call sites (the thread pool, the
+// cluster, the GEMM autotuner, and the Args parser) each wrapped
+// strtol directly, inheriting its prefix semantics: FOURINDEX_THREADS
+// =8abc silently parsed as 8 and "--tile=x" as 0. Here the entire
+// input must be a number — trailing garbage, embedded whitespace and
+// overflow all fail the parse — and each consumer decides whether a
+// failure means "fall back" (environment) or "typed error" (CLI).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace fit::util {
+
+/// Base-10 integer parse of the whole string: an optional +/- sign
+/// followed by digits, nothing else. Returns nullopt on empty input,
+/// non-numeric characters (including trailing garbage and whitespace),
+/// or values outside long long's range.
+std::optional<long long> parse_int(std::string_view s);
+
+/// Floating-point parse of the whole string (decimal or scientific
+/// notation). Returns nullopt on empty input, trailing garbage,
+/// whitespace, inf/nan spellings, or out-of-range magnitudes.
+std::optional<double> parse_double(std::string_view s);
+
+/// Integer >= `min` from environment variable `name`, or `fallback`
+/// when the variable is unset. A set-but-invalid value (garbage,
+/// overflow, below `min`) logs a warning and returns `fallback`: a
+/// misspelled configuration is surfaced, never truncated to a prefix.
+std::size_t env_size(const char* name, std::size_t fallback,
+                     std::size_t min = 1);
+
+}  // namespace fit::util

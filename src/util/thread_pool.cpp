@@ -1,9 +1,9 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "util/error.hpp"
+#include "util/parse.hpp"
 
 namespace fit::util {
 
@@ -30,13 +30,8 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::on_worker() { return tls_on_worker; }
 
 std::size_t ThreadPool::default_thread_count() {
-  if (const char* env = std::getenv("FOURINDEX_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v >= 1) return static_cast<std::size_t>(v);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
+  return env_size("FOURINDEX_THREADS", hw > 0 ? hw : 1);
 }
 
 ThreadPool& ThreadPool::shared() {

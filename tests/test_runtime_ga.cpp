@@ -399,6 +399,227 @@ TEST(DiskSpill, RealModeResultsUnaffected) {
 
 }  // namespace
 
+// ---- Nonblocking one-sided operations --------------------------------
+
+namespace {
+
+// tiny_machine wire time for one remote 128-double tile.
+constexpr double kTileBytes = 8.0 * 128;
+constexpr double kWire = 1e-6 + kTileBytes / 1e9;
+
+TEST(Nonblocking, WireTimeHidesBehindCompute) {
+  // One remote tile; the rank computes for longer than the wire time
+  // between issue and wait, so the wait costs nothing and the whole
+  // transfer is accounted as overlapped.
+  Cluster cl(tiny_machine(2, 1, 1e9), ExecutionMode::Simulate);
+  std::vector<tensor::Tiling> dims = {tensor::Tiling(128, 128)};
+  ga::GlobalArray a(cl, "a", dims);  // tile 0 -> rank 0
+  cl.run_phase("overlap", [&](runtime::RankCtx& ctx) {
+    if (ctx.rank() != 1) return;
+    auto h = a.nbget(ctx, std::vector<std::size_t>{0}, nullptr);
+    EXPECT_EQ(ctx.nb_outstanding(), 1u);
+    EXPECT_FALSE(ctx.test_transfer(h));
+    ctx.charge_flops(1e4);  // 1e-5 s >> kWire
+    EXPECT_TRUE(ctx.test_transfer(h));
+    ga::GlobalArray::wait(ctx, h);
+    EXPECT_EQ(ctx.nb_outstanding(), 0u);
+    EXPECT_NEAR(ctx.elapsed(), 1e-5, 1e-15);  // fully hidden
+  });
+  EXPECT_NEAR(cl.sim_time(), 1e-5, 1e-15);
+  EXPECT_NEAR(cl.totals().overlapped_seconds, kWire, 1e-15);
+  EXPECT_NEAR(cl.totals().exposed_seconds, 0.0, 1e-15);
+  EXPECT_NEAR(cl.totals().remote_bytes, kTileBytes, 1e-9);
+}
+
+TEST(Nonblocking, ImmediateWaitCostsExactlyTheBlockingOp) {
+  // An nb issue followed directly by its wait is fully exposed and
+  // must reproduce the blocking op's counters and sim time exactly —
+  // this is what makes overlap=false a faithful ablation baseline.
+  std::vector<tensor::Tiling> dims = {tensor::Tiling(128, 128)};
+  Cluster blocking(tiny_machine(2, 1, 1e9), ExecutionMode::Simulate);
+  Cluster nb(tiny_machine(2, 1, 1e9), ExecutionMode::Simulate);
+  ga::GlobalArray ab(blocking, "a", dims);
+  ga::GlobalArray an(nb, "a", dims);
+  blocking.run_phase("get", [&](runtime::RankCtx& ctx) {
+    if (ctx.rank() == 1) ab.get(ctx, std::vector<std::size_t>{0}, nullptr);
+  });
+  nb.run_phase("get", [&](runtime::RankCtx& ctx) {
+    if (ctx.rank() != 1) return;
+    ga::GlobalArray::wait(ctx,
+                          an.nbget(ctx, std::vector<std::size_t>{0},
+                                   nullptr));
+  });
+  EXPECT_EQ(blocking.sim_time(), nb.sim_time());
+  EXPECT_EQ(blocking.totals().remote_bytes, nb.totals().remote_bytes);
+  EXPECT_EQ(blocking.totals().remote_messages,
+            nb.totals().remote_messages);
+  EXPECT_EQ(blocking.totals().ga_gets, nb.totals().ga_gets);
+  EXPECT_EQ(blocking.totals().exposed_seconds,
+            nb.totals().exposed_seconds);
+  EXPECT_EQ(nb.totals().overlapped_seconds, 0.0);
+}
+
+TEST(Nonblocking, WaitIsIdempotent) {
+  Cluster cl(tiny_machine(2, 1, 1e9), ExecutionMode::Simulate);
+  std::vector<tensor::Tiling> dims = {tensor::Tiling(128, 128)};
+  ga::GlobalArray a(cl, "a", dims);
+  cl.run_phase("waitwait", [&](runtime::RankCtx& ctx) {
+    if (ctx.rank() != 1) return;
+    auto h = a.nbget(ctx, std::vector<std::size_t>{0}, nullptr);
+    ga::GlobalArray::wait(ctx, h);
+    const double t = ctx.elapsed();
+    ga::GlobalArray::wait(ctx, h);  // no-op
+    EXPECT_EQ(ctx.elapsed(), t);
+    EXPECT_TRUE(ctx.test_transfer(h));
+  });
+  EXPECT_NEAR(cl.totals().exposed_seconds, kWire, 1e-15);
+}
+
+TEST(Nonblocking, InjectionLinkSerializesConcurrentTransfers) {
+  // Two in-flight gets from the same rank share its injection link:
+  // waiting on both costs the *sum* of their wire times (the second
+  // queues), not the max — prefetch pipelines can't conjure bandwidth.
+  Cluster cl(tiny_machine(2, 1, 1e9), ExecutionMode::Simulate);
+  std::vector<tensor::Tiling> dims = {tensor::Tiling(256, 128)};
+  auto owner0 = [](std::span<const std::size_t>, std::size_t) {
+    return std::size_t{0};
+  };
+  ga::GlobalArray a(cl, "a", dims, {}, owner0);
+  cl.run_phase("two", [&](runtime::RankCtx& ctx) {
+    if (ctx.rank() != 1) return;
+    auto h0 = a.nbget(ctx, std::vector<std::size_t>{0}, nullptr);
+    auto h1 = a.nbget(ctx, std::vector<std::size_t>{1}, nullptr);
+    ga::GlobalArray::wait(ctx, h0);
+    EXPECT_NEAR(ctx.elapsed(), kWire, 1e-15);
+    ga::GlobalArray::wait(ctx, h1);
+    EXPECT_NEAR(ctx.elapsed(), 2 * kWire, 1e-15);
+  });
+  EXPECT_NEAR(cl.sim_time(), 2 * kWire, 1e-15);
+}
+
+TEST(Nonblocking, BlockingOpQueuesBehindInFlightTransfer) {
+  // A blocking get issued while an nb transfer occupies the link must
+  // wait for the link before its own wire time starts.
+  Cluster cl(tiny_machine(2, 1, 1e9), ExecutionMode::Simulate);
+  std::vector<tensor::Tiling> dims = {tensor::Tiling(256, 128)};
+  auto owner0 = [](std::span<const std::size_t>, std::size_t) {
+    return std::size_t{0};
+  };
+  ga::GlobalArray a(cl, "a", dims, {}, owner0);
+  cl.run_phase("queue", [&](runtime::RankCtx& ctx) {
+    if (ctx.rank() != 1) return;
+    a.nbget(ctx, std::vector<std::size_t>{0}, nullptr);  // in flight
+    a.get(ctx, std::vector<std::size_t>{1}, nullptr);    // queues
+    EXPECT_NEAR(ctx.elapsed(), 2 * kWire, 1e-15);
+  });
+  // The blocking get is fully exposed (the rank stalls through both
+  // wire times), and the nb transfer's own wire time is hidden behind
+  // that stall — comm/comm overlap, credited to the overlap account.
+  EXPECT_NEAR(cl.totals().exposed_seconds, 2 * kWire, 1e-15);
+  EXPECT_NEAR(cl.totals().overlapped_seconds, kWire, 1e-15);
+}
+
+TEST(Nonblocking, BarrierQuiescesUnwaitedHandles) {
+  // A handle never waited on is completed by the phase barrier; its
+  // wire time still lands in the makespan and the exposed account.
+  Cluster cl(tiny_machine(2, 1, 1e9), ExecutionMode::Simulate);
+  std::vector<tensor::Tiling> dims = {tensor::Tiling(128, 128)};
+  ga::GlobalArray a(cl, "a", dims);
+  cl.run_phase("leak", [&](runtime::RankCtx& ctx) {
+    if (ctx.rank() == 1)
+      a.nbget(ctx, std::vector<std::size_t>{0}, nullptr);
+  });
+  EXPECT_NEAR(cl.sim_time(), kWire, 1e-15);
+  EXPECT_NEAR(cl.totals().exposed_seconds, kWire, 1e-15);
+}
+
+TEST(Nonblocking, PutAccGetRoundTripsLikeBlocking) {
+  // nbput/nbacc move data eagerly at issue; after the barrier a reader
+  // sees exactly what the blocking ops would have produced.
+  Cluster cl(tiny_machine(1, 2, 1e9), ExecutionMode::Real);
+  std::vector<tensor::Tiling> dims = {tensor::Tiling(4, 2),
+                                      tensor::Tiling(4, 2)};
+  ga::GlobalArray a(cl, "a", dims);
+  const std::vector<std::size_t> coord = {1, 0};
+  cl.run_phase("nbput", [&](runtime::RankCtx& ctx) {
+    if (ctx.rank() != 0) return;
+    std::vector<double> buf = {1, 2, 3, 4};
+    a.nbput(ctx, coord, buf.data());
+    buf.assign(4, -99.0);  // buffer reusable immediately after issue
+  });
+  cl.run_phase("nbacc", [&](runtime::RankCtx& ctx) {
+    if (ctx.rank() != 1) return;
+    std::vector<double> buf = {10, 10, 10, 10};
+    ga::GlobalArray::wait(ctx, a.nbacc(ctx, coord, buf.data()));
+  });
+  cl.run_phase("check", [&](runtime::RankCtx& ctx) {
+    if (ctx.rank() != 0) return;
+    std::vector<double> buf(4, 0.0);
+    a.get(ctx, coord, buf.data());
+    EXPECT_DOUBLE_EQ(buf[0], 11.0);
+    EXPECT_DOUBLE_EQ(buf[3], 14.0);
+  });
+  EXPECT_NEAR(cl.totals().ga_puts, 1.0, 1e-12);
+  EXPECT_NEAR(cl.totals().ga_accs, 1.0, 1e-12);
+}
+
+TEST(Nonblocking, SyncDisciplineStillEnforced) {
+  // nbget of a tile written this epoch is the same race the blocking
+  // get catches — prefetching must not smuggle it past the check.
+  Cluster cl(tiny_machine(1, 2, 1e9), ExecutionMode::Real);
+  std::vector<tensor::Tiling> dims = {tensor::Tiling(4, 4)};
+  ga::GlobalArray a(cl, "a", dims);
+  const std::vector<std::size_t> coord = {0};
+  EXPECT_THROW(
+      cl.run_phase("race",
+                   [&](runtime::RankCtx& ctx) {
+                     std::vector<double> buf(4, 1.0);
+                     a.put(ctx, coord, buf.data());
+                     a.nbget(ctx, coord, buf.data());  // same epoch!
+                   }),
+      fit::InternalError);
+}
+
+TEST(Nonblocking, SpilledTileGoesThroughTheDiskModel) {
+  auto m = tiny_machine(1, 1, 8.0 * 4 + 1);  // one 4-double tile fits
+  m.disk_bandwidth_bps = 1e6;
+  m.disk_latency_s = 1e-3;
+  Cluster cl(m, ExecutionMode::Simulate);
+  std::vector<tensor::Tiling> dims = {tensor::Tiling(16, 4)};  // 4 tiles
+  ga::GlobalArray a(cl, "sp", dims);
+  ASSERT_GT(a.n_spilled_tiles(), 0u);
+  std::size_t spilled = 99;
+  for (std::size_t t = 0; t < 4; ++t)
+    if (a.is_spilled(std::vector<std::size_t>{t})) spilled = t;
+  ASSERT_NE(spilled, 99u);
+  cl.run_phase("read", [&](runtime::RankCtx& ctx) {
+    auto h = a.nbget(ctx, std::vector<std::size_t>{spilled}, nullptr);
+    ga::GlobalArray::wait(ctx, h);
+    EXPECT_GT(ctx.elapsed(), 1e-3);  // paid the disk latency
+  });
+  EXPECT_NEAR(cl.totals().disk_bytes, 32.0, 1e-9);
+}
+
+TEST(Nonblocking, WaitAllDrainsEveryHandle) {
+  Cluster cl(tiny_machine(2, 1, 1e9), ExecutionMode::Simulate);
+  std::vector<tensor::Tiling> dims = {tensor::Tiling(256, 128)};
+  auto owner0 = [](std::span<const std::size_t>, std::size_t) {
+    return std::size_t{0};
+  };
+  ga::GlobalArray a(cl, "a", dims, {}, owner0);
+  cl.run_phase("drain", [&](runtime::RankCtx& ctx) {
+    if (ctx.rank() != 1) return;
+    a.nbget(ctx, std::vector<std::size_t>{0}, nullptr);
+    a.nbget(ctx, std::vector<std::size_t>{1}, nullptr);
+    EXPECT_EQ(ctx.nb_outstanding(), 2u);
+    ga::GlobalArray::wait_all(ctx);
+    EXPECT_EQ(ctx.nb_outstanding(), 0u);
+    EXPECT_NEAR(ctx.elapsed(), 2 * kWire, 1e-15);
+  });
+}
+
+}  // namespace
+
 // ---- Named distributions ---------------------------------------------
 
 namespace {

@@ -279,3 +279,87 @@ TEST(ThreadPool, DefaultThreadCountIsPositive) {
 }
 
 }  // namespace
+
+// ---- Strict parsing --------------------------------------------------
+
+#include <cstdlib>
+
+#include "util/parse.hpp"
+
+namespace {
+
+TEST(Parse, IntAcceptsWholeNumbersOnly) {
+  using fit::util::parse_int;
+  EXPECT_EQ(parse_int("8"), 8);
+  EXPECT_EQ(parse_int("+8"), 8);
+  EXPECT_EQ(parse_int("-42"), -42);
+  EXPECT_EQ(parse_int("0"), 0);
+}
+
+TEST(Parse, IntRejectsPrefixSemantics) {
+  // The historical strtol bug: every one of these used to "parse".
+  using fit::util::parse_int;
+  EXPECT_FALSE(parse_int("8abc").has_value());
+  EXPECT_FALSE(parse_int("8 ").has_value());
+  EXPECT_FALSE(parse_int(" 8").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("abc").has_value());
+  EXPECT_FALSE(parse_int("3.5").has_value());
+  EXPECT_FALSE(parse_int("0x10").has_value());
+  EXPECT_FALSE(parse_int("+").has_value());
+  EXPECT_FALSE(parse_int("99999999999999999999999").has_value());
+}
+
+TEST(Parse, DoubleAcceptsDecimalAndScientific) {
+  using fit::util::parse_double;
+  EXPECT_DOUBLE_EQ(parse_double("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("-0.5").value(), -0.5);
+  EXPECT_DOUBLE_EQ(parse_double("1e-3").value(), 1e-3);
+  EXPECT_DOUBLE_EQ(parse_double("7").value(), 7.0);
+}
+
+TEST(Parse, DoubleRejectsGarbageAndNonFinite) {
+  using fit::util::parse_double;
+  EXPECT_FALSE(parse_double("2.5x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double(" 1.0").has_value());
+  EXPECT_FALSE(parse_double("1.0 ").has_value());
+  EXPECT_FALSE(parse_double("nan").has_value());
+  EXPECT_FALSE(parse_double("inf").has_value());
+}
+
+TEST(Parse, EnvSizeFallsBackLoudlyNotByTruncating) {
+  const char* var = "FOURINDEX_TEST_ENV_SIZE";
+  ::setenv(var, "8", 1);
+  EXPECT_EQ(fit::util::env_size(var, 3), 8u);
+  // The motivating bug: "8abc" must NOT become 8.
+  ::setenv(var, "8abc", 1);
+  EXPECT_EQ(fit::util::env_size(var, 3), 3u);
+  ::setenv(var, "0", 1);  // below min=1
+  EXPECT_EQ(fit::util::env_size(var, 3), 3u);
+  ::setenv(var, "-2", 1);
+  EXPECT_EQ(fit::util::env_size(var, 3), 3u);
+  ::unsetenv(var);
+  EXPECT_EQ(fit::util::env_size(var, 5), 5u);
+}
+
+TEST(Args, MalformedValuesThrowTypedErrors) {
+  const char* argv[] = {"prog", "--tile=8abc", "--scale=2.5x", "12z"};
+  fit::Args args(4, const_cast<char**>(argv));
+  EXPECT_THROW(args.get_int("tile", 0), fit::ParseError);
+  EXPECT_THROW(args.get_double("scale", 0.0), fit::ParseError);
+  EXPECT_THROW(args.positional_int(0, -1), fit::ParseError);
+  // Absent keys still fall back instead of throwing.
+  EXPECT_EQ(args.get_int("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(args.positional_int(5, -1), -1);
+}
+
+TEST(Args, ParseErrorIsPartOfTheTaxonomy) {
+  const char* argv[] = {"prog", "--n=1e99999"};
+  fit::Args args(2, const_cast<char**>(argv));
+  // Catchable at the driver level like every other fit error.
+  EXPECT_THROW(args.get_double("n", 0.0), fit::Error);
+}
+
+}  // namespace
