@@ -1,0 +1,123 @@
+// Load-balance ablation: what does NXTVAL-style dynamic scheduling buy?
+//
+// Sec. 7.3's fused-inner schedule alpha-parallelizes the k-loop work
+// across chunks of the triangular alpha >= beta range. Contiguous
+// chunks carry systematically different weights (chunk weight ~ sum of
+// ta+1), and with n_ac == nranks the static owner map (tk*n_ac + ac)
+// mod nranks pins every chunk index to one fixed rank — the worst-case
+// persistent imbalance. This bench runs exactly that configuration
+// under the three ParOptions::Balance strategies:
+//
+//   static    the plan-time owner map, zero scheduling traffic — the
+//             ablation baseline, bit-identical to the historical loops;
+//   counter   a modeled shared fetch-and-add task counter (NWChem's
+//             NXTVAL): ranks self-schedule and pay the round trips and
+//             the contention queue at the counter's home rank;
+//   steal     static seeding plus work stealing from the heaviest
+//             surviving rank when a queue drains (two control round
+//             trips per steal).
+//
+// Reported per Fig. 2 system: simulated wall-clock, worst-rank
+// imbalance (max over phases of makespan * ranks / total rank time),
+// steals, counter waits. CI gates on the JSON: on at least one system
+// both dynamic strategies beat static on imbalance AND simulated time,
+// and static reports zero scheduler activity.
+//
+// FOURINDEX_BENCH_SMOKE=1 shrinks the molecule and the cluster so the
+// bench finishes in seconds.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "chem/molecule.hpp"
+#include "core/problem.hpp"
+#include "core/schedules_par.hpp"
+#include "ga/task_counter.hpp"
+#include "obs/bench_json.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/machine.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace fit;
+  obs::BenchReport report("bench_ablation_load_balance");
+
+  const bool smoke = std::getenv("FOURINDEX_BENCH_SMOKE") != nullptr;
+
+  auto p = smoke
+               ? core::make_problem(chem::custom_molecule("lb", 24, 2, 410))
+               : core::make_problem(chem::paper_molecule("Hyperpolar"));
+  std::vector<runtime::MachineConfig> systems;
+  if (smoke) {
+    systems.push_back(runtime::system_a(1));  // 8 ranks
+  } else {
+    systems.push_back(runtime::system_a(4));  // 32 ranks
+    systems.push_back(runtime::system_c(8));  // 32 ranks
+  }
+
+  report.add_note(std::string(smoke ? "smoke" : "hyperpolar") +
+                  ", contiguous alpha chunks pinned one-per-rank");
+  std::cout << "Load-balance ablation: "
+            << (smoke ? "smoke problem (24 orbitals)"
+                      : "Hyperpolar (46 scaled orbitals)")
+            << ", fused-inner schedule, contiguous alpha chunking\n\n";
+
+  const ga::Balance modes[] = {ga::Balance::Static, ga::Balance::Counter,
+                               ga::Balance::Steal};
+
+  TextTable t({"system", "balance", "sim (s)", "speedup", "worst imb",
+               "steals", "counter wait (s)", "claims"});
+  for (const auto& m : systems) {
+    core::ParOptions o;
+    o.tile = 4;
+    o.tile_l = smoke ? 12 : 8;
+    // One contiguous chunk per rank: the static map degenerates to
+    // "rank r always executes chunk r", the skew the dynamic
+    // strategies exist to absorb.
+    o.alpha_parallel = m.n_ranks();
+    o.alpha_chunking = core::ParOptions::AlphaChunking::Contiguous;
+    o.gather_result = false;
+
+    double static_time = 0;
+    for (ga::Balance b : modes) {
+      o.balance = b;
+      runtime::Cluster cl(m, runtime::ExecutionMode::Simulate);
+      const auto r = core::fused_inner_par_transform(p, cl, o);
+      if (b == ga::Balance::Static) static_time = r.stats.sim_time;
+      const double speedup =
+          r.stats.sim_time > 0 ? static_time / r.stats.sim_time : 1.0;
+
+      t.add_row({m.name, ga::to_string(b), fmt_fixed(r.stats.sim_time, 3),
+                 fmt_fixed(speedup, 3) + "x",
+                 fmt_fixed(r.stats.worst_imbalance, 3),
+                 fmt_fixed(r.stats.sched_steals, 0),
+                 fmt_fixed(r.stats.sched_counter_wait_s, 4),
+                 fmt_fixed(r.stats.sched_claims, 0)});
+
+      // One Chrome trace per (system, balance) when tracing is on: the
+      // per-task claim spans make the rebalancing visible per rank.
+      if (const char* trace_dir = std::getenv("FOURINDEX_TRACE_DIR"))
+        cl.write_chrome_trace(std::string(trace_dir) + "/load_balance_" +
+                              m.name + "_" + ga::to_string(b) +
+                              ".trace.json");
+
+      const std::string k = m.name + std::string(".") + ga::to_string(b);
+      report.add_scalar(k + ".sim_time_s", r.stats.sim_time);
+      report.add_scalar(k + ".worst_imbalance", r.stats.worst_imbalance);
+      report.add_scalar(k + ".speedup_vs_static", speedup);
+      report.add_scalar(k + ".steals", r.stats.sched_steals);
+      report.add_scalar(k + ".counter_wait_s",
+                        r.stats.sched_counter_wait_s);
+      report.add_scalar(k + ".claims", r.stats.sched_claims);
+      if (b == ga::Balance::Steal) report.add_metrics(k, cl.metrics());
+    }
+  }
+  t.print("Static map vs NXTVAL counter vs work stealing");
+  std::cout << std::endl;
+
+  report.add_table("Static map vs NXTVAL counter vs work stealing", t);
+  const std::string written = report.write();
+  if (!written.empty()) std::cout << "bench JSON: " << written << "\n";
+  return 0;
+}

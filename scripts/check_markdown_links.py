@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Check relative links and intra-document anchors in markdown files.
+
+Usage: check_markdown_links.py FILE.md [FILE.md ...]
+
+Validates, for every inline markdown link [text](target):
+  * relative file targets exist on disk (resolved against the linking
+    file's directory), including the file part of `path#anchor`;
+  * intra-document anchors (`#section-name`) match a heading in the
+    same file, using GitHub's anchor-generation rules (lowercase,
+    spaces to hyphens, punctuation stripped, -1/-2 suffixes for
+    duplicates);
+  * anchors into other local files match a heading there.
+
+External links (http/https/mailto) are reported but not fetched — the
+checker must work offline. Exit status is the number of broken links.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[([^\]]*)\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_RE = re.compile(r"\!\[([^\]]*)\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_anchor(heading: str, seen: dict) -> str:
+    """GitHub's heading -> anchor id transformation."""
+    # Strip inline code/emphasis markers and links, keep their text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = re.sub(r"[`*_]", "", text)
+    anchor = text.strip().lower()
+    anchor = re.sub(r"[^\w\- ]", "", anchor)
+    anchor = anchor.replace(" ", "-")
+    n = seen.get(anchor, 0)
+    seen[anchor] = n + 1
+    return anchor if n == 0 else f"{anchor}-{n}"
+
+
+def anchors_of(path: Path) -> set:
+    seen: dict = {}
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(github_anchor(m.group(2), seen))
+    return anchors
+
+
+def links_of(path: Path):
+    """Yield (line_number, target) for every non-image inline link."""
+    in_fence = False
+    for i, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield i, m.group(2)
+        for m in IMAGE_RE.finditer(line):
+            yield i, m.group(2)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+
+    files = [Path(a) for a in argv[1:]]
+    repo_root = Path.cwd().resolve()
+    anchor_cache = {}
+
+    def cached_anchors(p: Path) -> set:
+        key = p.resolve()
+        if key not in anchor_cache:
+            anchor_cache[key] = anchors_of(p)
+        return anchor_cache[key]
+
+    broken = 0
+    checked = 0
+    external = 0
+    for md in files:
+        if not md.is_file():
+            print(f"{md}: file not found")
+            broken += 1
+            continue
+        for line_no, target in links_of(md):
+            checked += 1
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+                external += 1
+                continue
+            if target.startswith("#"):
+                if target[1:].lower() not in cached_anchors(md):
+                    print(f"{md}:{line_no}: broken anchor {target}")
+                    broken += 1
+                continue
+            file_part, _, anchor = target.partition("#")
+            dest = (md.parent / file_part).resolve()
+            if not dest.is_relative_to(repo_root):
+                # Climbs above the repo: a site-relative URL (e.g. the
+                # ../../actions/... CI badge), not a file.
+                external += 1
+                continue
+            if not dest.exists():
+                print(f"{md}:{line_no}: missing file {target}")
+                broken += 1
+                continue
+            if anchor and dest.suffix.lower() in (".md", ".markdown"):
+                if anchor.lower() not in cached_anchors(dest):
+                    print(f"{md}:{line_no}: broken anchor {target}")
+                    broken += 1
+
+    print(f"checked {checked} links in {len(files)} files "
+          f"({external} external, {broken} broken)")
+    return min(broken, 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -29,8 +29,15 @@
 #include <functional>
 #include <vector>
 
+/// \file
+/// \brief Generic fusion planning for producer-consumer contraction
+/// chains (the Section 4 machinery generalized beyond four steps).
+
 namespace fit::bounds {
 
+/// A chain of m producer-consumer operations T0 -> T1 -> ... -> Tm,
+/// described by its tensor sizes and a capacity oracle for fused
+/// groups.
 struct ChainSpec {
   /// Sizes t[0..m] of the chain tensors (m = number of operations).
   std::vector<double> tensor_sizes;
@@ -38,16 +45,22 @@ struct ChainSpec {
   /// inclusive) as one fused group at the t[lo-1]+t[hi] bound.
   std::function<double(std::size_t lo, std::size_t hi)> capacity_need;
 
+  /// Number of operations m in the chain.
   std::size_t n_ops() const { return tensor_sizes.size() - 1; }
 };
 
+/// One fused group of a chain partition.
 struct ChainGroup {
-  std::size_t lo, hi;  // fused operations [lo..hi], 0-based inclusive
-  double io;           // t[lo-1] + t[hi]
+  std::size_t lo;  ///< First fused operation (0-based, inclusive).
+  std::size_t hi;  ///< Last fused operation (0-based, inclusive).
+  double io;       ///< Group I/O lower bound: t[lo-1] + t[hi].
 };
 
+/// A partition of the chain into contiguous fused groups.
 struct ChainPlan {
+  /// The fused groups, in chain order.
   std::vector<ChainGroup> groups;
+  /// Sum of the groups' I/O bounds.
   double total_io = 0;
 };
 

@@ -13,13 +13,17 @@
 #include <cstddef>
 #include <vector>
 
+/// \file
+/// \brief The Fusion Lemma (Lemma 4.2) and its consequences for
+/// producer-consumer chains.
+
 namespace fit::bounds {
 
 /// One computation in a producer-consumer chain, characterized by its
 /// standalone I/O lower bound and achievable (tiled, unfused) I/O.
 struct StageIO {
-  double io_lower_bound;   // IO_LB(Ci)
-  double io_achievable;    // what a tiled unfused execution attains
+  double io_lower_bound;  ///< Standalone lower bound IO_LB(Ci).
+  double io_achievable;   ///< What a tiled unfused execution attains.
 };
 
 /// Lower bound for the fusion of two adjacent stages whose shared

@@ -8,6 +8,10 @@
 
 #include <cstddef>
 
+/// \file
+/// \brief Red-blue pebble game I/O lower bounds for matrix
+/// multiplication (Sec. 2.3).
+
 namespace fit::bounds {
 
 /// Hong & Kung (1981): Omega(ni*nj*nk / sqrt(S)) — asymptotic form,

@@ -13,20 +13,26 @@
 
 #include "tensor/packed.hpp"
 
+/// \file
+/// \brief I/O lower bounds and memory requirements of the four-index
+/// transform (Secs. 5-6, Eqs. 7-8).
+
 namespace fit::bounds {
 
 /// The five distinct fusion configurations the paper analyzes
 /// (Sec. 5.3): "op1/2/3/4" is fully unfused, "op12/34" fuses the first
 /// and last pair, etc.
 enum class FusionChoice {
-  Unfused,      // op1/2/3/4
-  Fused12_34,   // op12/34
-  Fused1_23_4,  // op1/23/4
-  Fused123_4,   // op123/4
-  Fused1234,    // op1234
+  Unfused,      ///< op1/2/3/4
+  Fused12_34,   ///< op12/34
+  Fused1_23_4,  ///< op1/23/4
+  Fused123_4,   ///< op123/4
+  Fused1234,    ///< op1234
 };
 
+/// Printable name of a fusion choice ("op12/34" etc.).
 std::string to_string(FusionChoice f);
+/// All five fusion choices, in the enum's declaration order.
 const std::array<FusionChoice, 5>& all_fusion_choices();
 
 /// Optimal (lower-bound) I/O between slow and fast memory for a fusion
@@ -40,6 +46,8 @@ const std::array<FusionChoice, 5>& all_fusion_choices();
 ///   op123/4   : |A|+|O3| + |O3|+|C|
 ///   op1234    : |A|+|C|
 double io_opt(FusionChoice f, const tensor::ApproxSizes& sz);
+/// io_opt() with sizes derived from orbital extent `n` and spatial
+/// symmetry factor `s` via tensor::approx_sizes.
 double io_opt(FusionChoice f, double n, double s);
 
 /// Theorem 5.1: fusing a consecutive pair of contractions is useful
@@ -59,6 +67,7 @@ bool fusion_possibly_useful(double n, double fast_memory);
 /// schedule, sufficient up to a 2n^3 lower-order term) for the full-
 /// reuse I/O of |A|+|C|.
 double full_reuse_min_fast_memory(const tensor::ApproxSizes& sz, double n);
+/// True when `fast_memory` meets full_reuse_min_fast_memory.
 bool full_reuse_possible(const tensor::ApproxSizes& sz, double n,
                          double fast_memory);
 
@@ -85,14 +94,16 @@ double unfused_global_memory(double n, double s);
 /// equivalent. The gap between the two is the paper's headline
 /// capability claim.
 std::size_t max_fused_problem(double global_memory, double tl, double s);
+/// Largest orbital count whose *unfused* transform fits in
+/// `global_memory` words (see max_fused_problem).
 std::size_t max_unfused_problem(double global_memory, double s);
 
 /// One row of the Sec. 5.3 analysis: fusion choice, I/O lower bound,
 /// and whether the total order of Theorem 5.2 admits it as optimal.
 struct FusionAnalysisRow {
-  FusionChoice choice;
-  double io_lower_bound;
-  double min_fast_memory;  // S needed to attain it
+  FusionChoice choice;     ///< The fusion configuration analyzed.
+  double io_lower_bound;   ///< Its I/O lower bound (elements).
+  double min_fast_memory;  ///< Fast memory S needed to attain it.
 };
 
 /// Lower-bounds-guided analysis for a given n, s: every fusion choice

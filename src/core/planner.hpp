@@ -22,22 +22,40 @@
 #include "core/problem.hpp"
 #include "runtime/machine.hpp"
 
+/// \file
+/// \brief Lower-bounds-guided fusion planning (Sec. 5/6 conditions,
+/// Thm 5.2 selection order, and the Sec. 7.4 cluster-level hybrid).
+
 namespace fit::core {
 
+/// One fusion configuration annotated with its bound analysis.
 struct PlanEntry {
+  /// The fusion configuration this entry describes.
   bounds::FusionChoice choice;
-  double io_lower_bound;    // elements, between slow and fast memory
-  double min_fast_memory;   // elements of fast memory needed
-  bool feasible;            // fits the given fast memory
-  bool pruned;              // dominated by a better feasible choice
+  /// I/O lower bound in elements, between slow and fast memory.
+  double io_lower_bound;
+  /// Elements of fast memory needed for the bound to be attainable.
+  double min_fast_memory;
+  /// True when the configuration fits the given fast memory.
+  bool feasible;
+  /// True when a better feasible choice dominates this one.
+  bool pruned;
+  /// Human-readable rationale (pruning/infeasibility/downgrade).
   std::string note;
 };
 
+/// The planner's verdict over all fusion configurations.
 struct Plan {
-  std::vector<PlanEntry> entries;        // all five choices, annotated
+  /// All five fusion choices, annotated with bounds and feasibility.
+  std::vector<PlanEntry> entries;
+  /// The selected (least-I/O feasible) configuration.
   bounds::FusionChoice selected;
+  /// Fast-memory budget (elements) the plan was made against.
   double fast_memory_elements;
-  double n = 0, s = 1;                   // problem the plan was made for
+  /// Problem extent the plan was made for.
+  double n = 0;
+  /// Spatial symmetry factor the plan was made for.
+  double s = 1;
 };
 
 /// Analyze all fusion configurations for extent n, spatial factor s,
@@ -57,15 +75,22 @@ Plan replan_fusion(const Plan& previous, double new_fast_memory_elements);
 /// fused vs unfused (the hybrid decision); the aggregate <-> local
 /// level picks the inner schedule for the per-slice transform.
 struct ClusterPlan {
-  bool use_fused_outer;                  // false: unfused fits, use it
-  bounds::FusionChoice inner_choice;     // schedule of the inner
-                                         // four-index transform
+  /// False when the unfused intermediates fit aggregate memory.
+  bool use_fused_outer;
+  /// Schedule of the inner four-index transform.
+  bounds::FusionChoice inner_choice;
+  /// Aggregate bytes the unfused intermediate chain needs.
   double aggregate_need_unfused_bytes;
+  /// Aggregate bytes the fused outer schedule needs per l-slice.
   double aggregate_need_fused_bytes;
-  std::size_t max_n_unfused;             // largest n the cluster fits
+  /// Largest extent n the cluster fits with the unfused chain.
+  std::size_t max_n_unfused;
+  /// Largest extent n the cluster fits with the fused schedule.
   std::size_t max_n_fused;
 };
 
+/// Evaluate the two-level (disk/aggregate/local) plan of Sec. 7 for a
+/// problem on a machine, with fused outer-slice width `tile_l`.
 ClusterPlan plan_for_cluster(const Problem& p,
                              const runtime::MachineConfig& machine,
                              std::size_t tile_l);

@@ -9,17 +9,26 @@
 #include "tensor/matrix.hpp"
 #include "tensor/packed.hpp"
 
+/// \file
+/// \brief Problem instance: molecule, symmetry, integral source, and
+/// the transformation matrix B.
+
 namespace fit::core {
 
 /// Bundles everything a schedule needs: the orbital extent, the spatial
 /// symmetry assignment, the on-the-fly integral source, and the
 /// transformation matrix B.
 struct Problem {
+  /// The molecule (orbital extent, irrep order, RNG seed).
   chem::Molecule molecule;
+  /// Spatial symmetry assignment of the orbitals.
   tensor::Irreps irreps;
+  /// Deterministic on-the-fly integral source.
   chem::IntegralEngine engine;
-  tensor::Matrix b;  // n x n, B[a, i]
+  /// Transformation matrix, n x n, indexed B[a, i].
+  tensor::Matrix b;
 
+  /// Orbital extent n of the transform.
   std::size_t n() const { return molecule.n_orbitals; }
 
   /// Exact packed tensor sizes (Table 1) for this instance.

@@ -15,15 +15,27 @@
 #include "tensor/antisym.hpp"
 #include "tensor/matrix.hpp"
 
+/// \file
+/// \brief Antisymmetric-tensor variants of the sequential schedules
+/// (the paper's footnote 1).
+
 namespace fit::core {
 
+/// Problem instance over antisymmetric integrals: extent, symmetry,
+/// integral source and transformation matrix.
 struct AntisymProblem {
+  /// Orbital extent.
   std::size_t n;
+  /// Spatial symmetry assignment of the orbitals.
   tensor::Irreps irreps;
+  /// Antisymmetric on-the-fly integral source.
   chem::AntisymIntegralEngine engine;
+  /// Transformation matrix, n x n.
   tensor::Matrix b;
 };
 
+/// Build an antisymmetric problem with contiguous irreps of the given
+/// order and a seeded engine/B pair.
 AntisymProblem make_antisym_problem(std::size_t n, unsigned irrep_order,
                                     std::uint64_t seed);
 

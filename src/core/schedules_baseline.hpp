@@ -23,12 +23,21 @@
 
 #include "core/schedules_par.hpp"
 
+/// \file
+/// \brief NWChem-style baseline schedules (Sec. 2.2 / Sec. 8): the
+/// fully resident unfused chain and the recompute-everything direct
+/// scheme.
+
 namespace fit::core {
 
+/// The production unfused scheme: all intermediates resident in global
+/// memory for the whole transform (~1.5 n^4 words aggregate).
 ParResult nwchem_unfused_par_transform(const Problem& p,
                                        runtime::Cluster& cluster,
                                        const ParOptions& opt = {});
 
+/// The memory-minimal direct scheme: per output pair-row, recompute
+/// the half-transformed slice from on-the-fly integrals.
 ParResult nwchem_recompute_par_transform(const Problem& p,
                                          runtime::Cluster& cluster,
                                          const ParOptions& opt = {});

@@ -50,6 +50,17 @@ struct Par {
   // compute.flops charges.
   double gemm_calls0 = 0, gemm_flops0 = 0, gemm_pack0 = 0;
 
+  // Dynamic-scheduler metrics (see run_claimed_phase): how many tasks
+  // were claimed through the counter/steal paths, the counter waits
+  // (count + seconds), steals, orphan adoptions after a mid-phase
+  // rank death, and counter re-homings. Baselines at construction so
+  // finish() can report this run's deltas in ParStats.
+  obs::MetricsRegistry::Id id_sched_claims, id_sched_steals,
+      id_sched_counter_waits, id_sched_counter_wait_s, id_sched_orphans,
+      id_sched_reowns, id_sched_worst;
+  double sched_claims0 = 0, sched_steals0 = 0, sched_wait0 = 0;
+  std::size_t phases0 = 0;  // cl.phases() size before this run
+
   Par(const Problem& problem, Cluster& cluster, const ParOptions& options)
       : p(problem), cl(cluster), opt(options),
         t(Tiling::irrep_aligned(problem.irreps,
@@ -62,6 +73,18 @@ struct Par {
     gemm_calls0 = gm.sum("gemm.calls");
     gemm_flops0 = gm.sum("gemm.flops");
     gemm_pack0 = gm.sum("gemm.pack_bytes");
+    auto& reg = cl.metrics();
+    id_sched_claims = reg.counter("sched.claims");
+    id_sched_steals = reg.counter("sched.steals");
+    id_sched_counter_waits = reg.counter("sched.counter_waits");
+    id_sched_counter_wait_s = reg.counter("sched.counter_wait_s");
+    id_sched_orphans = reg.counter("sched.orphans_adopted");
+    id_sched_reowns = reg.counter("sched.counter_reowns");
+    id_sched_worst = reg.gauge("sched.worst_imbalance");
+    sched_claims0 = reg.sum("sched.claims");
+    sched_steals0 = reg.sum("sched.steals");
+    sched_wait0 = reg.sum("sched.counter_wait_s");
+    phases0 = cl.phases().size();
     irrep_mask.assign(nt, 0);
     for (std::size_t ti = 0; ti < nt; ++ti)
       for (std::size_t o = t.lo(ti); o < t.hi(ti); ++o)
@@ -122,34 +145,125 @@ void pipelined_fetch(std::size_t n, bool overlap, Issue&& issue,
   }
 }
 
+/// Run one phase whose work is an indexed list of independently
+/// executable tasks, distributed per ParOptions::balance.
+///
+/// The claim order is planned up front (ga::plan_tasks — a
+/// deterministic discrete-event simulation of the NXTVAL counter /
+/// steal protocol over `cost_of` estimates) and each rank *replays*
+/// its claim list inside the phase, charging the scheduling traffic
+/// through the alpha-beta model: a fetch-and-add round trip plus the
+/// modeled contention stall per Counter claim, a control round trip
+/// per steal. Static claims each task on its static owner in the
+/// canonical order with zero overhead, which reproduces the
+/// historical `if (owner != rank) continue` loops exactly — same GA
+/// op sequence, same fault-injection points, same results.
+///
+/// Fault integration: the plan is computed *before* run_phase fires
+/// the phase-boundary faults, so a rank killed at the boundary still
+/// has a claim list. The survivor Cluster::live_owner maps it to
+/// adopts those orphaned claims (after its own), and a dead counter
+/// host is re-homed the same way — work is never lost, and Real-mode
+/// results stay bit-identical because every output tile is written by
+/// exactly one task per phase.
+void run_claimed_phase(
+    Par& par, const std::string& label, std::size_t n_tasks,
+    const std::function<std::size_t(std::size_t)>& owner_of,
+    const std::function<double(std::size_t)>& cost_of,
+    const std::function<void(RankCtx&, std::size_t)>& body) {
+  const ga::Balance mode = par.opt.balance;
+  std::vector<std::size_t> owner(n_tasks);
+  for (std::size_t t = 0; t < n_tasks; ++t) owner[t] = owner_of(t);
+  std::vector<double> cost;
+  if (mode != ga::Balance::Static) {
+    cost.resize(n_tasks);
+    for (std::size_t t = 0; t < n_tasks; ++t) cost[t] = cost_of(t);
+  }
+  ga::TaskCounter counter(par.cl, label);
+  const ga::TaskPlan plan =
+      ga::plan_tasks(par.cl, mode, counter, cost, owner);
+  auto& reg = par.cl.metrics();
+  par.cl.run_phase(label, [&](RankCtx& ctx) {
+    for (std::size_t nom = 0; nom < plan.claims.size(); ++nom) {
+      if (plan.claims[nom].empty()) continue;
+      if (nom != ctx.rank()) {
+        // Orphan adoption: a nominal rank that died between planning
+        // and the barrier executes nowhere — its survivor runs the
+        // claims instead.
+        if (!par.cl.is_dead(nom) || par.cl.live_owner(nom) != ctx.rank())
+          continue;
+        reg.add(par.id_sched_orphans, ctx.rank(),
+                static_cast<double>(plan.claims[nom].size()));
+      }
+      for (const ga::TaskClaim& claim : plan.claims[nom]) {
+        if (mode == ga::Balance::Counter) {
+          counter.charge_fetch_add(ctx, claim.wait_s);
+          reg.add(par.id_sched_counter_waits, ctx.rank(), 1);
+          reg.add(par.id_sched_counter_wait_s, ctx.rank(), claim.wait_s);
+        } else if (claim.stolen) {
+          const std::size_t victim = par.cl.live_owner(claim.peer);
+          ctx.charge_transfer(victim, 8.0);  // steal request
+          ctx.charge_transfer(victim, 8.0);  // grant
+          reg.add(par.id_sched_steals, ctx.rank(), 1);
+        }
+        if (claim.task == ga::TaskClaim::kNone) continue;
+        if (mode != ga::Balance::Static)
+          reg.add(par.id_sched_claims, ctx.rank(), 1);
+        const double t0 = ctx.elapsed();
+        body(ctx, claim.task);
+        if (par.cl.comm_tracing())
+          ctx.note_span(label + " task " + std::to_string(claim.task), t0,
+                        ctx.elapsed() - t0);
+      }
+    }
+  });
+  if (mode == ga::Balance::Counter &&
+      par.cl.live_owner(plan.counter_owner) != plan.counter_owner)
+    reg.add(par.id_sched_reowns, 0, 1);
+}
+
+/// Task list for a tile-parallel phase: every existing tile of `out`,
+/// statically owned by the tile's owner — identical, in Static mode,
+/// to iterating out.tiles_of(rank).
+std::function<std::size_t(std::size_t)> tile_owner_of(
+    const GlobalArray& out) {
+  return [&out](std::size_t idx) { return out.tile_by_index(idx).owner; };
+}
+
 /// Fill phase for an A-style array: owners produce their tiles with
 /// the integral engine ("ComputeA"). `l_base` offsets the 4th
 /// dimension for l-slice arrays (Listing 8/10 produce A per slice).
 void fill_a(Par& par, GlobalArray& a, std::size_t l_base,
             const std::string& label) {
-  par.cl.run_phase(label, [&](RankCtx& ctx) {
-    for (std::size_t idx : a.tiles_of(ctx.rank())) {
-      const auto& ti = a.tile_by_index(idx);
-      RankBuffer buf(ctx, ti.elements, "A tile");
-      ctx.charge_integrals(static_cast<double>(ti.elements));
-      if (ctx.real()) {
-        double* out = buf.data();
-        for (std::size_t i = ti.lo[0]; i < ti.lo[0] + ti.len[0]; ++i)
-          for (std::size_t j = ti.lo[1]; j < ti.lo[1] + ti.len[1]; ++j)
-            for (std::size_t k = ti.lo[2]; k < ti.lo[2] + ti.len[2]; ++k)
-              for (std::size_t l = ti.lo[3]; l < ti.lo[3] + ti.len[3]; ++l)
-                *out++ = par.p.engine.value(i, j, k, l_base + l);
-      }
-      // Nonblocking: the put's wire time hides behind the next tile's
-      // integral evaluation (the buffer is consumed eagerly at issue,
-      // so reusing it next iteration is safe); the phase barrier waits
-      // for whatever is still in flight.
-      if (par.opt.overlap)
-        a.nbput(ctx, ti.coord, buf.data());
-      else
-        a.put(ctx, ti.coord, buf.data());
-    }
-  });
+  const auto& m = par.cl.machine();
+  run_claimed_phase(
+      par, label, a.n_tiles(), tile_owner_of(a),
+      [&](std::size_t idx) {
+        const double el = static_cast<double>(a.tile_by_index(idx).elements);
+        return el / m.integrals_per_sec + 8.0 * el / m.net_bandwidth_bps;
+      },
+      [&](RankCtx& ctx, std::size_t idx) {
+        const auto& ti = a.tile_by_index(idx);
+        RankBuffer buf(ctx, ti.elements, "A tile");
+        ctx.charge_integrals(static_cast<double>(ti.elements));
+        if (ctx.real()) {
+          double* out = buf.data();
+          for (std::size_t i = ti.lo[0]; i < ti.lo[0] + ti.len[0]; ++i)
+            for (std::size_t j = ti.lo[1]; j < ti.lo[1] + ti.len[1]; ++j)
+              for (std::size_t k = ti.lo[2]; k < ti.lo[2] + ti.len[2]; ++k)
+                for (std::size_t l = ti.lo[3]; l < ti.lo[3] + ti.len[3];
+                     ++l)
+                  *out++ = par.p.engine.value(i, j, k, l_base + l);
+        }
+        // Nonblocking: the put's wire time hides behind the next tile's
+        // integral evaluation (the buffer is consumed eagerly at issue,
+        // so reusing it next iteration is safe); the phase barrier
+        // waits for whatever is still in flight.
+        if (par.opt.overlap)
+          a.nbput(ctx, ti.coord, buf.data());
+        else
+          a.put(ctx, ti.coord, buf.data());
+      });
 }
 
 /// Contraction 1 phase: O1[a,j,k,l] += sum_i A[(ij),k,l] B[a,i].
@@ -158,12 +272,23 @@ void fill_a(Par& par, GlobalArray& a, std::size_t l_base,
 /// (a,j) and shares A's (k,l) dims.
 void contract1(Par& par, const GlobalArray& a, GlobalArray& o1,
                const std::string& label) {
-  par.cl.run_phase(label, [&](RankCtx& ctx) {
-    const std::size_t max_tile =
-        par.t.max_width() * par.t.max_width() * a.tiling(2).max_width() *
-        a.tiling(3).max_width();
-    const std::size_t nslots = par.opt.overlap ? 2 : 1;
-    for (std::size_t idx : o1.tiles_of(ctx.rank())) {
+  const std::size_t max_tile =
+      par.t.max_width() * par.t.max_width() * a.tiling(2).max_width() *
+      a.tiling(3).max_width();
+  const std::size_t nslots = par.opt.overlap ? 2 : 1;
+  const auto& m = par.cl.machine();
+  auto cost = [&](std::size_t idx) {
+    // nt gemms over the contracted i range plus nt sym-tile fetches.
+    const auto& ti = o1.tile_by_index(idx);
+    const double el = static_cast<double>(ti.elements);
+    const double n = static_cast<double>(par.n());
+    return 2.0 * el * n / m.flops_per_rank +
+           (8.0 * el / double(ti.len[0]) * n) / m.net_bandwidth_bps +
+           double(par.nt) * m.net_latency_s;
+  };
+  run_claimed_phase(
+      par, label, o1.n_tiles(), tile_owner_of(o1), cost,
+      [&](RankCtx& ctx, std::size_t idx) {
       const auto& ti = o1.tile_by_index(idx);
       const std::size_t lkl = ti.len[2] * ti.len[3];
       RankBuffer out(ctx, ti.elements, "O1 tile");
@@ -200,19 +325,28 @@ void contract1(Par& par, const GlobalArray& a, GlobalArray& o1,
         o1.nbput(ctx, ti.coord, out.data());
       else
         o1.put(ctx, ti.coord, out.data());
-    }
-  });
+      });
 }
 
 /// Contraction 2 phase: O2[(ab),k,l] += sum_j O1[a,j,k,l] B[b,j].
 void contract2(Par& par, const GlobalArray& o1, GlobalArray& o2,
                const std::string& label) {
-  par.cl.run_phase(label, [&](RankCtx& ctx) {
-    const std::size_t max_tile =
-        par.t.max_width() * par.t.max_width() * o1.tiling(2).max_width() *
-        o1.tiling(3).max_width();
-    const std::size_t nslots = par.opt.overlap ? 2 : 1;
-    for (std::size_t idx : o2.tiles_of(ctx.rank())) {
+  const std::size_t max_tile =
+      par.t.max_width() * par.t.max_width() * o1.tiling(2).max_width() *
+      o1.tiling(3).max_width();
+  const std::size_t nslots = par.opt.overlap ? 2 : 1;
+  const auto& m = par.cl.machine();
+  auto cost = [&](std::size_t idx) {
+    const auto& ti = o2.tile_by_index(idx);
+    const double el = static_cast<double>(ti.elements);
+    const double n = static_cast<double>(par.n());
+    return 2.0 * el * n / m.flops_per_rank +
+           (8.0 * el / double(ti.len[1]) * n) / m.net_bandwidth_bps +
+           double(par.nt) * m.net_latency_s;
+  };
+  run_claimed_phase(
+      par, label, o2.n_tiles(), tile_owner_of(o2), cost,
+      [&](RankCtx& ctx, std::size_t idx) {
       const auto& ti = o2.tile_by_index(idx);
       const std::size_t lkl = ti.len[2] * ti.len[3];
       RankBuffer out(ctx, ti.elements, "O2 tile");
@@ -245,8 +379,7 @@ void contract2(Par& par, const GlobalArray& o1, GlobalArray& o2,
         o2.nbput(ctx, ti.coord, out.data());
       else
         o2.put(ctx, ti.coord, out.data());
-    }
-  });
+      });
 }
 
 /// Contraction 3 phase: O3[(ab),c,l] += sum_k O2[(ab),k,l] B[c,k].
@@ -255,13 +388,23 @@ void contract2(Par& par, const GlobalArray& o1, GlobalArray& o2,
 /// full k dimension.
 void contract3(Par& par, const GlobalArray& o2, GlobalArray& o3,
                bool kl_symmetric, const std::string& label) {
-  par.cl.run_phase(label, [&](RankCtx& ctx) {
-    const std::size_t max_tile =
-        par.t.max_width() * par.t.max_width() *
-        std::max(o2.tiling(2).max_width(), o2.tiling(3).max_width()) *
-        std::max(o2.tiling(2).max_width(), o2.tiling(3).max_width());
-    const std::size_t nslots = par.opt.overlap ? 2 : 1;
-    for (std::size_t idx : o3.tiles_of(ctx.rank())) {
+  const std::size_t max_tile =
+      par.t.max_width() * par.t.max_width() *
+      std::max(o2.tiling(2).max_width(), o2.tiling(3).max_width()) *
+      std::max(o2.tiling(2).max_width(), o2.tiling(3).max_width());
+  const std::size_t nslots = par.opt.overlap ? 2 : 1;
+  const auto& m = par.cl.machine();
+  auto cost = [&](std::size_t idx) {
+    const auto& ti = o3.tile_by_index(idx);
+    const double el = static_cast<double>(ti.elements);
+    const double nk = static_cast<double>(o2.tiling(2).extent());
+    return 2.0 * el * nk / m.flops_per_rank +
+           (8.0 * el / double(ti.len[2]) * nk) / m.net_bandwidth_bps +
+           double(par.nt) * m.net_latency_s;
+  };
+  run_claimed_phase(
+      par, label, o3.n_tiles(), tile_owner_of(o3), cost,
+      [&](RankCtx& ctx, std::size_t idx) {
       const auto& ti = o3.tile_by_index(idx);
       RankBuffer out(ctx, ti.elements, "O3 tile");
       RankBuffer o2buf(ctx, nslots * max_tile, "O2 fetch");
@@ -304,8 +447,7 @@ void contract3(Par& par, const GlobalArray& o2, GlobalArray& o3,
         o3.nbput(ctx, ti.coord, out.data());
       else
         o3.put(ctx, ti.coord, out.data());
-    }
-  });
+      });
 }
 
 /// Contraction 4 phase: C[(ab),(cd)] += sum_l O3[(ab),c,l] B[d,l].
@@ -314,11 +456,21 @@ void contract3(Par& par, const GlobalArray& o2, GlobalArray& o3,
 void contract4(Par& par, const GlobalArray& o3, GlobalArray& c,
                std::size_t l_base, bool accumulate,
                const std::string& label) {
-  par.cl.run_phase(label, [&](RankCtx& ctx) {
-    const std::size_t max_tile = par.t.max_width() * par.t.max_width() *
-                                 par.t.max_width() * o3.tiling(3).max_width();
-    const std::size_t nslots = par.opt.overlap ? 2 : 1;
-    for (std::size_t idx : c.tiles_of(ctx.rank())) {
+  const std::size_t max_tile = par.t.max_width() * par.t.max_width() *
+                               par.t.max_width() * o3.tiling(3).max_width();
+  const std::size_t nslots = par.opt.overlap ? 2 : 1;
+  const auto& m = par.cl.machine();
+  auto cost = [&](std::size_t idx) {
+    const auto& ti = c.tile_by_index(idx);
+    const double el = static_cast<double>(ti.elements);
+    const double nl = static_cast<double>(o3.tiling(3).extent());
+    return 2.0 * el * nl / m.flops_per_rank +
+           (8.0 * el / double(ti.len[3]) * nl) / m.net_bandwidth_bps +
+           double(o3.tiling(3).ntiles()) * m.net_latency_s;
+  };
+  run_claimed_phase(
+      par, label, c.n_tiles(), tile_owner_of(c), cost,
+      [&](RankCtx& ctx, std::size_t idx) {
       const auto& ti = c.tile_by_index(idx);
       RankBuffer out(ctx, ti.elements, "C tile");
       RankBuffer o3buf(ctx, nslots * max_tile, "O3 fetch");
@@ -361,8 +513,7 @@ void contract4(Par& par, const GlobalArray& o3, GlobalArray& c,
         else
           c.put(ctx, ti.coord, out.data());
       }
-    }
-  });
+      });
 }
 
 /// Gather the distributed C into a PackedC (Real mode).
@@ -404,7 +555,13 @@ ParResult finish(Par& par, const char* name,
       after.overlapped_seconds - before.overlapped_seconds;
   r.stats.exposed_seconds = after.exposed_seconds - before.exposed_seconds;
   r.stats.peak_global_bytes = par.cl.global_peak();
-  r.stats.worst_imbalance = par.cl.worst_imbalance();
+  // Worst per-phase imbalance of *this run* (the cluster-lifetime max
+  // is Cluster::worst_imbalance); also published as the
+  // sched.worst_imbalance gauge next to the scheduler counters.
+  double worst = 1.0;
+  for (std::size_t i = par.phases0; i < par.cl.phases().size(); ++i)
+    worst = std::max(worst, par.cl.phases()[i].imbalance);
+  r.stats.worst_imbalance = worst;
   r.stats.n_phases = par.cl.phases().size();
   r.stats.wall_seconds = timer.seconds();
   // Schedule-level registry entries: which schedule ran on this
@@ -423,6 +580,12 @@ ParResult finish(Par& par, const char* name,
           gm.sum("gemm.flops") - par.gemm_flops0);
   reg.add(reg.counter("gemm.pack_bytes"), 0,
           gm.sum("gemm.pack_bytes") - par.gemm_pack0);
+  // Dynamic-scheduler activity of this run (zero under Static).
+  r.stats.sched_claims = reg.sum("sched.claims") - par.sched_claims0;
+  r.stats.sched_steals = reg.sum("sched.steals") - par.sched_steals0;
+  r.stats.sched_counter_wait_s =
+      reg.sum("sched.counter_wait_s") - par.sched_wait0;
+  reg.set(par.id_sched_worst, 0, worst);
   if (par.cl.mode() == runtime::ExecutionMode::Real &&
       par.opt.gather_result && c_ga)
     r.c = gather_c(par, *c_ga);
@@ -577,10 +740,19 @@ ParResult fused_inner_par_transform(const Problem& p, Cluster& cluster,
     }
   }
   auto chunk_of = [&](std::size_t ta) { return chunk_map[ta]; };
+  // Static owner of fused12 work unit (tk, ac) — also the task index
+  // modulo the rank count, which the claim plans are seeded from.
   auto unit_owner = [&](std::size_t tk, std::size_t ac) {
     return (tk * n_ac + ac) % nranks;
   };
 
+  // (ta, tb <= ta) pair rows of the fused34 phase, in the historical
+  // order: pair p = ta*(ta+1)/2 + tb is its own task index.
+  std::vector<std::pair<std::size_t, std::size_t>> ab_pairs;
+  for (std::size_t ta = 0; ta < par.nt; ++ta)
+    for (std::size_t tb = 0; tb <= ta; ++tb) ab_pairs.emplace_back(ta, tb);
+
+  const auto& mach = cluster.machine();
   const Tiling lt(n, std::min(opt.tile_l, n));
   for (std::size_t sl = 0; sl < lt.ntiles(); ++sl) {
     const std::size_t llo = lt.lo(sl);
@@ -610,12 +782,36 @@ ParResult fused_inner_par_transform(const Problem& p, Cluster& cluster,
         ij_tiles.emplace_back(ti, tj);
 
     // ---- Fused contractions 1+2 (k-parallel, Listing 10 top) -------
-    cluster.run_phase("fused12" + tag, [&](RankCtx& ctx) {
-      for (std::size_t tk = 0; tk < par.nt; ++tk) {
-        const std::size_t lenk = par.t.len(tk);
-        const std::size_t m = lenk * llen;  // fused (k,l) extent
-        for (std::size_t ac = 0; ac < n_ac; ++ac) {
-          if (unit_owner(tk, ac) != ctx.rank()) continue;
+    // Work unit (tk, ac) = task tk*n_ac + ac; cost = the A-block
+    // gather plus this chunk's O1/O2 gemms and O2 puts.
+    auto f12_cost = [&](std::size_t task) {
+      const std::size_t ck = task / n_ac;
+      const std::size_t ac = task % n_ac;
+      const double ext = double(par.t.len(ck)) * double(llen);
+      const double dn = static_cast<double>(n);
+      double flops = 0, put_bytes = 0;
+      for (std::size_t ta = 0; ta < par.nt; ++ta) {
+        if (chunk_of(ta) != ac) continue;
+        const double lena = static_cast<double>(par.t.len(ta));
+        flops += 2.0 * lena * dn * ext * dn;  // O1 block
+        for (std::size_t tb = 0; tb <= ta; ++tb) {
+          const double lenb = static_cast<double>(par.t.len(tb));
+          flops += 2.0 * lenb * ext * dn * lena;  // O2 tiles
+          put_bytes += 8.0 * lena * lenb * ext;
+        }
+      }
+      return flops / mach.flops_per_rank +
+             (8.0 * dn * dn * ext + put_bytes) / mach.net_bandwidth_bps +
+             double(ij_tiles.size()) * mach.net_latency_s;
+    };
+    run_claimed_phase(
+        par, "fused12" + tag, par.nt * n_ac,
+        [&](std::size_t task) { return task % nranks; }, f12_cost,
+        [&](RankCtx& ctx, std::size_t task) {
+          const std::size_t tk = task / n_ac;
+          const std::size_t ac = task % n_ac;
+          const std::size_t lenk = par.t.len(tk);
+          const std::size_t m = lenk * llen;  // fused (k,l) extent
           // Gather the full (i,j) x (k in tk) x (l in slice) A block.
           // This is the A traffic that replicates with n_ac (Sec 7.3).
           RankBuffer bufa(ctx, n * n * m, "A block");
@@ -686,16 +882,40 @@ ParResult fused_inner_par_transform(const Problem& p, Cluster& cluster,
                 o2->put(ctx, ga::TileCoord{ta, tb, tk, 0}, o2tile.data());
             }
           }
-        }
-      }
-    });
+        });
     al.reset();
 
     // ---- Fused contractions 3+4 ((ab)-parallel, Listing 10 bottom) -
-    cluster.run_phase("fused34" + tag, [&](RankCtx& ctx) {
-      for (std::size_t ta = 0; ta < par.nt; ++ta) {
-        for (std::size_t tb = 0; tb <= ta; ++tb) {
-          if ((ta * (ta + 1) / 2 + tb) % nranks != ctx.rank()) continue;
+    // Task = (ta, tb) pair row; cost = the O2-row gather, the O3
+    // block, and the spatially allowed (tc, td) C contributions —
+    // the irregular per-row weight the dynamic strategies flatten.
+    auto f34_cost = [&](std::size_t task) {
+      const auto [ta, tb] = ab_pairs[task];
+      const double lena = static_cast<double>(par.t.len(ta));
+      const double lenb = static_cast<double>(par.t.len(tb));
+      const double dn = static_cast<double>(n);
+      const double dl = static_cast<double>(llen);
+      double flops = 2.0 * dn * dl * dn * lena * lenb;  // O3 block
+      double acc_bytes = 0;
+      for (std::size_t tc = 0; tc < par.nt; ++tc)
+        for (std::size_t td = 0; td <= tc; ++td) {
+          if (!par.tile_allowed(ta, tb, tc, td)) continue;
+          const double cd =
+              double(par.t.len(tc)) * double(par.t.len(td));
+          flops += 2.0 * cd * dl * lena * lenb;
+          acc_bytes += 8.0 * lena * lenb * cd;
+        }
+      return flops / mach.flops_per_rank +
+             (8.0 * lena * lenb * dn * dl + acc_bytes) /
+                 mach.net_bandwidth_bps +
+             double(par.nt) * mach.net_latency_s;
+    };
+    run_claimed_phase(
+        par, "fused34" + tag, ab_pairs.size(),
+        [&](std::size_t task) { return task % nranks; }, f34_cost,
+        [&](RankCtx& ctx, std::size_t task) {
+          const std::size_t ta = ab_pairs[task].first;
+          const std::size_t tb = ab_pairs[task].second;
           const std::size_t lena = par.t.len(ta);
           const std::size_t lenb = par.t.len(tb);
           // Gather O2[(ab) row, all k] and compute the O3 block in
@@ -763,9 +983,7 @@ ParResult fused_inner_par_transform(const Problem& p, Cluster& cluster,
               else
                 c->acc(ctx, ga::TileCoord{ta, tb, tc, td}, ctile.data());
             }
-        }
-      }
-    });
+        });
     o2.reset();
   }
   return finish(par, "fused-inner", c, timer, before, sim_before);
@@ -855,11 +1073,34 @@ ParResult nwchem_recompute_par_transform(const Problem& p, Cluster& cluster,
   const std::size_t nranks = cluster.n_ranks();
   auto c = make_c(par);
 
-  cluster.run_phase("recompute", [&](RankCtx& ctx) {
-    const Problem& prob = par.p;
-    for (std::size_t ta = 0; ta < par.nt; ++ta) {
-      for (std::size_t tb = 0; tb <= ta; ++tb) {
-        if ((ta * (ta + 1) / 2 + tb) % nranks != ctx.rank()) continue;
+  // Task = (ta, tb) pair row; dominated by the per-alpha integral
+  // recomputation, so cost scales with lena regardless of how much of
+  // the (b, c, d) work symmetry later discards — exactly the skew a
+  // dynamic strategy absorbs.
+  std::vector<std::pair<std::size_t, std::size_t>> ab_pairs;
+  for (std::size_t ta = 0; ta < par.nt; ++ta)
+    for (std::size_t tb = 0; tb <= ta; ++tb) ab_pairs.emplace_back(ta, tb);
+  const auto& mach = cluster.machine();
+  auto rc_cost = [&](std::size_t task) {
+    const auto [ta, tb] = ab_pairs[task];
+    const double lena = static_cast<double>(par.t.len(ta));
+    const double lenb = static_cast<double>(par.t.len(tb));
+    const double ints = lena * double(n) * double(n) * double(np);
+    // Diagonal pair rows do the bb <= aa half of the (ia, ib) square.
+    const double nab =
+        ta == tb ? lena * (lena + 1.0) / 2.0 : lena * lenb;
+    const double flops =
+        2.0 * ints +
+        nab * 2.0 * double(n) * double(n) * double(n);
+    return ints / mach.integrals_per_sec + flops / mach.flops_per_rank;
+  };
+  run_claimed_phase(
+      par, "recompute", ab_pairs.size(),
+      [&](std::size_t task) { return task % nranks; }, rc_cost,
+      [&](RankCtx& ctx, std::size_t task) {
+        const Problem& prob = par.p;
+        const std::size_t ta = ab_pairs[task].first;
+        const std::size_t tb = ab_pairs[task].second;
         const std::size_t lena = par.t.len(ta);
         const std::size_t lenb = par.t.len(tb);
         // Per-row staging for the C contributions (full (c,d) range).
@@ -938,9 +1179,7 @@ ParResult nwchem_recompute_par_transform(const Problem& p, Cluster& cluster,
             }
             c->acc(ctx, ga::TileCoord{ta, tb, tc, td}, ctile.data());
           }
-      }
-    }
-  });
+      });
   return finish(par, "nwchem-recompute", c, timer, before, sim_before);
 }
 

@@ -32,69 +32,120 @@
 
 #include "core/problem.hpp"
 #include "ga/global_array.hpp"
+#include "ga/task_counter.hpp"
 #include "runtime/cluster.hpp"
 #include "tensor/packed.hpp"
 
+/// \file
+/// \brief Distributed schedules (Sec. 7): unfused, fused, fused-inner,
+/// the fuse/unfuse hybrid, and the fault-aware resilient wrapper.
+
 namespace fit::core {
 
+/// Knobs of the distributed schedules.
 struct ParOptions {
-  std::size_t tile = 8;    // tile width for orbital dimensions
-  std::size_t tile_l = 4;  // fused outer-loop slice width Tl
-  // Number of alpha chunks each k tile's work is split across in the
-  // fused-inner schedule (Sec. 7.3). 0 = choose automatically so that
-  // every rank has work.
+  /// Tile width for orbital dimensions.
+  std::size_t tile = 8;
+  /// Fused outer-loop slice width Tl.
+  std::size_t tile_l = 4;
+  /// Number of alpha chunks each k tile's work is split across in the
+  /// fused-inner schedule (Sec. 7.3). 0 = choose automatically so that
+  /// every rank has work.
   std::size_t alpha_parallel = 0;
-  // How alpha tiles are grouped into chunks. Contiguous chunks are the
-  // paper's baseline and suffer the triangular alpha >= beta imbalance
-  // (chunk weight ~ sum of ta+1); Balanced implements the "alternative
-  // load balancing strategies" of Sec. 7.3: greedy weight-balanced
-  // assignment of alpha tiles to chunks.
+  /// How alpha tiles are grouped into chunks. Contiguous chunks are the
+  /// paper's baseline and suffer the triangular alpha >= beta imbalance
+  /// (chunk weight ~ sum of ta+1); Balanced implements the "alternative
+  /// load balancing strategies" of Sec. 7.3: greedy weight-balanced
+  /// assignment of alpha tiles to chunks.
   enum class AlphaChunking { Contiguous, Balanced };
+  /// Alpha-chunking strategy (see AlphaChunking).
   AlphaChunking alpha_chunking = AlphaChunking::Balanced;
-  // Gather the distributed result into a PackedC at the end (Real
-  // mode only; disable for timing runs).
+  /// Gather the distributed result into a PackedC at the end (Real
+  /// mode only; disable for timing runs).
   bool gather_result = true;
-  // Double-buffered prefetch pipelines: fetch the next tile with a
-  // nonblocking get while the current one multiplies, and issue puts /
-  // accumulates nonblocking so their wire time hides behind the next
-  // iteration. Results are bit-identical with the blocking schedule
-  // (the GA layer moves data eagerly at issue and the accumulation
-  // order is unchanged); only the modeled comm/compute overlap —
-  // ParStats::overlapped_seconds — differs. Off = the blocking
-  // baseline, kept for ablation.
+  /// Double-buffered prefetch pipelines: fetch the next tile with a
+  /// nonblocking get while the current one multiplies, and issue puts /
+  /// accumulates nonblocking so their wire time hides behind the next
+  /// iteration. Results are bit-identical with the blocking schedule
+  /// (the GA layer moves data eagerly at issue and the accumulation
+  /// order is unchanged); only the modeled comm/compute overlap —
+  /// ParStats::overlapped_seconds — differs. Off = the blocking
+  /// baseline, kept for ablation.
   bool overlap = true;
+  /// Work-distribution strategy for every parallel phase (Sec. 7.3's
+  /// NXTVAL discussion). Static is the plan-time owner map and stays
+  /// bit-identical to the historical loops; Counter claims work units
+  /// through a modeled shared fetch-and-add counter (paying round
+  /// trips and contention at its host rank); Steal seeds per-rank
+  /// queues from the static map and steals from the heaviest surviving
+  /// rank when a queue drains. All three produce bit-identical Real-
+  /// mode results (each output tile is written by exactly one task per
+  /// phase); only the modeled time, traffic and sched.* metrics move.
+  ga::Balance balance = ga::Balance::Static;
 };
 
+/// What a distributed schedule did: modeled time, modeled traffic, and
+/// dynamic-scheduler activity.
 struct ParStats {
-  std::string schedule;       // which schedule actually ran
-  double sim_time = 0;        // modeled execution time (s)
+  /// Which schedule actually ran.
+  std::string schedule;
+  /// Modeled execution time (s).
+  double sim_time = 0;
+  /// Modeled floating-point operations.
   double flops = 0;
+  /// Modeled on-the-fly integral evaluations.
   double integral_evals = 0;
+  /// Bytes moved between nodes.
   double remote_bytes = 0;
+  /// Bytes moved within a node.
   double local_bytes = 0;
-  double peak_global_bytes = 0;  // aggregate GA high-water mark
-  // Transfer-time decomposition (see runtime::CommStats): seconds of
-  // wire/disk time hidden behind compute by the nonblocking pipelines
-  // vs. seconds the ranks' clocks actually stalled.
+  /// Aggregate GA high-water mark (bytes).
+  double peak_global_bytes = 0;
+  /// Seconds of wire/disk time hidden behind compute by the
+  /// nonblocking pipelines (see runtime::CommStats).
   double overlapped_seconds = 0;
+  /// Seconds the ranks' clocks actually stalled on transfers.
   double exposed_seconds = 0;
+  /// Worst per-phase imbalance of this run: max over the run's phases
+  /// of makespan * ranks / total rank time.
   double worst_imbalance = 1.0;
+  /// BSP phases executed.
   std::size_t n_phases = 0;
-  double wall_seconds = 0;    // host time spent simulating
-  std::string note;           // degradation/replan rationale, if any
+  /// Host time spent simulating.
+  double wall_seconds = 0;
+  /// Tasks claimed through the counter or a steal during this run
+  /// (zero under Balance::Static).
+  double sched_claims = 0;
+  /// Steals performed during this run (zero under Balance::Static).
+  double sched_steals = 0;
+  /// Seconds spent queued at the task counter during this run (zero
+  /// under Balance::Static).
+  double sched_counter_wait_s = 0;
+  /// Degradation/replan rationale, if any.
+  std::string note;
 };
 
+/// A distributed schedule's result: the gathered tensor and the stats.
 struct ParResult {
-  std::optional<tensor::PackedC> c;  // populated in Real mode w/ gather
+  /// Populated in Real mode with gather_result enabled.
+  std::optional<tensor::PackedC> c;
+  /// Modeled execution statistics.
   ParStats stats;
 };
 
+/// Listing 4 x4: four back-to-back distributed tile contractions with
+/// all intermediates resident (~3n^4/4 aggregate words).
 ParResult unfused_par_transform(const Problem& p, runtime::Cluster& cluster,
                                 const ParOptions& opt = {});
 
+/// Listing 8: outer l-loop fusion; per slice only O(n^3 * Tl) global
+/// words live besides C.
 ParResult fused_par_transform(const Problem& p, runtime::Cluster& cluster,
                               const ParOptions& opt = {});
 
+/// Listing 10: outer fusion plus inner op12/34 fusion — the
+/// communication-volume-minimal schedule, with optional
+/// alpha-parallelization.
 ParResult fused_inner_par_transform(const Problem& p,
                                     runtime::Cluster& cluster,
                                     const ParOptions& opt = {});

@@ -29,28 +29,43 @@
 #include "tensor/packed.hpp"
 #include "tensor/tensor4.hpp"
 
+/// \file
+/// \brief Sequential four-index transform schedules (Listings 1-3, 7,
+/// 9) and their correctness oracles.
+
 namespace fit::core {
 
 /// O(n^8) literal evaluation of Eq. 1. Use only for n <= ~10.
 tensor::PackedC reference_direct_o8(const Problem& p);
 
-/// Dense O(n^5) four-step transform with no symmetry exploitation.
-/// Also exposes the dense result for tests that need full C.
+/// Dense O(n^5) four-step transform with no symmetry exploitation,
+/// returning the full (unpacked) result tensor.
 tensor::Tensor4 reference_dense(const Problem& p);
+
+/// Dense O(n^5) four-step transform packed into the symmetric result
+/// container — the correctness oracle for every other schedule.
 tensor::PackedC reference_transform(const Problem& p);
 
+/// Listing 1: materialize O1..O3 fully packed. Fewest flops, peak
+/// memory ~3n^4/4.
 tensor::PackedC unfused_transform(const Problem& p, SeqStats* stats = nullptr);
 
-/// `materialize_a`: keep the paper's Listing 2 shape (A fully resident)
-/// when true; generate the A slice per (k,l) on the fly when false
-/// (the inner-transform variant used by Listing 10).
+/// Listing 2 / Listing 9 (op12/34): fuse the first two and the last
+/// two contractions. `materialize_a` keeps the paper's Listing 2 shape
+/// (A fully resident) when true; generates the A slice per (k,l) on
+/// the fly when false (the inner-transform variant used by
+/// Listing 10).
 tensor::PackedC fused12_34_transform(const Problem& p,
                                      SeqStats* stats = nullptr,
                                      bool materialize_a = true);
 
+/// Listing 3: per output pair-block, recompute the O1 slice from the
+/// integral source. Peak memory ~n^3/2 at O(n^6) flops.
 tensor::PackedC recompute_transform(const Problem& p,
                                     SeqStats* stats = nullptr);
 
+/// Listing 7 (op1234): fuse the l loop across all four contractions;
+/// peak memory |C| + O(n^3) at ~1.5x the unfused flops.
 tensor::PackedC fused1234_transform(const Problem& p,
                                     SeqStats* stats = nullptr);
 

@@ -11,12 +11,22 @@
 
 #include "obs/metrics.hpp"
 
+/// \file
+/// \brief Execution statistics (flops, integral evaluations, peak
+/// words) for the sequential schedules.
+
 namespace fit::core {
 
+/// What a sequential schedule did: the quantities the paper's listings
+/// annotate in their comments.
 struct SeqStats {
-  double flops = 0;                 // 2 per multiply-add
-  std::uint64_t integral_evals = 0; // ComputeA calls
-  std::size_t peak_words = 0;       // max simultaneously live tensor words
+  /// Floating-point operations (2 per multiply-add).
+  double flops = 0;
+  /// ComputeA calls (on-the-fly integral evaluations).
+  std::uint64_t integral_evals = 0;
+  /// Max simultaneously live tensor words.
+  std::size_t peak_words = 0;
+  /// Host time spent executing the schedule.
   double wall_seconds = 0;
 
   /// Register these counters under "<prefix>.flops" / ".integral_evals"
@@ -40,13 +50,17 @@ struct SeqStats {
 /// "Memory required" annotations.
 class MemMeter {
  public:
+  /// Charge `words` live words; updates the peak.
   void alloc(std::size_t words) {
     current_ += words;
     peak_ = std::max(peak_, current_);
   }
+  /// Release `words` previously charged with alloc.
   void release(std::size_t words) { current_ -= words; }
 
+  /// Currently live words.
   std::size_t current() const { return current_; }
+  /// High-water mark of live words.
   std::size_t peak() const { return peak_; }
 
  private:

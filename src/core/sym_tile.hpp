@@ -14,6 +14,10 @@
 #include "ga/global_array.hpp"
 #include "runtime/cluster.hpp"
 
+/// \file
+/// \brief Symmetric-pair tile fetches (blocking and nonblocking) over
+/// triangular GA storage.
+
 namespace fit::core {
 
 /// Transpose two dimensions of a dense row-major 4-D tile. `len` gives
@@ -33,11 +37,19 @@ void get_sym_tile(const ga::GlobalArray& arr, runtime::RankCtx& ctx,
 /// `buf`/`scratch` pointers it was issued with must stay valid (and
 /// untouched) until finish_sym_tile runs.
 struct SymFetch {
+  /// Handle of the underlying nonblocking GA get.
   ga::GlobalArray::NbHandle handle;
-  bool mirrored = false;           // data landed transposed in scratch
-  std::size_t len[4] = {0, 0, 0, 0};  // stored-tile extents
-  int d0 = 0, d1 = 0;
+  /// True when the data landed transposed in `scratch`.
+  bool mirrored = false;
+  /// Stored-tile extents.
+  std::size_t len[4] = {0, 0, 0, 0};
+  /// First dimension of the symmetric pair.
+  int d0 = 0;
+  /// Second dimension of the symmetric pair.
+  int d1 = 0;
+  /// Destination buffer (requested orientation).
   double* buf = nullptr;
+  /// Landing buffer for mirrored fetches.
   double* scratch = nullptr;
 };
 

@@ -14,32 +14,46 @@
 #include "core/schedules_seq.hpp"
 #include "runtime/cluster.hpp"
 
+/// \file
+/// \brief Public facade: one entry point over every schedule in the
+/// library.
+
 namespace fit::core {
 
+/// Every schedule the facade can run.
 enum class Schedule {
-  Reference,     // dense O(n^5), no symmetry — correctness oracle
-  Unfused,       // Listing 1
-  Fused12_34,    // Listing 2 (op12/34)
-  Recompute,     // Listing 3
-  Fused1234,     // Listing 7 (op1234)
-  ParUnfused,    // Listing 4 x4, distributed
-  ParFused,      // Listing 8, distributed
-  ParFusedInner, // Listing 10, distributed
-  Hybrid,        // Sec. 7.4 fuse/unfuse hybrid, distributed
-  Resilient,     // hybrid + fault recovery and bound-guided degradation
+  Reference,     ///< dense O(n^5), no symmetry — correctness oracle
+  Unfused,       ///< Listing 1
+  Fused12_34,    ///< Listing 2 (op12/34)
+  Recompute,     ///< Listing 3
+  Fused1234,     ///< Listing 7 (op1234)
+  ParUnfused,    ///< Listing 4 x4, distributed
+  ParFused,      ///< Listing 8, distributed
+  ParFusedInner, ///< Listing 10, distributed
+  Hybrid,        ///< Sec. 7.4 fuse/unfuse hybrid, distributed
+  Resilient,     ///< hybrid + fault recovery and bound-guided degradation
 };
 
+/// Printable name of a schedule.
 std::string to_string(Schedule s);
 
+/// Facade options: which schedule, and the distributed knobs.
 struct TransformOptions {
+  /// Schedule to run.
   Schedule schedule = Schedule::Hybrid;
-  ParOptions par;  // used by the distributed schedules
+  /// Options used by the distributed schedules.
+  ParOptions par;
 };
 
+/// Uniform result of four_index_transform.
 struct TransformOutcome {
+  /// The transformed tensor (absent for Simulate-mode runs).
   std::optional<tensor::PackedC> c;
-  SeqStats seq;    // populated by sequential schedules
-  ParStats par;    // populated by distributed schedules
+  /// Populated by sequential schedules.
+  SeqStats seq;
+  /// Populated by distributed schedules.
+  ParStats par;
+  /// True when a distributed schedule ran.
   bool distributed = false;
 };
 

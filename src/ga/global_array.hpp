@@ -31,8 +31,13 @@
 #include "runtime/cluster.hpp"
 #include "tensor/tiling.hpp"
 
+/// \file
+/// \brief Global-Arrays-style distributed tiled tensors with one-sided
+/// blocking and nonblocking access (Sec. 2.1).
+
 namespace fit::ga {
 
+/// A tile coordinate: one tile index per dimension.
 using TileCoord = std::vector<std::size_t>;
 
 /// Decides which tiles of the grid exist. Receives the tile coordinate
@@ -44,15 +49,20 @@ using TileFilter = std::function<bool(std::span<const std::size_t>)>;
 using OwnerFn =
     std::function<std::size_t(std::span<const std::size_t>, std::size_t)>;
 
+/// Metadata of one existing tile of a GlobalArray.
 struct TileInfo {
-  TileCoord coord;
-  std::vector<std::size_t> lo;   // inclusive element offsets per dim
-  std::vector<std::size_t> len;  // extents per dim
-  std::size_t elements = 1;
-  std::size_t owner = 0;
-  std::size_t linear = 0;  // dense linear tile id in the full grid
+  TileCoord coord;               ///< Tile indices per dimension.
+  std::vector<std::size_t> lo;   ///< Inclusive element offsets per dim.
+  std::vector<std::size_t> len;  ///< Extents per dim.
+  std::size_t elements = 1;      ///< Product of the extents.
+  std::size_t owner = 0;         ///< Owning rank.
+  std::size_t linear = 0;  ///< Dense linear tile id in the full grid.
 };
 
+/// An N-dimensional distributed tiled tensor with one-sided get / put /
+/// acc access, tile filtering for permutation and spatial symmetry,
+/// nonblocking transfer variants, and the checkpoint/recovery hooks the
+/// fault layer uses. See the file comment for the access discipline.
 class GlobalArray {
  public:
   /// Collective creation (performs its own phase for the allocation
@@ -72,27 +82,38 @@ class GlobalArray {
   /// `delete O1`.
   void destroy();
 
+  /// Array name (used in traces and error messages).
   const std::string& name() const { return name_; }
+  /// Number of dimensions.
   std::size_t n_dims() const { return dims_.size(); }
+  /// Tiling of dimension `d`.
   const tensor::Tiling& tiling(std::size_t d) const { return dims_[d]; }
 
+  /// Number of existing (filter-passing) tiles.
   std::size_t n_tiles() const { return tiles_.size(); }
+  /// Total elements across existing tiles.
   std::size_t total_elements() const { return total_elements_; }
+  /// Total bytes across existing tiles (8 bytes per element).
   double total_bytes() const { return 8.0 * double(total_elements_); }
 
   /// Number of tiles spilled to the simulated file system (nonzero
   /// only when the machine configures disk_bandwidth_bps > 0 and the
   /// array did not fit in aggregate memory).
   std::size_t n_spilled_tiles() const { return n_spilled_; }
+  /// True when the tile at `coord` resides on the simulated disk.
   bool is_spilled(std::span<const std::size_t> coord) const;
 
+  /// True when the tile at `coord` passes the filter (i.e. is stored).
   bool exists(std::span<const std::size_t> coord) const;
+  /// Metadata of the existing tile at `coord`.
   const TileInfo& info(std::span<const std::size_t> coord) const;
 
   /// Tiles owned by `rank`, in deterministic order.
   const std::vector<std::size_t>& tiles_of(std::size_t rank) const {
     return by_owner_[rank];
   }
+  /// Metadata of the tile with internal index `idx` (as returned by
+  /// tiles_of / reassign_owner).
   const TileInfo& tile_by_index(std::size_t idx) const {
     return tiles_[idx].info;
   }
@@ -208,8 +229,9 @@ class GlobalArray {
   mutable std::mutex acc_mutex_;
 };
 
-/// Standard distributions.
-/// Round-robin over existing tiles (the default).
+// Standard distributions.
+
+/// Round-robin over existing tiles (the default distribution).
 OwnerFn owner_cyclic();
 /// Contiguous blocks of existing tiles, one block per rank.
 OwnerFn owner_block(std::size_t n_tiles_total);
@@ -218,12 +240,14 @@ OwnerFn owner_block(std::size_t n_tiles_total);
 /// covers single-dimension layouts).
 OwnerFn owner_by_dim(std::size_t dim);
 
-/// Standard filters.
+// Standard filters.
+
+/// Keep every tile (the default filter).
 TileFilter filter_all();
 /// tile[d0] >= tile[d1] — the unique-block filter for a symmetric
 /// index pair.
 TileFilter filter_triangular(std::size_t d0, std::size_t d1);
-/// Conjunction.
+/// Conjunction of two filters.
 TileFilter filter_and(TileFilter a, TileFilter b);
 
 }  // namespace fit::ga

@@ -1,0 +1,194 @@
+#include "ga/task_counter.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace fit::ga {
+
+namespace {
+
+constexpr double kControlBytes = 8.0;  // one fetch-and-add word
+
+/// Stable (platform-independent) FNV-1a — std::hash would make the
+/// counter placement, and with it every simulated timing, differ
+/// between standard libraries.
+std::size_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+/// One-way alpha-beta time of an 8-byte control message between two
+/// ranks: the same model RankCtx::charge_transfer applies, so the
+/// planning clocks and the execution-time charges agree.
+double control_one_way_s(const runtime::Cluster& cl, std::size_t a,
+                         std::size_t b) {
+  const auto& m = cl.machine();
+  if (cl.node_of(a) == cl.node_of(b))
+    return kControlBytes / m.local_bandwidth_bps;
+  return m.net_latency_s + kControlBytes / m.net_bandwidth_bps;
+}
+
+}  // namespace
+
+const char* to_string(Balance b) {
+  switch (b) {
+    case Balance::Static:
+      return "static";
+    case Balance::Counter:
+      return "counter";
+    case Balance::Steal:
+      return "steal";
+  }
+  return "?";
+}
+
+TaskCounter::TaskCounter(runtime::Cluster& cluster, const std::string& name)
+    : cluster_(cluster), home_(fnv1a(name) % cluster.n_ranks()) {}
+
+std::size_t TaskCounter::owner() const {
+  return cluster_.live_owner(home_);
+}
+
+double TaskCounter::one_way_s(std::size_t rank) const {
+  return control_one_way_s(cluster_, rank, owner());
+}
+
+double TaskCounter::service_s() const {
+  // The host's per-request occupancy: one message's worth of NIC
+  // processing. Requests arriving during it queue — that queueing is
+  // the contention NXTVAL is famous for at scale.
+  return cluster_.machine().net_latency_s +
+         kControlBytes / cluster_.machine().local_bandwidth_bps;
+}
+
+void TaskCounter::charge_fetch_add(runtime::RankCtx& ctx,
+                                   double wait_s) const {
+  const std::size_t host = owner();
+  ctx.charge_transfer(host, kControlBytes);  // request
+  ctx.stall(wait_s);                         // queueing + service
+  ctx.charge_transfer(host, kControlBytes);  // reply (the ticket)
+}
+
+TaskPlan plan_tasks(const runtime::Cluster& cluster, Balance balance,
+                    const TaskCounter& counter,
+                    std::span<const double> cost_s,
+                    std::span<const std::size_t> owner) {
+  const std::size_t nranks = cluster.n_ranks();
+  const std::size_t n = owner.size();
+  TaskPlan plan;
+  plan.balance = balance;
+  plan.n_tasks = n;
+  plan.claims.assign(nranks, {});
+
+  if (balance == Balance::Static) {
+    // The owner map *is* the plan: each task on its static owner, in
+    // canonical order, no scheduling traffic — bit-identical to the
+    // historical owner-filtered loops.
+    for (std::size_t t = 0; t < n; ++t) {
+      TaskClaim c;
+      c.task = t;
+      plan.claims[owner[t]].push_back(c);
+    }
+    return plan;
+  }
+
+  FIT_REQUIRE(cost_s.size() == n, "plan_tasks: cost/owner size mismatch");
+
+  // Virtual clocks of the live ranks drive the discrete-event
+  // simulation; (clock, rank) min-heap gives a deterministic next
+  // claimer (ties broken toward the lowest rank id).
+  using Event = std::pair<double, std::size_t>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> pq;
+  for (std::size_t r = 0; r < nranks; ++r)
+    if (!cluster.is_dead(r)) pq.emplace(0.0, r);
+  FIT_REQUIRE(!pq.empty(), "plan_tasks: no live ranks");
+
+  if (balance == Balance::Counter) {
+    plan.counter_owner = counter.owner();
+    std::vector<double> one_way(nranks, 0.0);
+    for (std::size_t r = 0; r < nranks; ++r)
+      one_way[r] = counter.one_way_s(r);
+    const double service = counter.service_s();
+    double counter_free = 0.0;
+    std::size_t next = 0;
+    while (!pq.empty()) {
+      const auto [clk, r] = pq.top();
+      pq.pop();
+      // Request travels to the host, queues behind earlier
+      // fetch-and-adds, is serviced, and the ticket travels back.
+      const double arrival = clk + one_way[r];
+      const double start = std::max(arrival, counter_free);
+      counter_free = start + service;
+      TaskClaim c;
+      c.wait_s = (start + service) - arrival;
+      c.peer = plan.counter_owner;
+      plan.total_wait_s += c.wait_s;
+      plan.max_wait_s = std::max(plan.max_wait_s, c.wait_s);
+      const double back = counter_free + one_way[r];
+      if (next < n) {
+        c.task = next++;
+        plan.claims[r].push_back(c);
+        pq.emplace(back + cost_s[c.task], r);
+      } else {
+        // Terminal empty fetch: how a rank learns the work ran out.
+        plan.claims[r].push_back(c);
+      }
+    }
+    return plan;
+  }
+
+  // Balance::Steal: queues seeded from the static map (dead owners'
+  // tasks land directly on the survivor that adopted them), local
+  // pops free, steals from the heaviest remaining queue.
+  std::vector<std::vector<std::size_t>> queue(nranks);
+  std::vector<std::size_t> head(nranks, 0);
+  std::vector<double> remaining(nranks, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::size_t r = cluster.live_owner(owner[t]);
+    queue[r].push_back(t);
+    remaining[r] += cost_s[t];
+  }
+  while (!pq.empty()) {
+    const auto [clk, r] = pq.top();
+    pq.pop();
+    if (head[r] < queue[r].size()) {
+      const std::size_t t = queue[r][head[r]++];
+      remaining[r] -= cost_s[t];
+      TaskClaim c;
+      c.task = t;
+      plan.claims[r].push_back(c);
+      pq.emplace(clk + cost_s[t], r);
+      continue;
+    }
+    // Queue drained: steal from the back of the heaviest surviving
+    // queue (ties toward the lowest rank id); stop when none is left.
+    std::size_t victim = TaskClaim::kNone;
+    for (std::size_t v = 0; v < nranks; ++v) {
+      if (v == r || head[v] >= queue[v].size()) continue;
+      if (victim == TaskClaim::kNone || remaining[v] > remaining[victim])
+        victim = v;
+    }
+    if (victim == TaskClaim::kNone) continue;  // all queues empty: done
+    const std::size_t t = queue[victim].back();
+    queue[victim].pop_back();
+    remaining[victim] -= cost_s[t];
+    TaskClaim c;
+    c.task = t;
+    c.stolen = true;
+    c.peer = victim;
+    plan.claims[r].push_back(c);
+    ++plan.n_steals;
+    const double rtt = 2.0 * control_one_way_s(cluster, r, victim);
+    pq.emplace(clk + rtt + cost_s[t], r);
+  }
+  return plan;
+}
+
+}  // namespace fit::ga

@@ -1,0 +1,145 @@
+// NXTVAL-style dynamic task claiming over the simulated cluster.
+//
+// NWChem's four-index transform does not hand each rank a fixed slice
+// of the k/alpha work units: ranks claim units dynamically through a
+// shared atomic counter (the GA NXTVAL operation), which is what makes
+// the triangular alpha >= beta distribution of Sec. 7.3 tolerable in
+// production. This header models that mechanism — plus a work-stealing
+// alternative — without giving up the simulator's determinism.
+//
+// The simulator executes the rank bodies of a phase sequentially (or
+// strided over host threads), so a *live* shared counter would be
+// meaningless: whichever rank body happens to run first would drain
+// it. Instead, claiming is split into two steps:
+//
+//   1. plan_tasks() runs a deterministic discrete-event simulation of
+//      the claiming protocol over the ranks' virtual clocks (seeded
+//      with per-task cost estimates) and produces one ordered claim
+//      list per rank;
+//   2. during the phase each rank *replays* its claim list, charging
+//      the scheduling traffic (counter round trips, contention stalls,
+//      steal control messages) through the cluster's alpha-beta link
+//      model alongside the task bodies themselves.
+//
+// The result is independent of host-thread count and of retry
+// replays, and Balance::Static degenerates to exactly the historical
+// owner-filtered loops: every task is claimed by its static owner in
+// canonical order, with zero scheduling traffic charged.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+
+/// \file
+/// \brief NXTVAL-style dynamic task claiming: the modeled shared
+/// counter, work stealing, and the deterministic claim planner.
+
+namespace fit::ga {
+
+/// Work-distribution strategy for a claimed phase (Sec. 7.3).
+enum class Balance {
+  /// Plan-time owner map; bit-identical to the historical loops.
+  Static,
+  /// NXTVAL-style shared fetch-and-add counter on a designated rank;
+  /// every claim pays an alpha-beta round trip to the counter host
+  /// plus the modeled contention wait while earlier requests are
+  /// serviced.
+  Counter,
+  /// Per-rank queues seeded from the static owner map; a rank that
+  /// drains its queue steals one task from the back of the heaviest
+  /// surviving queue, paying a control round trip per steal.
+  Steal,
+};
+
+/// Human-readable strategy name ("static" / "counter" / "steal").
+const char* to_string(Balance b);
+
+/// One entry of a rank's claim list.
+struct TaskClaim {
+  /// Sentinel task id for the terminal empty fetch: in Counter mode a
+  /// rank only discovers that the work ran out by performing one more
+  /// fetch-and-add, which is charged but executes no task body.
+  static constexpr std::size_t kNone = ~static_cast<std::size_t>(0);
+
+  std::size_t task = kNone;  ///< index into the phase's task list
+  /// Modeled seconds the claim spent at the counter host (queueing
+  /// behind earlier fetch-and-adds plus the service itself). Zero for
+  /// static and locally popped claims.
+  double wait_s = 0;
+  /// Peer rank the claim talked to: the counter home (Counter) or the
+  /// steal victim's nominal rank (Steal). Unused for local claims.
+  std::size_t peer = 0;
+  /// True when the task was taken from another rank's queue.
+  bool stolen = false;
+};
+
+/// The shared fetch-and-add counter itself: a single 8-byte word
+/// hosted on a designated ("home") rank, re-owned through
+/// Cluster::live_owner when the home dies (the counter value is
+/// reconstructed from the claim log, so the re-own itself is free —
+/// only subsequent round trips now target the new host).
+class TaskCounter {
+ public:
+  /// `name` seeds the home-rank choice (a stable FNV-1a hash spreads
+  /// the counters of different phases over the machine, like GA
+  /// spreads NXTVAL hosts).
+  TaskCounter(runtime::Cluster& cluster, const std::string& name);
+
+  /// The designated host rank (ignores liveness).
+  std::size_t home() const { return home_; }
+  /// The live host: home(), or the next live rank when it died.
+  std::size_t owner() const;
+
+  /// One-way alpha-beta time of an 8-byte control message between
+  /// `rank` and the live counter host.
+  double one_way_s(std::size_t rank) const;
+  /// Counter occupancy per fetch-and-add: requests arriving while an
+  /// earlier one is serviced queue for this long each.
+  double service_s() const;
+
+  /// Execution-time charge for one fetch-and-add whose planned
+  /// contention wait is `wait_s`: request + reply control messages
+  /// through the link model, and the wait as a clock stall.
+  void charge_fetch_add(runtime::RankCtx& ctx, double wait_s) const;
+
+ private:
+  runtime::Cluster& cluster_;
+  std::size_t home_;
+};
+
+/// A phase's complete claim assignment, produced by plan_tasks().
+struct TaskPlan {
+  /// Strategy the plan was produced for.
+  Balance balance = Balance::Static;
+  /// Claim lists indexed by *nominal* rank. A rank that dies between
+  /// planning and the phase barrier still has its list executed: the
+  /// survivor Cluster::live_owner maps it to adopts the orphaned
+  /// claims (see schedules_par's claim-execute loops).
+  std::vector<std::vector<TaskClaim>> claims;
+  /// Number of real tasks planned (terminal kNone claims excluded).
+  std::size_t n_tasks = 0;
+  std::size_t n_steals = 0;        ///< stolen claims across all ranks
+  double total_wait_s = 0;         ///< summed counter queueing time
+  double max_wait_s = 0;           ///< worst single-claim wait
+  /// Live counter host at planning time (Counter mode only); a
+  /// mid-phase death of this rank is what the re-own metric counts.
+  std::size_t counter_owner = 0;
+};
+
+/// Plan the claim order for one phase. `cost_s[t]` is the modeled
+/// seconds task t takes (compute + transfers; used to advance the
+/// virtual clocks), `owner[t]` its static owner. Dead ranks are
+/// excluded from claiming; tasks statically owned by a dead rank are
+/// claimed by the survivors (Counter/Steal) or adopted at execution
+/// time (Static). For Balance::Static, `cost_s` may be empty — the
+/// plan is the owner map itself.
+TaskPlan plan_tasks(const runtime::Cluster& cluster, Balance balance,
+                    const TaskCounter& counter,
+                    std::span<const double> cost_s,
+                    std::span<const std::size_t> owner);
+
+}  // namespace fit::ga

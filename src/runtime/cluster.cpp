@@ -97,8 +97,22 @@ void RankCtx::charge_transfer(std::size_t owner, double bytes) {
   link_free_ = time_;
 }
 
+void RankCtx::stall(double seconds) {
+  FIT_REQUIRE(seconds >= 0, "negative stall");
+  time_ += seconds;
+}
+
 void RankCtx::note_instant(const std::string& name) {
   cluster_.note_instant(name, rank_);
+}
+
+void RankCtx::note_span(const std::string& name, double t_start,
+                        double duration) {
+  if (!cluster_.trace_comm_) return;
+  // intern() takes the timeline's own lock, so this is safe from the
+  // strided pool threads.
+  task_spans_.push_back(
+      {cluster_.timeline_.intern(name), t_start, duration});
 }
 
 void RankCtx::fault_point(const char* what) {
@@ -429,6 +443,12 @@ void Cluster::flush_nb_spans(const RankCtx& ctx, double t0) {
   }
 }
 
+void Cluster::flush_task_spans(const RankCtx& ctx, double t0) {
+  if (!trace_comm_) return;
+  for (const auto& s : ctx.task_spans_)
+    timeline_.add_span(s.name, ctx.rank_, t0 + s.start, s.duration);
+}
+
 void Cluster::execute_attempt(const std::function<void(RankCtx&)>& body,
                               PhaseRecord& rec, const std::string& label,
                               std::size_t attempt) {
@@ -455,6 +475,7 @@ void Cluster::execute_attempt(const std::function<void(RankCtx&)>& body,
         merge_rank(ctx);
         timeline_.add_span(span_name, r, t0, ctx.time_);
         flush_nb_spans(ctx, t0);
+        flush_task_spans(ctx, t0);
       }
     } catch (...) {
       rec.makespan += attempt_makespan;
@@ -488,6 +509,7 @@ void Cluster::execute_attempt(const std::function<void(RankCtx&)>& body,
           merge_rank(ctx);
           timeline_.add_span(span_name, r, t0, ctx.time_);
           flush_nb_spans(ctx, t0);
+          flush_task_spans(ctx, t0);
         }
         std::lock_guard<std::mutex> lock(merge_mutex);
         attempt_makespan = std::max(attempt_makespan, local_makespan);

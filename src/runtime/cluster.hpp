@@ -159,6 +159,11 @@ class RankCtx {
   /// system (spilled tiles). Requires disk_bandwidth_bps > 0.
   void charge_disk(double bytes);
 
+  /// Advance this rank's clock by a modeled scheduler stall (e.g. the
+  /// queueing delay at a contended task counter). Unlike a transfer
+  /// this occupies no link time: the rank is simply waiting.
+  void stall(double seconds);
+
   // --- nonblocking transfers (the GA nb* operations build on these) --
   //
   // Each rank owns one injection link. A nonblocking transfer occupies
@@ -200,6 +205,12 @@ class RankCtx {
   /// Record a point event on this rank's timeline track.
   void note_instant(const std::string& name);
 
+  /// Record a span on this rank's timeline track, in seconds relative
+  /// to the start of the current phase attempt (use elapsed() for the
+  /// endpoints). Recorded only while comm tracing is enabled — the
+  /// claim-execute loops emit one span per dynamically claimed task.
+  void note_span(const std::string& name, double t_start, double duration);
+
   /// Fault-injection probe, called by the GA layer before every
   /// one-sided op. Throws FaultError when the installed injector
   /// decrees a transient failure; run_phase's retry path absorbs it.
@@ -220,6 +231,11 @@ class RankCtx {
     NbKind kind = NbKind::Get;
     bool waited = false;
   };
+  struct TaskSpan {
+    std::size_t name = 0;  // interned timeline name
+    double start = 0;      // attempt-relative seconds
+    double duration = 0;
+  };
   NbTransfer enqueue_nb(double duration, NbKind kind);
 
   Cluster& cluster_;
@@ -230,6 +246,7 @@ class RankCtx {
   double link_free_ = 0;  // when this rank's injection link frees up
   std::vector<NbOp> nb_ops_;
   std::size_t nb_outstanding_ = 0;
+  std::vector<TaskSpan> task_spans_;
   CommStats comm_;
 };
 
@@ -377,6 +394,9 @@ class Cluster {
   /// Record one in-flight span per nonblocking op (when comm tracing
   /// is on); `t0` is the attempt's absolute start time.
   void flush_nb_spans(const RankCtx& ctx, double t0);
+  /// Record the spans noted via RankCtx::note_span (per-task
+  /// scheduler spans), offset to the attempt's absolute start `t0`.
+  void flush_task_spans(const RankCtx& ctx, double t0);
   /// Apply scheduled + probabilistic boundary faults for the phase
   /// about to run; performs rank-death recovery when enabled.
   void process_boundary_faults();

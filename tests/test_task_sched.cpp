@@ -1,0 +1,326 @@
+// NXTVAL-style dynamic load balancing (Sec. 7.3): the task-counter /
+// work-stealing claim planner and its integration into the parallel
+// schedules.
+//
+// The deterministic headline claims:
+//   - Balance::Static is bit-identical to the historical owner-
+//     filtered loops and reports zero scheduler activity;
+//   - Counter and Steal produce bit-identical Real-mode results (each
+//     output tile is written by exactly one task per phase) while the
+//     modeled time and sched.* metrics move;
+//   - on a skewed workload the dynamic strategies beat Static on both
+//     worst-rank imbalance and simulated wall-clock;
+//   - a rank killed mid-drain under Balance::Steal has its orphaned
+//     claims adopted by the surviving owner and the result stays
+//     bit-identical to the fault-free run;
+//   - a dead counter home rank is re-owned by its survivor
+//     (sched.counter_reowns).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "chem/molecule.hpp"
+#include "core/problem.hpp"
+#include "core/schedules_baseline.hpp"
+#include "core/schedules_par.hpp"
+#include "core/schedules_seq.hpp"
+#include "ga/task_counter.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/faults.hpp"
+#include "runtime/machine.hpp"
+
+namespace {
+
+using namespace fit;
+using runtime::Cluster;
+using runtime::ExecutionMode;
+using runtime::FaultEvent;
+using runtime::FaultInjector;
+using runtime::FaultKind;
+using runtime::MachineConfig;
+
+MachineConfig sched_machine(std::size_t nodes, std::size_t rpn,
+                            double mem_per_node = 64e6) {
+  MachineConfig m;
+  m.name = "sched-test";
+  m.n_nodes = nodes;
+  m.ranks_per_node = rpn;
+  m.mem_per_node_bytes = mem_per_node;
+  m.flops_per_rank = 1e9;
+  m.integrals_per_sec = 1e8;
+  m.net_bandwidth_bps = 1e9;
+  m.net_latency_s = 1e-6;
+  m.local_bandwidth_bps = 1e10;
+  m.disk_bandwidth_bps = 1e9;  // recovery needs a PFS for checkpoints
+  m.disk_latency_s = 1e-3;
+  return m;
+}
+
+core::Problem sched_problem(std::size_t n = 12, unsigned s = 2) {
+  return core::make_problem(chem::custom_molecule("sched", n, s, 17 * n + s));
+}
+
+core::ParOptions sched_options(ga::Balance b) {
+  core::ParOptions o;
+  o.tile = 4;
+  o.tile_l = 4;
+  o.balance = b;
+  return o;
+}
+
+FaultEvent kill_event(std::size_t phase, std::size_t rank) {
+  FaultEvent ev;
+  ev.kind = FaultKind::KillRank;
+  ev.phase = phase;
+  ev.rank = rank;
+  return ev;
+}
+
+// ---- plan_tasks (the claim DES) -------------------------------------
+
+TEST(PlanTasks, StaticPlanMirrorsTheOwnerMap) {
+  Cluster cl(sched_machine(2, 2), ExecutionMode::Simulate);
+  ga::TaskCounter counter(cl, "static-plan");
+  std::vector<std::size_t> owner = {0, 1, 2, 3, 0, 1, 2, 3, 1};
+  std::vector<double> cost(owner.size(), 1.0);
+  const auto plan =
+      ga::plan_tasks(cl, ga::Balance::Static, counter, cost, owner);
+  ASSERT_EQ(plan.claims.size(), 4u);
+  EXPECT_EQ(plan.n_steals, 0u);
+  EXPECT_EQ(plan.total_wait_s, 0.0);
+  for (std::size_t r = 0; r < 4; ++r) {
+    std::size_t prev = 0;
+    for (const auto& c : plan.claims[r]) {
+      EXPECT_EQ(owner[c.task], r);
+      EXPECT_GE(c.task, prev);  // canonical ascending order
+      EXPECT_EQ(c.wait_s, 0.0);
+      EXPECT_FALSE(c.stolen);
+      prev = c.task;
+    }
+  }
+}
+
+TEST(PlanTasks, CounterPlanIsExhaustiveDeterministicAndContended) {
+  Cluster cl(sched_machine(2, 2), ExecutionMode::Simulate);
+  ga::TaskCounter counter(cl, "counter-plan");
+  std::vector<std::size_t> owner(17, 0);
+  for (std::size_t t = 0; t < owner.size(); ++t) owner[t] = t % 4;
+  std::vector<double> cost(owner.size(), 1e-6);
+  const auto a = ga::plan_tasks(cl, ga::Balance::Counter, counter, cost,
+                                owner);
+  const auto b = ga::plan_tasks(cl, ga::Balance::Counter, counter, cost,
+                                owner);
+  std::multiset<std::size_t> claimed;
+  for (std::size_t r = 0; r < a.claims.size(); ++r) {
+    ASSERT_EQ(a.claims[r].size(), b.claims[r].size());
+    ASSERT_FALSE(a.claims[r].empty());
+    // Every rank's final fetch comes back empty — that is how it
+    // learns the counter ran past the task count.
+    EXPECT_EQ(a.claims[r].back().task, ga::TaskClaim::kNone);
+    for (std::size_t i = 0; i < a.claims[r].size(); ++i) {
+      EXPECT_EQ(a.claims[r][i].task, b.claims[r][i].task);  // determinism
+      EXPECT_EQ(a.claims[r][i].wait_s, b.claims[r][i].wait_s);
+      if (a.claims[r][i].task != ga::TaskClaim::kNone)
+        claimed.insert(a.claims[r][i].task);
+    }
+  }
+  EXPECT_EQ(claimed.size(), owner.size());  // each task exactly once
+  EXPECT_EQ(*claimed.begin(), 0u);
+  // With near-zero task cost all four ranks hammer the counter at
+  // once: somebody must queue behind somebody.
+  EXPECT_GT(a.total_wait_s, 0.0);
+}
+
+TEST(PlanTasks, StealPlanRebalancesASkewedOwnerMap) {
+  Cluster cl(sched_machine(2, 2), ExecutionMode::Simulate);
+  ga::TaskCounter counter(cl, "steal-plan");
+  // Rank 0 owns every task: the other three can only make progress by
+  // stealing.
+  std::vector<std::size_t> owner(16, 0);
+  std::vector<double> cost(owner.size(), 1.0);
+  const auto plan =
+      ga::plan_tasks(cl, ga::Balance::Steal, counter, cost, owner);
+  EXPECT_GT(plan.n_steals, 0u);
+  std::multiset<std::size_t> claimed;
+  for (std::size_t r = 0; r < plan.claims.size(); ++r)
+    for (const auto& c : plan.claims[r]) {
+      EXPECT_NE(c.task, ga::TaskClaim::kNone);  // no terminal fetches
+      EXPECT_TRUE(c.task < owner.size());
+      if (c.stolen) {
+        EXPECT_EQ(c.peer, 0u);
+      }
+      claimed.insert(c.task);
+    }
+  EXPECT_EQ(claimed.size(), owner.size());
+  EXPECT_EQ(claimed.count(0), 1u);
+  // The steal RTTs are worth paying: everyone ends with work.
+  for (std::size_t r = 1; r < plan.claims.size(); ++r)
+    EXPECT_FALSE(plan.claims[r].empty());
+}
+
+// ---- schedule integration -------------------------------------------
+
+TEST(TaskSched, StaticIsInertAndDeterministic) {
+  auto p = sched_problem();
+  auto ref = core::reference_transform(p);
+  Cluster cl1(sched_machine(2, 2), ExecutionMode::Real);
+  auto r1 = core::fused_inner_par_transform(p, cl1,
+                                            sched_options(ga::Balance::Static));
+  Cluster cl2(sched_machine(2, 2), ExecutionMode::Real);
+  auto r2 = core::fused_inner_par_transform(p, cl2,
+                                            sched_options(ga::Balance::Static));
+  ASSERT_TRUE(r1.c.has_value());
+  ASSERT_TRUE(r2.c.has_value());
+  EXPECT_LT(r1.c->max_abs_diff(ref), 1e-9);
+  EXPECT_EQ(r1.c->max_abs_diff(*r2.c), 0.0);       // run-to-run identical
+  EXPECT_EQ(r1.stats.sim_time, r2.stats.sim_time);  // and in modeled time
+  // Static pays no scheduling traffic and reports no dynamic activity.
+  EXPECT_EQ(r1.stats.sched_claims, 0.0);
+  EXPECT_EQ(r1.stats.sched_steals, 0.0);
+  EXPECT_EQ(r1.stats.sched_counter_wait_s, 0.0);
+  EXPECT_EQ(cl1.metrics().sum("sched.claims"), 0.0);
+  EXPECT_EQ(cl1.metrics().sum("sched.steals"), 0.0);
+  EXPECT_EQ(cl1.metrics().sum("sched.counter_waits"), 0.0);
+}
+
+TEST(TaskSched, DynamicModesAreBitIdenticalToStatic) {
+  auto p = sched_problem();
+  Cluster cls(sched_machine(2, 2), ExecutionMode::Real);
+  auto rs = core::fused_inner_par_transform(
+      p, cls, sched_options(ga::Balance::Static));
+  ASSERT_TRUE(rs.c.has_value());
+
+  for (ga::Balance b : {ga::Balance::Counter, ga::Balance::Steal}) {
+    SCOPED_TRACE(ga::to_string(b));
+    Cluster cl(sched_machine(2, 2), ExecutionMode::Real);
+    auto r = core::fused_inner_par_transform(p, cl, sched_options(b));
+    ASSERT_TRUE(r.c.has_value());
+    // Same tasks, same bodies, one writer per output tile per phase:
+    // the result does not merely agree, it is bit-identical.
+    EXPECT_EQ(r.c->max_abs_diff(*rs.c), 0.0);
+    EXPECT_GT(r.stats.sched_claims, 0.0);
+    if (b == ga::Balance::Counter) {
+      EXPECT_GT(cl.metrics().sum("sched.counter_waits"), 0.0);
+      EXPECT_GE(r.stats.sched_counter_wait_s, 0.0);
+      // Scheduling is not free: the counter round trips show up in
+      // the modeled time.
+      EXPECT_GT(r.stats.sim_time, 0.0);
+    }
+  }
+}
+
+TEST(TaskSched, DynamicBalancingBeatsStaticOnSkewedWork) {
+  // Contiguous alpha chunks carry the triangular alpha >= beta weight
+  // (several-fold between the lightest and heaviest chunk), and with
+  // n_ac == nranks the static map (tk*n_ac + ac) % nranks pins each
+  // chunk index to a fixed rank — the systematic skew Sec. 7.3's
+  // NXTVAL counter absorbs.
+  auto p = sched_problem(32, 2);
+  core::ParOptions o;
+  o.tile = 4;
+  o.tile_l = 16;
+  o.alpha_parallel = 6;
+  o.alpha_chunking = core::ParOptions::AlphaChunking::Contiguous;
+  o.gather_result = false;
+
+  auto run = [&](ga::Balance b) {
+    o.balance = b;
+    Cluster cl(sched_machine(2, 3), ExecutionMode::Simulate);
+    return core::fused_inner_par_transform(p, cl, o);
+  };
+  auto rs = run(ga::Balance::Static);
+  auto rc = run(ga::Balance::Counter);
+  auto rt = run(ga::Balance::Steal);
+  EXPECT_GT(rs.stats.worst_imbalance, 1.2);  // the skew is real
+  EXPECT_LT(rc.stats.worst_imbalance, rs.stats.worst_imbalance);
+  EXPECT_LT(rt.stats.worst_imbalance, rs.stats.worst_imbalance);
+  EXPECT_LT(rc.stats.sim_time, rs.stats.sim_time);
+  EXPECT_LT(rt.stats.sim_time, rs.stats.sim_time);
+  EXPECT_GT(rt.stats.sched_steals, 0.0);
+  EXPECT_GT(rc.stats.sched_counter_wait_s, 0.0);
+}
+
+TEST(TaskSched, RecomputeScheduleStaysBitIdenticalUnderDynamicModes) {
+  // The recompute baseline is the schedule whose phase ends in GA
+  // accumulates — the op most sensitive to who executes a task. One
+  // writer per (ta, tb, tc, td) tile per phase keeps every mode
+  // bit-identical anyway.
+  auto p = sched_problem();
+  core::ParOptions o;
+  o.tile = 4;
+  auto run = [&](ga::Balance b) {
+    o.balance = b;
+    Cluster cl(sched_machine(2, 2), ExecutionMode::Real);
+    return core::nwchem_recompute_par_transform(p, cl, o);
+  };
+  auto rs = run(ga::Balance::Static);
+  ASSERT_TRUE(rs.c.has_value());
+  for (ga::Balance b : {ga::Balance::Counter, ga::Balance::Steal}) {
+    SCOPED_TRACE(ga::to_string(b));
+    auto r = run(b);
+    ASSERT_TRUE(r.c.has_value());
+    EXPECT_EQ(r.c->max_abs_diff(*rs.c), 0.0);
+    EXPECT_GT(r.stats.sched_claims, 0.0);
+  }
+}
+
+// ---- faults ---------------------------------------------------------
+
+TEST(TaskSchedFaults, MidDrainKillUnderStealIsAdoptedBitIdentically) {
+  auto p = sched_problem();
+  auto ref = core::reference_transform(p);
+  const auto opt = sched_options(ga::Balance::Steal);
+
+  Cluster clean(sched_machine(2, 2), ExecutionMode::Real);
+  const auto want = core::fused_inner_par_transform(p, clean, opt);
+  ASSERT_TRUE(want.c.has_value());
+
+  // Phase 1 is "fused12 [l-slice 0]": the claim plan is drawn with
+  // rank 1 alive, then the boundary kill fires before the phase body
+  // runs — its queue is orphaned mid-drain.
+  Cluster faulty(sched_machine(2, 2), ExecutionMode::Real);
+  faulty.enable_recovery();
+  FaultInjector inj;
+  inj.schedule(kill_event(/*phase=*/1, /*rank=*/1));
+  faulty.install_faults(inj);
+  const auto got = core::fused_inner_par_transform(p, faulty, opt);
+  ASSERT_TRUE(got.c.has_value());
+
+  EXPECT_LT(got.c->max_abs_diff(ref), 1e-9);
+  EXPECT_EQ(got.c->max_abs_diff(*want.c), 0.0);  // bit-identical recovery
+  const auto& reg = faulty.metrics();
+  EXPECT_EQ(reg.sum("fault.kills"), 1.0);
+  EXPECT_GT(reg.sum("sched.orphans_adopted"), 0.0);
+  EXPECT_TRUE(faulty.is_dead(1));
+  // Adopted work is charged, not teleported: the survivor's run costs
+  // more modeled time than the fault-free one.
+  EXPECT_GT(faulty.sim_time(), clean.sim_time());
+}
+
+TEST(TaskSchedFaults, DeadCounterHomeIsReowned) {
+  auto p = sched_problem();
+  auto ref = core::reference_transform(p);
+  const auto opt = sched_options(ga::Balance::Counter);
+
+  Cluster faulty(sched_machine(2, 2), ExecutionMode::Real);
+  // The counter for the first fused12 phase lives on a deterministic
+  // (FNV-1a) home rank; kill exactly that rank at that phase.
+  const std::size_t home =
+      ga::TaskCounter(faulty, "fused12 [l-slice 0]").home();
+  faulty.enable_recovery();
+  FaultInjector inj;
+  inj.schedule(kill_event(/*phase=*/1, home));
+  faulty.install_faults(inj);
+  const auto got = core::fused_inner_par_transform(p, faulty, opt);
+  ASSERT_TRUE(got.c.has_value());
+
+  EXPECT_LT(got.c->max_abs_diff(ref), 1e-9);
+  const auto& reg = faulty.metrics();
+  EXPECT_EQ(reg.sum("fault.kills"), 1.0);
+  EXPECT_GE(reg.sum("sched.counter_reowns"), 1.0);
+  // Later phases plan against the re-homed counter without incident.
+  EXPECT_GT(reg.sum("sched.claims"), 0.0);
+}
+
+}  // namespace
