@@ -1,0 +1,101 @@
+#include "blas/dispatch.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "util/cpuid.hpp"
+#include "util/logging.hpp"
+#include "util/parse.hpp"
+
+namespace fit::blas {
+
+namespace detail {
+// One maker per kernels_<isa>.cpp translation unit.
+KernelTable make_table_scalar();
+KernelTable make_table_sse2();
+KernelTable make_table_avx();
+KernelTable make_table_avx2();
+}  // namespace detail
+
+namespace {
+
+constexpr const char* kIsaNames[kNumIsaLevels] = {"scalar", "sse2", "avx",
+                                                 "avx2"};
+
+}  // namespace
+
+const char* isa_name(IsaLevel level) {
+  const int i = static_cast<int>(level);
+  return (i >= 0 && i < kNumIsaLevels) ? kIsaNames[i] : "unknown";
+}
+
+std::optional<IsaLevel> isa_from_name(std::string_view name) {
+  for (int i = 0; i < kNumIsaLevels; ++i)
+    if (name == kIsaNames[i]) return static_cast<IsaLevel>(i);
+  return std::nullopt;
+}
+
+IsaLevel detected_isa() {
+  static const IsaLevel level = [] {
+    const util::CpuFeatures& f = util::cpu_features();
+    if (f.avx2 && f.fma) return IsaLevel::Avx2;
+    if (f.avx) return IsaLevel::Avx;
+    if (f.sse2) return IsaLevel::Sse2;
+#if defined(__GNUC__) || defined(__clang__)
+    // Non-x86 GNU-compatible hosts: the narrow compiler-vector kernel
+    // is portable (it lowers to NEON on AArch64) and strictly beats
+    // the scalar loops, so report it as the widest level.
+    return IsaLevel::Sse2;
+#else
+    return IsaLevel::Scalar;
+#endif
+  }();
+  return level;
+}
+
+std::optional<IsaLevel> isa_from_env() {
+  const char* env = std::getenv("FOURINDEX_CPU");
+  if (!env || env[0] == '\0') return std::nullopt;
+  if (auto byname = isa_from_name(env)) return byname;
+  // Numeric spelling (strict whole-string parse): 0..3.
+  if (auto v = util::parse_int(env);
+      v && *v >= 0 && *v < kNumIsaLevels)
+    return static_cast<IsaLevel>(*v);
+  FIT_LOG_WARN("FOURINDEX_CPU='"
+               << env << "' is not an ISA level "
+               << "(scalar, sse2, avx, avx2 or 0-3); using detected level '"
+               << isa_name(detected_isa()) << "'");
+  return std::nullopt;
+}
+
+IsaLevel resolve_isa() {
+  const IsaLevel detected = detected_isa();
+  const auto requested = isa_from_env();
+  if (!requested) return detected;
+  if (*requested > detected) {
+    // Loud, but once: this fires on every autotuned() re-resolution
+    // and a per-call warning would swamp the log.
+    static std::once_flag warned;
+    std::call_once(warned, [&] {
+      FIT_LOG_WARN("FOURINDEX_CPU requests '"
+                   << isa_name(*requested)
+                   << "' but this host only supports '"
+                   << isa_name(detected) << "'; clamping to detected level");
+    });
+    return detected;
+  }
+  return *requested;
+}
+
+const KernelTable& kernel_table_for(IsaLevel level) {
+  // All four tables are materialized on first use; resolution happens
+  // once and the hot path is a single indexed load.
+  static const KernelTable tables[kNumIsaLevels] = {
+      detail::make_table_scalar(), detail::make_table_sse2(),
+      detail::make_table_avx(), detail::make_table_avx2()};
+  int i = static_cast<int>(level);
+  if (i < 0 || i >= kNumIsaLevels) i = 0;
+  return tables[i];
+}
+
+}  // namespace fit::blas

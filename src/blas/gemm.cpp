@@ -4,10 +4,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "blas/dispatch.hpp"
 #include "blas/tune.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
@@ -26,136 +28,10 @@ inline double at(const double* x, std::size_t ld, std::size_t i,
   return t == Trans::No ? x[i * ld + j] : x[j * ld + i];
 }
 
-// Pack an mc x kc block of op(A) in row-major micro-panels of MR rows.
-void pack_a(const double* a, std::size_t lda, Trans ta, std::size_t row0,
-            std::size_t col0, std::size_t mc, std::size_t kc, double* buf) {
-  for (std::size_t i0 = 0; i0 < mc; i0 += MR) {
-    const std::size_t ib = std::min(MR, mc - i0);
-    for (std::size_t p = 0; p < kc; ++p) {
-      for (std::size_t i = 0; i < MR; ++i) {
-        *buf++ = (i < ib) ? at(a, lda, row0 + i0 + i, col0 + p, ta) : 0.0;
-      }
-    }
-  }
-}
-
-// Pack a kc x nc block of op(B) in column micro-panels of NR columns.
-void pack_b(const double* b, std::size_t ldb, Trans tb, std::size_t row0,
-            std::size_t col0, std::size_t kc, std::size_t nc, double* buf) {
-  for (std::size_t j0 = 0; j0 < nc; j0 += NR) {
-    const std::size_t jb = std::min(NR, nc - j0);
-    for (std::size_t p = 0; p < kc; ++p) {
-      for (std::size_t j = 0; j < NR; ++j) {
-        *buf++ = (j < jb) ? at(b, ldb, row0 + p, col0 + j0 + j, tb) : 0.0;
-      }
-    }
-  }
-}
-
-// Scalar MR x NR micro-kernel over packed panels: acc += Apanel *
-// Bpanel. The deterministic reference: one product and one add per
-// (i, j, p) in a fixed order, never contracted into FMA differently by
-// the vector path's lane structure.
-void micro_kernel_scalar(std::size_t kc, const double* ap, const double* bp,
-                         double acc[MR][NR]) {
-  for (std::size_t p = 0; p < kc; ++p) {
-    const double* arow = ap + p * MR;
-    const double* brow = bp + p * NR;
-    for (std::size_t i = 0; i < MR; ++i) {
-      const double av = arow[i];
-      for (std::size_t j = 0; j < NR; ++j) acc[i][j] += av * brow[j];
-    }
-  }
-}
-
-#if defined(__GNUC__) || defined(__clang__)
-#define FIT_GEMM_HAVE_VEC 1
-// Portable SIMD via compiler vector extensions: a 4-wide double vector
-// lowers to AVX on machines that have it and to pairs of SSE2 ops (or
-// NEON pairs) otherwise — no intrinsics, no ISA ifdefs. The unaligned
-// alias is what we load through: packing buffers are only guaranteed
-// 16-byte aligned by the allocator.
-typedef double vd4 __attribute__((vector_size(4 * sizeof(double))));
-typedef vd4 vd4u __attribute__((aligned(8)));
-
-// Vectorized micro-kernel. Each p-step broadcasts one A element per
-// row and multiply-accumulates it against B vectors. Accumulation
-// order over p is identical to the scalar kernel, so results are
-// bit-stable across thread counts; only the per-element rounding (FMA
-// contraction, lane math) may differ from the scalar kernel, which is
-// what FOURINDEX_DETERMINISTIC=1 opts out of.
-#if defined(__AVX__)
-// Wide variant: the MR x NR accumulator lives in MR x 2 ymm registers
-// (11 of 16 live vectors — fits the AVX register file and keeps 8
-// independent accumulation chains to hide FMA latency).
-void micro_kernel_vec(std::size_t kc, const double* ap, const double* bp,
-                      double acc[MR][NR]) {
-  vd4 c0[MR], c1[MR];
-  for (std::size_t i = 0; i < MR; ++i) {
-    c0[i] = vd4{0.0, 0.0, 0.0, 0.0};
-    c1[i] = vd4{0.0, 0.0, 0.0, 0.0};
-  }
-  for (std::size_t p = 0; p < kc; ++p) {
-    const double* arow = ap + p * MR;
-    const double* brow = bp + p * NR;
-    const vd4 b0 = *reinterpret_cast<const vd4u*>(brow);
-    const vd4 b1 = *reinterpret_cast<const vd4u*>(brow + 4);
-    for (std::size_t i = 0; i < MR; ++i) {
-      const double s = arow[i];
-      const vd4 av = {s, s, s, s};
-      c0[i] += av * b0;
-      c1[i] += av * b1;
-    }
-  }
-  for (std::size_t i = 0; i < MR; ++i) {
-    *reinterpret_cast<vd4u*>(&acc[i][0]) = c0[i];
-    *reinterpret_cast<vd4u*>(&acc[i][4]) = c1[i];
-  }
-}
-#else
-// Narrow variant for generic builds, where each vd4 lowers to a PAIR
-// of 2-wide SSE2/NEON registers: the wide variant's 8 vd4 accumulators
-// would need all 16 xmm registers and spill every iteration (measured
-// ~6x slower than this). Two passes over the packed A panel, each
-// keeping only MR accumulators (8 xmm) live; A stays L1-resident so
-// the second pass is nearly free.
-void micro_kernel_vec(std::size_t kc, const double* ap, const double* bp,
-                      double acc[MR][NR]) {
-  for (std::size_t half = 0; half < 2; ++half) {
-    vd4 cc[MR];
-    for (std::size_t i = 0; i < MR; ++i) cc[i] = vd4{0.0, 0.0, 0.0, 0.0};
-    const double* bhalf = bp + half * 4;
-    for (std::size_t p = 0; p < kc; ++p) {
-      const double* arow = ap + p * MR;
-      const vd4 bv = *reinterpret_cast<const vd4u*>(bhalf + p * NR);
-      for (std::size_t i = 0; i < MR; ++i) {
-        const double s = arow[i];
-        const vd4 av = {s, s, s, s};
-        cc[i] += av * bv;
-      }
-    }
-    for (std::size_t i = 0; i < MR; ++i)
-      *reinterpret_cast<vd4u*>(&acc[i][half * 4]) = cc[i];
-  }
-}
-#endif
-#endif
-
-using MicroKernelFn = void (*)(std::size_t, const double*, const double*,
-                               double[MR][NR]);
-
-MicroKernelFn select_kernel(bool deterministic) {
-#ifdef FIT_GEMM_HAVE_VEC
-  if (!deterministic) return micro_kernel_vec;
-#else
-  (void)deterministic;
-#endif
-  return micro_kernel_scalar;
-}
-
 // Persistent per-thread packing buffers: grown on demand, reused across
-// gemm calls (the ISSUE's "thread-local persistent packing buffers" —
-// the steady state does zero allocations per call).
+// gemm calls (steady state does zero allocations per call). Every lane
+// packs through its own thread's buffers, so the k-split driver — which
+// runs whole blocked passes on pool threads — needs no extra plumbing.
 std::vector<double>& tls_pack_a_buf() {
   thread_local std::vector<double> buf;
   return buf;
@@ -165,9 +41,17 @@ std::vector<double>& tls_pack_b_buf() {
   return buf;
 }
 
+// Cache-line-aligned view over a grown-on-demand vector: 32-byte
+// kernel loads through micro-panels never straddle a line boundary
+// (unaligned 256-bit loads that split lines measurably slow the
+// micro-kernel down; std::vector only guarantees 16 bytes).
+constexpr std::size_t kPackAlignDoubles = 64 / sizeof(double);
+
 double* grown(std::vector<double>& buf, std::size_t n) {
-  if (buf.size() < n) buf.resize(n);
-  return buf.data();
+  if (buf.size() < n + kPackAlignDoubles) buf.resize(n + kPackAlignDoubles);
+  void* p = buf.data();
+  std::size_t space = buf.size() * sizeof(double);
+  return static_cast<double*>(std::align(64, n * sizeof(double), p, space));
 }
 
 // ---- engine metrics -------------------------------------------------
@@ -177,6 +61,7 @@ struct EngineMetrics {
   obs::MetricsRegistry::Id flops;
   obs::MetricsRegistry::Id pack_bytes;
   obs::MetricsRegistry::Id gflops;
+  obs::MetricsRegistry::Id isa;
 };
 
 EngineMetrics& engine_metrics() {
@@ -184,7 +69,7 @@ EngineMetrics& engine_metrics() {
     auto& reg = gemm_metrics();
     return EngineMetrics{reg.counter("gemm.calls"), reg.counter("gemm.flops"),
                          reg.counter("gemm.pack_bytes"),
-                         reg.gauge("gemm.gflops")};
+                         reg.gauge("gemm.gflops"), reg.gauge("gemm.isa")};
   }();
   return m;
 }
@@ -193,11 +78,14 @@ EngineMetrics& engine_metrics() {
 //
 // When FOURINDEX_TRACE_DIR is set, every blocked gemm call records a
 // span (track = calling thread) into a process-global timeline written
-// to $FOURINDEX_TRACE_DIR/gemm_kernels.trace.json at exit.
+// to $FOURINDEX_TRACE_DIR/gemm_kernels.trace.json at exit. Span labels
+// carry the dispatched ISA level, so the trace records which kernel
+// paths actually ran — not just which binary was built.
 
 struct TraceState {
   bool enabled = false;
   std::string path;
+  std::string process_name;
   obs::Timeline timeline;
   std::mutex track_mutex;
   std::size_t next_track = 0;
@@ -214,9 +102,12 @@ TraceState& trace_state() {
       if (dir[0] != '\0') {
         g_trace->enabled = true;
         g_trace->path = std::string(dir) + "/gemm_kernels.trace.json";
+        g_trace->process_name = std::string("gemm kernels [detected ") +
+                                isa_name(detected_isa()) + "]";
         g_trace->t0 = std::chrono::steady_clock::now();
         std::atexit([] {
-          g_trace->timeline.write_chrome_trace(g_trace->path, "gemm kernels");
+          g_trace->timeline.write_chrome_trace(g_trace->path,
+                                               g_trace->process_name);
         });
       }
     }
@@ -242,6 +133,70 @@ double trace_now(TraceState& ts) {
 std::size_t round_up(std::size_t v, std::size_t unit) {
   return ((v + unit - 1) / unit) * unit;
 }
+
+// One blocked pass (jc -> pc -> ic loop nest) over the contraction
+// range [k0, k0+klen) of op(A)*op(B), accumulating alpha-scaled
+// products into dst (leading dimension ldd, beta already applied by
+// the caller). `tasks` lanes split the ic loop; the pc loop stays
+// sequential, so each dst element accumulates its k-products in a
+// fixed order at any thread count.
+struct BlockedPass {
+  const KernelTable* kt;
+  Trans ta, tb;
+  std::size_t m, n;
+  double alpha;
+  const double* a;
+  std::size_t lda;
+  const double* b;
+  std::size_t ldb;
+  std::size_t KC, NC, MC;
+
+  void run(std::size_t k0, std::size_t klen, double* dst, std::size_t ldd,
+           std::size_t tasks) const {
+    const std::size_t n_ic_blocks = (m + MC - 1) / MC;
+    const std::size_t n_tasks = std::max<std::size_t>(
+        1, std::min(tasks, n_ic_blocks));
+    double* bbuf = grown(tls_pack_b_buf(), KC * NC);
+    for (std::size_t jc = 0; jc < n; jc += NC) {
+      const std::size_t nc = std::min(NC, n - jc);
+      for (std::size_t pc = k0; pc < k0 + klen; pc += KC) {
+        const std::size_t kc = std::min(KC, k0 + klen - pc);
+        // One packed-B panel per (jc, pc), shared read-only by all
+        // lanes.
+        kt->pack_b(b, ldb, tb, pc, jc, kc, nc, bbuf);
+
+        auto body = [&](std::size_t task) {
+          // Strided ic-block assignment: block sizes are uniform
+          // except the last, so a static partition stays balanced.
+          for (std::size_t blk = task; blk < n_ic_blocks; blk += n_tasks) {
+            const std::size_t ic = blk * MC;
+            const std::size_t mc = std::min(MC, m - ic);
+            double* abuf = grown(tls_pack_a_buf(), MC * KC);
+            kt->pack_a(a, lda, ta, ic, pc, mc, kc, abuf);
+            for (std::size_t jr = 0; jr < nc; jr += NR) {
+              const std::size_t jb = std::min(NR, nc - jr);
+              const double* bp = bbuf + (jr / NR) * kc * NR;
+              for (std::size_t ir = 0; ir < mc; ir += MR) {
+                const std::size_t ib = std::min(MR, mc - ir);
+                const double* ap = abuf + (ir / MR) * kc * MR;
+                alignas(64) double acc[MR * NR] = {};
+                kt->micro_kernel(kc, ap, bp, acc);
+                double* cblk = dst + (ic + ir) * ldd + jc + jr;
+                for (std::size_t i = 0; i < ib; ++i)
+                  for (std::size_t j = 0; j < jb; ++j)
+                    cblk[i * ldd + j] += alpha * acc[i * NR + j];
+              }
+            }
+          }
+        };
+        if (n_tasks <= 1)
+          body(0);
+        else
+          util::ThreadPool::shared().run_tasks(n_tasks, body);
+      }
+    }
+  }
+};
 
 }  // namespace
 
@@ -273,13 +228,19 @@ void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
               "gemm: ldb too small for op(B)");
   if (m == 0 || n == 0) return;
 
+  const GemmConfig cfg = gemm_config();
+  // Determinism mode pins the scalar level through the same dispatch
+  // table FOURINDEX_CPU=scalar resolves to — one verified code path,
+  // not a parallel compile-time branch.
+  const IsaLevel level = cfg.deterministic ? IsaLevel::Scalar : cfg.isa;
+  const KernelTable& kt = kernel_table_for(level);
+
   // Scale C by beta once, up front; beta == 1 skips the pass entirely.
   if (beta == 0.0) {
     for (std::size_t i = 0; i < m; ++i)
       std::fill(c + i * ldc, c + i * ldc + n, 0.0);
   } else if (beta != 1.0) {
-    for (std::size_t i = 0; i < m; ++i)
-      for (std::size_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+    for (std::size_t i = 0; i < m; ++i) kt.scal(n, beta, c + i * ldc);
   }
   if (k == 0 || alpha == 0.0) return;
 
@@ -287,6 +248,7 @@ void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
   auto& reg = gemm_metrics();
   reg.add(em.calls, 0, 1.0);
   reg.add(em.flops, 0, gemm_flops(m, n, k));
+  reg.set(em.isa, 0, static_cast<double>(level));
 
   // Small problems: the packing overhead dominates; use the reference
   // loop with alpha folded in (beta already applied).
@@ -301,78 +263,81 @@ void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
     return;
   }
 
-  const GemmConfig cfg = gemm_config();
   const std::size_t KC = cfg.kc;
   const std::size_t NC = cfg.nc;
-  const MicroKernelFn kernel = select_kernel(cfg.deterministic);
-
-  // Thread partitioning: lanes split the ic loop (M dimension) only —
-  // each C row block is written by exactly one task and the pc loop
-  // stays sequential, so every C element accumulates its k-products in
-  // the same order at any thread count (bit-reproducibility across
-  // FOURINDEX_GEMM_THREADS by construction). Shrink MC below the
-  // cache-tuned value when needed so every lane gets >= 2 blocks.
   const std::size_t lanes = std::max<std::size_t>(
       1, std::min({cfg.threads, util::ThreadPool::shared().size(),
                    (m + MR - 1) / MR}));
-  std::size_t MC = cfg.mc;
-  if (lanes > 1) {
-    const std::size_t balanced =
-        round_up((m + 2 * lanes - 1) / (2 * lanes), MR);
-    MC = std::max<std::size_t>(MR, std::min(MC, balanced));
+
+  // k-split driver selection. The decision depends only on the shape
+  // and the blocking (never on the lane count), and each chunk is a
+  // contiguous range of whole KC blocks reduced in fixed chunk order —
+  // so for a given config, results stay bit-identical across thread
+  // counts, exactly like the M-split path.
+  const std::size_t kc_blocks = (k + KC - 1) / KC;
+  std::size_t ksplit = cfg.ksplit;
+  if (ksplit == 0) {
+    // Auto: only tall-k shapes whose M extent cannot feed multiple
+    // lanes benefit; everything else stays on the M-split path.
+    const std::size_t m_blocks = (m + MR - 1) / MR;
+    ksplit = (m_blocks < 4 && kc_blocks >= 8) ? 4 : 1;
   }
-  const std::size_t n_ic_blocks = (m + MC - 1) / MC;
-  const std::size_t n_tasks = std::min(lanes, n_ic_blocks);
+  ksplit = std::max<std::size_t>(1, std::min(ksplit, kc_blocks));
 
   TraceState& ts = trace_state();
   const double t_trace0 = ts.enabled ? trace_now(ts) : 0.0;
   const auto t_wall0 = std::chrono::steady_clock::now();
 
-  double pack_bytes = 0.0;
-  double* bbuf = grown(tls_pack_b_buf(), KC * NC);
+  BlockedPass pass{&kt, ta,  tb,  m,  n, alpha, a,
+                   lda, b,   ldb, KC, NC, cfg.mc};
 
+  if (ksplit <= 1) {
+    // M-split: lanes divide the ic loop. Shrink MC below the
+    // cache-tuned value when needed so every lane gets >= 2 blocks.
+    if (lanes > 1) {
+      const std::size_t balanced =
+          round_up((m + 2 * lanes - 1) / (2 * lanes), MR);
+      pass.MC = std::max<std::size_t>(MR, std::min(pass.MC, balanced));
+    }
+    pass.run(0, k, c, ldc, lanes);
+  } else {
+    // Parallel reduction over contraction chunks: each chunk runs a
+    // full single-lane blocked pass into a private zeroed buffer, and
+    // the buffers fold into C sequentially in chunk order.
+    const std::size_t blocks_per_chunk = (kc_blocks + ksplit - 1) / ksplit;
+    std::vector<double> partials(ksplit * m * n, 0.0);
+    const std::size_t n_tasks = std::min(lanes, ksplit);
+    auto chunk_body = [&](std::size_t task) {
+      for (std::size_t s = task; s < ksplit; s += n_tasks) {
+        const std::size_t k0 = std::min(k, s * blocks_per_chunk * KC);
+        const std::size_t k1 = std::min(k, (s + 1) * blocks_per_chunk * KC);
+        if (k0 >= k1) continue;
+        pass.run(k0, k1 - k0, partials.data() + s * m * n, n, 1);
+      }
+    };
+    if (n_tasks <= 1)
+      chunk_body(0);
+    else
+      util::ThreadPool::shared().run_tasks(n_tasks, chunk_body);
+    for (std::size_t s = 0; s < ksplit; ++s) {
+      const double* buf = partials.data() + s * m * n;
+      for (std::size_t i = 0; i < m; ++i)
+        kt.axpy(n, 1.0, buf + i * n, c + i * ldc);
+    }
+  }
+
+  // Packing traffic, accounted analytically (identical under both
+  // drivers: k-split chunks are whole KC-block ranges, so the set of
+  // packed tiles is the same). B: one NR-rounded kc x nc panel per
+  // (jc, pc); A: one MR-rounded pass over all m rows per (jc, pc).
+  double pack_bytes = 0.0;
   for (std::size_t jc = 0; jc < n; jc += NC) {
     const std::size_t nc = std::min(NC, n - jc);
     for (std::size_t pc = 0; pc < k; pc += KC) {
       const std::size_t kc = std::min(KC, k - pc);
-      // One packed-B panel per (jc, pc), shared read-only by all lanes.
-      pack_b(b, ldb, tb, pc, jc, kc, nc, bbuf);
-      pack_bytes +=
-          static_cast<double>(round_up(nc, NR) * kc) * sizeof(double);
-
-      auto body = [&](std::size_t task) {
-        // Strided ic-block assignment: block sizes are uniform except
-        // the last, so a static partition stays balanced.
-        for (std::size_t blk = task; blk < n_ic_blocks; blk += n_tasks) {
-          const std::size_t ic = blk * MC;
-          const std::size_t mc = std::min(MC, m - ic);
-          double* abuf = grown(tls_pack_a_buf(), MC * KC);
-          pack_a(a, lda, ta, ic, pc, mc, kc, abuf);
-          for (std::size_t jr = 0; jr < nc; jr += NR) {
-            const std::size_t jb = std::min(NR, nc - jr);
-            const double* bp = bbuf + (jr / NR) * kc * NR;
-            for (std::size_t ir = 0; ir < mc; ir += MR) {
-              const std::size_t ib = std::min(MR, mc - ir);
-              const double* ap = abuf + (ir / MR) * kc * MR;
-              double acc[MR][NR] = {};
-              kernel(kc, ap, bp, acc);
-              double* cblk = c + (ic + ir) * ldc + jc + jr;
-              for (std::size_t i = 0; i < ib; ++i)
-                for (std::size_t j = 0; j < jb; ++j)
-                  cblk[i * ldc + j] += alpha * acc[i][j];
-            }
-          }
-        }
-      };
-      if (n_tasks <= 1)
-        body(0);
-      else
-        util::ThreadPool::shared().run_tasks(n_tasks, body);
-
-      // A is repacked per (jc, pc): every ic block contributes one
-      // MR-rounded mc x kc micro-panel set.
-      pack_bytes +=
-          static_cast<double>(round_up(m, MR) * kc) * sizeof(double);
+      pack_bytes += static_cast<double>(round_up(nc, NR) * kc +
+                                        round_up(m, MR) * kc) *
+                    sizeof(double);
     }
   }
 
@@ -383,8 +348,9 @@ void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
   if (secs > 0.0)
     reg.set(em.gflops, 0, gemm_flops(m, n, k) / secs / 1e9);
   if (ts.enabled) {
-    char label[64];
-    std::snprintf(label, sizeof(label), "gemm %zux%zux%zu", m, n, k);
+    char label[80];
+    std::snprintf(label, sizeof(label), "gemm %zux%zux%zu [%s]", m, n, k,
+                  isa_name(level));
     const std::size_t name_id = ts.timeline.intern(label);
     ts.timeline.add_span(name_id, trace_track(ts), t_trace0,
                          trace_now(ts) - t_trace0);

@@ -1,0 +1,8 @@
+// IsaLevel::Avx kernels: the wide one-pass vector micro-kernel. CMake
+// compiles this translation unit with -mavx (and -ffp-contract=off,
+// like every kernel TU) regardless of the global architecture flags —
+// the dispatcher guarantees it only runs on AVX-capable hosts.
+#define FIT_BLAS_ISA_TABLE_MAKER make_table_avx
+#define FIT_BLAS_ISA_LEVEL IsaLevel::Avx
+#define FIT_BLAS_KERNEL_VARIANT 2
+#include "blas/kernels.inc"

@@ -1,0 +1,12 @@
+// IsaLevel::Avx2 kernels: the wide one-pass micro-kernel compiled with
+// -mavx2 -mfma. Note that -ffp-contract=off (applied to every kernel
+// TU) keeps mul+add from fusing into FMA: contraction would change
+// rounding and break the cross-level bit-identity the isa-sweep CI job
+// gates on. What AVX2 codegen still buys over the Avx TU is better
+// instruction selection in the packing and level-1 loops; a true FMA
+// kernel would need a per-level results contract first (see DESIGN
+// §4.5).
+#define FIT_BLAS_ISA_TABLE_MAKER make_table_avx2
+#define FIT_BLAS_ISA_LEVEL IsaLevel::Avx2
+#define FIT_BLAS_KERNEL_VARIANT 2
+#include "blas/kernels.inc"

@@ -1,0 +1,7 @@
+// IsaLevel::Sse2 kernels: the narrow two-pass vector micro-kernel,
+// compiled at the build's baseline flags (SSE2 is part of x86-64's
+// baseline; on AArch64 the same code lowers to NEON pairs).
+#define FIT_BLAS_ISA_TABLE_MAKER make_table_sse2
+#define FIT_BLAS_ISA_LEVEL IsaLevel::Sse2
+#define FIT_BLAS_KERNEL_VARIANT 1
+#include "blas/kernels.inc"

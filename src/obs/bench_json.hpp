@@ -18,6 +18,21 @@
 // stay strings — they carry formatted units); scalars carry the raw
 // numbers trajectory tracking should plot.
 //
+// Scalar conventions the CI gates rely on (still schema /1 — these are
+// additive):
+//   *.result_checksum   32-bit FNV-1a fold of the raw result bytes,
+//                       exactly representable as a JSON number; equal
+//                       checksums across runs mean bit-identical
+//                       results (the isa-sweep job compares them
+//                       across forced FOURINDEX_CPU levels);
+//   gemm.isa            kernel ISA level the run actually executed
+//                       (0 scalar, 1 sse2, 2 avx, 3 avx2) — see
+//                       blas/dispatch.hpp;
+//   gemm.isa_detected   the cpuid-detected ceiling on this host;
+//   gemm.roofline_fraction
+//                       measured GFLOP/s over the roofline compute
+//                       peak for the active level (blas/tune.hpp).
+//
 // Output location, in precedence order:
 //   FOURINDEX_BENCH_JSON=0        disables emission entirely;
 //   FOURINDEX_BENCH_JSON_DIR=DIR  write DIR/<bench>.bench.json;

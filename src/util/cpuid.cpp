@@ -1,0 +1,53 @@
+#include "util/cpuid.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define FIT_CPUID_X86 1
+#include <cpuid.h>
+#endif
+
+namespace fit::util {
+
+namespace {
+
+#ifdef FIT_CPUID_X86
+
+// XCR0 via xgetbv: bits 1 (xmm) and 2 (ymm) must both be set before
+// any AVX instruction is legal. <immintrin.h>'s _xgetbv needs -mxsave,
+// so issue the instruction directly (encoded form works at any -m).
+unsigned long long xcr0() {
+  unsigned int eax = 0, edx = 0;
+  __asm__ volatile(".byte 0x0f, 0x01, 0xd0"  // xgetbv
+                   : "=a"(eax), "=d"(edx)
+                   : "c"(0));
+  return (static_cast<unsigned long long>(edx) << 32) | eax;
+}
+
+CpuFeatures probe() {
+  CpuFeatures f;
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return f;
+  f.sse2 = (edx & bit_SSE2) != 0;
+  const bool osxsave = (ecx & bit_OSXSAVE) != 0;
+  const bool ymm_os = osxsave && (xcr0() & 0x6) == 0x6;
+  f.avx = ymm_os && (ecx & bit_AVX) != 0;
+  f.fma = ymm_os && (ecx & bit_FMA) != 0;
+  if (f.avx && __get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx))
+    f.avx2 = (ebx & bit_AVX2) != 0;
+  return f;
+}
+
+#else
+
+CpuFeatures probe() { return CpuFeatures{}; }
+
+#endif
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = probe();
+  return f;
+}
+
+}  // namespace fit::util

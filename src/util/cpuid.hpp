@@ -1,0 +1,26 @@
+// Host CPU feature probe (x86 cpuid + xgetbv). The kernel-dispatch
+// layer (fit::blas::detected_isa) folds these raw feature bits into an
+// ISA level; everything else should go through that. On non-x86 hosts
+// every flag is false and the dispatcher falls back to the portable
+// kernels.
+//
+// AVX-family bits are reported only when the OS has enabled the
+// corresponding register state (OSXSAVE set and XCR0 advertising
+// ymm save/restore): a CPU that has AVX but an OS that does not
+// context-switch ymm must not be dispatched to the AVX kernels.
+#pragma once
+
+namespace fit::util {
+
+/// Raw host CPU capabilities relevant to the kernel library.
+struct CpuFeatures {
+  bool sse2 = false;  ///< SSE2 (baseline on x86-64)
+  bool avx = false;   ///< AVX, including OS ymm-state support
+  bool avx2 = false;  ///< AVX2 (implies the AVX OS check passed)
+  bool fma = false;   ///< FMA3
+};
+
+/// Probe the host once (cached after the first call; thread-safe).
+const CpuFeatures& cpu_features();
+
+}  // namespace fit::util

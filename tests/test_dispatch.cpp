@@ -1,0 +1,340 @@
+// Runtime CPU-dispatch suite: the kernel tables themselves (every
+// pointer present at every forced level), the FOURINDEX_CPU resolution
+// rules (strict parse, loud clamp to detected features), and the
+// cross-level reproducibility contract — every ISA level bit-matches
+// the scalar reference on randomized GemmProperty-style cases,
+// including under FOURINDEX_DETERMINISTIC.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <vector>
+
+#include "blas/dispatch.hpp"
+#include "blas/gemm.hpp"
+#include "blas/level1.hpp"
+#include "blas/tune.hpp"
+#include "obs/metrics.hpp"
+#include "util/cpuid.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using fit::blas::IsaLevel;
+using fit::blas::Trans;
+
+std::vector<double> random_vec(std::size_t n, std::uint64_t seed) {
+  fit::SplitMix64 g(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = g.next_double(-1.0, 1.0);
+  return v;
+}
+
+// RAII environment override (tests run single-threaded; setenv is safe
+// here).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value)
+      ::setenv(name, value, 1);
+    else
+      ::unsetenv(name);
+  }
+  ~ScopedEnv() {
+    if (had_old_)
+      ::setenv(name_, old_.c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+IsaLevel level_of(int i) { return static_cast<IsaLevel>(i); }
+
+TEST(Dispatch, EveryTableEntryIsNonNullAtEveryLevel) {
+  for (int i = 0; i < fit::blas::kNumIsaLevels; ++i) {
+    const auto& t = fit::blas::kernel_table_for(level_of(i));
+    EXPECT_EQ(t.level, level_of(i));
+    EXPECT_NE(t.micro_kernel, nullptr) << fit::blas::isa_name(level_of(i));
+    EXPECT_NE(t.pack_a, nullptr);
+    EXPECT_NE(t.pack_b, nullptr);
+    EXPECT_NE(t.axpy, nullptr);
+    EXPECT_NE(t.dot, nullptr);
+    EXPECT_NE(t.scal, nullptr);
+    EXPECT_NE(t.gemv_n, nullptr);
+    EXPECT_NE(t.gemv_t, nullptr);
+  }
+}
+
+TEST(Dispatch, NamesRoundTripAndParseStrictly) {
+  for (int i = 0; i < fit::blas::kNumIsaLevels; ++i) {
+    const auto parsed = fit::blas::isa_from_name(
+        fit::blas::isa_name(level_of(i)));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, level_of(i));
+  }
+  EXPECT_FALSE(fit::blas::isa_from_name("AVX").has_value());
+  EXPECT_FALSE(fit::blas::isa_from_name("avx512").has_value());
+  EXPECT_FALSE(fit::blas::isa_from_name("sse2 ").has_value());
+  EXPECT_FALSE(fit::blas::isa_from_name("").has_value());
+}
+
+TEST(Dispatch, DetectionIsConsistentWithCpuFeatures) {
+  const auto& f = fit::util::cpu_features();
+  const IsaLevel d = fit::blas::detected_isa();
+  if (f.avx2 && f.fma) {
+    EXPECT_EQ(d, IsaLevel::Avx2);
+  }
+  if (!f.avx) {
+    EXPECT_LT(d, IsaLevel::Avx);
+  }
+  // The detector is stable (cached) across calls.
+  EXPECT_EQ(fit::blas::detected_isa(), d);
+}
+
+TEST(Dispatch, EnvOverrideSelectsRequestedLevel) {
+  for (const char* name : {"scalar", "sse2"}) {
+    ScopedEnv env("FOURINDEX_CPU", name);
+    EXPECT_EQ(fit::blas::resolve_isa(), *fit::blas::isa_from_name(name));
+    // Numeric spelling resolves identically.
+    const auto cfg = fit::blas::GemmConfig::autotuned();
+    EXPECT_EQ(cfg.isa, *fit::blas::isa_from_name(name));
+  }
+  {
+    ScopedEnv env("FOURINDEX_CPU", "0");
+    EXPECT_EQ(fit::blas::resolve_isa(), IsaLevel::Scalar);
+  }
+}
+
+TEST(Dispatch, RequestAboveDetectedClampsToDetected) {
+  // avx2 is the widest level, so this request can only ever clamp
+  // down (or be granted exactly on an AVX2 host).
+  ScopedEnv env("FOURINDEX_CPU", "avx2");
+  EXPECT_EQ(fit::blas::resolve_isa(), fit::blas::detected_isa());
+  const auto cfg = fit::blas::GemmConfig::autotuned();
+  EXPECT_EQ(cfg.isa, fit::blas::detected_isa());
+}
+
+TEST(Dispatch, InvalidEnvFallsBackToDetected) {
+  for (const char* bad : {"fastest", "3x", " avx", "-1", "17"}) {
+    ScopedEnv env("FOURINDEX_CPU", bad);
+    EXPECT_EQ(fit::blas::resolve_isa(), fit::blas::detected_isa()) << bad;
+  }
+}
+
+TEST(Dispatch, SetGemmConfigClampsIsaToDetected) {
+  const auto base = fit::blas::gemm_config();
+  auto cfg = base;
+  cfg.isa = IsaLevel::Avx2;  // may exceed this host
+  fit::blas::set_gemm_config(cfg);
+  EXPECT_LE(fit::blas::gemm_config().isa, fit::blas::detected_isa());
+  fit::blas::set_gemm_config(base);
+}
+
+// The core contract: every runnable level produces bit-identical
+// results to the scalar level on randomized shapes spanning the
+// micro-tile edge cases, all Trans combinations, padded strides and
+// the alpha/beta grid — and FOURINDEX_DETERMINISTIC routes through
+// the same scalar table entry, so it bit-matches too.
+TEST(DispatchProperty, AllLevelsBitMatchScalarReference) {
+  const auto base = fit::blas::gemm_config();
+  const IsaLevel widest = fit::blas::detected_isa();
+
+  fit::SplitMix64 g(0xd15ba7c4);
+  const std::size_t dims[] = {1, 3, 5, 8, 9, 17, 31, 33, 65, 90};
+  const double scalars[] = {0.0, 1.0, -0.5};
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::size_t m = dims[g.next_below(std::size(dims))];
+    const std::size_t n = dims[g.next_below(std::size(dims))];
+    const std::size_t k = dims[g.next_below(std::size(dims))];
+    const Trans ta = (g.next_u64() & 1) ? Trans::Yes : Trans::No;
+    const Trans tb = (g.next_u64() & 1) ? Trans::Yes : Trans::No;
+    const double alpha = scalars[g.next_below(std::size(scalars))];
+    const double beta = scalars[g.next_below(std::size(scalars))];
+    const std::size_t arows = (ta == Trans::No) ? m : k;
+    const std::size_t acols = (ta == Trans::No) ? k : m;
+    const std::size_t brows = (tb == Trans::No) ? k : n;
+    const std::size_t bcols = (tb == Trans::No) ? n : k;
+    const std::size_t lda = acols + g.next_below(4);
+    const std::size_t ldb = bcols + g.next_below(4);
+    const std::size_t ldc = n + g.next_below(4);
+
+    const auto a = random_vec(arows * lda, g.next_u64());
+    const auto b = random_vec(brows * ldb, g.next_u64());
+    const auto c_init = random_vec(m * ldc, g.next_u64());
+
+    // Scalar level is the reference bits.
+    std::vector<double> c_scalar = c_init;
+    {
+      auto cfg = base;
+      cfg.isa = IsaLevel::Scalar;
+      cfg.deterministic = false;
+      fit::blas::set_gemm_config(cfg);
+      fit::blas::gemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb,
+                      beta, c_scalar.data(), ldc);
+    }
+
+    for (int i = 0; i <= static_cast<int>(widest); ++i) {
+      for (const bool deterministic : {false, true}) {
+        auto cfg = base;
+        cfg.isa = level_of(i);
+        cfg.deterministic = deterministic;
+        fit::blas::set_gemm_config(cfg);
+        std::vector<double> c = c_init;
+        fit::blas::gemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(),
+                        ldb, beta, c.data(), ldc);
+        ASSERT_EQ(0, std::memcmp(c_scalar.data(), c.data(),
+                                 c.size() * sizeof(double)))
+            << "level=" << fit::blas::isa_name(level_of(i))
+            << " deterministic=" << deterministic << " m=" << m << " n=" << n
+            << " k=" << k << " ta=" << int(ta) << " tb=" << int(tb)
+            << " alpha=" << alpha << " beta=" << beta;
+      }
+    }
+  }
+  fit::blas::set_gemm_config(base);
+}
+
+// Level-1/level-2 table entries: every level computes the same bits as
+// the scalar entry (element-wise ops are order-preserving and dot
+// keeps its serial reduction order at every level).
+TEST(DispatchProperty, LevelHelpersBitMatchScalar) {
+  const auto& scalar = fit::blas::kernel_table_for(IsaLevel::Scalar);
+  const IsaLevel widest = fit::blas::detected_isa();
+  const std::size_t n = 257;
+  const std::size_t m = 19;
+  const auto x = random_vec(n, 1);
+  const auto amat = random_vec(m * n, 2);
+  const auto y0 = random_vec(std::max(m, n), 3);
+
+  for (int i = 1; i <= static_cast<int>(widest); ++i) {
+    const auto& t = fit::blas::kernel_table_for(level_of(i));
+
+    auto y_ref = y0, y_t = y0;
+    scalar.axpy(n, -1.75, x.data(), y_ref.data());
+    t.axpy(n, -1.75, x.data(), y_t.data());
+    EXPECT_EQ(0, std::memcmp(y_ref.data(), y_t.data(), n * sizeof(double)));
+
+    EXPECT_EQ(scalar.dot(n, x.data(), y0.data()),
+              t.dot(n, x.data(), y0.data()));
+
+    y_ref = y0;
+    y_t = y0;
+    scalar.scal(n, 0.3, y_ref.data());
+    t.scal(n, 0.3, y_t.data());
+    EXPECT_EQ(0, std::memcmp(y_ref.data(), y_t.data(), n * sizeof(double)));
+
+    y_ref = y0;
+    y_t = y0;
+    scalar.gemv_n(m, n, 1.1, amat.data(), n, x.data(), y_ref.data());
+    t.gemv_n(m, n, 1.1, amat.data(), n, x.data(), y_t.data());
+    EXPECT_EQ(0, std::memcmp(y_ref.data(), y_t.data(), m * sizeof(double)));
+
+    y_ref = y0;
+    y_t = y0;
+    scalar.gemv_t(m, n, -0.6, amat.data(), n, x.data() /* len >= m */,
+                  y_ref.data());
+    t.gemv_t(m, n, -0.6, amat.data(), n, x.data(), y_t.data());
+    EXPECT_EQ(0, std::memcmp(y_ref.data(), y_t.data(), n * sizeof(double)));
+  }
+}
+
+// The k-split parallel-reduction driver: numerically equivalent to the
+// reference, and — because the chunking depends only on shape and
+// blocking — bit-identical across thread counts.
+TEST(DispatchKsplit, MatchesReferenceAndIsThreadCountInvariant) {
+  const auto base = fit::blas::gemm_config();
+  const std::size_t m = 8, n = 64, k = 2048;  // tall-k: the target shape
+  const auto a = random_vec(m * k, 7);
+  const auto b = random_vec(k * n, 8);
+  const auto c_init = random_vec(m * n, 9);
+
+  std::vector<double> c_ref = c_init;
+  fit::blas::gemm_reference(Trans::No, Trans::No, m, n, k, 1.0, a.data(), k,
+                            b.data(), n, 1.0, c_ref.data(), n);
+
+  for (const std::size_t ksplit : {std::size_t{0}, std::size_t{2},
+                                   std::size_t{4}}) {
+    std::vector<double> first;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}}) {
+      auto cfg = base;
+      cfg.ksplit = ksplit;
+      cfg.threads = threads;
+      fit::blas::set_gemm_config(cfg);
+      std::vector<double> c = c_init;
+      fit::blas::gemm(Trans::No, Trans::No, m, n, k, 1.0, a.data(), k,
+                      b.data(), n, 1.0, c.data(), n);
+      EXPECT_LT(fit::blas::max_abs_diff(m * n, c_ref.data(), c.data()),
+                1e-10 * static_cast<double>(k + 1))
+          << "ksplit=" << ksplit << " threads=" << threads;
+      if (first.empty())
+        first = c;
+      else
+        ASSERT_EQ(0,
+                  std::memcmp(first.data(), c.data(), c.size() * sizeof(double)))
+            << "ksplit=" << ksplit << " threads=" << threads;
+    }
+  }
+  fit::blas::set_gemm_config(base);
+}
+
+TEST(Dispatch, GemmReportsIsaMetric) {
+  const auto base = fit::blas::gemm_config();
+  auto cfg = base;
+  cfg.isa = IsaLevel::Scalar;
+  cfg.deterministic = false;
+  fit::blas::set_gemm_config(cfg);
+  const std::size_t n = 48;
+  const auto a = random_vec(n * n, 1);
+  const auto b = random_vec(n * n, 2);
+  std::vector<double> c(n * n, 0.0);
+  fit::blas::gemm(Trans::No, Trans::No, n, n, n, 1.0, a.data(), n, b.data(),
+                  n, 0.0, c.data(), n);
+  auto& reg = fit::blas::gemm_metrics();
+  EXPECT_EQ(reg.value("gemm.isa", 0),
+            static_cast<double>(IsaLevel::Scalar));
+
+  // FOURINDEX_DETERMINISTIC routes through the same table slot: the
+  // reported level is Scalar even when the config would dispatch
+  // wider.
+  cfg = base;
+  cfg.deterministic = true;
+  fit::blas::set_gemm_config(cfg);
+  fit::blas::gemm(Trans::No, Trans::No, n, n, n, 1.0, a.data(), n, b.data(),
+                  n, 0.0, c.data(), n);
+  EXPECT_EQ(reg.value("gemm.isa", 0),
+            static_cast<double>(IsaLevel::Scalar));
+  fit::blas::set_gemm_config(base);
+}
+
+TEST(Roofline, ModelIsSane) {
+  EXPECT_GT(fit::blas::estimated_cpu_hz(), 1e8);   // > 100 MHz
+  EXPECT_LT(fit::blas::estimated_cpu_hz(), 1e11);  // < 100 GHz
+  EXPECT_EQ(fit::blas::isa_flops_per_cycle(IsaLevel::Scalar), 2.0);
+  EXPECT_EQ(fit::blas::isa_flops_per_cycle(IsaLevel::Sse2), 4.0);
+  EXPECT_EQ(fit::blas::isa_flops_per_cycle(IsaLevel::Avx), 8.0);
+  EXPECT_EQ(fit::blas::isa_flops_per_cycle(IsaLevel::Avx2), 8.0);
+  const double p1 = fit::blas::roofline_peak_gflops(IsaLevel::Avx, 1);
+  EXPECT_GT(p1, 0.0);
+  EXPECT_DOUBLE_EQ(fit::blas::roofline_peak_gflops(IsaLevel::Avx, 4),
+                   4.0 * p1);
+}
+
+TEST(Roofline, CpuHzEnvOverrideWins) {
+  // estimated_cpu_hz is cached, so exercise the parse path indirectly:
+  // a fresh subprocess would be needed to re-resolve; here we only
+  // check the cached value is a fixed point across calls.
+  EXPECT_EQ(fit::blas::estimated_cpu_hz(), fit::blas::estimated_cpu_hz());
+}
+
+}  // namespace
