@@ -12,3 +12,13 @@ foreach(bench_src ${BENCH_SOURCES})
   set_target_properties(${bench_name} PROPERTIES
                         RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endforeach()
+
+# The chaos soak is a pass/fail robustness check, not just a timing
+# probe: it exits nonzero when a storm survivor is not bit-identical to
+# the clean run. Run it under ctest (smoke-sized) with a hard timeout
+# so a wedged recovery path fails the suite instead of hanging it.
+add_test(NAME bench_chaos_soak_smoke
+         COMMAND bench_chaos_soak)
+set_tests_properties(bench_chaos_soak_smoke PROPERTIES
+                     TIMEOUT 300
+                     ENVIRONMENT "FOURINDEX_BENCH_SMOKE=1;FOURINDEX_BENCH_JSON=0")

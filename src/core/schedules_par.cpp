@@ -59,6 +59,10 @@ struct Par {
       id_sched_counter_waits, id_sched_counter_wait_s, id_sched_orphans,
       id_sched_reowns, id_sched_worst;
   double sched_claims0 = 0, sched_steals0 = 0, sched_wait0 = 0;
+  // Fault/recovery activity baselines, same delta pattern: finish()
+  // reports how much checkpoint fallback and domain killing this run
+  // itself absorbed.
+  double fallback0 = 0, verify_fail0 = 0, domain_kills0 = 0;
   std::size_t phases0 = 0;  // cl.phases() size before this run
 
   Par(const Problem& problem, Cluster& cluster, const ParOptions& options)
@@ -84,6 +88,12 @@ struct Par {
     sched_claims0 = reg.sum("sched.claims");
     sched_steals0 = reg.sum("sched.steals");
     sched_wait0 = reg.sum("sched.counter_wait_s");
+    reg.counter("recovery.fallback_epochs");  // get-or-create
+    reg.counter("checkpoint.verify_failures");
+    reg.counter("fault.domain_kills");
+    fallback0 = reg.sum("recovery.fallback_epochs");
+    verify_fail0 = reg.sum("checkpoint.verify_failures");
+    domain_kills0 = reg.sum("fault.domain_kills");
     phases0 = cl.phases().size();
     irrep_mask.assign(nt, 0);
     for (std::size_t ti = 0; ti < nt; ++ti)
@@ -585,6 +595,12 @@ ParResult finish(Par& par, const char* name,
   r.stats.sched_steals = reg.sum("sched.steals") - par.sched_steals0;
   r.stats.sched_counter_wait_s =
       reg.sum("sched.counter_wait_s") - par.sched_wait0;
+  r.stats.recovery_fallback_epochs =
+      reg.sum("recovery.fallback_epochs") - par.fallback0;
+  r.stats.ckpt_verify_failures =
+      reg.sum("checkpoint.verify_failures") - par.verify_fail0;
+  r.stats.fault_domain_kills =
+      reg.sum("fault.domain_kills") - par.domain_kills0;
   reg.set(par.id_sched_worst, 0, worst);
   if (par.cl.mode() == runtime::ExecutionMode::Real &&
       par.opt.gather_result && c_ga)

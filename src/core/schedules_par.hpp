@@ -121,6 +121,15 @@ struct ParStats {
   /// Seconds spent queued at the task counter during this run (zero
   /// under Balance::Static).
   double sched_counter_wait_s = 0;
+  /// Generations the checkpoint restore walked past the newest one
+  /// during this run (zero when every restore came from the newest
+  /// intact epoch).
+  double recovery_fallback_epochs = 0;
+  /// Checkpoint tile copies that failed checksum verification during
+  /// this run's restores.
+  double ckpt_verify_failures = 0;
+  /// Whole failure domains (nodes) killed during this run.
+  double fault_domain_kills = 0;
   /// Degradation/replan rationale, if any.
   std::string note;
 };

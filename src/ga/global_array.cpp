@@ -314,43 +314,71 @@ void GlobalArray::restore_tile(std::size_t idx,
   t.write_epoch.store(epoch, std::memory_order_release);
 }
 
-std::vector<std::size_t> GlobalArray::reassign_owner(
-    std::size_t dead, std::span<const std::size_t> targets) {
-  FIT_REQUIRE(dead < by_owner_.size(), "rank out of range");
+std::vector<std::size_t> GlobalArray::reassign_owners(
+    std::span<const std::size_t> dead, std::span<const std::size_t> targets) {
   FIT_REQUIRE(!targets.empty(), "no surviving ranks to re-own tiles");
   const bool can_spill = cluster_.machine().disk_bandwidth_bps > 0;
+  // Capacity-aware placement: the target with the most free tracked
+  // memory *right now* takes the next tile (ties to the lowest rank).
+  // Free space is re-read after every placement, so a large orphaned
+  // working set spreads across the survivors instead of round-robining
+  // onto whichever happens to come first and OOMing it.
+  auto best_target = [&]() {
+    std::size_t best = targets[0];
+    double best_free = cluster_.memory(best).capacity() -
+                       cluster_.memory(best).used();
+    for (std::size_t i = 1; i < targets.size(); ++i) {
+      const std::size_t r = targets[i];
+      const double free =
+          cluster_.memory(r).capacity() - cluster_.memory(r).used();
+      if (free > best_free) {
+        best = r;
+        best_free = free;
+      }
+    }
+    return best;
+  };
   std::vector<std::size_t> moved;
-  std::size_t next = 0;
-  for (std::size_t idx : by_owner_[dead]) {
-    Tile& t = tiles_[idx];
-    const std::size_t target = targets[next++ % targets.size()];
-    if (t.spilled) {
-      // Bytes live on the shared file system; only the nominal owner
-      // (used for locality decisions) changes.
-      t.info.owner = target;
+  for (std::size_t d : dead) {
+    FIT_REQUIRE(d < by_owner_.size(), "rank out of range");
+    for (std::size_t idx : by_owner_[d]) {
+      Tile& t = tiles_[idx];
+      const std::size_t target = best_target();
+      if (t.spilled) {
+        // Bytes live on the shared file system; only the nominal owner
+        // (used for locality decisions) changes.
+        t.info.owner = target;
+        by_owner_[target].push_back(idx);
+        continue;
+      }
+      const double bytes = 8.0 * double(t.info.elements);
+      cluster_.memory(d).release(bytes);
+      if (cluster_.memory(target).try_alloc(bytes)) {
+        t.info.owner = target;
+      } else if (can_spill) {
+        t.info.owner = target;
+        t.spilled = true;
+        ++n_spilled_;
+        cluster_.note_spill(bytes);
+      } else {
+        // No headroom anywhere: surface as the usual OOM so the
+        // caller's degradation path (replan against the shrunken S)
+        // can engage.
+        cluster_.memory(target).alloc(bytes, name_.c_str());
+      }
       by_owner_[target].push_back(idx);
-      continue;
+      moved.push_back(idx);
     }
-    const double bytes = 8.0 * double(t.info.elements);
-    cluster_.memory(dead).release(bytes);
-    if (cluster_.memory(target).try_alloc(bytes)) {
-      t.info.owner = target;
-    } else if (can_spill) {
-      t.info.owner = target;
-      t.spilled = true;
-      ++n_spilled_;
-      cluster_.note_spill(bytes);
-    } else {
-      // No headroom anywhere: surface as the usual OOM so the caller's
-      // degradation path (replan against the shrunken S) can engage.
-      cluster_.memory(target).alloc(bytes, name_.c_str());
-    }
-    by_owner_[target].push_back(idx);
-    moved.push_back(idx);
+    by_owner_[d].clear();
   }
-  by_owner_[dead].clear();
   cluster_.note_global_usage();
   return moved;
+}
+
+std::vector<std::size_t> GlobalArray::reassign_owner(
+    std::size_t dead, std::span<const std::size_t> targets) {
+  const std::size_t ranks[1] = {dead};
+  return reassign_owners(ranks, targets);
 }
 
 OwnerFn owner_cyclic() {

@@ -193,12 +193,21 @@ class GlobalArray {
   /// zeros in Real mode) and rewind its write epoch to `epoch`.
   void restore_tile(std::size_t idx, const std::vector<double>& data,
                     std::uint64_t epoch);
-  /// Move every tile owned by `dead` to the `targets` ranks
-  /// (round-robin), transferring the memory accounting; spilled tiles
+  /// Move every tile owned by the `dead` ranks to the `targets` ranks,
+  /// transferring the memory accounting. Placement is capacity-aware:
+  /// each tile goes to the target with the most free tracked memory at
+  /// that moment (ties to the lowest rank), so recovery spreads the
+  /// orphaned working set instead of piling it round-robin onto one
+  /// survivor and tripping a spurious capacity fault. Spilled tiles
   /// only change nominal owner (their bytes live on the shared file
   /// system, which survives rank death). Returns the indices of the
   /// re-owned in-memory tiles — the ones whose content was lost and
   /// must be restored from a checkpoint.
+  std::vector<std::size_t> reassign_owners(
+      std::span<const std::size_t> dead,
+      std::span<const std::size_t> targets);
+
+  /// Single-rank convenience wrapper over reassign_owners.
   std::vector<std::size_t> reassign_owner(std::size_t dead,
                                           std::span<const std::size_t> targets);
 

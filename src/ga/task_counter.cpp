@@ -5,24 +5,13 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace fit::ga {
 
 namespace {
 
 constexpr double kControlBytes = 8.0;  // one fetch-and-add word
-
-/// Stable (platform-independent) FNV-1a — std::hash would make the
-/// counter placement, and with it every simulated timing, differ
-/// between standard libraries.
-std::size_t fnv1a(const std::string& s) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  return static_cast<std::size_t>(h);
-}
 
 /// One-way alpha-beta time of an 8-byte control message between two
 /// ranks: the same model RankCtx::charge_transfer applies, so the
@@ -50,9 +39,18 @@ const char* to_string(Balance b) {
 }
 
 TaskCounter::TaskCounter(runtime::Cluster& cluster, const std::string& name)
-    : cluster_(cluster), home_(fnv1a(name) % cluster.n_ranks()) {}
+    : cluster_(cluster),
+      // Stable FNV-1a placement — std::hash would make the counter
+      // home, and with it every simulated timing, differ between
+      // standard libraries.
+      home_(static_cast<std::size_t>(util::fnv1a(name)) %
+            cluster.n_ranks()) {}
 
 std::size_t TaskCounter::owner() const {
+  // live_owner walks to the next live rank cyclically, so the counter
+  // survives not just its home's death but the loss of the home's
+  // entire failure domain (every rank of the node dead at once): the
+  // walk simply skips past the whole domain to the first survivor.
   return cluster_.live_owner(home_);
 }
 

@@ -33,6 +33,28 @@
 //                       measured GFLOP/s over the roofline compute
 //                       peak for the active level (blas/tune.hpp).
 //
+// Fault/recovery scalars (emitted by the fault-injection benches; the
+// chaos-soak CI gates key on them):
+//   checkpoint.writes / checkpoint.bytes
+//                       checkpoint tile writes performed and client
+//                       bytes charged to the simulated disk;
+//   checkpoint.verify_failures
+//                       stored tile copies that failed checksum
+//                       verification during restores;
+//   checkpoint.zero_fills
+//                       tiles restored as zeros because every kept
+//                       generation was corrupt (catastrophic loss);
+//   checkpoint.io_retries / checkpoint.io_faults
+//                       injected checkpoint-I/O faults absorbed by the
+//                       bounded retry+backoff path;
+//   checkpoint.gc_bytes bytes of expired generations garbage-collected
+//                       by the multi-epoch store;
+//   recovery.fallback_epochs
+//                       generations the restore walked back past the
+//                       newest one (0 = newest epoch always intact;
+//                       >0 = older verified epochs served the data);
+//   fault.domain_kills  whole failure domains (nodes) killed.
+//
 // Output location, in precedence order:
 //   FOURINDEX_BENCH_JSON=0        disables emission entirely;
 //   FOURINDEX_BENCH_JSON_DIR=DIR  write DIR/<bench>.bench.json;

@@ -13,19 +13,53 @@
 // Cluster::charge_disk_phase, so fault-recovery overhead shows up in
 // simulated time, `comm.disk_bytes`, and the `checkpoint.*` counters.
 //
-// Checkpoints are incremental: only tiles whose write epoch advanced
-// since the previous checkpoint are written, and never-written (all
-// zero) tiles are elided entirely. Three restore paths:
-//   write()         after every barrier — snapshot dirty tiles;
-//   restore_dirty() undo the partial writes of a failed phase attempt
-//                   before Cluster::run_phase retries it;
-//   restore_rank()  rank death — re-own the dead rank's tiles across
-//                   the survivors and reload them from the newest
-//                   checkpoint epoch.
+// Store layout — a multi-generation verified epoch store:
+//
+//   generation K   (newest)   per-array, per-tile copies + manifest
+//   generation K-1            independent physical copies
+//   ...                       (up to FOURINDEX_CKPT_KEEP generations)
+//
+// Each published generation is a self-contained snapshot: every
+// ever-written tile has its own physical copy, stamped with the write
+// epoch it captures and an FNV-1a checksum taken at write time. Only
+// tiles dirtied since the previous checkpoint transit the client's
+// disk link (incremental I/O); unchanged tiles are carried into the
+// new generation by a checksum-verified server-side copy, at no
+// client cost — so generations are physically independent replicas
+// and one generation's bit rot never silently poisons the others. A
+// carried copy whose source fails its checksum is instead rewritten
+// fresh from the live array (a scrub repair, charged as real I/O).
+//
+// Publication is atomic: a generation is staged completely — payload
+// copies first — and only then published by appending its manifest.
+// A checkpoint-I/O fault mid-write (FaultKind::CkptIo, or the
+// probability knob) aborts before the manifest lands, so a torn write
+// leaves the previous generation fully intact, never a half-visible
+// epoch. Checkpoint writes and restores are wrapped in the same
+// bounded retry+backoff discipline run_phase uses for compute.
+//
+// Restore verifies every tile copy against its checksum and walks
+// back generation by generation to the newest intact copy of the
+// *same* write epoch (`recovery.fallback_epochs`); a copy from an
+// older write epoch is stale and is never silently substituted. Only
+// when every retained generation is bad does restore zero-fill
+// (`checkpoint.verify_failures` + `checkpoint.zero_fills`). Retired
+// generations are GC'd against the simulated PFS with
+// `checkpoint.gc_bytes` accounting.
+//
+// Restore paths:
+//   write()          after every barrier — stage + publish a generation;
+//   restore_dirty()  undo the partial writes of a failed phase attempt
+//                    before Cluster::run_phase retries it;
+//   restore_domain() rank/node death — re-own every dead rank's tiles
+//                    across the survivors (capacity-aware) and reload
+//                    them from the newest intact generation.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +74,7 @@ class Cluster;
 struct CheckpointConfig {
   /// How many times run_phase re-executes a phase whose attempt was
   /// aborted by a transient fault before giving up with FaultError.
+  /// Also bounds the checkpoint layer's own I/O retries.
   std::size_t max_retries = 3;
   /// Simulated backoff charged before the first retry; doubles on
   /// every subsequent one.
@@ -48,23 +83,32 @@ struct CheckpointConfig {
   /// (work + retries + backoff). 0 disables; when positive, exceeding
   /// it raises TimeoutError instead of retrying further.
   double phase_sim_timeout_s = 0;
+  /// Checkpoint generations retained (>= 1). 0 reads the
+  /// FOURINDEX_CKPT_KEEP environment variable (default 2).
+  std::size_t keep_epochs = 0;
 };
 
-/// Owned by Cluster (see Cluster::enable_recovery); tracks one
-/// incremental snapshot per live GlobalArray.
+/// Owned by Cluster (see Cluster::enable_recovery); maintains the
+/// multi-generation verified epoch store described above.
 class CheckpointManager {
  public:
   CheckpointManager(Cluster& cluster, CheckpointConfig cfg);
 
   const CheckpointConfig& config() const { return cfg_; }
+  /// Effective retention depth (config or FOURINDEX_CKPT_KEEP).
+  std::size_t keep_epochs() const { return keep_; }
+  /// Published generations currently retained.
+  std::size_t n_generations() const { return gens_.size(); }
   /// Epoch recorded by the newest checkpoint (0 = none written yet).
   std::uint64_t last_checkpoint_epoch() const { return ckpt_epoch_; }
 
-  /// Drop the snapshot of a destroyed array.
+  /// Drop every generation's snapshot of a destroyed array (counted
+  /// into checkpoint.gc_bytes — the PFS space is reclaimed).
   void forget(ga::GlobalArray* array);
 
-  /// Snapshot every live array's dirty tiles; charges the disk writes.
-  /// Returns bytes written.
+  /// Stage and atomically publish a new generation; charges the disk
+  /// writes for dirty tiles and scrub repairs, then GCs generations
+  /// beyond the retention depth. Returns client bytes written.
   double write();
 
   /// Undo the current (failed) phase attempt: every tile written in
@@ -73,27 +117,67 @@ class CheckpointManager {
   /// disk reads. Returns bytes read.
   double restore_dirty();
 
-  /// Rank-death recovery: move `dead`'s tiles to the surviving ranks
-  /// (round-robin, transferring the memory accounting) and restore
-  /// their content from the newest checkpoint; charges the disk reads.
-  /// Returns bytes read.
+  /// Correlated-failure recovery: move every tile owned by the ranks
+  /// in `dead` to the survivors (capacity-aware placement — see
+  /// GlobalArray::reassign_owners) and restore their content from the
+  /// newest intact generation; charges the disk reads. Returns bytes
+  /// read.
+  double restore_domain(std::span<const std::size_t> dead);
+
+  /// Single-rank convenience wrapper over restore_domain.
   double restore_rank(std::size_t dead);
 
+  /// Apply a CkptCorrupt event: rot `count` at-rest tile copies
+  /// (selected by the injector's deterministic weights) in each of
+  /// the newest `depth` generations. Copies written by the client in
+  /// a generation's own publication are verified at write time and
+  /// exempt in that generation; everything older is at rest.
+  void inject_corruption(std::size_t phase, std::size_t count,
+                         std::size_t depth);
+
  private:
-  struct ArrayState {
-    bool valid = false;  // at least one checkpoint covers this array
-    std::vector<std::vector<double>> data;  // per tile; empty = zeros
-    std::vector<std::uint64_t> epochs;      // write epoch at snapshot
+  struct TileSnap {
+    std::vector<double> data;       // empty = zeros / Simulate mode
+    std::uint64_t write_epoch = 0;  // 0 = never written (elided)
+    std::uint64_t checksum = 0;     // FNV-1a taken at write time
+    bool fresh = false;   // client-written in this generation
+    bool corrupt = false; // latent rot injected (checksum flipped)
+  };
+  struct ArraySnap {
+    std::vector<TileSnap> tiles;
+    double bytes = 0;  // physical payload bytes of this snapshot
+  };
+  struct Generation {
+    std::uint64_t ckpt_epoch = 0;
+    double bytes = 0;  // physical payload bytes resident on the PFS
+    std::unordered_map<ga::GlobalArray*, ArraySnap> arrays;
   };
 
-  ArrayState& state_for(ga::GlobalArray* array);
-  double restore_tile(ga::GlobalArray* array, const ArrayState& st,
-                      std::size_t idx, std::vector<double>& bytes_per_rank);
+  static std::uint64_t tile_checksum(const std::vector<double>& data,
+                                     std::uint64_t write_epoch,
+                                     std::size_t idx);
+  static bool verify(const TileSnap& snap, std::size_t idx);
+
+  double write_once(std::size_t io_attempt);
+  /// Probe the injector for a checkpoint-I/O fault; throws FaultError.
+  void ckpt_io_fault_point(const char* what, std::size_t io_attempt);
+  /// Bounded retry+backoff around one checkpoint I/O operation.
+  template <typename Fn>
+  double with_io_retry(const char* label, Fn&& op);
+
+  /// Restore one tile to its newest-generation content, walking back
+  /// through older generations on checksum failure. Returns disk
+  /// bytes read (0 for zero-fill).
+  double restore_tile(ga::GlobalArray* array, std::size_t idx,
+                      std::vector<double>& bytes_per_rank);
+  void update_store_gauge();
 
   Cluster& cl_;
   CheckpointConfig cfg_;
+  std::size_t keep_ = 2;
   std::uint64_t ckpt_epoch_ = 0;
-  std::unordered_map<ga::GlobalArray*, ArrayState> states_;
+  std::size_t io_seq_ = 0;  // checkpoint ops issued (fault sequencing)
+  std::deque<Generation> gens_;  // newest at the back
 };
 
 }  // namespace fit::runtime

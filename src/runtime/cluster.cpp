@@ -258,6 +258,7 @@ Cluster::Cluster(MachineConfig config, ExecutionMode mode,
   id_phase_makespan_ = registry_.histogram("phase.makespan_s");
   id_phase_imbalance_ = registry_.histogram("phase.imbalance");
   id_fault_kills_ = registry_.counter("fault.kills");
+  id_fault_domain_kills_ = registry_.counter("fault.domain_kills");
   id_fault_transient_ = registry_.counter("fault.transient_ops");
   id_fault_shrinks_ = registry_.counter("fault.capacity_shrinks");
   id_fault_degrades_ = registry_.counter("fault.bandwidth_degrades");
@@ -277,6 +278,11 @@ Cluster::Cluster(MachineConfig config, ExecutionMode mode,
   nb_span_names_[static_cast<int>(NbKind::Acc)] =
       timeline_.intern("nb acc (in flight)");
   dead_.assign(config_.n_ranks(), 0);
+  // Failure-domain width: the machine's node by default, overridable
+  // (strict parse, loud fallback) to model a different blast radius.
+  domain_rpn_ = std::min<std::size_t>(
+      util::env_size("FOURINDEX_RANKS_PER_NODE", config_.ranks_per_node),
+      config_.n_ranks());
 }
 
 Cluster::~Cluster() = default;
@@ -311,6 +317,15 @@ void Cluster::kill_rank(std::size_t rank) {
   dead_[rank] = 1;
   registry_.add(id_fault_kills_, rank, 1);
   note_instant("fault: kill rank " + std::to_string(rank), rank);
+}
+
+void Cluster::kill_domain(std::size_t domain) {
+  FIT_REQUIRE(domain < n_domains(), "failure domain out of range");
+  const std::size_t lo = domain * domain_rpn_;
+  const std::size_t hi = std::min(lo + domain_rpn_, n_ranks());
+  for (std::size_t r = lo; r < hi; ++r) kill_rank(r);
+  registry_.add(id_fault_domain_kills_, 0, 1);
+  note_instant("fault: kill node " + std::to_string(domain), lo);
 }
 
 double Cluster::aggregate_capacity_bytes() const {
@@ -350,6 +365,56 @@ void Cluster::charge_disk_phase(const std::string& label,
   if (makespan > 0) note_instant(label, 0);
 }
 
+void Cluster::charge_recovery_backoff(const std::string& label,
+                                      double seconds) {
+  FIT_REQUIRE(seconds >= 0, "negative backoff");
+  sim_time_ += seconds;
+  note_instant(label, 0);
+}
+
+void Cluster::apply_kill_events(const std::vector<FaultEvent>& events,
+                                std::vector<std::size_t>& killed) {
+  const std::size_t before = killed.size();
+  for (const auto& ev : events) {
+    switch (ev.kind) {
+      case FaultKind::KillRank:
+        if (ev.rank < n_ranks() && !dead_[ev.rank]) {
+          kill_rank(ev.rank);
+          killed.push_back(ev.rank);
+        }
+        break;
+      case FaultKind::KillNode: {
+        if (ev.rank >= n_domains()) break;
+        const std::size_t lo = ev.rank * domain_rpn_;
+        const std::size_t hi = std::min(lo + domain_rpn_, n_ranks());
+        for (std::size_t r = lo; r < hi; ++r)
+          if (!dead_[r]) killed.push_back(r);
+        kill_domain(ev.rank);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  (void)before;
+}
+
+void Cluster::recover_killed(const std::vector<std::size_t>& killed,
+                             std::size_t phase) {
+  if (killed.empty()) return;
+  if (n_live() == 0)
+    throw FaultError("all ranks dead at phase " + std::to_string(phase));
+  if (arrays_.empty()) return;
+  if (!ckpt_)
+    throw CheckpointError(
+        "rank death with live global arrays and no recovery enabled "
+        "(call Cluster::enable_recovery before the faulty run)");
+  // One pass over the whole kill set: re-owning sees every dead rank
+  // at once, so no tile can land on a rank that died in the same
+  // correlated failure.
+  ckpt_->restore_domain(killed);
+}
+
 void Cluster::process_boundary_faults() {
   if (!faults_.armed()) return;
   // Recovery itself replays GA traffic through run_phase-adjacent
@@ -375,14 +440,12 @@ void Cluster::process_boundary_faults() {
   }
 
   std::vector<std::size_t> killed;
+  apply_kill_events(events, killed);
   for (const auto& ev : events) {
     switch (ev.kind) {
       case FaultKind::KillRank:
-        if (ev.rank < n_ranks() && !dead_[ev.rank]) {
-          kill_rank(ev.rank);
-          killed.push_back(ev.rank);
-        }
-        break;
+      case FaultKind::KillNode:
+        break;  // handled by apply_kill_events above
       case FaultKind::CapacityShrink:
         for (std::size_t r = 0; r < n_ranks(); ++r) {
           if (!dead_[r])
@@ -401,21 +464,20 @@ void Cluster::process_boundary_faults() {
         registry_.add(id_fault_degrades_, 0, 1);
         note_instant("fault: disk bandwidth x" + fmt_fixed(ev.factor, 2), 0);
         break;
+      case FaultKind::CkptCorrupt:
+        // Rot strikes the store itself; detection is deferred to the
+        // next restore's checksum verification, exactly like latent
+        // media corruption on a real PFS.
+        if (ckpt_) ckpt_->inject_corruption(phase, ev.count, ev.depth);
+        break;
       case FaultKind::TransientOp:
         break;  // fired inside the phase via RankCtx::fault_point
+      case FaultKind::CkptIo:
+        break;  // consumed by CheckpointManager's I/O fault probe
     }
   }
 
-  if (killed.empty()) return;
-  if (n_live() == 0)
-    throw FaultError("all ranks dead at phase " + std::to_string(phase));
-  if (!arrays_.empty()) {
-    if (!ckpt_)
-      throw CheckpointError(
-          "rank death with live global arrays and no recovery enabled "
-          "(call Cluster::enable_recovery before the faulty run)");
-    for (std::size_t dead : killed) ckpt_->restore_rank(dead);
-  }
+  recover_killed(killed, phase);
 }
 
 void Cluster::merge_rank(const RankCtx& ctx) {
@@ -531,6 +593,7 @@ void Cluster::execute_attempt(const std::function<void(RankCtx&)>& body,
 void Cluster::run_phase(const std::string& label,
                         const std::function<void(RankCtx&)>& body) {
   if (!in_recovery_) process_boundary_faults();
+  const std::size_t phase = phase_index();
   PhaseRecord rec;
   rec.label = label;
   rec.t_start = sim_time_;
@@ -553,6 +616,22 @@ void Cluster::run_phase(const std::string& label,
       // checkpoint, charge an exponential backoff, and go again on
       // the (still consistent) pre-phase state.
       ckpt_->restore_dirty();
+      // Double faults: a rank or node scheduled to die inside this
+      // retry's backoff window dies now, after the rollback, and its
+      // tiles are re-owned before the retry runs on the survivors.
+      if (!in_recovery_) {
+        auto late = faults_.take_retry_kills(phase, attempt + 1);
+        if (!late.empty()) {
+          in_recovery_ = true;
+          struct Reset {
+            bool& flag;
+            ~Reset() { flag = false; }
+          } reset{in_recovery_};
+          std::vector<std::size_t> killed;
+          apply_kill_events(late, killed);
+          recover_killed(killed, phase);
+        }
+      }
       const double backoff =
           ckpt_->config().backoff_s * static_cast<double>(1ull << attempt);
       rec.makespan += backoff;

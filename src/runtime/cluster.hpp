@@ -272,6 +272,26 @@ class Cluster {
     return rank / config_.ranks_per_node;
   }
 
+  // --- correlated failure domains ------------------------------------
+  //
+  // Ranks group into failure domains of `domain_ranks()` consecutive
+  // ranks — by default the machine's physical node (ranks_per_node),
+  // overridable with FOURINDEX_RANKS_PER_NODE to model blast radii
+  // that differ from the comm topology (a shared PSU, a rack switch).
+  // FaultKind::KillNode takes a *domain* index and kills every rank in
+  // it at the barrier; recovery restores all of them in one pass.
+  std::size_t domain_ranks() const { return domain_rpn_; }
+  std::size_t domain_of(std::size_t rank) const {
+    return rank / domain_rpn_;
+  }
+  std::size_t n_domains() const {
+    return (n_ranks() + domain_rpn_ - 1) / domain_rpn_;
+  }
+  /// Kill every (live) rank of a failure domain; counts
+  /// fault.domain_kills. Recovery is the caller's business, as with
+  /// kill_rank.
+  void kill_domain(std::size_t domain);
+
   /// Run one SPMD phase: body(ctx) for every rank, then a barrier.
   /// Simulated time advances by the slowest rank.
   void run_phase(const std::string& label,
@@ -326,6 +346,11 @@ class Cluster {
   /// unaffected.
   void charge_disk_phase(const std::string& label,
                          const std::vector<double>& bytes_per_rank);
+
+  /// Advance simulated time by a recovery stall (the checkpoint
+  /// layer's I/O retry backoff). Occupies no link or disk time — the
+  /// cluster is simply waiting out the fault.
+  void charge_recovery_backoff(const std::string& label, double seconds);
 
   MemTracker& memory(std::size_t rank) { return mem_[rank]; }
   const MemTracker& memory(std::size_t rank) const { return mem_[rank]; }
@@ -400,6 +425,14 @@ class Cluster {
   /// Apply scheduled + probabilistic boundary faults for the phase
   /// about to run; performs rank-death recovery when enabled.
   void process_boundary_faults();
+  /// Mark the kill set of `events` dead (expanding KillNode to its
+  /// whole domain), appending the newly dead ranks to `killed`.
+  void apply_kill_events(const std::vector<FaultEvent>& events,
+                         std::vector<std::size_t>& killed);
+  /// Checkpoint-restore the tiles of `killed` onto the survivors (one
+  /// pass over all dead ranks); throws when recovery is impossible.
+  void recover_killed(const std::vector<std::size_t>& killed,
+                      std::size_t phase);
   /// One attempt at a phase body over all live ranks.
   void execute_attempt(const std::function<void(RankCtx&)>& body,
                        PhaseRecord& rec, const std::string& span_name,
@@ -408,6 +441,7 @@ class Cluster {
   MachineConfig config_;
   ExecutionMode mode_;
   std::size_t host_threads_;
+  std::size_t domain_rpn_ = 1;  // failure-domain width in ranks
   std::vector<MemTracker> mem_;
   std::vector<MemTracker> scratch_;
   std::uint64_t epoch_ = 1;
@@ -423,6 +457,7 @@ class Cluster {
                            id_scratch_peak_ = 0, id_global_peak_ = 0,
                            id_disk_used_ = 0, id_disk_peak_ = 0,
                            id_phase_makespan_ = 0, id_phase_imbalance_ = 0;
+  obs::MetricsRegistry::Id id_fault_domain_kills_ = 0;
   obs::MetricsRegistry::Id id_fault_kills_ = 0, id_fault_transient_ = 0,
                            id_fault_shrinks_ = 0, id_fault_degrades_ = 0,
                            id_ckpt_writes_ = 0, id_ckpt_bytes_ = 0,

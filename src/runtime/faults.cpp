@@ -10,10 +10,13 @@ namespace fit::runtime {
 std::string to_string(FaultKind k) {
   switch (k) {
     case FaultKind::KillRank: return "kill-rank";
+    case FaultKind::KillNode: return "kill-node";
     case FaultKind::TransientOp: return "transient-op";
     case FaultKind::CapacityShrink: return "capacity-shrink";
     case FaultKind::NetDegrade: return "net-degrade";
     case FaultKind::DiskDegrade: return "disk-degrade";
+    case FaultKind::CkptCorrupt: return "ckpt-corrupt";
+    case FaultKind::CkptIo: return "ckpt-io";
   }
   return "?";
 }
@@ -23,6 +26,7 @@ FaultInjector::FaultInjector(const FaultInjector& other) {
   seed_ = other.seed_;
   kill_prob_ = other.kill_prob_;
   op_prob_ = other.op_prob_;
+  ckpt_io_prob_ = other.ckpt_io_prob_;
   plan_ = other.plan_;
 }
 
@@ -32,6 +36,7 @@ FaultInjector& FaultInjector::operator=(const FaultInjector& other) {
   seed_ = other.seed_;
   kill_prob_ = other.kill_prob_;
   op_prob_ = other.op_prob_;
+  ckpt_io_prob_ = other.ckpt_io_prob_;
   plan_ = other.plan_;
   return *this;
 }
@@ -52,10 +57,25 @@ void FaultInjector::set_op_failure_prob(double p) {
   op_prob_ = p;
 }
 
+void FaultInjector::set_ckpt_io_prob(double p) {
+  FIT_REQUIRE(p >= 0 && p <= 1,
+              "checkpoint I/O failure probability out of [0, 1]");
+  ckpt_io_prob_ = p;
+}
+
 bool FaultInjector::armed() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return kill_prob_ > 0 || op_prob_ > 0 || !plan_.empty();
+  return kill_prob_ > 0 || op_prob_ > 0 || ckpt_io_prob_ > 0 ||
+         !plan_.empty();
 }
+
+namespace {
+
+bool is_kill(FaultKind k) {
+  return k == FaultKind::KillRank || k == FaultKind::KillNode;
+}
+
+}  // namespace
 
 std::vector<FaultEvent> FaultInjector::take_boundary_faults(
     std::size_t phase) {
@@ -63,7 +83,27 @@ std::vector<FaultEvent> FaultInjector::take_boundary_faults(
   std::vector<FaultEvent> fired;
   auto it = plan_.begin();
   while (it != plan_.end()) {
-    if (it->kind != FaultKind::TransientOp && it->phase == phase) {
+    const bool boundary = it->kind != FaultKind::TransientOp &&
+                          it->kind != FaultKind::CkptIo &&
+                          !(is_kill(it->kind) && it->attempt > 0);
+    if (boundary && it->phase == phase) {
+      fired.push_back(*it);
+      it = plan_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return fired;
+}
+
+std::vector<FaultEvent> FaultInjector::take_retry_kills(
+    std::size_t phase, std::size_t attempt) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FaultEvent> fired;
+  auto it = plan_.begin();
+  while (it != plan_.end()) {
+    if (is_kill(it->kind) && it->phase == phase && it->attempt > 0 &&
+        it->attempt == attempt) {
       fired.push_back(*it);
       it = plan_.erase(it);
     } else {
@@ -100,6 +140,32 @@ bool FaultInjector::should_fail_op(std::size_t phase, std::size_t attempt,
   }
   if (op_prob_ <= 0) return false;
   return roll(2, phase * 64 + attempt, rank, op_seq) < op_prob_;
+}
+
+bool FaultInjector::should_fail_ckpt_io(std::size_t phase,
+                                        std::size_t attempt,
+                                        std::size_t op_seq) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& ev : plan_) {
+      // A CkptIo budget arms at its phase and drains on the next
+      // `count` checkpoint operations, whenever they happen.
+      if (ev.kind != FaultKind::CkptIo || ev.phase > phase ||
+          ev.count == 0)
+        continue;
+      --ev.count;
+      return true;
+    }
+  }
+  if (ckpt_io_prob_ <= 0) return false;
+  return roll(3, phase * 64 + attempt, op_seq, 0) < ckpt_io_prob_;
+}
+
+double FaultInjector::corrupt_weight(std::size_t phase,
+                                     std::size_t generation,
+                                     std::uint64_t array_tag,
+                                     std::size_t tile) const {
+  return roll(4, phase * 64 + generation, array_tag, tile);
 }
 
 }  // namespace fit::runtime

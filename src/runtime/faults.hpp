@@ -18,11 +18,16 @@
 //                   mutable RNG state, so outcomes are identical across
 //                   runs, host-thread counts, and rank interleavings.
 //
-// Boundary faults (kill, capacity shrink, bandwidth degradation) fire
-// between phases, at the BSP barrier — the only point where the global
-// state is consistent enough to recover from. Transient op faults fire
-// inside a phase and are absorbed by Cluster::run_phase's bounded
-// retry-with-backoff path.
+// Boundary faults (rank/node kill, checkpoint corruption, capacity
+// shrink, bandwidth degradation) fire between phases, at the BSP
+// barrier — the only point where the global state is consistent enough
+// to recover from. Transient op faults fire inside a phase and are
+// absorbed by Cluster::run_phase's bounded retry-with-backoff path;
+// checkpoint-I/O faults (CkptIo) fire inside the checkpoint
+// write/restore operations themselves and are absorbed by
+// CheckpointManager's own bounded retry. Kill events may additionally
+// be pinned to a retry attempt (FaultEvent::attempt > 0) to model the
+// double fault of a node dying during another failure's recovery.
 #pragma once
 
 #include <cstddef>
@@ -35,10 +40,13 @@ namespace fit::runtime {
 
 enum class FaultKind {
   KillRank,        // permanent rank death at a phase boundary
+  KillNode,        // correlated death of a whole failure domain
   TransientOp,     // one-sided get/put/acc failure inside a phase
   CapacityShrink,  // multiply every live rank's memory capacity
   NetDegrade,      // multiply the network bandwidth
   DiskDegrade,     // multiply the parallel-file-system bandwidth
+  CkptCorrupt,     // latent bit rot in checkpointed tile copies
+  CkptIo,          // fail checkpoint write/restore disk operations
 };
 
 std::string to_string(FaultKind k);
@@ -46,9 +54,19 @@ std::string to_string(FaultKind k);
 struct FaultEvent {
   FaultKind kind = FaultKind::TransientOp;
   std::size_t phase = 0;  // 0-based phase index (Cluster::phase_index())
-  std::size_t rank = 0;   // target rank (KillRank / TransientOp)
+  std::size_t rank = 0;   // target rank (KillRank/TransientOp) or
+                          // failure-domain index (KillNode)
   double factor = 1.0;    // capacity/bandwidth multiplier (shrink/degrade)
-  std::size_t count = 1;  // one-sided ops to fail (TransientOp)
+  std::size_t count = 1;  // ops to fail (TransientOp/CkptIo) or tile
+                          // copies to rot (CkptCorrupt)
+  // Kill events only: 0 fires at the phase boundary; N > 0 fires just
+  // before retry attempt N of that phase — the double-fault case of a
+  // rank/node dying inside another failure's backoff window.
+  std::size_t attempt = 0;
+  // CkptCorrupt only: how many of the newest checkpoint generations
+  // the rot reaches (>= the retention depth models catastrophic media
+  // loss — every generation bad, restore must zero-fill).
+  std::size_t depth = 1;
 };
 
 class FaultInjector {
@@ -71,14 +89,24 @@ class FaultInjector {
   void set_kill_prob(double p);
   /// Per-one-sided-op transient failure probability.
   void set_op_failure_prob(double p);
+  /// Per-checkpoint-I/O-operation failure probability (writes and
+  /// restores alike); absorbed by CheckpointManager's bounded retry.
+  void set_ckpt_io_prob(double p);
 
   bool armed() const;
   std::uint64_t seed() const { return seed_; }
   double kill_prob() const { return kill_prob_; }
 
-  /// Scheduled boundary faults (every kind except TransientOp) for
-  /// `phase`, in schedule order. Each event is returned exactly once.
+  /// Scheduled boundary faults (every kind except TransientOp/CkptIo,
+  /// and except kills pinned to a retry attempt) for `phase`, in
+  /// schedule order. Each event is returned exactly once.
   std::vector<FaultEvent> take_boundary_faults(std::size_t phase);
+
+  /// Kill events pinned to retry attempt `attempt` of `phase` (the
+  /// double-fault path: a rank or node dying while run_phase is
+  /// already inside a failed attempt's backoff window).
+  std::vector<FaultEvent> take_retry_kills(std::size_t phase,
+                                           std::size_t attempt);
 
   /// Probability-driven kill decision — a pure function of the seed.
   bool kill_roll(std::size_t phase, std::size_t rank) const;
@@ -90,6 +118,21 @@ class FaultInjector {
   bool should_fail_op(std::size_t phase, std::size_t attempt,
                       std::size_t rank, std::size_t op_seq);
 
+  /// Should the `op_seq`-th checkpoint disk operation (globally
+  /// sequenced across writes and restores) fail? Consumes scheduled
+  /// CkptIo budgets whose phase has been reached, then rolls the
+  /// checkpoint-I/O probability. `attempt` is the checkpoint layer's
+  /// own retry counter, mixed in so a retried op redraws.
+  bool should_fail_ckpt_io(std::size_t phase, std::size_t attempt,
+                           std::size_t op_seq);
+
+  /// Deterministic selection weight in [0, 1) for a checkpointed tile
+  /// copy — CkptCorrupt events rot the `count` copies with the
+  /// smallest weights. Pure function of (seed, phase, generation,
+  /// array, tile), so a storm replays bit-identically.
+  double corrupt_weight(std::size_t phase, std::size_t generation,
+                        std::uint64_t array_tag, std::size_t tile) const;
+
  private:
   double roll(std::uint64_t tag, std::uint64_t a, std::uint64_t b,
               std::uint64_t c) const;
@@ -97,6 +140,7 @@ class FaultInjector {
   std::uint64_t seed_ = 0;
   double kill_prob_ = 0;
   double op_prob_ = 0;
+  double ckpt_io_prob_ = 0;
   std::vector<FaultEvent> plan_;
   mutable std::mutex mutex_;
 };

@@ -1,0 +1,50 @@
+// Stable (platform-independent) FNV-1a hashing.
+//
+// Used wherever a hash value becomes part of simulated or persisted
+// state: the task-counter home placement (ga/task_counter.cpp), the
+// per-tile checkpoint checksums (runtime/checkpoint.cpp), and the
+// result_checksum scalars the benches emit. std::hash is unspecified
+// and differs between standard libraries, which would make simulated
+// timings and checksum gates non-portable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace fit::util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// Fold `len` raw bytes into a running FNV-1a state. Start from
+/// kFnvOffsetBasis (or a previous return value to chain buffers).
+inline std::uint64_t fnv1a_bytes(const void* data, std::size_t len,
+                                 std::uint64_t h = kFnvOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// FNV-1a of a string (task-counter homing, label hashing).
+inline std::uint64_t fnv1a(std::string_view s,
+                           std::uint64_t h = kFnvOffsetBasis) {
+  return fnv1a_bytes(s.data(), s.size(), h);
+}
+
+/// Mix one little-endian-serialized 64-bit word into the state —
+/// used to fold metadata (epochs, indices) into a data checksum
+/// without materializing a buffer.
+inline std::uint64_t fnv1a_u64(std::uint64_t v,
+                               std::uint64_t h = kFnvOffsetBasis) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<unsigned char>(v >> (8 * i));
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace fit::util

@@ -20,10 +20,14 @@
 #include "core/problem.hpp"
 #include "core/schedules_par.hpp"
 #include "core/transform.hpp"
+#include "ga/global_array.hpp"
 #include "obs/bench_json.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/faults.hpp"
 #include "runtime/machine.hpp"
+#include "tensor/tiling.hpp"
+#include "util/hash.hpp"
 
 namespace {
 
@@ -396,6 +400,385 @@ TEST(FaultObservability, BenchReportWithFaultMetricsValidates) {
   EXPECT_NE(doc.find("fault.kills"), std::string::npos);
   EXPECT_NE(doc.find("checkpoint.bytes"), std::string::npos);
   EXPECT_NE(doc.find("retry.attempts"), std::string::npos);
+}
+
+// ---- correlated failure domains (node kills) ------------------------
+
+FaultEvent node_kill_event(std::size_t phase, std::size_t domain) {
+  FaultEvent ev;
+  ev.kind = FaultKind::KillNode;
+  ev.phase = phase;
+  ev.rank = domain;  // the rank field carries the domain index
+  return ev;
+}
+
+TEST(FaultDomains, GroupingFollowsTheMachineAndTheEnvOverride) {
+  {
+    Cluster cl(fault_machine(4, 2), ExecutionMode::Simulate);
+    EXPECT_EQ(cl.domain_ranks(), 2u);
+    EXPECT_EQ(cl.n_domains(), 4u);
+    EXPECT_EQ(cl.domain_of(0), 0u);
+    EXPECT_EQ(cl.domain_of(5), 2u);
+  }
+  ::setenv("FOURINDEX_RANKS_PER_NODE", "4", 1);
+  {
+    Cluster cl(fault_machine(4, 2), ExecutionMode::Simulate);
+    EXPECT_EQ(cl.domain_ranks(), 4u);
+    EXPECT_EQ(cl.n_domains(), 2u);
+    EXPECT_EQ(cl.domain_of(5), 1u);
+  }
+  // Strict parsing: a garbled override warns and falls back to the
+  // machine's grouping instead of truncating to a numeric prefix.
+  ::setenv("FOURINDEX_RANKS_PER_NODE", "4abc", 1);
+  {
+    Cluster cl(fault_machine(4, 2), ExecutionMode::Simulate);
+    EXPECT_EQ(cl.domain_ranks(), 2u);
+  }
+  // An oversized override clamps to one all-encompassing domain.
+  ::setenv("FOURINDEX_RANKS_PER_NODE", "100", 1);
+  {
+    Cluster cl(fault_machine(4, 2), ExecutionMode::Simulate);
+    EXPECT_EQ(cl.domain_ranks(), 8u);
+    EXPECT_EQ(cl.n_domains(), 1u);
+  }
+  ::unsetenv("FOURINDEX_RANKS_PER_NODE");
+}
+
+TEST(FaultDomains, NodeKillIsRecoveredBitIdentically) {
+  const auto p = small_problem();
+  core::ParOptions opt;
+  opt.tile = 4;
+  opt.tile_l = 4;
+
+  Cluster clean(fault_machine(4, 2), ExecutionMode::Real);
+  const auto ref = core::fused_par_transform(p, clean, opt);
+  ASSERT_TRUE(ref.c.has_value());
+
+  Cluster faulty(fault_machine(4, 2), ExecutionMode::Real);
+  faulty.enable_recovery();
+  FaultInjector inj(21);
+  // Boundary of slice 1's c2: both ranks of node 1 die at once, taking
+  // carried C tiles (last written in slice 0's c4) with them.
+  inj.schedule(node_kill_event(/*phase=*/7, /*domain=*/1));
+  faulty.install_faults(inj);
+  const auto got = core::fused_par_transform(p, faulty, opt);
+  ASSERT_TRUE(got.c.has_value());
+
+  EXPECT_EQ(got.c->max_abs_diff(*ref.c), 0.0);
+  EXPECT_TRUE(faulty.is_dead(2));
+  EXPECT_TRUE(faulty.is_dead(3));
+  EXPECT_EQ(faulty.n_live(), 6u);
+  const auto& reg = faulty.metrics();
+  EXPECT_EQ(reg.sum("fault.domain_kills"), 1.0);
+  EXPECT_EQ(reg.sum("fault.kills"), 2.0);
+  EXPECT_EQ(got.stats.fault_domain_kills, 1.0);
+  EXPECT_GE(reg.sum("checkpoint.restores"), 1.0);
+}
+
+TEST(FaultDomains, CounterSurvivesItsHomeNodeDeath) {
+  // The c2 task counter's home rank is the stable FNV-1a hash of the
+  // label; kill its whole node at the c2 boundary under
+  // Balance::Counter. The already-planned claims of the dead ranks
+  // are adopted by survivors and the counter re-homes — the result
+  // must not change by a bit.
+  const auto p = small_problem();
+  core::ParOptions opt;
+  opt.tile = 4;
+  opt.balance = ga::Balance::Counter;
+
+  Cluster clean(fault_machine(2, 2), ExecutionMode::Real);
+  const auto ref = core::unfused_par_transform(p, clean, opt);
+  ASSERT_TRUE(ref.c.has_value());
+
+  Cluster faulty(fault_machine(2, 2), ExecutionMode::Real);
+  faulty.enable_recovery();
+  const std::size_t home =
+      static_cast<std::size_t>(util::fnv1a("c2")) % faulty.n_ranks();
+  FaultInjector inj(23);
+  inj.schedule(node_kill_event(/*phase=*/2, faulty.domain_of(home)));
+  faulty.install_faults(inj);
+  const auto got = core::unfused_par_transform(p, faulty, opt);
+  ASSERT_TRUE(got.c.has_value());
+
+  EXPECT_EQ(got.c->max_abs_diff(*ref.c), 0.0);
+  EXPECT_TRUE(faulty.is_dead(home));
+  const auto& reg = faulty.metrics();
+  EXPECT_GT(reg.sum("sched.orphans_adopted"), 0.0);
+  EXPECT_GE(reg.sum("sched.counter_reowns"), 1.0);
+}
+
+TEST(FaultDomains, DoubleFaultDuringRetryBackoffIsAbsorbed) {
+  // A transient op failure aborts c1's first attempt; while the retry
+  // backoff is pending, a whole node dies. The kill is applied after
+  // the rollback, the node's tiles are re-owned and restored, and the
+  // retry runs on the survivors — still bit-identical.
+  const auto p = small_problem();
+  core::ParOptions opt;
+  opt.tile = 4;
+
+  Cluster clean(fault_machine(4, 2), ExecutionMode::Real);
+  const auto ref = core::unfused_par_transform(p, clean, opt);
+  ASSERT_TRUE(ref.c.has_value());
+
+  Cluster faulty(fault_machine(4, 2), ExecutionMode::Real);
+  faulty.enable_recovery();
+  FaultInjector inj(29);
+  inj.schedule(transient_event(/*phase=*/1, /*rank=*/0, /*count=*/1));
+  FaultEvent late = node_kill_event(/*phase=*/1, /*domain=*/1);
+  late.attempt = 1;  // fires inside attempt 0's backoff window
+  inj.schedule(late);
+  faulty.install_faults(inj);
+  const auto got = core::unfused_par_transform(p, faulty, opt);
+  ASSERT_TRUE(got.c.has_value());
+
+  EXPECT_EQ(got.c->max_abs_diff(*ref.c), 0.0);
+  const auto& reg = faulty.metrics();
+  EXPECT_EQ(reg.sum("retry.attempts"), 1.0);
+  EXPECT_EQ(reg.sum("fault.domain_kills"), 1.0);
+  EXPECT_EQ(reg.sum("fault.kills"), 2.0);
+  EXPECT_EQ(faulty.n_live(), 6u);
+}
+
+// ---- multi-epoch verified checkpoint store --------------------------
+
+TEST(CheckpointStore, KeepEpochsFollowsConfigAndEnv) {
+  {
+    Cluster cl(fault_machine(2, 2), ExecutionMode::Simulate);
+    runtime::CheckpointConfig cfg;
+    cfg.keep_epochs = 5;
+    cl.enable_recovery(cfg);
+    EXPECT_EQ(cl.checkpoints()->keep_epochs(), 5u);
+  }
+  ::setenv("FOURINDEX_CKPT_KEEP", "3", 1);
+  {
+    Cluster cl(fault_machine(2, 2), ExecutionMode::Simulate);
+    cl.enable_recovery();
+    EXPECT_EQ(cl.checkpoints()->keep_epochs(), 3u);
+  }
+  ::setenv("FOURINDEX_CKPT_KEEP", "zero", 1);
+  {
+    Cluster cl(fault_machine(2, 2), ExecutionMode::Simulate);
+    cl.enable_recovery();
+    EXPECT_EQ(cl.checkpoints()->keep_epochs(), 2u);  // strict fallback
+  }
+  ::unsetenv("FOURINDEX_CKPT_KEEP");
+}
+
+TEST(CheckpointStore, CorruptionFallsBackToAnOlderVerifiedEpoch) {
+  const auto p = small_problem();
+  core::ParOptions opt;
+  opt.tile = 4;
+  opt.tile_l = 4;
+
+  Cluster clean(fault_machine(4, 2), ExecutionMode::Real);
+  const auto ref = core::fused_par_transform(p, clean, opt);
+  ASSERT_TRUE(ref.c.has_value());
+
+  Cluster faulty(fault_machine(4, 2), ExecutionMode::Real);
+  faulty.enable_recovery();
+  FaultInjector inj(31);
+  inj.schedule(node_kill_event(/*phase=*/7, /*domain=*/0));
+  FaultEvent rot;
+  rot.kind = FaultKind::CkptCorrupt;
+  rot.phase = 7;
+  rot.count = static_cast<std::size_t>(-1);  // every at-rest copy
+  rot.depth = 1;                             // newest generation only
+  inj.schedule(rot);
+  faulty.install_faults(inj);
+  const auto got = core::fused_par_transform(p, faulty, opt);
+  ASSERT_TRUE(got.c.has_value());
+
+  // The newest generation's carried C copies were rotted, so the dead
+  // node's C tiles came from the previous verified epoch — observably
+  // (fallback > 0), and still bit-exact (never zero-filled).
+  EXPECT_EQ(got.c->max_abs_diff(*ref.c), 0.0);
+  EXPECT_GT(got.stats.recovery_fallback_epochs, 0.0);
+  EXPECT_GT(got.stats.ckpt_verify_failures, 0.0);
+  const auto& reg = faulty.metrics();
+  EXPECT_GT(reg.sum("fault.ckpt_corrupts"), 0.0);
+  EXPECT_EQ(reg.sum("checkpoint.zero_fills"), 0.0);
+  // The rot that recovery did not consume is healed at the next
+  // checkpoint: carried-copy verification fails and the tile is
+  // rewritten fresh from the live array.
+  EXPECT_GT(reg.sum("checkpoint.scrub_repairs"), 0.0);
+}
+
+TEST(CheckpointStore, TornWriteNeverPublishesAPartialEpoch) {
+  Cluster cl(fault_machine(2, 2), ExecutionMode::Real);
+  runtime::CheckpointConfig cfg;
+  cfg.max_retries = 0;  // the first I/O fault is fatal, no retry
+  cl.enable_recovery(cfg);
+  std::vector<tensor::Tiling> dims = {tensor::Tiling(8, 2)};  // 4 tiles
+  ga::GlobalArray a(cl, "torn", dims);
+
+  auto write_all = [&](double base) {
+    return [&a, base](runtime::RankCtx& ctx) {
+      if (ctx.rank() != 0) return;
+      for (std::size_t t = 0; t < 4; ++t) {
+        std::vector<double> buf = {base + double(t), 0.0};
+        a.put(ctx, std::vector<std::size_t>{t}, buf.data());
+      }
+    };
+  };
+  cl.run_phase("w0", write_all(10.0));  // publishes generation 1
+  ASSERT_EQ(cl.checkpoints()->n_generations(), 1u);
+
+  FaultInjector inj(37);
+  FaultEvent io;
+  io.kind = FaultKind::CkptIo;
+  io.phase = 1;
+  io.count = 1;
+  inj.schedule(io);
+  cl.install_faults(inj);
+  // The phase body succeeds; the checkpoint write at its barrier is
+  // torn before the manifest is published and, with no retry budget,
+  // surfaces as CheckpointError — the previous epoch stays visible.
+  EXPECT_THROW(cl.run_phase("w1", write_all(20.0)), CheckpointError);
+  EXPECT_EQ(cl.checkpoints()->n_generations(), 1u);
+  EXPECT_EQ(cl.metrics().sum("checkpoint.io_faults"), 1.0);
+
+  // Recovery after the torn write restores the last *published* cut:
+  // the dead node's tiles (round-robin owners 2 and 3) come back with
+  // their w0 content, while survivor-held tiles keep the w1 values
+  // the aborted epoch never snapshotted.
+  cl.kill_domain(1);
+  cl.checkpoints()->restore_domain(std::vector<std::size_t>{2, 3});
+  for (std::size_t t = 0; t < 4; ++t)
+    EXPECT_DOUBLE_EQ(a.peek(std::vector<std::size_t>{2 * t}),
+                     (t < 2 ? 20.0 : 10.0) + double(t));
+}
+
+TEST(CheckpointStore, IoFaultsAreAbsorbedByBoundedRetry) {
+  Cluster cl(fault_machine(2, 2), ExecutionMode::Real);
+  cl.enable_recovery();  // default budget: 3 retries
+  std::vector<tensor::Tiling> dims = {tensor::Tiling(8, 2)};
+  ga::GlobalArray a(cl, "flaky-pfs", dims);
+
+  FaultInjector inj(41);
+  FaultEvent io;
+  io.kind = FaultKind::CkptIo;
+  io.phase = 0;
+  io.count = 2;  // two consecutive write attempts fail, the third lands
+  inj.schedule(io);
+  cl.install_faults(inj);
+  cl.run_phase("w0", [&](runtime::RankCtx& ctx) {
+    if (ctx.rank() != 0) return;
+    for (std::size_t t = 0; t < 4; ++t) {
+      std::vector<double> buf = {1.0 + double(t), 0.0};
+      a.put(ctx, std::vector<std::size_t>{t}, buf.data());
+    }
+  });
+  EXPECT_EQ(cl.checkpoints()->n_generations(), 1u);
+  EXPECT_EQ(cl.metrics().sum("checkpoint.io_faults"), 2.0);
+  EXPECT_EQ(cl.metrics().sum("checkpoint.io_retries"), 2.0);
+  EXPECT_GT(cl.sim_time(), 0.0);  // the backoff was charged, not free
+}
+
+TEST(CheckpointStore, ZeroFillOnlyWhenEveryGenerationIsBad) {
+  Cluster cl(fault_machine(2, 2), ExecutionMode::Real);
+  cl.enable_recovery();  // keeps 2 generations
+  std::vector<tensor::Tiling> dims = {tensor::Tiling(8, 2)};
+  ga::GlobalArray a(cl, "doomed", dims);
+  cl.run_phase("w0", [&](runtime::RankCtx& ctx) {
+    if (ctx.rank() != 0) return;
+    for (std::size_t t = 0; t < 4; ++t) {
+      std::vector<double> buf = {5.0 + double(t), 0.0};
+      a.put(ctx, std::vector<std::size_t>{t}, buf.data());
+    }
+  });
+  cl.run_phase("idle", [](runtime::RankCtx&) {});
+  ASSERT_EQ(cl.checkpoints()->n_generations(), 2u);
+
+  // Catastrophic rot: every copy in every retained generation.
+  cl.checkpoints()->inject_corruption(/*phase=*/2,
+                                      static_cast<std::size_t>(-1),
+                                      /*depth=*/2);
+  cl.kill_domain(1);
+  cl.checkpoints()->restore_domain(std::vector<std::size_t>{2, 3});
+
+  const auto& reg = cl.metrics();
+  const double dead_tiles = reg.sum("checkpoint.zero_fills");
+  EXPECT_GT(dead_tiles, 0.0);
+  // Both generations were tried and failed verification per tile.
+  EXPECT_EQ(reg.sum("checkpoint.verify_failures"), 2.0 * dead_tiles);
+  EXPECT_EQ(reg.sum("recovery.fallback_epochs"), 0.0);
+  // The loss is surfaced as zeros, never as stale or garbage data.
+  bool saw_zero = false;
+  for (std::size_t t = 0; t < 4; ++t)
+    if (a.tile_write_epoch(t) == 0) {
+      saw_zero = true;
+      EXPECT_DOUBLE_EQ(a.peek(std::vector<std::size_t>{2 * t}), 0.0);
+    }
+  EXPECT_TRUE(saw_zero);
+}
+
+TEST(CheckpointStore, ForgetDropsSnapshotsFromEveryGeneration) {
+  Cluster cl(fault_machine(2, 2), ExecutionMode::Real);
+  cl.enable_recovery();
+  auto a = std::make_unique<ga::GlobalArray>(
+      cl, "ephemeral", std::vector<tensor::Tiling>{tensor::Tiling(8, 2)});
+  cl.run_phase("w0", [&](runtime::RankCtx& ctx) {
+    if (ctx.rank() != 0) return;
+    for (std::size_t t = 0; t < 4; ++t) {
+      std::vector<double> buf = {1.0, 2.0};
+      a->put(ctx, std::vector<std::size_t>{t}, buf.data());
+    }
+  });
+  cl.run_phase("idle", [](runtime::RankCtx&) {});
+  ASSERT_EQ(cl.checkpoints()->n_generations(), 2u);
+  const double gc_before = cl.metrics().sum("checkpoint.gc_bytes");
+
+  // Destroying the array forgets its snapshots in *both* live
+  // generations; the freed store bytes are accounted as GC.
+  a.reset();
+  const double freed = cl.metrics().sum("checkpoint.gc_bytes") - gc_before;
+  EXPECT_DOUBLE_EQ(freed, 2.0 * 4 * 2 * 8.0);  // 2 gens x 4 tiles x 2 els
+
+  // The store still works after the forget: later arrays checkpoint
+  // and restore cleanly across the same generations.
+  ga::GlobalArray b(cl, "later",
+                    std::vector<tensor::Tiling>{tensor::Tiling(8, 2)});
+  cl.run_phase("w1", [&](runtime::RankCtx& ctx) {
+    if (ctx.rank() != 0) return;
+    for (std::size_t t = 0; t < 4; ++t) {
+      std::vector<double> buf = {9.0, 9.0};
+      b.put(ctx, std::vector<std::size_t>{t}, buf.data());
+    }
+  });
+  cl.kill_domain(1);
+  cl.checkpoints()->restore_domain(std::vector<std::size_t>{2, 3});
+  for (std::size_t t = 0; t < 4; ++t)
+    EXPECT_DOUBLE_EQ(b.peek(std::vector<std::size_t>{2 * t}), 9.0);
+}
+
+TEST(CheckpointStore, NeverWrittenTilesRestoreAsZerosUnderSteal) {
+  // A node dies right after arrays are created but before anything is
+  // written to them; under Balance::Steal the survivors adopt the dead
+  // queues. The never-written tiles restore as true zeros (no disk
+  // read, no zero-fill alarm) and the result is still bit-identical.
+  const auto p = small_problem();
+  core::ParOptions opt;
+  opt.tile = 4;
+  opt.tile_l = 4;
+  opt.balance = ga::Balance::Steal;
+
+  Cluster clean(fault_machine(4, 2), ExecutionMode::Real);
+  const auto ref = core::fused_par_transform(p, clean, opt);
+  ASSERT_TRUE(ref.c.has_value());
+
+  Cluster faulty(fault_machine(4, 2), ExecutionMode::Real);
+  faulty.enable_recovery();
+  FaultInjector inj(43);
+  // Boundary of slice 1's c1: O1_l exists but is entirely unwritten.
+  inj.schedule(node_kill_event(/*phase=*/6, /*domain=*/2));
+  faulty.install_faults(inj);
+  const auto got = core::fused_par_transform(p, faulty, opt);
+  ASSERT_TRUE(got.c.has_value());
+
+  EXPECT_EQ(got.c->max_abs_diff(*ref.c), 0.0);
+  const auto& reg = faulty.metrics();
+  EXPECT_EQ(reg.sum("checkpoint.zero_fills"), 0.0);
+  EXPECT_GT(reg.sum("sched.claims"), 0.0);
 }
 
 // ---- seeded stress matrix (CI fault-matrix job) ---------------------

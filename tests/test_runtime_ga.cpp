@@ -321,6 +321,38 @@ TEST(GlobalArray, ReassignOwnerMovesTilesToSurvivors) {
               dead_used + 8.0 * 4, 1e-9);  // its own tile + the moved one
 }
 
+TEST(GlobalArray, ReassignOwnersIsCapacityAware) {
+  // Survivors carry very different loads: a ballast array pins most of
+  // rank 1's memory, so a dead rank's tiles must land on the emptier
+  // survivors instead of being dealt round-robin onto the full one.
+  Cluster cl(tiny_machine(1, 4, 1e6), ExecutionMode::Real);
+  auto to_rank1 = [](std::span<const std::size_t>, std::size_t) {
+    return std::size_t{1};
+  };
+  std::vector<tensor::Tiling> big = {tensor::Tiling(4096, 4096)};
+  ga::GlobalArray ballast(cl, "ballast", big, {}, to_rank1);
+  ASSERT_GT(cl.memory(1).used(), cl.memory(0).used());
+
+  std::vector<tensor::Tiling> dims = {tensor::Tiling(32, 4)};  // 8 tiles
+  ga::GlobalArray a(cl, "mv", dims);  // round-robin: 2 tiles per rank
+  ASSERT_EQ(a.tiles_of(2).size(), 2u);
+  const double used0 = cl.memory(0).used();
+  const double used3 = cl.memory(3).used();
+
+  const std::vector<std::size_t> targets = {0, 1, 3};
+  const auto moved = a.reassign_owners(std::vector<std::size_t>{2}, targets);
+  ASSERT_EQ(moved.size(), 2u);
+  for (const std::size_t idx : moved) {
+    const std::size_t owner = a.tile_by_index(idx).owner;
+    EXPECT_NE(owner, 1u);  // never the loaded survivor
+    EXPECT_NE(owner, 2u);
+  }
+  // The two orphans spread across the two empty survivors (placement
+  // re-reads free space after every move) instead of stacking.
+  EXPECT_NEAR(cl.memory(0).used(), used0 + 8.0 * 4, 1e-9);
+  EXPECT_NEAR(cl.memory(3).used(), used3 + 8.0 * 4, 1e-9);
+}
+
 }  // namespace
 
 // ---- Disk spilling (Sec. 3 motivation) -------------------------------
