@@ -115,4 +115,31 @@ std::string to_string(const Plan& plan) {
   return oss.str();
 }
 
+BalancePick choose_balance(const runtime::Cluster& cluster,
+                           const ga::TaskCounter& counter,
+                           std::span<const double> cost_s,
+                           std::span<const std::size_t> owner,
+                           std::size_t batch) {
+  // Candidates in tie-break order: the simpler mechanism wins when the
+  // modeled makespans are equal (Static beats everything it ties —
+  // dynamic balancing must *pay* for its scheduling traffic).
+  static constexpr ga::Balance kCandidates[] = {
+      ga::Balance::Static,  ga::Balance::Batched, ga::Balance::PerNode,
+      ga::Balance::Tree,    ga::Balance::Steal,   ga::Balance::Counter,
+  };
+  BalancePick pick;
+  pick.batch = batch;
+  double best = std::numeric_limits<double>::infinity();
+  for (ga::Balance b : kCandidates) {
+    ga::TaskPlan plan =
+        ga::plan_tasks(cluster, b, counter, cost_s, owner, batch);
+    if (plan.makespan_s < best) {
+      best = plan.makespan_s;
+      pick.balance = b;
+      pick.plan = std::move(plan);
+    }
+  }
+  return pick;
+}
+
 }  // namespace fit::core

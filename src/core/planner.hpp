@@ -15,16 +15,19 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "bounds/transform_bounds.hpp"
 #include "core/problem.hpp"
+#include "ga/task_counter.hpp"
 #include "runtime/machine.hpp"
 
 /// \file
 /// \brief Lower-bounds-guided fusion planning (Sec. 5/6 conditions,
-/// Thm 5.2 selection order, and the Sec. 7.4 cluster-level hybrid).
+/// Thm 5.2 selection order, the Sec. 7.4 cluster-level hybrid, and
+/// the per-phase balance-mode chooser behind ga::Balance::Auto.
 
 namespace fit::core {
 
@@ -97,5 +100,31 @@ ClusterPlan plan_for_cluster(const Problem& p,
 
 /// Render a plan as a printable table (used by examples/benches).
 std::string to_string(const Plan& plan);
+
+/// The per-phase verdict behind ga::Balance::Auto.
+struct BalancePick {
+  /// The winning fixed mode (never Auto).
+  ga::Balance balance = ga::Balance::Static;
+  /// Dequeue granularity the candidates were planned with (the caller's
+  /// batch, or 0 when plan_tasks derived it from the auto rule).
+  std::size_t batch = 0;
+  /// The winning mode's claim plan, ready to replay — choosing and
+  /// planning are one pass, so Auto never pays a second DES run.
+  ga::TaskPlan plan;
+};
+
+/// Choose the cheapest balance mode for one claimed phase from the
+/// alpha-beta cost model: runs ga::plan_tasks for every fixed mode on
+/// the phase's cost estimates and picks the least simulated makespan
+/// (TaskPlan::makespan_s). Ties prefer the simpler mechanism, in the
+/// order Static, Batched, PerNode, Tree, Steal, Counter — so Auto
+/// degenerates to Static whenever dynamic balancing cannot pay for its
+/// own scheduling traffic. `batch` is forwarded to plan_tasks
+/// (0 = the claims-per-rank auto rule).
+BalancePick choose_balance(const runtime::Cluster& cluster,
+                           const ga::TaskCounter& counter,
+                           std::span<const double> cost_s,
+                           std::span<const std::size_t> owner,
+                           std::size_t batch = 0);
 
 }  // namespace fit::core

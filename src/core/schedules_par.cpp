@@ -12,9 +12,12 @@
 #include "blas/tune.hpp"
 #include "bounds/transform_bounds.hpp"
 #include "core/sym_tile.hpp"
+#include "core/planner.hpp"
 #include "tensor/pairs.hpp"
 #include "tensor/tiling.hpp"
 #include "util/format.hpp"
+#include "util/logging.hpp"
+#include "util/parse.hpp"
 #include "util/timer.hpp"
 
 namespace fit::core {
@@ -57,8 +60,10 @@ struct Par {
   // finish() can report this run's deltas in ParStats.
   obs::MetricsRegistry::Id id_sched_claims, id_sched_steals,
       id_sched_counter_waits, id_sched_counter_wait_s, id_sched_orphans,
-      id_sched_reowns, id_sched_worst;
-  double sched_claims0 = 0, sched_steals0 = 0, sched_wait0 = 0;
+      id_sched_reowns, id_sched_worst, id_sched_fetches, id_sched_hops,
+      id_sched_occupancy;
+  double sched_claims0 = 0, sched_steals0 = 0, sched_wait0 = 0,
+         sched_fetches0 = 0, sched_hops0 = 0;
   // Fault/recovery activity baselines, same delta pattern: finish()
   // reports how much checkpoint fallback and domain killing this run
   // itself absorbed.
@@ -85,9 +90,20 @@ struct Par {
     id_sched_orphans = reg.counter("sched.orphans_adopted");
     id_sched_reowns = reg.counter("sched.counter_reowns");
     id_sched_worst = reg.gauge("sched.worst_imbalance");
+    id_sched_fetches = reg.counter("sched.counter_fetches");
+    id_sched_hops = reg.counter("sched.tree_hops");
+    id_sched_occupancy = reg.gauge("sched.counter_batch_occupancy");
     sched_claims0 = reg.sum("sched.claims");
     sched_steals0 = reg.sum("sched.steals");
     sched_wait0 = reg.sum("sched.counter_wait_s");
+    sched_fetches0 = reg.sum("sched.counter_fetches");
+    sched_hops0 = reg.sum("sched.tree_hops");
+    // Session-level overrides: the strategy itself and the batched /
+    // tree dequeue granularity (0 keeps the claims-per-rank rule).
+    opt.balance = ga::balance_from_env(opt.balance);
+    opt.counter_batch =
+        util::env_size("FOURINDEX_COUNTER_BATCH", opt.counter_batch,
+                       /*min=*/0);
     reg.counter("recovery.fallback_epochs");  // get-or-create
     reg.counter("checkpoint.verify_failures");
     reg.counter("fault.domain_kills");
@@ -181,7 +197,7 @@ void run_claimed_phase(
     const std::function<std::size_t(std::size_t)>& owner_of,
     const std::function<double(std::size_t)>& cost_of,
     const std::function<void(RankCtx&, std::size_t)>& body) {
-  const ga::Balance mode = par.opt.balance;
+  ga::Balance mode = par.opt.balance;
   std::vector<std::size_t> owner(n_tasks);
   for (std::size_t t = 0; t < n_tasks; ++t) owner[t] = owner_of(t);
   std::vector<double> cost;
@@ -190,8 +206,21 @@ void run_claimed_phase(
     for (std::size_t t = 0; t < n_tasks; ++t) cost[t] = cost_of(t);
   }
   ga::TaskCounter counter(par.cl, label);
-  const ga::TaskPlan plan =
-      ga::plan_tasks(par.cl, mode, counter, cost, owner);
+  ga::TaskPlan plan;
+  if (mode == ga::Balance::Auto) {
+    // Planner-chosen mode: evaluate every fixed mode's claim DES on
+    // this phase's cost estimates and replay the cheapest.
+    BalancePick pick = choose_balance(par.cl, counter, cost, owner,
+                                      par.opt.counter_batch);
+    mode = pick.balance;
+    plan = std::move(pick.plan);
+    FIT_LOG_DEBUG(label << ": auto balance picked "
+                        << ga::to_string(mode) << " (makespan "
+                        << plan.makespan_s << " s)");
+  } else {
+    plan = ga::plan_tasks(par.cl, mode, counter, cost, owner,
+                          par.opt.counter_batch);
+  }
   auto& reg = par.cl.metrics();
   par.cl.run_phase(label, [&](RankCtx& ctx) {
     for (std::size_t nom = 0; nom < plan.claims.size(); ++nom) {
@@ -206,10 +235,17 @@ void run_claimed_phase(
                 static_cast<double>(plan.claims[nom].size()));
       }
       for (const ga::TaskClaim& claim : plan.claims[nom]) {
-        if (mode == ga::Balance::Counter) {
-          counter.charge_fetch_add(ctx, claim.wait_s);
+        if (claim.fetched) {
+          // One fetch-and-add against the claim's counter, whose live
+          // host is re-resolved through Cluster::live_owner — a dead
+          // counter home (flat, per-node or tree) re-targets here.
+          counter.charge_fetch_add(ctx, claim.home, claim.wait_s);
           reg.add(par.id_sched_counter_waits, ctx.rank(), 1);
           reg.add(par.id_sched_counter_wait_s, ctx.rank(), claim.wait_s);
+          if (claim.task != ga::TaskClaim::kNone)
+            reg.add(par.id_sched_fetches, ctx.rank(), 1);
+          if (claim.hops > 0)
+            reg.add(par.id_sched_hops, ctx.rank(), claim.hops);
         } else if (claim.stolen) {
           const std::size_t victim = par.cl.live_owner(claim.peer);
           ctx.charge_transfer(victim, 8.0);  // steal request
@@ -227,9 +263,16 @@ void run_claimed_phase(
       }
     }
   });
-  if (mode == ga::Balance::Counter &&
-      par.cl.live_owner(plan.counter_owner) != plan.counter_owner)
-    reg.add(par.id_sched_reowns, 0, 1);
+  // Count counters whose planned host is no longer what live_owner
+  // resolves to — those fetches were re-homed mid-phase (flat counter,
+  // per-node counters and tree nodes all re-own independently).
+  for (std::size_t i = 0; i < plan.counter_homes.size(); ++i)
+    if (par.cl.live_owner(plan.counter_homes[i]) != plan.counter_owners[i])
+      reg.add(par.id_sched_reowns, 0, 1);
+  if (plan.n_fetches > 0)
+    reg.set(par.id_sched_occupancy, 0,
+            static_cast<double>(plan.n_tasks) /
+                static_cast<double>(plan.n_fetches));
 }
 
 /// Task list for a tile-parallel phase: every existing tile of `out`,
@@ -595,6 +638,9 @@ ParResult finish(Par& par, const char* name,
   r.stats.sched_steals = reg.sum("sched.steals") - par.sched_steals0;
   r.stats.sched_counter_wait_s =
       reg.sum("sched.counter_wait_s") - par.sched_wait0;
+  r.stats.sched_counter_fetches =
+      reg.sum("sched.counter_fetches") - par.sched_fetches0;
+  r.stats.sched_tree_hops = reg.sum("sched.tree_hops") - par.sched_hops0;
   r.stats.recovery_fallback_epochs =
       reg.sum("recovery.fallback_epochs") - par.fallback0;
   r.stats.ckpt_verify_failures =

@@ -78,10 +78,19 @@ struct ParOptions {
   /// through a modeled shared fetch-and-add counter (paying round
   /// trips and contention at its host rank); Steal seeds per-rank
   /// queues from the static map and steals from the heaviest surviving
-  /// rank when a queue drains. All three produce bit-identical Real-
-  /// mode results (each output tile is written by exactly one task per
-  /// phase); only the modeled time, traffic and sched.* metrics move.
+  /// rank when a queue drains. Batched / PerNode / Tree are the
+  /// counter's contention mitigations (see ga::Balance), and Auto lets
+  /// the planner pick the cheapest mode per phase from the alpha-beta
+  /// cost model (core::choose_balance). Every mode produces
+  /// bit-identical Real-mode results (each output tile is written by
+  /// exactly one task per phase); only the modeled time, traffic and
+  /// sched.* metrics move. Overridable via FOURINDEX_BALANCE.
   ga::Balance balance = ga::Balance::Static;
+  /// Dequeue granularity for Balance::Batched / Tree (tasks per
+  /// fetch-and-add at the leaf level). 0 = derive from the
+  /// claims-per-rank rule (ga::auto_batch: ~8 fetches per live rank,
+  /// clamped to [1, 64]). Overridable via FOURINDEX_COUNTER_BATCH.
+  std::size_t counter_batch = 0;
 };
 
 /// What a distributed schedule did: modeled time, modeled traffic, and
@@ -121,6 +130,12 @@ struct ParStats {
   /// Seconds spent queued at the task counter during this run (zero
   /// under Balance::Static).
   double sched_counter_wait_s = 0;
+  /// Fetch-and-adds that returned work during this run (counter
+  /// modes); sched_claims / sched_counter_fetches is the realized
+  /// batch occupancy.
+  double sched_counter_fetches = 0;
+  /// Tree-refill ascents performed during this run (Balance::Tree).
+  double sched_tree_hops = 0;
   /// Generations the checkpoint restore walked past the newest one
   /// during this run (zero when every restore came from the newest
   /// intact epoch).

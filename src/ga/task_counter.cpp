@@ -1,11 +1,14 @@
 #include "ga/task_counter.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <functional>
 #include <queue>
 #include <utility>
 
 #include "util/error.hpp"
 #include "util/hash.hpp"
+#include "util/logging.hpp"
 
 namespace fit::ga {
 
@@ -24,6 +27,36 @@ double control_one_way_s(const runtime::Cluster& cl, std::size_t a,
   return m.net_latency_s + kControlBytes / m.net_bandwidth_bps;
 }
 
+/// Min-heap of (virtual clock, rank): the deterministic next claimer,
+/// ties broken toward the lowest rank id.
+using Event = std::pair<double, std::size_t>;
+using EventQueue =
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>;
+
+EventQueue live_rank_queue(const runtime::Cluster& cluster) {
+  EventQueue pq;
+  for (std::size_t r = 0; r < cluster.n_ranks(); ++r)
+    if (!cluster.is_dead(r)) pq.emplace(0.0, r);
+  FIT_REQUIRE(!pq.empty(), "plan_tasks: no live ranks");
+  return pq;
+}
+
+std::size_t live_count(const runtime::Cluster& cluster) {
+  std::size_t live = 0;
+  for (std::size_t r = 0; r < cluster.n_ranks(); ++r)
+    if (!cluster.is_dead(r)) ++live;
+  return live;
+}
+
+/// Record one queue-and-service round at a counter whose serial free
+/// time is `counter_free`: returns the service completion time and
+/// advances the free time.
+double serve(double arrival, double& counter_free, double service) {
+  const double start = std::max(arrival, counter_free);
+  counter_free = start + service;
+  return counter_free;
+}
+
 }  // namespace
 
 const char* to_string(Balance b) {
@@ -34,8 +67,44 @@ const char* to_string(Balance b) {
       return "counter";
     case Balance::Steal:
       return "steal";
+    case Balance::Batched:
+      return "batched";
+    case Balance::PerNode:
+      return "pernode";
+    case Balance::Tree:
+      return "tree";
+    case Balance::Auto:
+      return "auto";
   }
   return "?";
+}
+
+std::optional<Balance> parse_balance(std::string_view name) {
+  for (Balance b :
+       {Balance::Static, Balance::Counter, Balance::Steal, Balance::Batched,
+        Balance::PerNode, Balance::Tree, Balance::Auto})
+    if (name == to_string(b)) return b;
+  return std::nullopt;
+}
+
+Balance balance_from_env(Balance fallback) {
+  const char* env = std::getenv("FOURINDEX_BALANCE");
+  if (!env) return fallback;
+  if (const auto b = parse_balance(env)) return *b;
+  FIT_LOG_WARN("ignoring invalid FOURINDEX_BALANCE='"
+               << env
+               << "' (want static|counter|steal|batched|pernode|tree|auto); "
+                  "using '"
+               << to_string(fallback) << "'");
+  return fallback;
+}
+
+std::size_t auto_batch(std::size_t n_tasks, std::size_t live_ranks) {
+  if (live_ranks == 0) return 1;
+  // ~8 fetches per rank: coarse enough to collapse the contention
+  // queue, fine enough that the tail is still rebalanced.
+  const std::size_t k = n_tasks / (8 * live_ranks);
+  return std::clamp<std::size_t>(k, 1, 64);
 }
 
 TaskCounter::TaskCounter(runtime::Cluster& cluster, const std::string& name)
@@ -44,7 +113,8 @@ TaskCounter::TaskCounter(runtime::Cluster& cluster, const std::string& name)
       // home, and with it every simulated timing, differ between
       // standard libraries.
       home_(static_cast<std::size_t>(util::fnv1a(name)) %
-            cluster.n_ranks()) {}
+            cluster.n_ranks()),
+      name_hash_(util::fnv1a(name)) {}
 
 std::size_t TaskCounter::owner() const {
   // live_owner walks to the next live rank cyclically, so the counter
@@ -54,8 +124,34 @@ std::size_t TaskCounter::owner() const {
   return cluster_.live_owner(home_);
 }
 
+std::size_t TaskCounter::domain_home(std::size_t d) const {
+  const auto& dm = cluster_.domains();
+  FIT_REQUIRE(d < dm.n_domains(), "domain_home: domain out of range");
+  return dm.lo(d) +
+         static_cast<std::size_t>(util::fnv1a_u64(d, name_hash_)) %
+             dm.size(d);
+}
+
+std::size_t TaskCounter::tree_home(std::size_t level,
+                                   std::size_t group) const {
+  FIT_REQUIRE(level >= 1, "tree_home: levels start at 1");
+  const std::size_t lo = group << level;
+  FIT_REQUIRE(lo < cluster_.n_ranks(), "tree_home: group out of range");
+  const std::size_t hi =
+      std::min<std::size_t>(lo + (std::size_t{1} << level),
+                            cluster_.n_ranks());
+  return lo + static_cast<std::size_t>(
+                  util::fnv1a_u64(group, util::fnv1a_u64(level,
+                                                         name_hash_))) %
+                  (hi - lo);
+}
+
 double TaskCounter::one_way_s(std::size_t rank) const {
   return control_one_way_s(cluster_, rank, owner());
+}
+
+double TaskCounter::one_way_s(std::size_t a, std::size_t b) const {
+  return control_one_way_s(cluster_, a, b);
 }
 
 double TaskCounter::service_s() const {
@@ -68,83 +164,273 @@ double TaskCounter::service_s() const {
 
 void TaskCounter::charge_fetch_add(runtime::RankCtx& ctx,
                                    double wait_s) const {
-  const std::size_t host = owner();
+  charge_fetch_add(ctx, home_, wait_s);
+}
+
+void TaskCounter::charge_fetch_add(runtime::RankCtx& ctx, std::size_t home,
+                                   double wait_s) const {
+  const std::size_t host = cluster_.live_owner(home);
   ctx.charge_transfer(host, kControlBytes);  // request
   ctx.stall(wait_s);                         // queueing + service
   ctx.charge_transfer(host, kControlBytes);  // reply (the ticket)
 }
 
-TaskPlan plan_tasks(const runtime::Cluster& cluster, Balance balance,
-                    const TaskCounter& counter,
-                    std::span<const double> cost_s,
-                    std::span<const std::size_t> owner) {
-  const std::size_t nranks = cluster.n_ranks();
-  const std::size_t n = owner.size();
-  TaskPlan plan;
-  plan.balance = balance;
-  plan.n_tasks = n;
-  plan.claims.assign(nranks, {});
+namespace {
 
-  if (balance == Balance::Static) {
-    // The owner map *is* the plan: each task on its static owner, in
-    // canonical order, no scheduling traffic — bit-identical to the
-    // historical owner-filtered loops.
-    for (std::size_t t = 0; t < n; ++t) {
-      TaskClaim c;
-      c.task = t;
-      plan.claims[owner[t]].push_back(c);
-    }
-    return plan;
-  }
-
-  FIT_REQUIRE(cost_s.size() == n, "plan_tasks: cost/owner size mismatch");
-
-  // Virtual clocks of the live ranks drive the discrete-event
-  // simulation; (clock, rank) min-heap gives a deterministic next
-  // claimer (ties broken toward the lowest rank id).
-  using Event = std::pair<double, std::size_t>;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> pq;
-  for (std::size_t r = 0; r < nranks; ++r)
-    if (!cluster.is_dead(r)) pq.emplace(0.0, r);
-  FIT_REQUIRE(!pq.empty(), "plan_tasks: no live ranks");
-
-  if (balance == Balance::Counter) {
-    plan.counter_owner = counter.owner();
-    std::vector<double> one_way(nranks, 0.0);
-    for (std::size_t r = 0; r < nranks; ++r)
-      one_way[r] = counter.one_way_s(r);
-    const double service = counter.service_s();
-    double counter_free = 0.0;
-    std::size_t next = 0;
-    while (!pq.empty()) {
-      const auto [clk, r] = pq.top();
-      pq.pop();
-      // Request travels to the host, queues behind earlier
-      // fetch-and-adds, is serviced, and the ticket travels back.
-      const double arrival = clk + one_way[r];
-      const double start = std::max(arrival, counter_free);
-      counter_free = start + service;
-      TaskClaim c;
-      c.wait_s = (start + service) - arrival;
-      c.peer = plan.counter_owner;
-      plan.total_wait_s += c.wait_s;
-      plan.max_wait_s = std::max(plan.max_wait_s, c.wait_s);
-      const double back = counter_free + one_way[r];
-      if (next < n) {
-        c.task = next++;
-        plan.claims[r].push_back(c);
-        pq.emplace(back + cost_s[c.task], r);
-      } else {
-        // Terminal empty fetch: how a rank learns the work ran out.
-        plan.claims[r].push_back(c);
+/// Shared DES for the flat counter (k == 1) and its batched variant:
+/// each fetch-and-add claims up to k consecutive tasks, so the round
+/// trip and the contention queue are amortized over the whole batch.
+void plan_flat_counter(const runtime::Cluster& cluster,
+                       const TaskCounter& counter,
+                       std::span<const double> cost_s, std::size_t k,
+                       TaskPlan& plan) {
+  const std::size_t n = plan.n_tasks;
+  const std::size_t home = counter.home();
+  const std::size_t host = counter.owner();
+  plan.counter_homes = {home};
+  plan.counter_owners = {host};
+  std::vector<double> one_way(cluster.n_ranks(), 0.0);
+  for (std::size_t r = 0; r < cluster.n_ranks(); ++r)
+    one_way[r] = counter.one_way_s(r, host);
+  const double service = counter.service_s();
+  double counter_free = 0.0;
+  std::size_t next = 0;
+  EventQueue pq = live_rank_queue(cluster);
+  while (!pq.empty()) {
+    const auto [clk, r] = pq.top();
+    pq.pop();
+    // Request travels to the host, queues behind earlier
+    // fetch-and-adds, is serviced, and the ticket travels back.
+    const double arrival = clk + one_way[r];
+    const double done = serve(arrival, counter_free, service);
+    const double wait = done - arrival;
+    const double back = done + one_way[r];
+    plan.total_wait_s += wait;
+    plan.max_wait_s = std::max(plan.max_wait_s, wait);
+    TaskClaim c;
+    c.wait_s = wait;
+    c.peer = host;
+    c.home = home;
+    c.fetched = true;
+    if (next < n) {
+      const std::size_t take = std::min(k, n - next);
+      ++plan.n_fetches;
+      double batch_cost = 0;
+      c.task = next;
+      plan.claims[r].push_back(c);
+      batch_cost += cost_s[next];
+      for (std::size_t i = 1; i < take; ++i) {
+        TaskClaim tail;  // rides the head's ticket: no fetch, no wait
+        tail.task = next + i;
+        plan.claims[r].push_back(tail);
+        batch_cost += cost_s[next + i];
       }
+      next += take;
+      pq.emplace(back + batch_cost, r);
+    } else {
+      // Terminal empty fetch: how a rank learns the work ran out.
+      plan.claims[r].push_back(c);
+      plan.makespan_s = std::max(plan.makespan_s, back);
     }
-    return plan;
   }
+}
 
-  // Balance::Steal: queues seeded from the static map (dead owners'
-  // tasks land directly on the survivor that adopted them), local
-  // pops free, steals from the heaviest remaining queue.
+/// One counter per failure domain, each serving a contiguous range of
+/// the task list sized by the domain's live rank share; a rank whose
+/// node's range drains refetches from the fullest remaining node's
+/// counter across the network.
+void plan_per_node(const runtime::Cluster& cluster,
+                   const TaskCounter& counter,
+                   std::span<const double> cost_s, TaskPlan& plan) {
+  const std::size_t n = plan.n_tasks;
+  const auto& dm = cluster.domains();
+  const std::size_t nd = dm.n_domains();
+  std::vector<std::size_t> live_in(nd, 0);
+  std::size_t total_live = 0;
+  for (std::size_t r = 0; r < cluster.n_ranks(); ++r)
+    if (!cluster.is_dead(r)) {
+      ++live_in[dm.domain_of(r)];
+      ++total_live;
+    }
+  FIT_REQUIRE(total_live > 0, "plan_tasks: no live ranks");
+  // Contiguous proportional split of [0, n): domain d serves
+  // [begin[d], begin[d+1]), sized by its live-rank share (largest
+  // cumulative rounding, so the split is exact and deterministic).
+  std::vector<std::size_t> begin(nd + 1, 0);
+  std::size_t cum_live = 0;
+  for (std::size_t d = 0; d < nd; ++d) {
+    cum_live += live_in[d];
+    begin[d + 1] = n * cum_live / total_live;
+  }
+  std::vector<std::size_t> next(nd), end(nd), home(nd), host(nd);
+  std::vector<double> free(nd, 0.0);
+  for (std::size_t d = 0; d < nd; ++d) {
+    next[d] = begin[d];
+    end[d] = begin[d + 1];
+    home[d] = counter.domain_home(d);
+    host[d] = cluster.live_owner(home[d]);
+    if (live_in[d] > 0) {
+      plan.counter_homes.push_back(home[d]);
+      plan.counter_owners.push_back(host[d]);
+    }
+  }
+  const double service = counter.service_s();
+  EventQueue pq = live_rank_queue(cluster);
+  while (!pq.empty()) {
+    const auto [clk, r] = pq.top();
+    pq.pop();
+    const std::size_t d0 = dm.domain_of(r);
+    // Own node's counter while it has range left; then the fullest
+    // remaining node's counter (ties toward the lowest domain id);
+    // the terminal empty fetch goes to the (drained) home counter.
+    std::size_t d = d0;
+    if (next[d0] >= end[d0]) {
+      std::size_t best = nd;
+      for (std::size_t v = 0; v < nd; ++v) {
+        if (next[v] >= end[v]) continue;
+        if (best == nd || end[v] - next[v] > end[best] - next[best])
+          best = v;
+      }
+      if (best != nd) d = best;
+    }
+    const double ow = counter.one_way_s(r, host[d]);
+    const double arrival = clk + ow;
+    const double done = serve(arrival, free[d], service);
+    const double wait = done - arrival;
+    const double back = done + ow;
+    plan.total_wait_s += wait;
+    plan.max_wait_s = std::max(plan.max_wait_s, wait);
+    TaskClaim c;
+    c.wait_s = wait;
+    c.peer = host[d];
+    c.home = home[d];
+    c.fetched = true;
+    if (next[d] < end[d]) {
+      c.task = next[d]++;
+      ++plan.n_fetches;
+      plan.claims[r].push_back(c);
+      pq.emplace(back + cost_s[c.task], r);
+    } else {
+      plan.claims[r].push_back(c);
+      plan.makespan_s = std::max(plan.makespan_s, back);
+    }
+  }
+}
+
+/// Log-depth fetch-and-add fan-in: ranks fetch single tasks from
+/// their level-1 node; a drained node refills from its parent in
+/// blocks that double per level, so the root sees exponentially fewer
+/// requests than a flat counter would.
+void plan_tree(const runtime::Cluster& cluster, const TaskCounter& counter,
+               std::span<const double> cost_s, std::size_t k,
+               TaskPlan& plan) {
+  const std::size_t n = plan.n_tasks;
+  const std::size_t nranks = cluster.n_ranks();
+  std::size_t levels = 1;
+  while ((std::size_t{1} << levels) < nranks) ++levels;
+
+  struct Node {
+    std::size_t lo = 0, hi = 0;  // current task block [lo, hi)
+    double free = 0;             // serial service point
+    std::size_t home = 0, host = 0;
+  };
+  // nodes[l - 1][g]: the level-l node over ranks [g*2^l, (g+1)*2^l).
+  std::vector<std::vector<Node>> nodes(levels);
+  for (std::size_t l = 1; l <= levels; ++l) {
+    const std::size_t groups = (nranks + (std::size_t{1} << l) - 1) >> l;
+    nodes[l - 1].resize(groups);
+    for (std::size_t g = 0; g < groups; ++g) {
+      Node& nd = nodes[l - 1][g];
+      nd.home = counter.tree_home(l, g);
+      nd.host = cluster.live_owner(nd.home);
+      plan.counter_homes.push_back(nd.home);
+      plan.counter_owners.push_back(nd.host);
+    }
+  }
+  nodes[levels - 1][0].hi = n;  // the root owns the whole task range
+
+  const double service = counter.service_s();
+  // Refill granularity doubles per level: a level-l node asks its
+  // parent for k * 2^(l-1) tasks at a time, so each level absorbs
+  // half of the level below's request stream.
+  const auto refill_of = [k](std::size_t level) {
+    return k << (level - 1);
+  };
+  // Serve a block request of up to `want` tasks at node (level, g) for
+  // a request arriving at `t`, ascending for a refill if the node's
+  // block is dry. Returns the granted range; `done` is the service
+  // completion time at this node, `hops` counts refill ascents.
+  const std::function<std::pair<std::size_t, std::size_t>(
+      std::size_t, std::size_t, double, std::size_t, double&,
+      std::uint32_t&)>
+      fetch_block = [&](std::size_t level, std::size_t g, double t,
+                        std::size_t want, double& done,
+                        std::uint32_t& hops) {
+        Node& nd = nodes[level - 1][g];
+        double start = std::max(t, nd.free);
+        if (nd.lo == nd.hi && level < levels) {
+          ++hops;
+          Node& parent = nodes[level][g >> 1];
+          const double t_up =
+              start + counter.one_way_s(nd.host, parent.host);
+          double parent_done = 0;
+          const auto blk = fetch_block(level + 1, g >> 1, t_up,
+                                       refill_of(level), parent_done,
+                                       hops);
+          nd.lo = blk.first;
+          nd.hi = blk.second;
+          start = std::max(
+              start, parent_done + counter.one_way_s(parent.host, nd.host));
+        }
+        done = serve(start, nd.free, service);
+        const std::size_t take = std::min(want, nd.hi - nd.lo);
+        const std::size_t lo = nd.lo;
+        nd.lo += take;
+        return std::make_pair(lo, lo + take);
+      };
+
+  EventQueue pq = live_rank_queue(cluster);
+  while (!pq.empty()) {
+    const auto [clk, r] = pq.top();
+    pq.pop();
+    const std::size_t g = r >> 1;
+    const Node& leaf = nodes[0][g];
+    const double ow = counter.one_way_s(r, leaf.host);
+    const double arrival = clk + ow;
+    double done = 0;
+    std::uint32_t hops = 0;
+    const auto blk = fetch_block(1, g, arrival, 1, done, hops);
+    const double wait = done - arrival;
+    const double back = done + ow;
+    plan.total_wait_s += wait;
+    plan.max_wait_s = std::max(plan.max_wait_s, wait);
+    plan.tree_hops += hops;
+    TaskClaim c;
+    c.wait_s = wait;
+    c.peer = leaf.host;
+    c.home = leaf.home;
+    c.fetched = true;
+    c.hops = hops;
+    if (blk.first < blk.second) {
+      c.task = blk.first;
+      ++plan.n_fetches;
+      plan.claims[r].push_back(c);
+      pq.emplace(back + cost_s[c.task], r);
+    } else {
+      plan.claims[r].push_back(c);
+      plan.makespan_s = std::max(plan.makespan_s, back);
+    }
+  }
+}
+
+/// Balance::Steal: queues seeded from the static map (dead owners'
+/// tasks land directly on the survivor that adopted them), local pops
+/// free, steals from the heaviest remaining queue.
+void plan_steal(const runtime::Cluster& cluster,
+                std::span<const double> cost_s,
+                std::span<const std::size_t> owner, TaskPlan& plan) {
+  const std::size_t n = plan.n_tasks;
+  const std::size_t nranks = cluster.n_ranks();
   std::vector<std::vector<std::size_t>> queue(nranks);
   std::vector<std::size_t> head(nranks, 0);
   std::vector<double> remaining(nranks, 0.0);
@@ -153,6 +439,7 @@ TaskPlan plan_tasks(const runtime::Cluster& cluster, Balance balance,
     queue[r].push_back(t);
     remaining[r] += cost_s[t];
   }
+  EventQueue pq = live_rank_queue(cluster);
   while (!pq.empty()) {
     const auto [clk, r] = pq.top();
     pq.pop();
@@ -173,7 +460,10 @@ TaskPlan plan_tasks(const runtime::Cluster& cluster, Balance balance,
       if (victim == TaskClaim::kNone || remaining[v] > remaining[victim])
         victim = v;
     }
-    if (victim == TaskClaim::kNone) continue;  // all queues empty: done
+    if (victim == TaskClaim::kNone) {  // all queues empty: done
+      plan.makespan_s = std::max(plan.makespan_s, clk);
+      continue;
+    }
     const std::size_t t = queue[victim].back();
     queue[victim].pop_back();
     remaining[victim] -= cost_s[t];
@@ -185,6 +475,66 @@ TaskPlan plan_tasks(const runtime::Cluster& cluster, Balance balance,
     ++plan.n_steals;
     const double rtt = 2.0 * control_one_way_s(cluster, r, victim);
     pq.emplace(clk + rtt + cost_s[t], r);
+  }
+}
+
+}  // namespace
+
+TaskPlan plan_tasks(const runtime::Cluster& cluster, Balance balance,
+                    const TaskCounter& counter,
+                    std::span<const double> cost_s,
+                    std::span<const std::size_t> owner,
+                    std::size_t batch) {
+  const std::size_t nranks = cluster.n_ranks();
+  const std::size_t n = owner.size();
+  TaskPlan plan;
+  plan.balance = balance;
+  plan.n_tasks = n;
+  plan.claims.assign(nranks, {});
+  FIT_REQUIRE(balance != Balance::Auto,
+              "plan_tasks: Balance::Auto must be resolved by the caller "
+              "(core::choose_balance)");
+
+  if (balance == Balance::Static) {
+    // The owner map *is* the plan: each task on its static owner, in
+    // canonical order, no scheduling traffic — bit-identical to the
+    // historical owner-filtered loops. With cost estimates available
+    // the (adoption-aware) makespan is still computed, so the Auto
+    // planner can compare Static against the dynamic modes.
+    std::vector<double> load(nranks, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      TaskClaim c;
+      c.task = t;
+      plan.claims[owner[t]].push_back(c);
+      if (!cost_s.empty())
+        load[cluster.live_owner(owner[t])] += cost_s[t];
+    }
+    for (double l : load) plan.makespan_s = std::max(plan.makespan_s, l);
+    return plan;
+  }
+
+  FIT_REQUIRE(cost_s.size() == n, "plan_tasks: cost/owner size mismatch");
+  const std::size_t k =
+      batch > 0 ? batch : auto_batch(n, live_count(cluster));
+
+  switch (balance) {
+    case Balance::Counter:
+      plan_flat_counter(cluster, counter, cost_s, /*k=*/1, plan);
+      break;
+    case Balance::Batched:
+      plan_flat_counter(cluster, counter, cost_s, k, plan);
+      break;
+    case Balance::PerNode:
+      plan_per_node(cluster, counter, cost_s, plan);
+      break;
+    case Balance::Tree:
+      plan_tree(cluster, counter, cost_s, k, plan);
+      break;
+    case Balance::Steal:
+      plan_steal(cluster, cost_s, owner, plan);
+      break;
+    default:
+      FIT_REQUIRE(false, "plan_tasks: unhandled balance mode");
   }
   return plan;
 }

@@ -5,7 +5,9 @@
 // shared atomic counter (the GA NXTVAL operation), which is what makes
 // the triangular alpha >= beta distribution of Sec. 7.3 tolerable in
 // production. This header models that mechanism — plus a work-stealing
-// alternative — without giving up the simulator's determinism.
+// alternative and NWChem's production contention mitigations (batched
+// dequeue, per-node counters, a counter tree) — without giving up the
+// simulator's determinism.
 //
 // The simulator executes the rank bodies of a phase sequentially (or
 // strided over host threads), so a *live* shared counter would be
@@ -25,18 +27,33 @@
 // replays, and Balance::Static degenerates to exactly the historical
 // owner-filtered loops: every task is claimed by its static owner in
 // canonical order, with zero scheduling traffic charged.
+//
+// Why the flat counter needs mitigation at scale: every fetch-and-add
+// serializes at the home rank for service_s() — at 32 ranks on ~17k
+// fine-grained claims that queue costs more than the imbalance it
+// cures (the measured PR 5 pathology). The mitigations attack the
+// serialization from three sides: Batched amortizes one round trip
+// over k tasks, PerNode splits the request stream over one counter
+// per failure domain (plus inter-node refetch when a node's range
+// drains), and Tree caches task ranges in a log-depth hierarchy so
+// most fetches are absorbed below the root.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "runtime/cluster.hpp"
 
 /// \file
 /// \brief NXTVAL-style dynamic task claiming: the modeled shared
-/// counter, work stealing, and the deterministic claim planner.
+/// counter, its contention mitigations (batched dequeue, per-node
+/// counters, counter tree), work stealing, and the deterministic
+/// claim planner.
 
 namespace fit::ga {
 
@@ -53,35 +70,82 @@ enum class Balance {
   /// drains its queue steals one task from the back of the heaviest
   /// surviving queue, paying a control round trip per steal.
   Steal,
+  /// The flat counter with batched dequeue: each fetch-and-add claims
+  /// up to k consecutive tasks (`FOURINDEX_COUNTER_BATCH`, 0 = auto
+  /// from a claims-per-rank rule), amortizing the round trip and the
+  /// contention queue over the whole batch.
+  Batched,
+  /// One counter per failure domain (the `FOURINDEX_RANKS_PER_NODE`
+  /// grouping of runtime::DomainMap), each serving a contiguous range
+  /// of the task list sized by the domain's live ranks; a rank whose
+  /// node's range drains refetches from the fullest remaining node's
+  /// counter over the network.
+  PerNode,
+  /// A log-depth fetch-and-add fan-in: ranks fetch single tasks from
+  /// their level-1 tree node, which refills in blocks from its parent
+  /// (block size doubling per level), so the root sees exponentially
+  /// fewer requests than a flat counter.
+  Tree,
+  /// Let the planner pick the cheapest mode per phase from the
+  /// alpha-beta cost model (core::choose_balance): the claim DES of
+  /// every fixed mode is evaluated on the phase's cost estimates and
+  /// the one with the least simulated makespan wins.
+  Auto,
 };
 
-/// Human-readable strategy name ("static" / "counter" / "steal").
+/// Human-readable strategy name ("static", "counter", "steal",
+/// "batched", "pernode", "tree", "auto").
 const char* to_string(Balance b);
+
+/// Inverse of to_string (exact match); nullopt for anything else.
+std::optional<Balance> parse_balance(std::string_view name);
+
+/// `fallback`, unless the FOURINDEX_BALANCE environment variable names
+/// a strategy — then that strategy. A set-but-unknown name warns
+/// loudly and keeps the fallback, mirroring util::env_size.
+Balance balance_from_env(Balance fallback);
 
 /// One entry of a rank's claim list.
 struct TaskClaim {
-  /// Sentinel task id for the terminal empty fetch: in Counter mode a
-  /// rank only discovers that the work ran out by performing one more
-  /// fetch-and-add, which is charged but executes no task body.
+  /// Sentinel task id for the terminal empty fetch: in the counter
+  /// modes a rank only discovers that the work ran out by performing
+  /// one more fetch-and-add, which is charged but executes no task
+  /// body.
   static constexpr std::size_t kNone = ~static_cast<std::size_t>(0);
 
   std::size_t task = kNone;  ///< index into the phase's task list
-  /// Modeled seconds the claim spent at the counter host (queueing
-  /// behind earlier fetch-and-adds plus the service itself). Zero for
-  /// static and locally popped claims.
+  /// Modeled seconds the claim spent beyond its own two one-way
+  /// control messages: queueing behind earlier fetch-and-adds, the
+  /// service itself, and (Tree) any refill trips up the hierarchy.
+  /// Zero for static claims, locally popped queues, and batch tails.
   double wait_s = 0;
-  /// Peer rank the claim talked to: the counter home (Counter) or the
-  /// steal victim's nominal rank (Steal). Unused for local claims.
+  /// Peer rank the claim talked to: the live counter host at planning
+  /// time (counter modes) or the steal victim's nominal rank (Steal).
+  /// Unused for local claims.
   std::size_t peer = 0;
+  /// Nominal home rank of the counter this claim fetched from (kNone
+  /// for claims that performed no fetch). The replay re-resolves it
+  /// through Cluster::live_owner, which is what lets every counter
+  /// mode survive the death of a counter's home between planning and
+  /// execution.
+  std::size_t home = kNone;
+  /// Tree levels ascended by this fetch's refills (Tree mode only;
+  /// fed into the sched.tree_hops metric).
+  std::uint32_t hops = 0;
+  /// True when this claim performed a fetch-and-add (pays the round
+  /// trip + wait_s at replay). Batch tails ride their head's fetch.
+  bool fetched = false;
   /// True when the task was taken from another rank's queue.
   bool stolen = false;
 };
 
-/// The shared fetch-and-add counter itself: a single 8-byte word
-/// hosted on a designated ("home") rank, re-owned through
-/// Cluster::live_owner when the home dies (the counter value is
-/// reconstructed from the claim log, so the re-own itself is free —
-/// only subsequent round trips now target the new host).
+/// The shared fetch-and-add counter: an 8-byte word hosted on a
+/// designated ("home") rank, re-owned through Cluster::live_owner when
+/// the home dies (the counter value is reconstructed from the claim
+/// log, so the re-own itself is free — only subsequent round trips
+/// now target the new host). The hierarchical modes derive one home
+/// per failure domain / tree node from the same name seed, each
+/// re-owned independently.
 class TaskCounter {
  public:
   /// `name` seeds the home-rank choice (a stable FNV-1a hash spreads
@@ -94,21 +158,40 @@ class TaskCounter {
   /// The live host: home(), or the next live rank when it died.
   std::size_t owner() const;
 
+  /// Nominal home of failure domain `d`'s counter (PerNode mode): a
+  /// name-seeded rank *inside* the domain, so intra-node fetches stay
+  /// off the network and a node death takes exactly its own counter.
+  std::size_t domain_home(std::size_t d) const;
+  /// Nominal home of the tree node at `level` >= 1 covering the rank
+  /// group starting at `group * 2^level` (Tree mode): a name-seeded
+  /// rank inside that group.
+  std::size_t tree_home(std::size_t level, std::size_t group) const;
+
   /// One-way alpha-beta time of an 8-byte control message between
   /// `rank` and the live counter host.
   double one_way_s(std::size_t rank) const;
+  /// One-way alpha-beta time of an 8-byte control message between two
+  /// arbitrary ranks (the hierarchical modes' hop cost).
+  double one_way_s(std::size_t a, std::size_t b) const;
   /// Counter occupancy per fetch-and-add: requests arriving while an
   /// earlier one is serviced queue for this long each.
   double service_s() const;
 
-  /// Execution-time charge for one fetch-and-add whose planned
-  /// contention wait is `wait_s`: request + reply control messages
-  /// through the link model, and the wait as a clock stall.
+  /// Execution-time charge for one fetch-and-add against the flat
+  /// counter whose planned contention wait is `wait_s`: request +
+  /// reply control messages through the link model, and the wait as a
+  /// clock stall.
   void charge_fetch_add(runtime::RankCtx& ctx, double wait_s) const;
+  /// Same, against the counter whose nominal home is `home` (per-node
+  /// and tree counters); the live host is re-resolved through
+  /// Cluster::live_owner at charge time.
+  void charge_fetch_add(runtime::RankCtx& ctx, std::size_t home,
+                        double wait_s) const;
 
  private:
   runtime::Cluster& cluster_;
   std::size_t home_;
+  std::uint64_t name_hash_;
 };
 
 /// A phase's complete claim assignment, produced by plan_tasks().
@@ -122,24 +205,47 @@ struct TaskPlan {
   std::vector<std::vector<TaskClaim>> claims;
   /// Number of real tasks planned (terminal kNone claims excluded).
   std::size_t n_tasks = 0;
-  std::size_t n_steals = 0;        ///< stolen claims across all ranks
-  double total_wait_s = 0;         ///< summed counter queueing time
-  double max_wait_s = 0;           ///< worst single-claim wait
-  /// Live counter host at planning time (Counter mode only); a
-  /// mid-phase death of this rank is what the re-own metric counts.
-  std::size_t counter_owner = 0;
+  std::size_t n_steals = 0;   ///< stolen claims across all ranks
+  /// Fetch-and-adds that returned at least one task (terminal empty
+  /// fetches excluded); n_tasks / n_fetches is the batch occupancy.
+  std::size_t n_fetches = 0;
+  std::size_t tree_hops = 0;  ///< refill ascents summed over fetches
+  double total_wait_s = 0;    ///< summed counter queueing time
+  double max_wait_s = 0;      ///< worst single-claim wait
+  /// Virtual-clock completion time of the slowest rank in the claim
+  /// DES — the planner's apples-to-apples cost for choosing a mode
+  /// (Balance::Auto). Includes task costs, counter round trips,
+  /// contention and steal traffic; excludes the phase's non-task work.
+  double makespan_s = 0;
+  /// Nominal home rank of every counter the plan used (one for the
+  /// flat/batched counter, one per domain for PerNode, the level-1
+  /// nodes for Tree), with the live owner each resolved to at
+  /// planning time in `counter_owners`. The replay compares the two
+  /// to count mid-phase re-owns (sched.counter_reowns).
+  std::vector<std::size_t> counter_homes;
+  std::vector<std::size_t> counter_owners;  ///< parallel to counter_homes
 };
 
 /// Plan the claim order for one phase. `cost_s[t]` is the modeled
 /// seconds task t takes (compute + transfers; used to advance the
 /// virtual clocks), `owner[t]` its static owner. Dead ranks are
 /// excluded from claiming; tasks statically owned by a dead rank are
-/// claimed by the survivors (Counter/Steal) or adopted at execution
-/// time (Static). For Balance::Static, `cost_s` may be empty — the
-/// plan is the owner map itself.
+/// claimed by the survivors (counter modes / Steal) or adopted at
+/// execution time (Static). For Balance::Static, `cost_s` may be
+/// empty — the plan is the owner map itself (with makespan_s filled
+/// in when costs are provided). `batch` is the Batched/Tree dequeue
+/// granularity: 0 derives k from the claims-per-rank rule
+/// (~8 fetches per live rank, clamped to [1, 64]). Balance::Auto is
+/// resolved by the caller (core::choose_balance), not here.
 TaskPlan plan_tasks(const runtime::Cluster& cluster, Balance balance,
                     const TaskCounter& counter,
                     std::span<const double> cost_s,
-                    std::span<const std::size_t> owner);
+                    std::span<const std::size_t> owner,
+                    std::size_t batch = 0);
+
+/// The claims-per-rank rule behind `batch == 0`: enough tasks per
+/// fetch that every live rank performs about eight fetches, clamped
+/// to [1, 64].
+std::size_t auto_batch(std::size_t n_tasks, std::size_t live_ranks);
 
 }  // namespace fit::ga

@@ -26,6 +26,9 @@ CheckpointManager::CheckpointManager(Cluster& cluster, CheckpointConfig cfg)
   keep_ = cfg_.keep_epochs > 0
               ? cfg_.keep_epochs
               : util::env_size("FOURINDEX_CKPT_KEEP", 2);
+  delta_ = cfg_.delta < 0
+               ? util::env_size("FOURINDEX_CKPT_DELTA", 1, /*min=*/0) != 0
+               : cfg_.delta != 0;
   // Pre-register every metric this layer can emit, so benches and
   // gates may sum() them unconditionally — a clean run reads zeros
   // instead of tripping the unknown-metric precondition.
@@ -40,6 +43,7 @@ CheckpointManager::CheckpointManager(Cluster& cluster, CheckpointConfig cfg)
     reg.counter(name);
   reg.gauge("checkpoint.store_bytes");
   reg.gauge("checkpoint.generations");
+  reg.gauge("checkpoint.dirty_fraction");
 }
 
 std::uint64_t CheckpointManager::tile_checksum(
@@ -129,6 +133,7 @@ double CheckpointManager::write_once(std::size_t io_attempt) {
   std::vector<double> bytes_per_rank(cl_.n_ranks(), 0.0);
   double client_bytes = 0;
   double scrub_repairs = 0;
+  double live_tiles = 0, dirty_tiles = 0;
   for (ga::GlobalArray* arr : cl_.registered_arrays()) {
     ArraySnap& as = g.arrays[arr];
     as.tiles.resize(arr->n_tiles());
@@ -146,7 +151,12 @@ double CheckpointManager::write_once(std::size_t io_attempt) {
                                 : nullptr;
       TileSnap& ts = as.tiles[idx];
       const double bytes = 8.0 * double(arr->tile_by_index(idx).elements);
-      const bool dirty = !src || src->write_epoch != ep;
+      // Delta mode rewrites only tiles whose write epoch moved since
+      // the previous generation; full-copy mode treats every live
+      // tile as dirty — the pre-delta comparator the soak bench and
+      // CI gate measure the saving against.
+      const bool dirty = !delta_ || !src || src->write_epoch != ep;
+      live_tiles += 1;
       // A carried copy is made by checksum-verified server-side copy;
       // a source that fails verification is rewritten fresh from the
       // live array instead (scrub repair) — so a published generation
@@ -159,6 +169,7 @@ double CheckpointManager::write_once(std::size_t io_attempt) {
         ts.fresh = true;
         bytes_per_rank[arr->tile_by_index(idx).owner] += bytes;
         client_bytes += bytes;
+        dirty_tiles += 1;
         if (repair) scrub_repairs += 1;
       } else {
         ts = *src;
@@ -177,6 +188,12 @@ double CheckpointManager::write_once(std::size_t io_attempt) {
   auto& reg = cl_.metrics();
   reg.add(reg.counter("checkpoint.writes"), 0, 1);
   reg.add(reg.counter("checkpoint.bytes"), 0, client_bytes);
+  // Fraction of live tiles that transited the client link in this
+  // generation: ~1.0 under full-copy, the real dirty share under
+  // delta — the saving the soak gate measures.
+  if (live_tiles > 0)
+    reg.set(reg.gauge("checkpoint.dirty_fraction"), 0,
+            dirty_tiles / live_tiles);
   if (scrub_repairs > 0)
     reg.add(reg.counter("checkpoint.scrub_repairs"), 0, scrub_repairs);
   if (client_bytes > 0) cl_.charge_disk_phase("checkpoint", bytes_per_rank);

@@ -86,6 +86,15 @@ struct CheckpointConfig {
   /// Checkpoint generations retained (>= 1). 0 reads the
   /// FOURINDEX_CKPT_KEEP environment variable (default 2).
   std::size_t keep_epochs = 0;
+  /// Delta checkpointing: 1 = only tiles dirtied since the previous
+  /// generation transit the client's disk link (clean tiles are
+  /// carried by verified server-side copy at zero client cost);
+  /// 0 = full copy — every live tile is rewritten each generation,
+  /// kept as the ablation comparator the delta mode is gated against;
+  /// -1 = read the FOURINDEX_CKPT_DELTA environment variable
+  /// (default 1, delta on). Restore semantics are identical either
+  /// way — only the write volume and checkpoint.dirty_fraction move.
+  int delta = -1;
 };
 
 /// Owned by Cluster (see Cluster::enable_recovery); maintains the
@@ -97,6 +106,9 @@ class CheckpointManager {
   const CheckpointConfig& config() const { return cfg_; }
   /// Effective retention depth (config or FOURINDEX_CKPT_KEEP).
   std::size_t keep_epochs() const { return keep_; }
+  /// Effective delta-checkpointing switch (config or
+  /// FOURINDEX_CKPT_DELTA).
+  bool delta() const { return delta_; }
   /// Published generations currently retained.
   std::size_t n_generations() const { return gens_.size(); }
   /// Epoch recorded by the newest checkpoint (0 = none written yet).
@@ -175,6 +187,7 @@ class CheckpointManager {
   Cluster& cl_;
   CheckpointConfig cfg_;
   std::size_t keep_ = 2;
+  bool delta_ = true;
   std::uint64_t ckpt_epoch_ = 0;
   std::size_t io_seq_ = 0;  // checkpoint ops issued (fault sequencing)
   std::deque<Generation> gens_;  // newest at the back

@@ -280,9 +280,8 @@ Cluster::Cluster(MachineConfig config, ExecutionMode mode,
   dead_.assign(config_.n_ranks(), 0);
   // Failure-domain width: the machine's node by default, overridable
   // (strict parse, loud fallback) to model a different blast radius.
-  domain_rpn_ = std::min<std::size_t>(
-      util::env_size("FOURINDEX_RANKS_PER_NODE", config_.ranks_per_node),
-      config_.n_ranks());
+  // The same DomainMap also places ga::plan_tasks' per-node counters.
+  domains_ = DomainMap::from_env(config_.n_ranks(), config_.ranks_per_node);
 }
 
 Cluster::~Cluster() = default;
@@ -321,9 +320,9 @@ void Cluster::kill_rank(std::size_t rank) {
 
 void Cluster::kill_domain(std::size_t domain) {
   FIT_REQUIRE(domain < n_domains(), "failure domain out of range");
-  const std::size_t lo = domain * domain_rpn_;
-  const std::size_t hi = std::min(lo + domain_rpn_, n_ranks());
-  for (std::size_t r = lo; r < hi; ++r) kill_rank(r);
+  for (std::size_t r = domains_.lo(domain); r < domains_.hi(domain); ++r)
+    kill_rank(r);
+  const std::size_t lo = domains_.lo(domain);
   registry_.add(id_fault_domain_kills_, 0, 1);
   note_instant("fault: kill node " + std::to_string(domain), lo);
 }
@@ -385,8 +384,8 @@ void Cluster::apply_kill_events(const std::vector<FaultEvent>& events,
         break;
       case FaultKind::KillNode: {
         if (ev.rank >= n_domains()) break;
-        const std::size_t lo = ev.rank * domain_rpn_;
-        const std::size_t hi = std::min(lo + domain_rpn_, n_ranks());
+        const std::size_t lo = domains_.lo(ev.rank);
+        const std::size_t hi = domains_.hi(ev.rank);
         for (std::size_t r = lo; r < hi; ++r)
           if (!dead_[r]) killed.push_back(r);
         kill_domain(ev.rank);

@@ -38,6 +38,7 @@
 #include "runtime/checkpoint.hpp"
 #include "runtime/faults.hpp"
 #include "runtime/machine.hpp"
+#include "runtime/topology.hpp"
 #include "util/error.hpp"
 
 namespace fit::ga {
@@ -279,14 +280,15 @@ class Cluster {
   // overridable with FOURINDEX_RANKS_PER_NODE to model blast radii
   // that differ from the comm topology (a shared PSU, a rack switch).
   // FaultKind::KillNode takes a *domain* index and kills every rank in
-  // it at the barrier; recovery restores all of them in one pass.
-  std::size_t domain_ranks() const { return domain_rpn_; }
+  // it at the barrier; recovery restores all of them in one pass. The
+  // same grouping (runtime::DomainMap) places ga::plan_tasks' per-node
+  // counters, so a node death always takes its counter with it.
+  const DomainMap& domains() const { return domains_; }
+  std::size_t domain_ranks() const { return domains_.width(); }
   std::size_t domain_of(std::size_t rank) const {
-    return rank / domain_rpn_;
+    return domains_.domain_of(rank);
   }
-  std::size_t n_domains() const {
-    return (n_ranks() + domain_rpn_ - 1) / domain_rpn_;
-  }
+  std::size_t n_domains() const { return domains_.n_domains(); }
   /// Kill every (live) rank of a failure domain; counts
   /// fault.domain_kills. Recovery is the caller's business, as with
   /// kill_rank.
@@ -441,7 +443,7 @@ class Cluster {
   MachineConfig config_;
   ExecutionMode mode_;
   std::size_t host_threads_;
-  std::size_t domain_rpn_ = 1;  // failure-domain width in ranks
+  DomainMap domains_;  // failure-domain / per-node-counter grouping
   std::vector<MemTracker> mem_;
   std::vector<MemTracker> scratch_;
   std::uint64_t epoch_ = 1;

@@ -1,0 +1,19 @@
+#include "runtime/topology.hpp"
+
+#include <algorithm>
+
+#include "util/parse.hpp"
+
+namespace fit::runtime {
+
+DomainMap::DomainMap(std::size_t n_ranks, std::size_t width)
+    : n_ranks_(std::max<std::size_t>(n_ranks, 1)),
+      width_(std::clamp<std::size_t>(width, 1, n_ranks_)) {}
+
+DomainMap DomainMap::from_env(std::size_t n_ranks,
+                              std::size_t default_width) {
+  return DomainMap(
+      n_ranks, util::env_size("FOURINDEX_RANKS_PER_NODE", default_width));
+}
+
+}  // namespace fit::runtime

@@ -1,0 +1,72 @@
+// Rank -> node grouping shared by every consumer of the machine's
+// physical layout.
+//
+// Two independent subsystems need to know which ranks share a node:
+// the fault injector's correlated failures (FaultKind::KillNode takes
+// out a whole failure domain at once) and the per-node task counters
+// of ga::plan_tasks (one fetch-and-add counter per node, so intra-node
+// claims never cross the network). Before this helper existed the
+// grouping arithmetic and the FOURINDEX_RANKS_PER_NODE environment
+// override lived inside the Cluster constructor; both consumers now
+// share one strict-parsed, clamped DomainMap so they can never
+// disagree about where a node's ranks begin and end.
+#pragma once
+
+#include <cstddef>
+
+/// \file
+/// \brief Rank -> failure-domain grouping (`FOURINDEX_RANKS_PER_NODE`)
+/// shared by correlated fault injection and the per-node task
+/// counters.
+
+namespace fit::runtime {
+
+/// Partition of the rank ids `[0, n_ranks)` into consecutive
+/// fixed-width groups ("domains"). The width defaults to the machine
+/// description's ranks-per-node and is overridable with
+/// `FOURINDEX_RANKS_PER_NODE` (strict parse, loud fallback) to model a
+/// different blast radius; it is always clamped to the rank count. The
+/// last domain may be narrower when the width does not divide the rank
+/// count.
+class DomainMap {
+ public:
+  /// Identity map of a single all-ranks domain (placeholder until a
+  /// real map is installed).
+  DomainMap() = default;
+
+  /// Group `n_ranks` ranks into domains of `width` consecutive ranks.
+  /// `width` is clamped into `[1, n_ranks]`.
+  DomainMap(std::size_t n_ranks, std::size_t width);
+
+  /// Build the map from the `FOURINDEX_RANKS_PER_NODE` environment
+  /// variable, falling back to `default_width` (the machine's
+  /// ranks-per-node) when the variable is unset or unparsable; an
+  /// invalid value warns loudly instead of being truncated.
+  static DomainMap from_env(std::size_t n_ranks, std::size_t default_width);
+
+  /// Ranks covered by the map.
+  std::size_t n_ranks() const { return n_ranks_; }
+  /// Domain width in ranks (the last domain may be narrower).
+  std::size_t width() const { return width_; }
+  /// Number of domains (ceil(n_ranks / width)).
+  std::size_t n_domains() const {
+    return n_ranks_ == 0 ? 0 : (n_ranks_ + width_ - 1) / width_;
+  }
+  /// Domain the rank belongs to.
+  std::size_t domain_of(std::size_t rank) const { return rank / width_; }
+  /// First rank of domain `d`.
+  std::size_t lo(std::size_t d) const { return d * width_; }
+  /// One past the last rank of domain `d` (clamped at n_ranks()).
+  std::size_t hi(std::size_t d) const {
+    const std::size_t h = (d + 1) * width_;
+    return h < n_ranks_ ? h : n_ranks_;
+  }
+  /// Ranks in domain `d`.
+  std::size_t size(std::size_t d) const { return hi(d) - lo(d); }
+
+ private:
+  std::size_t n_ranks_ = 1;
+  std::size_t width_ = 1;
+};
+
+}  // namespace fit::runtime

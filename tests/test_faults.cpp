@@ -815,4 +815,82 @@ TEST(FaultMatrix, SeededStormEitherCompletesExactlyOrFailsCleanly) {
   }
 }
 
+// ---- delta checkpointing --------------------------------------------
+
+TEST(DeltaCheckpoint, RestoresBitIdenticallyAndWritesLessThanFullCopy) {
+  // The same node-kill-mid-run scenario under both write policies:
+  // delta (only tiles dirtied since the previous generation transit
+  // the client link) and the full-copy comparator (every live tile
+  // rewritten each epoch). Recovery must be bit-identical either way
+  // — the policies differ only in checkpoint write volume.
+  const auto p = small_problem();
+  core::ParOptions opt;
+  opt.tile = 4;
+  opt.tile_l = 4;
+
+  Cluster clean(fault_machine(4, 2), ExecutionMode::Real);
+  const auto ref = core::fused_par_transform(p, clean, opt);
+  ASSERT_TRUE(ref.c.has_value());
+
+  struct Outcome {
+    double ckpt_bytes;
+    double dirty_fraction;
+  };
+  auto run = [&](int delta) {
+    runtime::CheckpointConfig cfg;
+    cfg.delta = delta;
+    Cluster faulty(fault_machine(4, 2), ExecutionMode::Real);
+    faulty.enable_recovery(cfg);
+    EXPECT_EQ(faulty.checkpoints()->delta(), delta != 0);
+    FaultInjector inj(21);
+    inj.schedule(node_kill_event(/*phase=*/7, /*domain=*/1));
+    faulty.install_faults(inj);
+    const auto got = core::fused_par_transform(p, faulty, opt);
+    EXPECT_TRUE(got.c.has_value());
+    if (got.c.has_value())
+      EXPECT_EQ(got.c->max_abs_diff(*ref.c), 0.0);  // exact recovery
+    const auto& reg = faulty.metrics();
+    EXPECT_TRUE(faulty.is_dead(2));
+    EXPECT_GE(reg.sum("checkpoint.restores"), 1.0);
+    return Outcome{reg.sum("checkpoint.bytes"),
+                   reg.sum("checkpoint.dirty_fraction")};
+  };
+
+  const Outcome full = run(/*delta=*/0);
+  const Outcome delta = run(/*delta=*/1);
+  // Full-copy rewrites every live tile: its dirty fraction is pinned
+  // at 1 and its client write volume strictly dominates delta's.
+  EXPECT_EQ(full.dirty_fraction, 1.0);
+  EXPECT_LT(delta.ckpt_bytes, full.ckpt_bytes);
+  EXPECT_LE(delta.dirty_fraction, 1.0);
+}
+
+TEST(DeltaCheckpoint, EnvToggleSelectsThePolicy) {
+  const MachineConfig m = fault_machine(2, 2);
+  ::setenv("FOURINDEX_CKPT_DELTA", "0", 1);
+  {
+    Cluster cl(m, ExecutionMode::Simulate);
+    cl.enable_recovery();
+    EXPECT_FALSE(cl.checkpoints()->delta());
+  }
+  // Strict parsing: a garbled value warns and keeps the default (on).
+  ::setenv("FOURINDEX_CKPT_DELTA", "0abc", 1);
+  {
+    Cluster cl(m, ExecutionMode::Simulate);
+    cl.enable_recovery();
+    EXPECT_TRUE(cl.checkpoints()->delta());
+  }
+  ::unsetenv("FOURINDEX_CKPT_DELTA");
+  {
+    Cluster cl(m, ExecutionMode::Simulate);
+    cl.enable_recovery();
+    EXPECT_TRUE(cl.checkpoints()->delta());  // delta is the default
+    runtime::CheckpointConfig cfg;
+    cfg.delta = 0;  // explicit config wins over the environment
+    Cluster cl2(m, ExecutionMode::Simulate);
+    cl2.enable_recovery(cfg);
+    EXPECT_FALSE(cl2.checkpoints()->delta());
+  }
+}
+
 }  // namespace

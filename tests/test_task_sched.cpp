@@ -17,10 +17,12 @@
 //     (sched.counter_reowns).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
 #include "chem/molecule.hpp"
+#include "core/planner.hpp"
 #include "core/problem.hpp"
 #include "core/schedules_baseline.hpp"
 #include "core/schedules_par.hpp"
@@ -159,6 +161,137 @@ TEST(PlanTasks, StealPlanRebalancesASkewedOwnerMap) {
     EXPECT_FALSE(plan.claims[r].empty());
 }
 
+// Every real task claimed exactly once, no matter the mechanism.
+std::multiset<std::size_t> claimed_tasks(const ga::TaskPlan& plan) {
+  std::multiset<std::size_t> claimed;
+  for (const auto& list : plan.claims)
+    for (const auto& c : list)
+      if (c.task != ga::TaskClaim::kNone) claimed.insert(c.task);
+  return claimed;
+}
+
+TEST(PlanTasks, MitigatedPlansPartitionTheTaskSetDeterministically) {
+  Cluster cl(sched_machine(2, 2), ExecutionMode::Simulate);
+  ga::TaskCounter counter(cl, "mitigated-plan");
+  std::vector<std::size_t> owner(37, 0);
+  for (std::size_t t = 0; t < owner.size(); ++t) owner[t] = t % 4;
+  std::vector<double> cost(owner.size(), 1e-6);
+  for (ga::Balance b :
+       {ga::Balance::Batched, ga::Balance::PerNode, ga::Balance::Tree}) {
+    SCOPED_TRACE(ga::to_string(b));
+    const auto a = ga::plan_tasks(cl, b, counter, cost, owner, 4);
+    const auto c = ga::plan_tasks(cl, b, counter, cost, owner, 4);
+    const auto claimed = claimed_tasks(a);
+    EXPECT_EQ(claimed.size(), owner.size());  // each task exactly once
+    EXPECT_EQ(std::set<std::size_t>(claimed.begin(), claimed.end()).size(),
+              owner.size());
+    EXPECT_GT(a.n_fetches, 0u);
+    EXPECT_GT(a.makespan_s, 0.0);
+    ASSERT_FALSE(a.counter_homes.empty());
+    ASSERT_EQ(a.counter_homes.size(), a.counter_owners.size());
+    for (std::size_t r = 0; r < a.claims.size(); ++r) {
+      ASSERT_EQ(a.claims[r].size(), c.claims[r].size());
+      // Every rank ends with the terminal empty fetch that tells it
+      // the work ran out.
+      ASSERT_FALSE(a.claims[r].empty());
+      EXPECT_EQ(a.claims[r].back().task, ga::TaskClaim::kNone);
+      EXPECT_TRUE(a.claims[r].back().fetched);
+      for (std::size_t i = 0; i < a.claims[r].size(); ++i) {
+        EXPECT_EQ(a.claims[r][i].task, c.claims[r][i].task);
+        EXPECT_EQ(a.claims[r][i].wait_s, c.claims[r][i].wait_s);
+        if (a.claims[r][i].fetched)
+          EXPECT_NE(a.claims[r][i].home, ga::TaskClaim::kNone);
+      }
+    }
+  }
+}
+
+TEST(PlanTasks, BatchedDequeueAmortizesTheFetchStream) {
+  Cluster cl(sched_machine(2, 2), ExecutionMode::Simulate);
+  ga::TaskCounter counter(cl, "batched-plan");
+  std::vector<std::size_t> owner(17, 0);
+  for (std::size_t t = 0; t < owner.size(); ++t) owner[t] = t % 4;
+  std::vector<double> cost(owner.size(), 1e-6);
+  const auto flat =
+      ga::plan_tasks(cl, ga::Balance::Counter, counter, cost, owner);
+  const auto batched =
+      ga::plan_tasks(cl, ga::Balance::Batched, counter, cost, owner, 4);
+  // 17 tasks in batches of 4: exactly ceil(17/4) = 5 loaded fetches,
+  // against 17 for the flat counter.
+  EXPECT_EQ(flat.n_fetches, 17u);
+  EXPECT_EQ(batched.n_fetches, 5u);
+  // Fewer serialized fetch-and-adds -> less queueing at the host.
+  EXPECT_LT(batched.total_wait_s, flat.total_wait_s);
+  // Batch tails ride the head's ticket: no fetch, no wait.
+  std::size_t tails = 0;
+  for (const auto& list : batched.claims)
+    for (const auto& c : list)
+      if (!c.fetched) {
+        EXPECT_EQ(c.wait_s, 0.0);
+        EXPECT_NE(c.task, ga::TaskClaim::kNone);
+        ++tails;
+      }
+  EXPECT_EQ(tails, 17u - 5u);
+}
+
+TEST(PlanTasks, PerNodePlanKeepsOneCounterPerDomain) {
+  Cluster cl(sched_machine(2, 2), ExecutionMode::Simulate);
+  ga::TaskCounter counter(cl, "pernode-plan");
+  std::vector<std::size_t> owner(24, 0);
+  for (std::size_t t = 0; t < owner.size(); ++t) owner[t] = t % 4;
+  std::vector<double> cost(owner.size(), 1e-6);
+  const auto plan =
+      ga::plan_tasks(cl, ga::Balance::PerNode, counter, cost, owner);
+  // One counter per failure domain, each homed inside its domain.
+  ASSERT_EQ(plan.counter_homes.size(), cl.n_domains());
+  for (std::size_t d = 0; d < cl.n_domains(); ++d)
+    EXPECT_EQ(cl.domain_of(plan.counter_homes[d]), d);
+  EXPECT_EQ(claimed_tasks(plan).size(), owner.size());
+}
+
+TEST(PlanTasks, TreePlanRefillsThroughTheHierarchy) {
+  Cluster cl(sched_machine(2, 2), ExecutionMode::Simulate);
+  ga::TaskCounter counter(cl, "tree-plan");
+  std::vector<std::size_t> owner(21, 0);
+  for (std::size_t t = 0; t < owner.size(); ++t) owner[t] = t % 4;
+  std::vector<double> cost(owner.size(), 1e-6);
+  const auto plan =
+      ga::plan_tasks(cl, ga::Balance::Tree, counter, cost, owner, 2);
+  // Only the root is preloaded: the level-1 nodes must have ascended
+  // for refills, and those hops are surfaced for the metrics.
+  EXPECT_GT(plan.tree_hops, 0u);
+  EXPECT_EQ(claimed_tasks(plan).size(), owner.size());
+  // Leaf + root counters, each homed inside the rank group it covers.
+  ASSERT_EQ(plan.counter_homes.size(), 3u);  // two leaves + root
+}
+
+TEST(PlanTasks, AutoBatchFollowsTheClaimsPerRankRule) {
+  EXPECT_EQ(ga::auto_batch(17, 4), 1u);      // small: stay fine-grained
+  EXPECT_EQ(ga::auto_batch(320, 8), 5u);     // 320 / (8 * 8)
+  EXPECT_EQ(ga::auto_batch(100000, 4), 64u); // clamped at 64
+  EXPECT_EQ(ga::auto_batch(0, 0), 1u);       // degenerate inputs
+}
+
+TEST(PlanTasks, ChooseBalanceNeverLosesToAFixedMode) {
+  Cluster cl(sched_machine(2, 2), ExecutionMode::Simulate);
+  ga::TaskCounter counter(cl, "choose-plan");
+  // Heavily skewed static map: dynamic modes should win the DES.
+  std::vector<std::size_t> owner(64, 0);
+  std::vector<double> cost(owner.size(), 1e-3);
+  const auto pick = core::choose_balance(cl, counter, cost, owner);
+  EXPECT_NE(pick.balance, ga::Balance::Auto);
+  for (ga::Balance b :
+       {ga::Balance::Static, ga::Balance::Counter, ga::Balance::Steal,
+        ga::Balance::Batched, ga::Balance::PerNode, ga::Balance::Tree}) {
+    const auto plan = ga::plan_tasks(cl, b, counter, cost, owner);
+    EXPECT_LE(pick.plan.makespan_s, plan.makespan_s)
+        << "auto lost to " << ga::to_string(b);
+  }
+  // On this skew the winner must be a dynamic mode (static's makespan
+  // is the whole task list on rank 0).
+  EXPECT_NE(pick.balance, ga::Balance::Static);
+}
+
 // ---- schedule integration -------------------------------------------
 
 TEST(TaskSched, StaticIsInertAndDeterministic) {
@@ -191,7 +324,9 @@ TEST(TaskSched, DynamicModesAreBitIdenticalToStatic) {
       p, cls, sched_options(ga::Balance::Static));
   ASSERT_TRUE(rs.c.has_value());
 
-  for (ga::Balance b : {ga::Balance::Counter, ga::Balance::Steal}) {
+  for (ga::Balance b :
+       {ga::Balance::Counter, ga::Balance::Steal, ga::Balance::Batched,
+        ga::Balance::PerNode, ga::Balance::Tree, ga::Balance::Auto}) {
     SCOPED_TRACE(ga::to_string(b));
     Cluster cl(sched_machine(2, 2), ExecutionMode::Real);
     auto r = core::fused_inner_par_transform(p, cl, sched_options(b));
@@ -199,7 +334,8 @@ TEST(TaskSched, DynamicModesAreBitIdenticalToStatic) {
     // Same tasks, same bodies, one writer per output tile per phase:
     // the result does not merely agree, it is bit-identical.
     EXPECT_EQ(r.c->max_abs_diff(*rs.c), 0.0);
-    EXPECT_GT(r.stats.sched_claims, 0.0);
+    if (b != ga::Balance::Auto)  // Auto may legitimately pick Static
+      EXPECT_GT(r.stats.sched_claims, 0.0);
     if (b == ga::Balance::Counter) {
       EXPECT_GT(cl.metrics().sum("sched.counter_waits"), 0.0);
       EXPECT_GE(r.stats.sched_counter_wait_s, 0.0);
@@ -256,13 +392,74 @@ TEST(TaskSched, RecomputeScheduleStaysBitIdenticalUnderDynamicModes) {
   };
   auto rs = run(ga::Balance::Static);
   ASSERT_TRUE(rs.c.has_value());
-  for (ga::Balance b : {ga::Balance::Counter, ga::Balance::Steal}) {
+  for (ga::Balance b :
+       {ga::Balance::Counter, ga::Balance::Steal, ga::Balance::Batched,
+        ga::Balance::PerNode, ga::Balance::Tree}) {
     SCOPED_TRACE(ga::to_string(b));
     auto r = run(b);
     ASSERT_TRUE(r.c.has_value());
     EXPECT_EQ(r.c->max_abs_diff(*rs.c), 0.0);
     EXPECT_GT(r.stats.sched_claims, 0.0);
   }
+}
+
+TEST(TaskSched, MitigatedCountersCutTheFlatCounterWait) {
+  // Same skewed workload the flat counter wins on imbalance but pays
+  // per-claim round trips for: the mitigations must keep the balance
+  // win while shrinking the scheduling cost (measured as summed
+  // counter queueing).
+  auto p = sched_problem(32, 2);
+  core::ParOptions o;
+  o.tile = 4;
+  o.tile_l = 16;
+  o.alpha_parallel = 6;
+  o.alpha_chunking = core::ParOptions::AlphaChunking::Contiguous;
+  o.gather_result = false;
+  auto run = [&](ga::Balance b) {
+    o.balance = b;
+    Cluster cl(sched_machine(2, 3), ExecutionMode::Simulate);
+    return core::fused_inner_par_transform(p, cl, o);
+  };
+  auto rs = run(ga::Balance::Static);
+  auto rc = run(ga::Balance::Counter);
+  auto rb = run(ga::Balance::Batched);
+  auto rn = run(ga::Balance::PerNode);
+  auto rt = run(ga::Balance::Tree);
+  // Fewer serialized fetches (batch amortization) and split request
+  // streams (per-node) both cut the total queueing time.
+  EXPECT_GT(rb.stats.sched_counter_fetches, 0.0);
+  EXPECT_LT(rb.stats.sched_counter_fetches, rc.stats.sched_counter_fetches);
+  EXPECT_LT(rb.stats.sched_counter_wait_s, rc.stats.sched_counter_wait_s);
+  EXPECT_LT(rn.stats.sched_counter_wait_s, rc.stats.sched_counter_wait_s);
+  EXPECT_GT(rt.stats.sched_tree_hops, 0.0);
+  // The mitigations still rebalance the skew.
+  EXPECT_LT(rb.stats.worst_imbalance, rs.stats.worst_imbalance);
+  EXPECT_LT(rn.stats.worst_imbalance, rs.stats.worst_imbalance);
+}
+
+TEST(TaskSched, AutoIsNeverWorseThanTheFixedModes) {
+  auto p = sched_problem(32, 2);
+  core::ParOptions o;
+  o.tile = 4;
+  o.tile_l = 16;
+  o.alpha_parallel = 6;
+  o.alpha_chunking = core::ParOptions::AlphaChunking::Contiguous;
+  o.gather_result = false;
+  auto run = [&](ga::Balance b) {
+    o.balance = b;
+    Cluster cl(sched_machine(2, 3), ExecutionMode::Simulate);
+    return core::fused_inner_par_transform(p, cl, o).stats.sim_time;
+  };
+  double best = run(ga::Balance::Static);
+  for (ga::Balance b :
+       {ga::Balance::Counter, ga::Balance::Steal, ga::Balance::Batched,
+        ga::Balance::PerNode, ga::Balance::Tree})
+    best = std::min(best, run(b));
+  const double auto_time = run(ga::Balance::Auto);
+  // Auto picks per phase from the same DES the fixed modes replay, so
+  // it can mix modes across phases; a small tolerance absorbs the gap
+  // between the DES cost estimates and the replayed charges.
+  EXPECT_LE(auto_time, best * 1.02);
 }
 
 // ---- faults ---------------------------------------------------------
@@ -320,6 +517,55 @@ TEST(TaskSchedFaults, DeadCounterHomeIsReowned) {
   EXPECT_EQ(reg.sum("fault.kills"), 1.0);
   EXPECT_GE(reg.sum("sched.counter_reowns"), 1.0);
   // Later phases plan against the re-homed counter without incident.
+  EXPECT_GT(reg.sum("sched.claims"), 0.0);
+}
+
+TEST(TaskSchedFaults, DeadPerNodeCounterHomeIsReowned) {
+  // Kill the rank hosting failure domain 0's counter at the phase
+  // boundary: the planned claims against it must re-resolve to the
+  // survivor (Cluster::live_owner) and the result stays bit-identical.
+  auto p = sched_problem();
+  auto ref = core::reference_transform(p);
+  const auto opt = sched_options(ga::Balance::PerNode);
+
+  Cluster faulty(sched_machine(2, 2), ExecutionMode::Real);
+  const std::size_t home =
+      ga::TaskCounter(faulty, "fused12 [l-slice 0]").domain_home(0);
+  faulty.enable_recovery();
+  FaultInjector inj;
+  inj.schedule(kill_event(/*phase=*/1, home));
+  faulty.install_faults(inj);
+  const auto got = core::fused_inner_par_transform(p, faulty, opt);
+  ASSERT_TRUE(got.c.has_value());
+
+  EXPECT_LT(got.c->max_abs_diff(ref), 1e-9);
+  const auto& reg = faulty.metrics();
+  EXPECT_EQ(reg.sum("fault.kills"), 1.0);
+  EXPECT_GE(reg.sum("sched.counter_reowns"), 1.0);
+  EXPECT_GT(reg.sum("sched.claims"), 0.0);
+}
+
+TEST(TaskSchedFaults, DeadTreeCounterHomeIsReowned) {
+  // Same drill against the counter tree: kill the level-1 node of the
+  // first rank group for the first fused12 phase.
+  auto p = sched_problem();
+  auto ref = core::reference_transform(p);
+  const auto opt = sched_options(ga::Balance::Tree);
+
+  Cluster faulty(sched_machine(2, 2), ExecutionMode::Real);
+  const std::size_t home =
+      ga::TaskCounter(faulty, "fused12 [l-slice 0]").tree_home(1, 0);
+  faulty.enable_recovery();
+  FaultInjector inj;
+  inj.schedule(kill_event(/*phase=*/1, home));
+  faulty.install_faults(inj);
+  const auto got = core::fused_inner_par_transform(p, faulty, opt);
+  ASSERT_TRUE(got.c.has_value());
+
+  EXPECT_LT(got.c->max_abs_diff(ref), 1e-9);
+  const auto& reg = faulty.metrics();
+  EXPECT_EQ(reg.sum("fault.kills"), 1.0);
+  EXPECT_GE(reg.sum("sched.counter_reowns"), 1.0);
   EXPECT_GT(reg.sum("sched.claims"), 0.0);
 }
 
