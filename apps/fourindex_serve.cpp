@@ -1,0 +1,78 @@
+// fourindex-serve: the persistent transform service as a binary.
+//
+// Server mode (default):
+//   fourindex-serve [--socket PATH] [--once N]
+// binds a Unix-domain socket (default /tmp/fourindex-serve.sock, or
+// FOURINDEX_SERVE_SOCKET) and serves newline-delimited JSON requests
+// until a {"verb":"shutdown"} line arrives — or, with --once N, until
+// N request lines have been handled. On exit it emits a
+// "fourindex_serve" bench document with the serve.* metrics, so smoke
+// jobs can jq-gate admission and cache behaviour.
+//
+// Client mode:
+//   fourindex-serve --socket PATH --request '<json-line>'
+// sends one request line to a running server and prints the response
+// line on stdout.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "obs/bench_json.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--socket PATH] [--once N] [--request '<json>']\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fit;
+
+  std::string socket_path = "/tmp/fourindex-serve.sock";
+  if (const char* env = std::getenv("FOURINDEX_SERVE_SOCKET");
+      env && *env)
+    socket_path = env;
+  std::size_t once = 0;
+  std::string request_line;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--once" && i + 1 < argc) {
+      once = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--request" && i + 1 < argc) {
+      request_line = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    if (!request_line.empty()) {
+      std::cout << serve::Server::request(socket_path, request_line)
+                << "\n";
+      return 0;
+    }
+
+    serve::Server server(serve::TransformService::from_env(), socket_path);
+    const std::size_t served = server.serve_forever(once);
+
+    obs::BenchReport report("fourindex_serve");
+    report.add_scalar("serve.lines_served", static_cast<double>(served));
+    report.add_metrics("serve", server.service().metrics());
+    report.add_note("socket " + socket_path);
+    report.write();
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "fourindex-serve: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -32,16 +32,20 @@
 #include <vector>
 
 #include "chem/molecule.hpp"
+#include "core/planner.hpp"
 #include "core/problem.hpp"
 #include "core/schedules_par.hpp"
 #include "ga/task_counter.hpp"
 #include "obs/bench_json.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/machine.hpp"
+#include "serve/cost_oracle.hpp"
+#include "serve/cost_table.hpp"
 #include "util/format.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fit;
+  const std::string costs_path = serve::record_costs_flag(&argc, argv);
   obs::BenchReport report("bench_ablation_load_balance");
 
   const bool smoke = std::getenv("FOURINDEX_BENCH_SMOKE") != nullptr;
@@ -194,6 +198,71 @@ int main() {
     std::cout << std::endl;
     report.add_table("Counter-mitigation matrix (SystemA x4, 32 ranks)",
                      mt);
+
+    // ---- measured-rate plan quality -------------------------------
+    //
+    // Does pricing the balance DES at the cost oracle's measured rates
+    // pick modes that are any worse when replayed on the nominal
+    // machine? Run Auto on the oracle-rated machine while recording
+    // its per-phase picks, replay those picks on the nominal machine
+    // through the BalanceCache memo, and compare against the nominal
+    // Auto time from the matrix above. With no cost table configured
+    // the rates collapse to nominal and the ratio is exactly 1.0; with
+    // a real table the gate (serve.oracle_vs_auto <= 1.05) fails if
+    // measured-rate planning degrades the schedule.
+    {
+      const serve::CostOracle oracle = serve::CostOracle::from_env();
+      const core::PlanRates rates =
+          oracle.rates(m32, static_cast<double>(p.n()), o.tile);
+      const runtime::MachineConfig m_measured =
+          core::apply_rates(m32, rates);
+
+      core::BalanceCache oracle_picks;
+      o.balance = ga::Balance::Auto;
+      o.balance_cache = &oracle_picks;
+      {
+        runtime::Cluster cl(m_measured, runtime::ExecutionMode::Simulate);
+        core::fused_inner_par_transform(p, cl, o);  // record the picks
+      }
+      runtime::Cluster cl(m32, runtime::ExecutionMode::Simulate);
+      const auto replay = core::fused_inner_par_transform(p, cl, o);
+      o.balance_cache = nullptr;
+
+      const double ratio =
+          auto_time > 0 ? replay.stats.sim_time / auto_time : 1.0;
+      report.add_scalar("serve.oracle_vs_auto", ratio);
+      report.add_scalar("serve.oracle_measured",
+                        rates.source == "measured" ? 1.0 : 0.0);
+      report.add_scalar("serve.oracle_replayed_phases",
+                        static_cast<double>(replay.stats.n_phases));
+      report.add_note("oracle-vs-auto leg priced the DES at " +
+                      rates.source + " rates");
+      std::cout << "oracle-vs-auto: " << rates.source
+                << "-rate picks replayed at nominal rates run "
+                << fmt_fixed(ratio, 3) << "x the nominal Auto time\n\n";
+    }
+  }
+
+  // --record-costs: the effective per-rank integral-evaluation rate of
+  // the simulated runs (kind "integrals", shape = orbital extent) —
+  // crude, but a measured effective rate where nothing else samples
+  // this axis.
+  if (!costs_path.empty()) {
+    core::ParOptions o;
+    o.tile = 4;
+    o.tile_l = smoke ? 12 : 8;
+    o.gather_result = false;
+    const runtime::MachineConfig m32 = runtime::system_a(4);
+    runtime::Cluster cl(m32, runtime::ExecutionMode::Simulate);
+    const auto r = core::fused_inner_par_transform(p, cl, o);
+    if (r.stats.sim_time > 0 && r.stats.integral_evals > 0) {
+      serve::CostTable costs;
+      costs.add({"integrals", static_cast<double>(p.n()),
+                 r.stats.integral_evals /
+                     (r.stats.sim_time * static_cast<double>(m32.n_ranks())),
+                 "bench_ablation_load_balance"});
+      serve::record_costs(costs_path, costs);
+    }
   }
   const std::string written = report.write();
   if (!written.empty()) std::cout << "bench JSON: " << written << "\n";

@@ -28,6 +28,7 @@
 #include "blas/gemm.hpp"
 #include "blas/tune.hpp"
 #include "obs/bench_json.hpp"
+#include "serve/cost_table.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -279,9 +280,40 @@ void head_to_head(fit::obs::BenchReport& report) {
   report.add_metrics("gemm", fit::blas::gemm_metrics());
 }
 
+// --record-costs: measured single-thread DGEMM rates over a ladder of
+// flop-volume buckets (each within a decade of its neighbors, so the
+// cost oracle's coverage rule holds from tiled contraction shapes up
+// to n = 512). Rates feed serve::CostOracle as kind "gemm".
+void record_gemm_costs(const std::string& path) {
+  fit::serve::CostTable table;
+  const auto base = fit::blas::gemm_config();
+  auto cfg = base;
+  cfg.threads = 1;
+  fit::blas::set_gemm_config(cfg);
+  for (const std::size_t n : {std::size_t{64}, std::size_t{128},
+                              std::size_t{256}, std::size_t{512}}) {
+    auto a = random_vec(n * n, 1);
+    auto b = random_vec(n * n, 2);
+    std::vector<double> c(n * n, 0.0);
+    auto run = [&] {
+      fit::blas::gemm(fit::blas::Trans::No, fit::blas::Trans::No, n, n, n,
+                      1.0, a.data(), n, b.data(), n, 0.0, c.data(), n);
+    };
+    run();  // warm the packing buffers
+    const double flops = fit::blas::gemm_flops(n, n, n);
+    const double t = best_of(n >= 512 ? 4 : 2, run);
+    table.add({"gemm", flops, flops / t, "bench_gemm"});
+    std::printf("record-costs: gemm shape %.3g -> %.2f GFLOP/s\n", flops,
+                flops / t / 1e9);
+  }
+  fit::blas::set_gemm_config(base);
+  fit::serve::record_costs(path, table);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string costs_path = fit::serve::record_costs_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   fit::obs::BenchReport report("bench_gemm");
@@ -297,6 +329,7 @@ int main(int argc, char** argv) {
   }
   benchmark::Shutdown();
   head_to_head(report);
+  if (!costs_path.empty()) record_gemm_costs(costs_path);
   report.write();
   return 0;
 }

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Smoke-drive the persistent transform service end to end over its Unix
+# socket: start fourindex-serve, walk one request through each admission
+# verdict (admitted / degraded / rejected), prove the schedule cache
+# replays a repeated request bit-identically, and shut the server down
+# so it emits its serve.* bench JSON for the CI gate.
+#
+# Usage: scripts/serve_smoke.sh <path-to-fourindex-serve> [json-dir]
+set -euo pipefail
+
+BIN=${1:?usage: serve_smoke.sh <fourindex-serve binary> [json-dir]}
+JSON_DIR=${2:-serve-json}
+SOCK=${FOURINDEX_SERVE_SOCKET:-/tmp/fourindex-serve-smoke.$$.sock}
+
+mkdir -p "$JSON_DIR"
+rm -f "$SOCK"
+
+FOURINDEX_BENCH_JSON_DIR="$JSON_DIR" "$BIN" --socket "$SOCK" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$SOCK"' EXIT
+
+for _ in $(seq 50); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "server never bound $SOCK"; exit 1; }
+
+ask() { "$BIN" --socket "$SOCK" --request "$1"; }
+expect() { # expect <outcome> <response-json>
+  local got
+  got=$(jq -r '.outcome' <<<"$2")
+  [ "$got" = "$1" ] || { echo "expected outcome '$1', got: $2"; exit 1; }
+}
+
+# 1. Admitted: Hyperpolar fits 4 idle SystemA nodes at full fusion.
+#    plan_only holds the reservation so later requests see less memory.
+R1=$(ask '{"molecule":"Hyperpolar","nodes":4,"plan_only":true}')
+expect admitted "$R1"
+TICKET=$(jq -r '.ticket' <<<"$R1")
+
+# 2. Degraded: keep reserving until the Thm 5.2 ladder walks down a
+#    level. The op1234 footprint is a big bite of the 4-node aggregate,
+#    so this happens within a handful of identical reservations.
+DEGRADED=
+LOOP_TICKETS=()
+for _ in $(seq 64); do
+  R=$(ask '{"molecule":"Hyperpolar","nodes":4,"plan_only":true}')
+  LOOP_TICKETS+=("$(jq -r '.ticket' <<<"$R")")
+  if [ "$(jq -r '.outcome' <<<"$R")" = degraded ]; then DEGRADED=1; break; fi
+  expect admitted "$R"
+done
+[ -n "$DEGRADED" ] || { echo "never saw a degraded admission"; exit 1; }
+
+# 3. Rejected: a problem whose unfused footprint exceeds even an idle
+#    single SystemA node.
+expect rejected "$(ask '{"molecule":"custom","n":1024,"nodes":1,"plan_only":true}')"
+
+# Drop the reservations the degraded walk piled up (keeping the first
+# hold for step 5) so the cache test below sees a mostly idle machine
+# instead of being queued behind ~20 MB of plan_only holds.
+for t in "${LOOP_TICKETS[@]}"; do
+  "$BIN" --socket "$SOCK" --request "{\"verb\":\"release\",\"ticket\":$t}" \
+    | jq -e '.outcome == "released"' > /dev/null
+done
+
+# 4. Schedule cache: a repeated Real-mode request must hit the cache
+#    and reproduce the cold run's checksum bit for bit.
+REQ='{"molecule":"custom","n":12,"irrep_order":2,"nodes":1,"real":true}'
+COLD=$(ask "$REQ")
+WARM=$(ask "$REQ")
+expect admitted "$COLD"
+expect admitted "$WARM"
+jq -e '.cache_hit == true' <<<"$WARM" > /dev/null \
+  || { echo "repeated request missed the schedule cache: $WARM"; exit 1; }
+CK_COLD=$(jq -r '.result_checksum' <<<"$COLD")
+CK_WARM=$(jq -r '.result_checksum' <<<"$WARM")
+[ "$CK_COLD" = "$CK_WARM" ] && [ "$CK_COLD" != 0 ] \
+  || { echo "cache replay is not bit-identical: $CK_COLD vs $CK_WARM"; exit 1; }
+
+# 5. Release the first hold; the stats verb must expose the serve.*
+#    registry as JSON.
+"$BIN" --socket "$SOCK" --request "{\"verb\":\"release\",\"ticket\":$TICKET}" \
+  | jq -e '.outcome == "released"' > /dev/null
+ask '{"verb":"stats"}' | jq -e '
+    .["serve.admitted"].sum >= 1
+    and .["serve.degraded"].sum >= 1
+    and .["serve.rejected"].sum >= 1
+    and .["serve.cache_hits"].sum >= 1
+  ' > /dev/null || { echo "stats verb gate failed"; exit 1; }
+
+# 6. Shutdown: the server acknowledges, exits cleanly, and writes its
+#    bench JSON.
+ask '{"verb":"shutdown"}' | jq -e '.outcome == "shutdown"' > /dev/null
+wait "$SERVER_PID"
+trap - EXIT
+rm -f "$SOCK"
+
+DOC="$JSON_DIR/fourindex_serve.bench.json"
+[ -f "$DOC" ] || { echo "server wrote no bench JSON at $DOC"; exit 1; }
+jq -e '
+    .schema == "fourindex.bench/1"
+    and ([.scalars[] | type == "number"] | all)
+    and .metrics.serve["serve.admitted"].sum >= 1
+    and .metrics.serve["serve.degraded"].sum >= 1
+    and .metrics.serve["serve.rejected"].sum >= 1
+    and .metrics.serve["serve.cache_hits"].sum >= 1
+    and .metrics.serve["serve.des_skips"].sum >= 1
+    and .metrics.serve["serve.errors"].sum == 0
+  ' "$DOC" > /dev/null \
+  || { echo "serve bench JSON gate failed:"; jq . "$DOC"; exit 1; }
+
+echo "serve smoke passed:"
+jq '.metrics.serve | with_entries(.value |= .sum)' "$DOC"

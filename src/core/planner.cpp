@@ -70,9 +70,26 @@ Plan replan_fusion(const Plan& previous, double new_fast_memory_elements) {
   return plan;
 }
 
+runtime::MachineConfig apply_rates(runtime::MachineConfig machine,
+                                   const PlanRates& rates) {
+  if (rates.flops_per_rank > 0) machine.flops_per_rank = rates.flops_per_rank;
+  if (rates.net_bandwidth_bps > 0)
+    machine.net_bandwidth_bps = rates.net_bandwidth_bps;
+  if (rates.integrals_per_sec > 0)
+    machine.integrals_per_sec = rates.integrals_per_sec;
+  return machine;
+}
+
 ClusterPlan plan_for_cluster(const Problem& p,
                              const runtime::MachineConfig& machine,
                              std::size_t tile_l) {
+  return plan_for_cluster(p, machine, tile_l, PlanRates{});
+}
+
+ClusterPlan plan_for_cluster(const Problem& p,
+                             const runtime::MachineConfig& machine,
+                             std::size_t tile_l, const PlanRates& rates) {
+  const runtime::MachineConfig m = apply_rates(machine, rates);
   ClusterPlan cp;
   const double n = static_cast<double>(p.n());
   const double s = static_cast<double>(p.irreps.order());
@@ -81,14 +98,14 @@ ClusterPlan plan_for_cluster(const Problem& p,
       8.0 * static_cast<double>(sz.unfused_peak() + sz.c);
   cp.aggregate_need_fused_bytes =
       8.0 * bounds::eq8_global_memory(n, static_cast<double>(tile_l), s);
-  const double agg = machine.aggregate_memory_bytes();
+  const double agg = m.aggregate_memory_bytes();
   cp.use_fused_outer = cp.aggregate_need_unfused_bytes * 1.10 > agg;
 
   // Inner transform (per l-slice): its output is the full C, which for
   // problems of interest exceeds local memory, so by Thm 6.2 full
   // reuse is impossible locally and op12/34 is the best remaining
   // choice (Thm 5.2). With a large local memory op1234 wins.
-  const double local_elems = machine.mem_per_rank_bytes() / 8.0;
+  const double local_elems = m.mem_per_rank_bytes() / 8.0;
   const double c_elems = static_cast<double>(sz.c);
   cp.inner_choice = local_elems >= c_elems + 2 * n * n * n
                         ? FusionChoice::Fused1234
@@ -97,6 +114,25 @@ ClusterPlan plan_for_cluster(const Problem& p,
   cp.max_n_unfused = bounds::max_unfused_problem(agg / 8.0, s);
   cp.max_n_fused = bounds::max_fused_problem(
       agg / 8.0, static_cast<double>(tile_l), s);
+
+  // Coarse time estimates at the effective rates: symmetry-packed flop
+  // volume (~3 n^5 flops unfused, ~1.5x fused — schedules_seq.hpp)
+  // spread over aggregate compute, plus the configuration's I/O lower
+  // bound over aggregate injection bandwidth. Deliberately optimistic
+  // (a lower-bound-shaped estimate, like everything in this planner) —
+  // it orders admission queues, it does not promise wall clocks.
+  const double ranks = static_cast<double>(m.n_ranks());
+  const double n5 = n * n * n * n * n;
+  const double agg_flops = m.flops_per_rank * ranks;
+  const double agg_net = m.net_bandwidth_bps * ranks;
+  const double io_unfused =
+      bounds::io_opt(FusionChoice::Unfused, n, s);
+  const double io_fused = bounds::io_opt(FusionChoice::Fused1234, n, s);
+  cp.est_seconds_unfused =
+      3.0 * n5 / agg_flops + 8.0 * io_unfused / agg_net;
+  cp.est_seconds_fused =
+      4.5 * n5 / agg_flops + 8.0 * io_fused / agg_net;
+  cp.rate_source = rates.source;
   return cp;
 }
 

@@ -74,6 +74,26 @@ Plan plan_fusion(double n, double s, double fast_memory_elements);
 /// unfused transform no longer fits.
 Plan replan_fusion(const Plan& previous, double new_fast_memory_elements);
 
+/// Effective machine rates the time-aware planner prices work at.
+/// Zero fields mean "take the MachineConfig's nominal rate"; the
+/// serve::CostOracle substitutes bench-measured values and labels the
+/// source, so plan selection (and everything the DES claim planner
+/// derives from the machine's alpha-beta model) tracks what the
+/// hardware actually delivers rather than its data-sheet numbers.
+struct PlanRates {
+  double flops_per_rank = 0;       ///< 0 = machine nominal.
+  double net_bandwidth_bps = 0;    ///< 0 = machine nominal.
+  double integrals_per_sec = 0;    ///< 0 = machine nominal.
+  std::string source = "nominal";  ///< "nominal" or "measured".
+};
+
+/// Substitute `rates` into a machine description. Clusters built from
+/// the returned config charge compute and wire time at the effective
+/// rates, which is how choose_balance's DES and the simulation itself
+/// become oracle-backed without any schedule code changing.
+runtime::MachineConfig apply_rates(runtime::MachineConfig machine,
+                                   const PlanRates& rates);
+
 /// Cluster-level plan (Sec. 7): disk <-> aggregate-memory level picks
 /// fused vs unfused (the hybrid decision); the aggregate <-> local
 /// level picks the inner schedule for the per-slice transform.
@@ -90,6 +110,15 @@ struct ClusterPlan {
   std::size_t max_n_unfused;
   /// Largest extent n the cluster fits with the fused schedule.
   std::size_t max_n_fused;
+  /// Coarse transform-time estimates (seconds) at the rates the plan
+  /// was priced with: symmetry-packed flop volume over aggregate
+  /// compute plus the I/O lower bound over injection bandwidth. The
+  /// serve admission controller orders its queue and reports expected
+  /// cost from these.
+  double est_seconds_unfused = 0;
+  double est_seconds_fused = 0;
+  /// Where the pricing rates came from ("nominal" or "measured").
+  std::string rate_source = "nominal";
 };
 
 /// Evaluate the two-level (disk/aggregate/local) plan of Sec. 7 for a
@@ -97,6 +126,12 @@ struct ClusterPlan {
 ClusterPlan plan_for_cluster(const Problem& p,
                              const runtime::MachineConfig& machine,
                              std::size_t tile_l);
+
+/// plan_for_cluster priced at explicit effective rates (the measured
+/// ones from serve::CostOracle::rates(), or nominal defaults).
+ClusterPlan plan_for_cluster(const Problem& p,
+                             const runtime::MachineConfig& machine,
+                             std::size_t tile_l, const PlanRates& rates);
 
 /// Render a plan as a printable table (used by examples/benches).
 std::string to_string(const Plan& plan);

@@ -102,8 +102,8 @@ struct Par {
     // tree dequeue granularity (0 keeps the claims-per-rank rule).
     opt.balance = ga::balance_from_env(opt.balance);
     opt.counter_batch =
-        util::env_size("FOURINDEX_COUNTER_BATCH", opt.counter_batch,
-                       /*min=*/0);
+        util::env_size_strict("FOURINDEX_COUNTER_BATCH", opt.counter_batch,
+                              /*min=*/0);
     reg.counter("recovery.fallback_epochs");  // get-or-create
     reg.counter("checkpoint.verify_failures");
     reg.counter("fault.domain_kills");
@@ -208,15 +208,30 @@ void run_claimed_phase(
   ga::TaskCounter counter(par.cl, label);
   ga::TaskPlan plan;
   if (mode == ga::Balance::Auto) {
-    // Planner-chosen mode: evaluate every fixed mode's claim DES on
-    // this phase's cost estimates and replay the cheapest.
-    BalancePick pick = choose_balance(par.cl, counter, cost, owner,
-                                      par.opt.counter_batch);
-    mode = pick.balance;
-    plan = std::move(pick.plan);
-    FIT_LOG_DEBUG(label << ": auto balance picked "
-                        << ga::to_string(mode) << " (makespan "
-                        << plan.makespan_s << " s)");
+    BalanceCache* memo = par.opt.balance_cache;
+    const auto cached = memo ? memo->picks.find(label)
+                             : std::unordered_map<std::string,
+                                                  ga::Balance>::iterator{};
+    if (memo && cached != memo->picks.end()) {
+      // A previous identical run already chose for this phase: replay
+      // its mode and skip the six-candidate DES — the whole point of
+      // the serve schedule cache.
+      mode = cached->second;
+      plan = ga::plan_tasks(par.cl, mode, counter, cost, owner,
+                            par.opt.counter_batch);
+      memo->hits += 1;
+    } else {
+      // Planner-chosen mode: evaluate every fixed mode's claim DES on
+      // this phase's cost estimates and replay the cheapest.
+      BalancePick pick = choose_balance(par.cl, counter, cost, owner,
+                                        par.opt.counter_batch);
+      mode = pick.balance;
+      plan = std::move(pick.plan);
+      if (memo) memo->picks[label] = mode;
+      FIT_LOG_DEBUG(label << ": auto balance picked "
+                          << ga::to_string(mode) << " (makespan "
+                          << plan.makespan_s << " s)");
+    }
   } else {
     plan = ga::plan_tasks(par.cl, mode, counter, cost, owner,
                           par.opt.counter_batch);

@@ -29,6 +29,7 @@
 
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "core/problem.hpp"
 #include "ga/global_array.hpp"
@@ -41,6 +42,17 @@
 /// the fuse/unfuse hybrid, and the fault-aware resilient wrapper.
 
 namespace fit::core {
+
+/// Memo of the per-phase modes choose_balance picked during one run,
+/// replayable by an identical later run: a phase whose label is in the
+/// map plans the one recorded mode and skips the six-candidate DES
+/// entirely. The serve schedule cache keeps one of these per
+/// (problem, machine, balance) fingerprint.
+struct BalanceCache {
+  std::unordered_map<std::string, ga::Balance> picks;
+  /// Phases that found their pick in the memo (DES re-plans skipped).
+  std::size_t hits = 0;
+};
 
 /// Knobs of the distributed schedules.
 struct ParOptions {
@@ -91,6 +103,12 @@ struct ParOptions {
   /// claims-per-rank rule (ga::auto_batch: ~8 fetches per live rank,
   /// clamped to [1, 64]). Overridable via FOURINDEX_COUNTER_BATCH.
   std::size_t counter_batch = 0;
+  /// Optional Auto-pick memo shared across runs (see BalanceCache).
+  /// Only consulted when balance == Auto: phases found in the memo
+  /// replay the recorded mode without re-running the candidate DES;
+  /// phases not yet recorded run it and write their pick back. The
+  /// caller owns the object and its lifetime.
+  BalanceCache* balance_cache = nullptr;
 };
 
 /// What a distributed schedule did: modeled time, modeled traffic, and

@@ -100,10 +100,17 @@ Balance balance_from_env(Balance fallback) {
 }
 
 std::size_t auto_batch(std::size_t n_tasks, std::size_t live_ranks) {
-  if (live_ranks == 0) return 1;
+  // A plan taken after a full-cluster kill storm sees zero live ranks,
+  // and a tail phase can carry fewer tasks than survivors; both
+  // degenerate to the finest batch — a batch > 1 there would claim
+  // past the range end on the first fetch.
+  if (live_ranks == 0 || n_tasks < live_ranks) return 1;
   // ~8 fetches per rank: coarse enough to collapse the contention
-  // queue, fine enough that the tail is still rebalanced.
-  const std::size_t k = n_tasks / (8 * live_ranks);
+  // queue, fine enough that the tail is still rebalanced. Divide
+  // stepwise — the one-expression form 8 * live_ranks wraps to 0 for
+  // rank counts above 2^61 and divides by zero; floor-of-floor is
+  // identical for positive integers.
+  const std::size_t k = (n_tasks / live_ranks) / 8;
   return std::clamp<std::size_t>(k, 1, 64);
 }
 

@@ -1,5 +1,6 @@
 #include "obs/bench_json.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 
@@ -117,10 +118,15 @@ bool validate_bench_json(const json::Value& doc, std::string* why) {
   const json::Value* scalars = doc.find("scalars");
   if (!scalars || !scalars->is_object())
     return fail("missing object 'scalars'");
-  for (std::size_t i = 0; i < scalars->size(); ++i)
-    if (!scalars->member(i).second.is_number())
-      return fail("scalar '" + scalars->member(i).first +
-                  "' is not a number");
+  for (std::size_t i = 0; i < scalars->size(); ++i) {
+    const auto& [sname, sval] = scalars->member(i);
+    if (!sval.is_number())
+      return fail("scalar '" + sname + "' is not a number");
+    // NaN/inf would serialize as null and sail through jq's `>=`
+    // gates (null sorts before every number); reject at the source.
+    if (!std::isfinite(sval.as_number()))
+      return fail("scalar '" + sname + "' is not finite");
+  }
   const json::Value* notes = doc.find("notes");
   if (!notes || !notes->is_array()) return fail("missing array 'notes'");
   for (std::size_t i = 0; i < notes->size(); ++i)

@@ -25,7 +25,7 @@ CheckpointManager::CheckpointManager(Cluster& cluster, CheckpointConfig cfg)
     : cl_(cluster), cfg_(cfg) {
   keep_ = cfg_.keep_epochs > 0
               ? cfg_.keep_epochs
-              : util::env_size("FOURINDEX_CKPT_KEEP", 2);
+              : util::env_size_strict("FOURINDEX_CKPT_KEEP", 2);
   delta_ = cfg_.delta < 0
                ? util::env_size("FOURINDEX_CKPT_DELTA", 1, /*min=*/0) != 0
                : cfg_.delta != 0;
@@ -190,10 +190,15 @@ double CheckpointManager::write_once(std::size_t io_attempt) {
   reg.add(reg.counter("checkpoint.bytes"), 0, client_bytes);
   // Fraction of live tiles that transited the client link in this
   // generation: ~1.0 under full-copy, the real dirty share under
-  // delta — the saving the soak gate measures.
-  if (live_tiles > 0)
-    reg.set(reg.gauge("checkpoint.dirty_fraction"), 0,
-            dirty_tiles / live_tiles);
+  // delta — the saving the soak gate measures. A zero-tile epoch (a
+  // phase restored then immediately re-checkpointed before anything
+  // was written) has no dirty share; set the gauge to 0 explicitly —
+  // dividing would emit NaN into the bench JSON, and skipping the set
+  // would leave the previous epoch's value standing.
+  reg.set(reg.gauge("checkpoint.dirty_fraction"), 0,
+          live_tiles > 0
+              ? std::clamp(dirty_tiles / live_tiles, 0.0, 1.0)
+              : 0.0);
   if (scrub_repairs > 0)
     reg.add(reg.counter("checkpoint.scrub_repairs"), 0, scrub_repairs);
   if (client_bytes > 0) cl_.charge_disk_phase("checkpoint", bytes_per_rank);

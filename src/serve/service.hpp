@@ -1,0 +1,169 @@
+// The persistent transform service: parse a request, admit it against
+// the machine's aggregate-memory bounds (walking the Thm 5.2 fusion
+// ladder via core::replan_fusion), plan it at the cost oracle's
+// measured rates, and execute it — with a schedule cache so a repeated
+// identical request skips both the cluster re-plan and the per-phase
+// balance DES.
+//
+// Admission is a four-way verdict:
+//   admitted   fits the available aggregate memory at the fusion level
+//              an unconstrained plan would pick;
+//   degraded   fits only after walking down the Thm 5.2 order (the
+//              replan_fusion path capacity faults already use);
+//   queued     does not fit next to the currently reserved work but
+//              would fit an idle machine — parked FIFO up to the
+//              configured queue depth (FOURINDEX_SERVE_QUEUE);
+//   rejected   exceeds even the idle machine at the most degraded
+//              level, or the queue is full.
+//
+// Memory accounting: executing and plan-only requests reserve their
+// selected configuration's aggregate need until they finish (are
+// released); queued requests wait for a release to retry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "core/schedules_par.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "serve/cost_oracle.hpp"
+
+namespace fit::serve {
+
+/// One transform request, as carried by the NDJSON protocol.
+struct Request {
+  std::string molecule = "Hyperpolar";  ///< Paper name, or "custom".
+  std::size_t custom_n = 0;             ///< Extent for "custom".
+  unsigned custom_s = 1;                ///< Irrep order for "custom".
+  std::string system = "A";             ///< Machine family: A | B | C.
+  std::size_t n_nodes = 4;              ///< Cluster size in nodes.
+  std::string balance = "auto";         ///< ga::Balance spelling.
+  std::size_t tile = 4;                 ///< Tile extent per index.
+  std::size_t tile_l = 8;               ///< L-dimension tile extent.
+  bool real = false;       ///< Real execution (checksummed) vs Simulate.
+  bool plan_only = false;  ///< Admit + reserve, do not execute.
+};
+
+/// Parse the "transform" request object. Throws fit::ParseError with a
+/// stable taxonomy: "request is not a JSON object", "missing string
+/// field '...'", "unknown molecule '...'", "unknown system '...'",
+/// "unknown balance mode '...'", "field '...' must be a positive
+/// number", "custom molecule needs field 'n' >= 2".
+Request parse_request(const obs::json::Value& v);
+
+/// The admission controller's verdict.
+enum class Admission {
+  Admitted,  ///< Fits available memory at the unconstrained fusion.
+  Degraded,  ///< Fits after walking down the Thm 5.2 fusion order.
+  Queued,    ///< Fits an idle machine; parked until a release.
+  Rejected,  ///< Exceeds the idle machine, or the queue is full.
+  Error      ///< Malformed request; see Response::error.
+};
+/// Wire spelling of a verdict ("admitted", "degraded", ...).
+const char* to_string(Admission a);
+
+/// One response line of the NDJSON protocol.
+struct Response {
+  Admission admission = Admission::Error;  ///< The verdict.
+  bool cache_hit = false;  ///< Schedule cache replayed this plan.
+  std::uint64_t ticket = 0;      ///< Reservation/queue handle (0 = none).
+  std::string fusion;            ///< Fusion level the plan selected.
+  std::string balance;           ///< Balance mode the request ran with.
+  std::string rate_source;       ///< "measured" or "nominal".
+  double est_seconds = 0;        ///< Planner estimate at those rates.
+  double sim_seconds = 0;        ///< Modeled time (0 when not executed).
+  double result_checksum = 0;    ///< FNV fold of C (real mode only).
+  std::string note;              ///< Degradation rationale, cache info.
+  std::string error;             ///< Non-empty for Rejected / Error.
+
+  /// The response as a JSON object, ready for one NDJSON line.
+  obs::json::Value to_json() const;
+};
+
+/// The persistent service: admission control over the Thm 5.2 fusion
+/// ladder, oracle-rated planning, a schedule cache, and a FIFO queue
+/// of requests waiting for reservations to drain.
+class TransformService {
+ public:
+  /// Tunables not carried per-request.
+  struct Options {
+    /// Queue slots for requests that fit an idle machine but not the
+    /// current reservations. Default from FOURINDEX_SERVE_QUEUE (4).
+    std::size_t queue_depth = 4;
+  };
+
+  /// Service with default options around \p oracle.
+  explicit TransformService(CostOracle oracle);
+  /// Service with explicit options around \p oracle.
+  TransformService(CostOracle oracle, Options opt);
+  /// Oracle from FOURINDEX_COST_TABLE, queue depth from
+  /// FOURINDEX_SERVE_QUEUE.
+  static TransformService from_env();
+
+  /// Admit (and unless plan_only/queued/rejected, execute) a request.
+  Response submit(const Request& r);
+  /// Parse one NDJSON request line and submit it; malformed input
+  /// becomes an Admission::Error response carrying the taxonomy
+  /// message instead of an exception (the server loop stays up).
+  Response submit_line(const std::string& json_line);
+
+  /// Release a reservation (a finished plan_only admission). Frees its
+  /// memory and retries the queue FIFO; every queued request that now
+  /// fits runs and its response is returned.
+  std::vector<Response> release(std::uint64_t ticket);
+
+  /// Reserved aggregate bytes currently held against admissions.
+  double reserved_bytes() const { return reserved_bytes_; }
+  /// Requests parked in the FIFO queue.
+  std::size_t queued() const { return queue_.size(); }
+
+  /// serve.* counters/gauges: requests, admitted, degraded, queued,
+  /// rejected, errors, cache_hits, cache_misses, des_skips,
+  /// oracle_fallbacks, released, reserved_bytes, queue_depth.
+  obs::MetricsRegistry& metrics() { return *reg_; }
+  /// Read-only view of the serve.* counters.
+  const obs::MetricsRegistry& metrics() const { return *reg_; }
+
+  /// The cost oracle rating this service's plans.
+  const CostOracle& oracle() const { return oracle_; }
+
+ private:
+  struct CacheEntry {
+    core::ClusterPlan plan;
+    core::PlanRates rates;
+    core::BalanceCache balance_memo;
+    double need_bytes = 0;
+    std::string fusion;
+  };
+
+  struct Ticketed {
+    std::uint64_t ticket;
+    Request request;
+    double need_bytes;  // reserved (holds) or required (queued)
+  };
+
+  std::uint64_t fingerprint(const Request& r, const std::string& source) const;
+  Response admit_and_run(const Request& r, bool from_queue);
+  Response run(const Request& r, CacheEntry& entry, Response rsp);
+
+  CostOracle oracle_;
+  Options opt_;
+  /// Heap-held so the service stays movable (MetricsRegistry owns a
+  /// mutex) and the oracle's registry pointer survives moves.
+  std::unique_ptr<obs::MetricsRegistry> reg_ =
+      std::make_unique<obs::MetricsRegistry>(1);
+  std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  std::deque<Ticketed> queue_;
+  std::vector<Ticketed> holds_;
+  double reserved_bytes_ = 0;
+  std::uint64_t next_ticket_ = 1;
+};
+
+}  // namespace fit::serve

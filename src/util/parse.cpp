@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "util/error.hpp"
 #include "util/logging.hpp"
 
 namespace fit::util {
@@ -44,6 +45,17 @@ std::size_t env_size(const char* name, std::size_t fallback,
                       << "; using " << fallback);
     return fallback;
   }
+  return static_cast<std::size_t>(*v);
+}
+
+std::size_t env_size_strict(const char* name, std::size_t fallback,
+                            std::size_t min) {
+  const char* env = std::getenv(name);
+  if (!env) return fallback;
+  const auto v = parse_int(env);
+  if (!v || *v < static_cast<long long>(min))
+    throw ParseError(std::string(name) + "='" + env +
+                     "' is not an integer >= " + std::to_string(min));
   return static_cast<std::size_t>(*v);
 }
 

@@ -34,4 +34,13 @@ std::optional<double> parse_double(std::string_view s);
 std::size_t env_size(const char* name, std::size_t fallback,
                      std::size_t min = 1);
 
+/// Like env_size, but a set-but-invalid value throws fit::ParseError
+/// instead of warning and falling back. For knobs where running with
+/// the default after the user asked for something else is worse than
+/// stopping: FOURINDEX_COUNTER_BATCH=-4 used to warn once and then
+/// batch with the default for the whole run — in particular a
+/// negative value must never survive the long long -> size_t cast.
+std::size_t env_size_strict(const char* name, std::size_t fallback,
+                            std::size_t min = 1);
+
 }  // namespace fit::util

@@ -10,6 +10,7 @@
 //   - an exhausted retry budget raises FaultError instead of hanging.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <string>
 
@@ -557,9 +558,10 @@ TEST(CheckpointStore, KeepEpochsFollowsConfigAndEnv) {
   }
   ::setenv("FOURINDEX_CKPT_KEEP", "zero", 1);
   {
+    // Strict parsing: a garbled retention depth refuses to start
+    // rather than silently running with the default.
     Cluster cl(fault_machine(2, 2), ExecutionMode::Simulate);
-    cl.enable_recovery();
-    EXPECT_EQ(cl.checkpoints()->keep_epochs(), 2u);  // strict fallback
+    EXPECT_THROW(cl.enable_recovery(), ParseError);
   }
   ::unsetenv("FOURINDEX_CKPT_KEEP");
 }
@@ -891,6 +893,45 @@ TEST(DeltaCheckpoint, EnvToggleSelectsThePolicy) {
     cl2.enable_recovery(cfg);
     EXPECT_FALSE(cl2.checkpoints()->delta());
   }
+}
+
+TEST(DeltaCheckpoint, NegativeRetentionDepthThrowsInsteadOfWrapping) {
+  // Regression: FOURINDEX_CKPT_KEEP=-3 used to warn and silently run
+  // with the default depth; a negative depth must refuse to start
+  // rather than survive the size_t cast or mask the user's intent.
+  ::setenv("FOURINDEX_CKPT_KEEP", "-3", 1);
+  Cluster cl(fault_machine(2, 2), ExecutionMode::Simulate);
+  EXPECT_THROW(cl.enable_recovery(), ParseError);
+  ::unsetenv("FOURINDEX_CKPT_KEEP");
+  cl.enable_recovery();
+  EXPECT_EQ(cl.checkpoints()->keep_epochs(), 2u);
+}
+
+TEST(DeltaCheckpoint, ZeroTileEpochResetsDirtyFractionToZero) {
+  // Regression: a checkpoint covering zero live tiles (every array
+  // gone before the write — e.g. a transform's arrays destroyed, then
+  // an explicit epoch taken) used to skip the gauge entirely, leaving
+  // the previous epoch's fraction standing in the bench JSON; the
+  // unguarded division would have emitted NaN, which serializes as
+  // null and sails through jq's >= gates.
+  Cluster cl(fault_machine(2, 2), ExecutionMode::Real);
+  cl.enable_recovery();
+  {
+    std::vector<tensor::Tiling> dims = {tensor::Tiling(8, 2)};
+    ga::GlobalArray a(cl, "ephemeral", dims);
+    cl.run_phase("w0", [&](runtime::RankCtx& ctx) {
+      if (ctx.rank() != 0) return;
+      for (std::size_t t = 0; t < 4; ++t) {
+        std::vector<double> buf = {1.0 + double(t), 0.0};
+        a.put(ctx, std::vector<std::size_t>{t}, buf.data());
+      }
+    });
+    EXPECT_GT(cl.metrics().sum("checkpoint.dirty_fraction"), 0.0);
+  }  // the array unregisters here
+  cl.checkpoints()->write();
+  const double f = cl.metrics().sum("checkpoint.dirty_fraction");
+  EXPECT_TRUE(std::isfinite(f));
+  EXPECT_EQ(f, 0.0);
 }
 
 }  // namespace

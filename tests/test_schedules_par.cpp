@@ -238,6 +238,24 @@ TEST(ParProperties, ImbalanceReportedAboveOne) {
   EXPECT_GT(r.stats.sim_time, 0.0);
 }
 
+TEST(ParProperties, NegativeCounterBatchEnvThrowsBeforeTheRun) {
+  // Regression: FOURINDEX_COUNTER_BATCH=-4 used to warn and run the
+  // whole transform with the default batch; the strict path raises
+  // the typed parse error before any phase executes.
+  auto p = core::make_problem(chem::custom_molecule("envneg", 10, 2, 175));
+  core::ParOptions o;
+  o.tile = 4;
+  o.tile_l = 4;
+  o.gather_result = false;
+  ::setenv("FOURINDEX_COUNTER_BATCH", "-4", 1);
+  Cluster cl(test_machine(2, 2), ExecutionMode::Simulate);
+  EXPECT_THROW(core::fused_inner_par_transform(p, cl, o), fit::ParseError);
+  ::unsetenv("FOURINDEX_COUNTER_BATCH");
+  Cluster cl2(test_machine(2, 2), ExecutionMode::Simulate);
+  EXPECT_TRUE(core::fused_inner_par_transform(p, cl2, o).stats.sim_time >
+              0.0);
+}
+
 }  // namespace
 
 // ---- NWChem baseline models -----------------------------------------

@@ -1,0 +1,328 @@
+// The persistent transform service: cost table/oracle behavior, the
+// request-parse taxonomy, the four-way admission ladder, schedule-cache
+// bit-identity, and the NDJSON wire layer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "serve/cost_oracle.hpp"
+#include "serve/cost_table.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace fit;
+using serve::Admission;
+using serve::CostOracle;
+using serve::CostTable;
+using serve::Request;
+using serve::Response;
+using serve::TransformService;
+
+std::string temp_path(const std::string& stem) {
+  return testing::TempDir() + stem + "." +
+         std::to_string(::getpid());
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(CostTable, InterpolatesInLogShapeAndClampsAtTheEnds) {
+  CostTable t;
+  t.add({"gemm", 1e6, 10e9, "test"});
+  t.add({"gemm", 1e8, 20e9, "test"});
+
+  // Exact samples come back exactly.
+  EXPECT_DOUBLE_EQ(*t.estimate_rate("gemm", 1e6), 10e9);
+  EXPECT_DOUBLE_EQ(*t.estimate_rate("gemm", 1e8), 20e9);
+  // The geometric midpoint of the shapes is the arithmetic midpoint of
+  // the rates (piecewise linear in log shape).
+  EXPECT_NEAR(*t.estimate_rate("gemm", 1e7), 15e9, 1e-3);
+  // Outside the sampled range but within the decade rule: clamped.
+  EXPECT_DOUBLE_EQ(*t.estimate_rate("gemm", 3e5), 10e9);
+  EXPECT_DOUBLE_EQ(*t.estimate_rate("gemm", 5e8), 20e9);
+  // More than a decade away, or the wrong kind: no bucket, no guess.
+  EXPECT_FALSE(t.estimate_rate("gemm", 1e4).has_value());
+  EXPECT_FALSE(t.estimate_rate("link", 1e6).has_value());
+  EXPECT_TRUE(t.has_bucket("gemm", 2e6));
+  EXPECT_FALSE(t.has_bucket("gemm", 1e20));
+}
+
+TEST(CostTable, RemeasuringABucketOverwritesInsteadOfDuplicating) {
+  CostTable t;
+  t.add({"link", 512, 1e9, "old"});
+  t.add({"link", 512, 3e9, "new"});
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ(*t.estimate_rate("link", 512), 3e9);
+  EXPECT_EQ(t.samples()[0].origin, "new");
+}
+
+TEST(CostTable, RoundTripsThroughDiskAndRejectsMalformedDocuments) {
+  CostTable t;
+  t.add({"gemm", 2.5e7, 21.5e9, "bench_gemm"});
+  t.add({"integrals", 46, 2e8, "bench"});
+  const std::string path = temp_path("costs.json");
+  ASSERT_TRUE(t.save(path));
+  const CostTable back = CostTable::load(path);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_DOUBLE_EQ(*back.estimate_rate("gemm", 2.5e7), 21.5e9);
+  std::remove(path.c_str());
+
+  EXPECT_THROW(CostTable::load("/nonexistent/costs.json"), ParseError);
+  EXPECT_THROW(CostTable::from_json(obs::json::parse("{\"schema\":\"x\"}")),
+               ParseError);
+  EXPECT_THROW(
+      CostTable::from_json(obs::json::parse(
+          "{\"schema\":\"fourindex.costs/1\",\"samples\":"
+          "[{\"kind\":\"gemm\",\"shape\":-1,\"rate\":1}]}")),
+      ParseError);
+}
+
+// --------------------------------------------------------------- oracle
+
+TEST(CostOracle, EmptyTableFallsBackToNominalRates) {
+  const runtime::MachineConfig m = runtime::system_a(1);
+  const CostOracle oracle;
+  const core::PlanRates r = oracle.rates(m, 46, 4);
+  EXPECT_EQ(r.source, "nominal");
+  EXPECT_DOUBLE_EQ(r.flops_per_rank, m.flops_per_rank);
+  EXPECT_DOUBLE_EQ(r.net_bandwidth_bps, m.net_bandwidth_bps);
+  EXPECT_GT(oracle.fallbacks(), 0u);
+}
+
+TEST(CostOracle, BackedGemmBucketYieldsMeasuredRates) {
+  const runtime::MachineConfig m = runtime::system_a(1);
+  CostTable t;
+  // Request shape for n=46, tile=4 is 2 * 46^3 * 4 ~ 7.8e5.
+  t.add({"gemm", 8e5, 15e9, "test"});
+  const CostOracle oracle(t);
+  const core::PlanRates r = oracle.rates(m, 46, 4);
+  EXPECT_EQ(r.source, "measured");
+  EXPECT_NEAR(r.flops_per_rank, 15e9, 1e-3);
+  // link/integrals buckets are absent: loud fallback to nominal.
+  EXPECT_DOUBLE_EQ(r.net_bandwidth_bps, m.net_bandwidth_bps);
+  EXPECT_GT(oracle.fallbacks(), 0u);
+}
+
+TEST(CostOracle, BrokenCostTableEnvIsARefusalNotADegrade) {
+  const std::string path = temp_path("broken.json");
+  FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{not json", f);
+  std::fclose(f);
+  ::setenv("FOURINDEX_COST_TABLE", path.c_str(), 1);
+  EXPECT_THROW(CostOracle::from_env(), ParseError);
+  ::unsetenv("FOURINDEX_COST_TABLE");
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- parse taxonomy
+
+std::string parse_error_of(const std::string& json) {
+  try {
+    serve::parse_request(obs::json::parse(json));
+  } catch (const ParseError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ParseRequest, TaxonomyIsStable) {
+  EXPECT_EQ(parse_error_of("[1,2]"), "request is not a JSON object");
+  EXPECT_EQ(parse_error_of("{}"), "missing string field 'molecule'");
+  EXPECT_EQ(parse_error_of("{\"molecule\":\"Benzene\"}"),
+            "unknown molecule 'Benzene'");
+  EXPECT_EQ(parse_error_of("{\"molecule\":\"Uracil\",\"system\":\"Q\"}"),
+            "unknown system 'Q' (want A|B|C)");
+  EXPECT_EQ(
+      parse_error_of("{\"molecule\":\"Uracil\",\"balance\":\"chaotic\"}"),
+      "unknown balance mode 'chaotic'");
+  EXPECT_EQ(parse_error_of("{\"molecule\":\"Uracil\",\"nodes\":0}"),
+            "field 'nodes' must be a positive number");
+  EXPECT_EQ(parse_error_of("{\"molecule\":\"Uracil\",\"tile\":2.5}"),
+            "field 'tile' must be a positive number");
+  EXPECT_EQ(parse_error_of("{\"molecule\":\"custom\"}"),
+            "custom molecule needs field 'n' >= 2");
+
+  const Request r = serve::parse_request(obs::json::parse(
+      "{\"molecule\":\"custom\",\"n\":24,\"irrep_order\":2,"
+      "\"nodes\":2,\"balance\":\"steal\",\"real\":true}"));
+  EXPECT_EQ(r.custom_n, 24u);
+  EXPECT_EQ(r.custom_s, 2u);
+  EXPECT_EQ(r.n_nodes, 2u);
+  EXPECT_EQ(r.balance, "steal");
+  EXPECT_TRUE(r.real);
+}
+
+TEST(ParseRequest, MalformedLinesBecomeErrorResponsesNotExceptions) {
+  TransformService svc{CostOracle{}};
+  const Response bad_json = svc.submit_line("{oops");
+  EXPECT_EQ(bad_json.admission, Admission::Error);
+  EXPECT_FALSE(bad_json.error.empty());
+  const Response bad_req = svc.submit_line("{\"molecule\":\"Benzene\"}");
+  EXPECT_EQ(bad_req.admission, Admission::Error);
+  EXPECT_EQ(bad_req.error, "unknown molecule 'Benzene'");
+  EXPECT_EQ(svc.metrics().sum("serve.errors"), 2.0);
+}
+
+// ------------------------------------------------------ admission ladder
+
+TEST(Admission, WalksAdmittedThroughDegradedToQueuedAndRejected) {
+  TransformService::Options opt;
+  opt.queue_depth = 1;
+  TransformService svc{CostOracle{}, opt};
+
+  // Hyperpolar on 4 SystemA nodes: the idle machine picks op1234.
+  // plan_only reservations eat aggregate memory, so repeated identical
+  // requests must walk the ladder monotonically downward: Admitted
+  // (full fusion fits), Degraded (only a lower level fits), Queued
+  // (nothing fits, queue has room), Rejected (queue full).
+  Request r;
+  r.molecule = "Hyperpolar";
+  r.n_nodes = 4;
+  r.plan_only = true;
+
+  std::vector<Admission> transitions;
+  Admission last = Admission::Error;
+  std::uint64_t first_ticket = 0;
+  for (int i = 0; i < 4096; ++i) {
+    const Response rsp = svc.submit(r);
+    if (rsp.admission != last) {
+      transitions.push_back(rsp.admission);
+      last = rsp.admission;
+    }
+    if (first_ticket == 0 && rsp.admission == Admission::Admitted)
+      first_ticket = rsp.ticket;
+    if (rsp.admission == Admission::Rejected) break;
+  }
+  const std::vector<Admission> want = {
+      Admission::Admitted, Admission::Degraded, Admission::Queued,
+      Admission::Rejected};
+  EXPECT_EQ(transitions, want);
+  EXPECT_GT(svc.reserved_bytes(), 0.0);
+  EXPECT_EQ(svc.queued(), 1u);
+
+  // Releasing the first (largest) reservation must retry the queue;
+  // the parked request fits again and comes back non-queued.
+  const double reserved_before = svc.reserved_bytes();
+  const std::vector<Response> ran = svc.release(first_ticket);
+  ASSERT_EQ(ran.size(), 1u);
+  EXPECT_TRUE(ran[0].admission == Admission::Admitted ||
+              ran[0].admission == Admission::Degraded);
+  EXPECT_EQ(svc.queued(), 0u);
+  EXPECT_LT(svc.reserved_bytes(), reserved_before + 1.0);
+  EXPECT_GE(svc.metrics().sum("serve.released"), 1.0);
+
+  // An unknown ticket is an error response, not a crash.
+  const std::vector<Response> nope = svc.release(999999);
+  ASSERT_EQ(nope.size(), 1u);
+  EXPECT_EQ(nope[0].admission, Admission::Error);
+}
+
+TEST(Admission, ProblemBeyondTheIdleMachineIsRejectedOutright) {
+  TransformService svc{CostOracle{}};
+  Request r;
+  r.molecule = "custom";
+  r.custom_n = 1024;  // even unfused needs > SystemA x1's aggregate
+  r.custom_s = 1;
+  r.n_nodes = 1;
+  r.plan_only = true;
+  const Response rsp = svc.submit(r);
+  EXPECT_EQ(rsp.admission, Admission::Rejected);
+  EXPECT_NE(rsp.error.find("exceeds the idle machine"), std::string::npos);
+  EXPECT_EQ(svc.queued(), 0u);
+  EXPECT_EQ(svc.reserved_bytes(), 0.0);
+}
+
+// -------------------------------------------------------- schedule cache
+
+TEST(ScheduleCache, RepeatedRequestHitsAndReplaysBitIdentically) {
+  TransformService svc{CostOracle{}};
+  Request r;
+  r.molecule = "custom";
+  r.custom_n = 12;
+  r.custom_s = 2;
+  r.n_nodes = 1;
+  r.balance = "auto";
+  r.tile = 4;
+  r.tile_l = 4;
+  r.real = true;
+
+  const Response cold = svc.submit(r);
+  ASSERT_EQ(cold.admission, Admission::Admitted);
+  EXPECT_FALSE(cold.cache_hit);
+  ASSERT_NE(cold.result_checksum, 0.0);
+
+  const Response warm = svc.submit(r);
+  ASSERT_EQ(warm.admission, Admission::Admitted);
+  EXPECT_TRUE(warm.cache_hit);
+  // Bit-identical transform result: every balance mode writes each
+  // output tile from exactly one task, so replaying the memoized
+  // per-phase picks must reproduce the cold run's bytes exactly.
+  EXPECT_EQ(warm.result_checksum, cold.result_checksum);
+  EXPECT_EQ(warm.fusion, cold.fusion);
+
+  EXPECT_GE(svc.metrics().sum("serve.cache_hits"), 1.0);
+  EXPECT_EQ(svc.metrics().sum("serve.cache_misses"), 1.0);
+  // The warm run replayed the Auto picks out of the memo: at least one
+  // per-phase DES re-plan was skipped.
+  EXPECT_GE(svc.metrics().sum("serve.des_skips"), 1.0);
+
+  // A different balance mode is a different fingerprint — no false
+  // sharing between schedules.
+  Request other = r;
+  other.balance = "static";
+  const Response miss = svc.submit(other);
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_EQ(miss.result_checksum, cold.result_checksum);
+}
+
+// ------------------------------------------------------------ wire layer
+
+TEST(Server, SpeaksNdjsonOverAUnixSocket) {
+  const std::string sock = temp_path("serve.sock");
+  serve::Server server(TransformService{CostOracle{}}, sock);
+
+  std::thread loop([&] { server.serve_forever(/*max_requests=*/4); });
+  const std::string req =
+      "{\"molecule\":\"custom\",\"n\":12,\"irrep_order\":2,\"nodes\":1,"
+      "\"real\":true}";
+  const obs::json::Value cold =
+      obs::json::parse(serve::Server::request(sock, req));
+  const obs::json::Value warm =
+      obs::json::parse(serve::Server::request(sock, req));
+  EXPECT_EQ(cold.find("outcome")->as_string(), "admitted");
+  EXPECT_TRUE(warm.find("cache_hit")->as_bool());
+  EXPECT_EQ(warm.find("result_checksum")->as_number(),
+            cold.find("result_checksum")->as_number());
+
+  const obs::json::Value stats =
+      obs::json::parse(serve::Server::request(sock, "{\"verb\":\"stats\"}"));
+  EXPECT_DOUBLE_EQ(
+      stats.find("serve.cache_hits")->find("sum")->as_number(), 1.0);
+
+  const obs::json::Value bye = obs::json::parse(
+      serve::Server::request(sock, "{\"verb\":\"shutdown\"}"));
+  EXPECT_EQ(bye.find("outcome")->as_string(), "shutdown");
+  loop.join();
+}
+
+TEST(Server, MalformedLineKeepsTheLoopAlive) {
+  const std::string sock = temp_path("serve-err.sock");
+  serve::Server server(TransformService{CostOracle{}}, sock);
+  const obs::json::Value err =
+      obs::json::parse(server.handle_line("{not json"));
+  EXPECT_EQ(err.find("outcome")->as_string(), "error");
+  EXPECT_FALSE(err.find("error")->as_string().empty());
+  // The service is still usable after the bad line.
+  const obs::json::Value ok = obs::json::parse(server.handle_line(
+      "{\"molecule\":\"custom\",\"n\":10,\"nodes\":1,\"plan_only\":true}"));
+  EXPECT_EQ(ok.find("outcome")->as_string(), "admitted");
+}
+
+}  // namespace

@@ -272,6 +272,19 @@ TEST(PlanTasks, AutoBatchFollowsTheClaimsPerRankRule) {
   EXPECT_EQ(ga::auto_batch(0, 0), 1u);       // degenerate inputs
 }
 
+TEST(PlanTasks, AutoBatchSurvivesKillStormsAndOversizedClusters) {
+  // Regression: a plan taken after a full-cluster kill storm
+  // (live_count == 0) or with fewer tasks than live ranks must stay
+  // at the finest batch — never divide by zero or hand out batches
+  // that claim past the range end.
+  EXPECT_EQ(ga::auto_batch(100, 0), 1u);  // kill storm: nobody alive
+  EXPECT_EQ(ga::auto_batch(3, 8), 1u);    // tail phase: tasks < ranks
+  // Regression: 8 * live_ranks wrapped to zero for rank counts above
+  // 2^61 and the division faulted; the stepwise form cannot wrap.
+  EXPECT_EQ(ga::auto_batch(5, std::size_t{1} << 61), 1u);
+  EXPECT_EQ(ga::auto_batch(~std::size_t{0}, std::size_t{1} << 61), 1u);
+}
+
 TEST(PlanTasks, ChooseBalanceNeverLosesToAFixedMode) {
   Cluster cl(sched_machine(2, 2), ExecutionMode::Simulate);
   ga::TaskCounter counter(cl, "choose-plan");

@@ -343,6 +343,25 @@ TEST(Parse, EnvSizeFallsBackLoudlyNotByTruncating) {
   EXPECT_EQ(fit::util::env_size(var, 5), 5u);
 }
 
+TEST(Parse, EnvSizeStrictThrowsInsteadOfFallingBack) {
+  const char* var = "FOURINDEX_TEST_ENV_SIZE_STRICT";
+  ::setenv(var, "8", 1);
+  EXPECT_EQ(fit::util::env_size_strict(var, 3), 8u);
+  // Regression: a negative value must never survive to the size_t
+  // cast — reject it through the typed-error path, not a warning.
+  ::setenv(var, "-2", 1);
+  EXPECT_THROW(fit::util::env_size_strict(var, 3), fit::ParseError);
+  EXPECT_THROW(fit::util::env_size_strict(var, 3, /*min=*/0),
+               fit::ParseError);
+  ::setenv(var, "8abc", 1);
+  EXPECT_THROW(fit::util::env_size_strict(var, 3), fit::ParseError);
+  ::setenv(var, "0", 1);  // below the default min=1
+  EXPECT_THROW(fit::util::env_size_strict(var, 3), fit::ParseError);
+  EXPECT_EQ(fit::util::env_size_strict(var, 3, /*min=*/0), 0u);
+  ::unsetenv(var);
+  EXPECT_EQ(fit::util::env_size_strict(var, 5), 5u);
+}
+
 TEST(Args, MalformedValuesThrowTypedErrors) {
   const char* argv[] = {"prog", "--tile=8abc", "--scale=2.5x", "12z"};
   fit::Args args(4, const_cast<char**>(argv));
