@@ -13,6 +13,12 @@
 //   fourindex-serve --socket PATH --request '<json-line>'
 // sends one request line to a running server and prints the response
 // line on stdout.
+//
+// Pipe-client mode:
+//   fourindex-serve --socket PATH --client
+// reads NDJSON request lines from stdin, sends each to the server, and
+// prints each response line on stdout — the harness the docs-examples
+// CI step drives the README/DESIGN serving examples through.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -26,7 +32,8 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--socket PATH] [--once N] [--request '<json>']\n";
+            << " [--socket PATH] [--once N] [--request '<json>']"
+               " [--client]\n";
   return 2;
 }
 
@@ -41,6 +48,7 @@ int main(int argc, char** argv) {
     socket_path = env;
   std::size_t once = 0;
   std::string request_line;
+  bool pipe_client = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -50,6 +58,8 @@ int main(int argc, char** argv) {
       once = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--request" && i + 1 < argc) {
       request_line = argv[++i];
+    } else if (arg == "--client") {
+      pipe_client = true;
     } else {
       return usage(argv[0]);
     }
@@ -59,6 +69,18 @@ int main(int argc, char** argv) {
     if (!request_line.empty()) {
       std::cout << serve::Server::request(socket_path, request_line)
                 << "\n";
+      return 0;
+    }
+
+    if (pipe_client) {
+      // One request per stdin line, one response per stdout line —
+      // blank lines and '#' comments are skipped so fenced doc
+      // examples can be piped through verbatim.
+      std::string line;
+      while (std::getline(std::cin, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        std::cout << serve::Server::request(socket_path, line) << "\n";
+      }
       return 0;
     }
 

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Execute the serving documentation examples, verbatim.
+#
+# The README "Serving" section and DESIGN.md §4.8 embed fenced example
+# blocks under a contract: every ```sh block is a self-contained shell
+# session runnable from the repository root, and every ```json block is
+# a sequence of NDJSON request lines (with `# comment` lines, which the
+# --client pipe mode skips). This script extracts those blocks and runs
+# them — each json block against a fresh server on a scratch socket —
+# so a documentation example that drifts from the wire protocol fails
+# CI instead of rotting. tests/test_serve.cpp runs the same json blocks
+# through the in-process service; this script is the over-the-socket
+# leg.
+#
+# Usage: scripts/docs_examples.sh <path-to-fourindex-serve> [scratch-dir]
+set -euo pipefail
+
+BIN=${1:?usage: docs_examples.sh <fourindex-serve binary> [scratch-dir]}
+SCRATCH=${2:-$(mktemp -d /tmp/fourindex-docs.XXXXXX)}
+mkdir -p "$SCRATCH"
+
+# extract_blocks FILE SECTION_REGEX END_REGEX LANG
+#   Print the fenced LANG blocks between the heading matching
+#   SECTION_REGEX and the next heading matching END_REGEX, with each
+#   block terminated by a \x01 line so callers can split them apart.
+extract_blocks() {
+  awk -v sec="$2" -v end="$3" -v lang="$4" '
+    $0 ~ sec { insec = 1; next }
+    insec && $0 ~ end { insec = 0 }
+    insec && $0 == "```" lang { inblock = 1; next }
+    inblock && $0 == "```" { inblock = 0; printf "\x01\n"; next }
+    inblock { print }
+  ' "$1"
+}
+
+# run_json_blocks NAME BLOCKS
+#   For each \x01-separated block: fresh server, pipe the block (plus a
+#   harness shutdown) through --client, require every response line to
+#   carry an outcome that is not "error".
+run_json_blocks() {
+  local name=$1 blocks=$2 i=0 block
+  while IFS= read -r -d $'\x01' block; do
+    # Skip whitespace-only fragments between terminators.
+    [ -n "$(printf '%s' "$block" | tr -d '[:space:]\n')" ] || continue
+    i=$((i + 1))
+    local sock="$SCRATCH/$name-$i.sock"
+    rm -f "$sock"
+    FOURINDEX_BENCH_JSON_DIR="$SCRATCH" "$BIN" --socket "$sock" &
+    local pid=$!
+    for _ in $(seq 50); do
+      [ -S "$sock" ] && break
+      sleep 0.1
+    done
+    [ -S "$sock" ] || { echo "server never bound $sock"; exit 1; }
+
+    local out="$SCRATCH/$name-$i.out"
+    { printf '%s\n' "$block"; echo '{"verb":"shutdown"}'; } \
+      | "$BIN" --socket "$sock" --client > "$out"
+    wait "$pid"
+
+    local lines requests
+    lines=$(grep -c . "$out" || true)
+    requests=$(printf '%s\n' "$block" | grep -c '^{' || true)
+    [ "$lines" -eq $((requests + 1)) ] \
+      || { echo "$name block $i: sent $requests requests (+shutdown)," \
+                "got $lines responses:"; cat "$out"; exit 1; }
+    # Every line must parse as JSON and none may be an error response
+    # (verbs like stats legitimately return documents with no outcome).
+    jq -es 'all(.outcome != "error")' "$out" > /dev/null \
+      || { echo "$name block $i: a documented request errored:";
+           cat "$out"; exit 1; }
+    echo "docs-examples: $name json block $i ok ($requests requests)"
+  done <<<"$blocks"
+}
+
+# 1. The README shell session: runs as written, from the repo root.
+sh_blocks=$(extract_blocks README.md '^## Serving$' '^## ' sh)
+i=0
+while IFS= read -r -d $'\x01' block; do
+  [ -n "$(printf '%s' "$block" | tr -d '[:space:]\n')" ] || continue
+  i=$((i + 1))
+  out="$SCRATCH/readme-sh-$i.out"
+  FOURINDEX_BENCH_JSON_DIR="$SCRATCH" bash -eu -o pipefail \
+    <(printf '%s\n' "$block") > "$out" \
+    || { echo "README sh block $i failed:"; cat "$out"; exit 1; }
+  grep -q '"outcome"' "$out" \
+    || { echo "README sh block $i produced no responses:"; cat "$out";
+         exit 1; }
+  grep -q '"outcome":"error"' "$out" \
+    && { echo "README sh block $i: a documented request errored:";
+         cat "$out"; exit 1; }
+  echo "docs-examples: README sh block $i ok"
+done <<<"$sh_blocks"
+[ "$i" -ge 1 ] || { echo "no sh examples found in README Serving"; exit 1; }
+
+# 2. The README and DESIGN request-line examples, over the socket.
+readme_json=$(extract_blocks README.md '^## Serving$' '^## ' json)
+design_json=$(extract_blocks DESIGN.md '^### 4\.8 ' '^## ' json)
+[ -n "$readme_json" ] || { echo "no json examples in README Serving"; exit 1; }
+[ -n "$design_json" ] || { echo "no json examples in DESIGN §4.8"; exit 1; }
+run_json_blocks readme "$readme_json"
+run_json_blocks design "$design_json"
+
+echo "docs-examples: every documented example executed cleanly"

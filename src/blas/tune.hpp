@@ -39,14 +39,17 @@ namespace fit::blas {
 inline constexpr std::size_t kGemmMR = 4;
 inline constexpr std::size_t kGemmNR = 8;
 
+/// One engine configuration: blocking parameters, lane count, k-split
+/// width, the dispatched ISA level and the deterministic switch. The
+/// blocked DGEMM snapshots the active one per call.
 struct GemmConfig {
-  std::size_t mc = 128;       // A panel rows (L2-resident: mc*kc)
-  std::size_t kc = 256;       // contraction block (L1-resident microtiles)
-  std::size_t nc = 2048;      // B panel columns (L3-resident: kc*nc)
-  std::size_t threads = 1;    // lanes for the ic/jr macro loops
-  std::size_t ksplit = 1;     // k-split reduction chunks (1 off, 0 auto)
-  IsaLevel isa = resolve_isa();  // dispatched kernel table
-  bool deterministic = false; // force the scalar kernel level
+  std::size_t mc = 128;    ///< A panel rows (L2-resident: mc*kc)
+  std::size_t kc = 256;    ///< contraction block (L1-resident microtiles)
+  std::size_t nc = 2048;   ///< B panel columns (L3-resident: kc*nc)
+  std::size_t threads = 1; ///< lanes for the ic/jr macro loops
+  std::size_t ksplit = 1;  ///< k-split reduction chunks (1 off, 0 auto)
+  IsaLevel isa = resolve_isa();  ///< dispatched kernel table
+  bool deterministic = false;    ///< force the scalar kernel level
 
   /// Cache-size-probed defaults (sysconf cache probes with
   /// conservative fallbacks) with every FOURINDEX_GEMM_* /
@@ -58,18 +61,20 @@ struct GemmConfig {
 /// Active engine configuration. Initialized to autotuned() on first
 /// use; set_gemm_config replaces it (thread-safe snapshot semantics —
 /// in-flight gemm calls finish under the config they started with).
-/// set_gemm_config clamps the requested ISA level to detected_isa(),
-/// loudly, so an installed config can never dispatch to kernels the
-/// host cannot execute.
 GemmConfig gemm_config();
+/// Install a new active configuration. Clamps the requested ISA level
+/// to detected_isa(), loudly, so an installed config can never
+/// dispatch to kernels the host cannot execute.
 void set_gemm_config(const GemmConfig& cfg);
 /// Re-probe caches and environment, install and return the result.
 GemmConfig reset_gemm_config();
 
-/// Probed data-cache sizes in bytes (0 when the probe has no answer —
-/// the autotuner then falls back to 32 KiB / 512 KiB / 8 MiB).
+/// Probed L1 data-cache size in bytes (0 when the probe has no answer
+/// — the autotuner then falls back to 32 KiB).
 std::size_t l1d_cache_bytes();
+/// Probed L2 cache size in bytes (0 = no answer; fallback 512 KiB).
 std::size_t l2_cache_bytes();
+/// Probed L3 cache size in bytes (0 = no answer; fallback 8 MiB).
 std::size_t l3_cache_bytes();
 
 /// Estimated core clock in Hz: a timed dependent-integer-add chain

@@ -133,6 +133,54 @@ ClusterPlan plan_for_cluster(const Problem& p,
                              const runtime::MachineConfig& machine,
                              std::size_t tile_l, const PlanRates& rates);
 
+/// Amortization plan for a shared-basis batch of `n_members`
+/// transforms (the serve layer's `batch` requests): which state and
+/// work are member-invariant, what each member adds, and the
+/// batched-vs-sequential time estimates the admission controller and
+/// the throughput bench report. Like everything in this planner the
+/// estimates are lower-bound-shaped: they order queues and justify
+/// batching, they do not promise wall clocks.
+struct BatchPlan {
+  /// Members the plan was made for.
+  std::size_t n_members = 1;
+  /// True when the batch runs the fused-outer schedule (per-slice A,
+  /// every member's C live for the whole run) because the unfused
+  /// chain's batch peak does not fit aggregate memory.
+  bool use_fused_outer = false;
+  /// Aggregate bytes of member-invariant state: the shared AO tensor A
+  /// under the unfused chain, or the per-slice A/O2 working set under
+  /// the fused schedule.
+  double shared_bytes = 0;
+  /// Aggregate bytes each member adds at the batch's peak: one
+  /// member's intermediate chain under the unfused schedule (members
+  /// run one at a time), or its resident C under the fused schedule
+  /// (all members' C accumulate across every slice).
+  double per_member_bytes = 0;
+  /// Aggregate bytes the whole batch needs at its peak — what the
+  /// serve admission controller charges against remaining capacity.
+  double total_need_bytes = 0;
+  /// Estimated seconds of member-invariant work (evaluating the AO
+  /// integrals into A), paid once per batch.
+  double est_seconds_shared = 0;
+  /// Estimated seconds each member adds (its contraction chain's flops
+  /// and I/O at the effective rates).
+  double est_seconds_per_member = 0;
+  /// est_seconds_shared + n_members * est_seconds_per_member.
+  double est_seconds_batched = 0;
+  /// n_members * (est_seconds_shared + est_seconds_per_member): every
+  /// member re-deriving A for itself, the no-batching baseline.
+  double est_seconds_sequential = 0;
+  /// Where the pricing rates came from ("nominal" or "measured").
+  std::string rate_source = "nominal";
+};
+
+/// Evaluate the shared-basis batch plan for `n_members` transforms of
+/// problem `p` on a machine, priced at explicit effective rates.
+BatchPlan plan_batch(const Problem& p,
+                     const runtime::MachineConfig& machine,
+                     std::size_t tile_l, std::size_t n_members,
+                     const PlanRates& rates = {});
+
 /// Render a plan as a printable table (used by examples/benches).
 std::string to_string(const Plan& plan);
 

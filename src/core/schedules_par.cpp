@@ -11,6 +11,7 @@
 #include "blas/level1.hpp"
 #include "blas/tune.hpp"
 #include "bounds/transform_bounds.hpp"
+#include "chem/coeffs.hpp"
 #include "core/sym_tile.hpp"
 #include "core/planner.hpp"
 #include "tensor/pairs.hpp"
@@ -136,7 +137,15 @@ struct Par {
     };
   }
 
-  const double* b() const { return p.b.data(); }
+  // Active transformation matrix: the problem's own B, unless a
+  // batched run has pointed the contraction phases at one member's
+  // coefficient set (the only thing distinguishing shared-basis batch
+  // members from each other).
+  const tensor::Matrix* b_active = nullptr;
+
+  const double* b() const {
+    return b_active ? b_active->data() : p.b.data();
+  }
   std::size_t n() const { return p.n(); }
 };
 
@@ -768,15 +777,28 @@ ParResult fused_par_transform(const Problem& p, Cluster& cluster,
   return finish(par, "fused", c, timer, before, sim_before);
 }
 
-ParResult fused_inner_par_transform(const Problem& p, Cluster& cluster,
-                                    const ParOptions& opt) {
-  Par par(p, cluster, opt);
-  WallTimer timer;
-  const auto before = cluster.totals();
-  const double sim_before = cluster.sim_time();
+namespace {
+
+/// One member of a (possibly single-element) shared-basis batch as the
+/// fused-inner slice driver sees it: where to accumulate its C, and
+/// which transformation matrix to contract with.
+struct FusedInnerMember {
+  GlobalArray* c;
+  const tensor::Matrix* b;
+};
+
+/// The fused-inner slice loop (Listing 10), shared between the
+/// single-problem entry point and the shared-basis batch: per l-slice
+/// the A slice is produced once and every member replays the fused12 /
+/// fused34 phases against it with its own B. Phase labels are
+/// per-slice but member-invariant, so an Auto balance memo amortizes
+/// the claim DES across members as well.
+void fused_inner_slices(Par& par,
+                        std::span<const FusedInnerMember> members) {
+  Cluster& cluster = par.cl;
+  const ParOptions& opt = par.opt;
   const std::size_t n = par.n();
   const std::size_t nranks = cluster.n_ranks();
-  auto c = make_c(par);
 
   // Alpha parallelization factor (Sec. 7.3): with only the fused k
   // loop parallel there are nt work units; splitting the alpha range
@@ -841,16 +863,6 @@ ParResult fused_inner_par_transform(const Problem& p, Cluster& cluster,
                                             ga::filter_triangular(0, 1));
     fill_a(par, *al, llo, "fill A" + tag);
 
-    // O2_l distributed so that the rank computing work unit (tk, ac)
-    // owns every O2 tile it produces — puts stay local.
-    auto o2_owner = [&](std::span<const std::size_t> tc,
-                        std::size_t ranks) {
-      (void)ranks;
-      return unit_owner(tc[2], chunk_of(tc[0]));
-    };
-    auto o2 = std::make_unique<GlobalArray>(
-        cluster, "O2_l", sdims, ga::filter_triangular(0, 1), o2_owner);
-
     // Tile pairs of the triangular A gather, in the historical
     // (tj outer, ti >= tj) order; indexable for the prefetch pipeline.
     std::vector<std::pair<std::size_t, std::size_t>> ij_tiles;
@@ -858,212 +870,385 @@ ParResult fused_inner_par_transform(const Problem& p, Cluster& cluster,
       for (std::size_t ti = tj; ti < par.nt; ++ti)
         ij_tiles.emplace_back(ti, tj);
 
-    // ---- Fused contractions 1+2 (k-parallel, Listing 10 top) -------
-    // Work unit (tk, ac) = task tk*n_ac + ac; cost = the A-block
-    // gather plus this chunk's O1/O2 gemms and O2 puts.
-    auto f12_cost = [&](std::size_t task) {
-      const std::size_t ck = task / n_ac;
-      const std::size_t ac = task % n_ac;
-      const double ext = double(par.t.len(ck)) * double(llen);
-      const double dn = static_cast<double>(n);
-      double flops = 0, put_bytes = 0;
-      for (std::size_t ta = 0; ta < par.nt; ++ta) {
-        if (chunk_of(ta) != ac) continue;
-        const double lena = static_cast<double>(par.t.len(ta));
-        flops += 2.0 * lena * dn * ext * dn;  // O1 block
-        for (std::size_t tb = 0; tb <= ta; ++tb) {
-          const double lenb = static_cast<double>(par.t.len(tb));
-          flops += 2.0 * lenb * ext * dn * lena;  // O2 tiles
-          put_bytes += 8.0 * lena * lenb * ext;
-        }
-      }
-      return flops / mach.flops_per_rank +
-             (8.0 * dn * dn * ext + put_bytes) / mach.net_bandwidth_bps +
-             double(ij_tiles.size()) * mach.net_latency_s;
-    };
-    run_claimed_phase(
-        par, "fused12" + tag, par.nt * n_ac,
-        [&](std::size_t task) { return task % nranks; }, f12_cost,
-        [&](RankCtx& ctx, std::size_t task) {
-          const std::size_t tk = task / n_ac;
-          const std::size_t ac = task % n_ac;
-          const std::size_t lenk = par.t.len(tk);
-          const std::size_t m = lenk * llen;  // fused (k,l) extent
-          // Gather the full (i,j) x (k in tk) x (l in slice) A block.
-          // This is the A traffic that replicates with n_ac (Sec 7.3).
-          RankBuffer bufa(ctx, n * n * m, "A block");
-          {
-            const std::size_t tw = par.t.max_width();
-            const std::size_t fmax = tw * tw * m;
-            const std::size_t nslots = par.opt.overlap ? 2 : 1;
-            RankBuffer fetchbuf(ctx, nslots * fmax, "A fetch");
-            auto at = [&](std::size_t s) {
-              return ctx.real() ? fetchbuf.data() + s * fmax : nullptr;
-            };
-            GlobalArray::NbHandle fh[2];
-            pipelined_fetch(
-                ij_tiles.size(), par.opt.overlap,
-                [&](std::size_t q, std::size_t s) {
-                  ga::TileCoord ac4 = {ij_tiles[q].first,
-                                       ij_tiles[q].second, tk, 0};
-                  fh[s] = al->nbget(ctx, ac4, at(s));
-                },
-                [&](std::size_t, std::size_t s) {
-                  ctx.wait_transfer(fh[s]);
-                },
-                [&](std::size_t q, std::size_t s) {
-                  if (!ctx.real()) return;
-                  ga::TileCoord ac4 = {ij_tiles[q].first,
-                                       ij_tiles[q].second, tk, 0};
-                  const auto& info = al->info(ac4);
-                  const double* src = at(s);
-                  for (std::size_t i = info.lo[0];
-                       i < info.lo[0] + info.len[0]; ++i)
-                    for (std::size_t j = info.lo[1];
-                         j < info.lo[1] + info.len[1]; ++j)
-                      for (std::size_t x = 0; x < m; ++x) {
-                        const double v = *src++;
-                        bufa.data()[(i * n + j) * m + x] = v;
-                        bufa.data()[(j * n + i) * m + x] = v;
-                      }
-                });
-          }
-          // Alpha-tile chunk [ta0, ta1) assigned to chunk ac.
-          for (std::size_t ta = 0; ta < par.nt; ++ta) {
-            if (chunk_of(ta) != ac) continue;
-            const std::size_t lena = par.t.len(ta);
-            // O1 block for all alpha in this tile, in fast memory
-            // only — never communicated (the point of the fusion).
-            RankBuffer o1blk(ctx, lena * n * m, "O1 block");
-            ctx.charge_flops(gemm_flops(lena, n * m, n));
-            if (ctx.real())
-              gemm(Trans::No, Trans::No, lena, n * m, n, 1.0,
-                   par.b() + par.t.lo(ta) * n, n, bufa.data(), n * m, 0.0,
-                   o1blk.data(), n * m);
-            for (std::size_t tb = 0; tb <= ta; ++tb) {
-              const std::size_t lenb = par.t.len(tb);
-              RankBuffer o2tile(ctx, lena * lenb * m, "O2 tile");
-              ctx.charge_flops(gemm_flops(lenb, m, n) * double(lena));
-              if (ctx.real())
-                for (std::size_t ia = 0; ia < lena; ++ia)
-                  gemm(Trans::No, Trans::No, lenb, m, n, 1.0,
-                       par.b() + par.t.lo(tb) * n, n,
-                       o1blk.data() + ia * n * m, m, 0.0,
-                       o2tile.data() + ia * lenb * m, m);
-              // Nonblocking: the O2 tile is consumed at issue, so the
-              // put hides behind the next (tb / ta) iteration's gemm.
-              if (par.opt.overlap)
-                o2->nbput(ctx, ga::TileCoord{ta, tb, tk, 0},
-                          o2tile.data());
-              else
-                o2->put(ctx, ga::TileCoord{ta, tb, tk, 0}, o2tile.data());
-            }
-          }
-        });
-    al.reset();
+    // Every member replays both fused phases against this slice's A
+    // with its own B; the slice's A frees once the last member's
+    // fused12 has consumed it, and only one member's O2 is ever live.
+    for (std::size_t mi = 0; mi < members.size(); ++mi) {
+      const FusedInnerMember& mem = members[mi];
+      par.b_active = mem.b;
 
-    // ---- Fused contractions 3+4 ((ab)-parallel, Listing 10 bottom) -
-    // Task = (ta, tb) pair row; cost = the O2-row gather, the O3
-    // block, and the spatially allowed (tc, td) C contributions —
-    // the irregular per-row weight the dynamic strategies flatten.
-    auto f34_cost = [&](std::size_t task) {
-      const auto [ta, tb] = ab_pairs[task];
-      const double lena = static_cast<double>(par.t.len(ta));
-      const double lenb = static_cast<double>(par.t.len(tb));
-      const double dn = static_cast<double>(n);
-      const double dl = static_cast<double>(llen);
-      double flops = 2.0 * dn * dl * dn * lena * lenb;  // O3 block
-      double acc_bytes = 0;
-      for (std::size_t tc = 0; tc < par.nt; ++tc)
-        for (std::size_t td = 0; td <= tc; ++td) {
-          if (!par.tile_allowed(ta, tb, tc, td)) continue;
-          const double cd =
-              double(par.t.len(tc)) * double(par.t.len(td));
-          flops += 2.0 * cd * dl * lena * lenb;
-          acc_bytes += 8.0 * lena * lenb * cd;
-        }
-      return flops / mach.flops_per_rank +
-             (8.0 * lena * lenb * dn * dl + acc_bytes) /
-                 mach.net_bandwidth_bps +
-             double(par.nt) * mach.net_latency_s;
-    };
-    run_claimed_phase(
-        par, "fused34" + tag, ab_pairs.size(),
-        [&](std::size_t task) { return task % nranks; }, f34_cost,
-        [&](RankCtx& ctx, std::size_t task) {
-          const std::size_t ta = ab_pairs[task].first;
-          const std::size_t tb = ab_pairs[task].second;
-          const std::size_t lena = par.t.len(ta);
-          const std::size_t lenb = par.t.len(tb);
-          // Gather O2[(ab) row, all k] and compute the O3 block in
-          // fast memory only — never communicated.
-          RankBuffer bufo2(ctx, lena * lenb * n * llen, "O2 row");
-          {
-            const std::size_t tw = par.t.max_width();
-            const std::size_t fmax = tw * tw * tw * llen;
-            const std::size_t nslots = par.opt.overlap ? 2 : 1;
-            RankBuffer fetchbuf(ctx, nslots * fmax, "O2 fetch");
-            auto at = [&](std::size_t s) {
-              return ctx.real() ? fetchbuf.data() + s * fmax : nullptr;
-            };
-            GlobalArray::NbHandle fh[2];
-            pipelined_fetch(
-                par.nt, par.opt.overlap,
-                [&](std::size_t tk, std::size_t s) {
-                  ga::TileCoord oc = {ta, tb, tk, 0};
-                  fh[s] = o2->nbget(ctx, oc, at(s));
-                },
-                [&](std::size_t, std::size_t s) {
-                  ctx.wait_transfer(fh[s]);
-                },
-                [&](std::size_t tk, std::size_t s) {
-                  if (!ctx.real()) return;
-                  ga::TileCoord oc = {ta, tb, tk, 0};
-                  const auto& info = o2->info(oc);
-                  const double* src = at(s);
-                  for (std::size_t ia = 0; ia < lena; ++ia)
-                    for (std::size_t ib = 0; ib < lenb; ++ib)
-                      for (std::size_t k = info.lo[2];
-                           k < info.lo[2] + info.len[2]; ++k)
-                        for (std::size_t ll = 0; ll < llen; ++ll)
-                          bufo2.data()[((ia * lenb + ib) * n + k) * llen +
-                                       ll] = *src++;
-                });
+      // O2_l distributed so that the rank computing work unit (tk, ac)
+      // owns every O2 tile it produces — puts stay local.
+      auto o2_owner = [&](std::span<const std::size_t> tc,
+                          std::size_t ranks) {
+        (void)ranks;
+        return unit_owner(tc[2], chunk_of(tc[0]));
+      };
+      auto o2 = std::make_unique<GlobalArray>(
+          cluster, "O2_l", sdims, ga::filter_triangular(0, 1), o2_owner);
+
+      // ---- Fused contractions 1+2 (k-parallel, Listing 10 top) -------
+      // Work unit (tk, ac) = task tk*n_ac + ac; cost = the A-block
+      // gather plus this chunk's O1/O2 gemms and O2 puts.
+      auto f12_cost = [&](std::size_t task) {
+        const std::size_t ck = task / n_ac;
+        const std::size_t ac = task % n_ac;
+        const double ext = double(par.t.len(ck)) * double(llen);
+        const double dn = static_cast<double>(n);
+        double flops = 0, put_bytes = 0;
+        for (std::size_t ta = 0; ta < par.nt; ++ta) {
+          if (chunk_of(ta) != ac) continue;
+          const double lena = static_cast<double>(par.t.len(ta));
+          flops += 2.0 * lena * dn * ext * dn;  // O1 block
+          for (std::size_t tb = 0; tb <= ta; ++tb) {
+            const double lenb = static_cast<double>(par.t.len(tb));
+            flops += 2.0 * lenb * ext * dn * lena;  // O2 tiles
+            put_bytes += 8.0 * lena * lenb * ext;
           }
-          RankBuffer bufo3(ctx, lena * lenb * n * llen, "O3 block");
-          ctx.charge_flops(gemm_flops(n, llen, n) * double(lena * lenb));
-          if (ctx.real())
-            for (std::size_t iab = 0; iab < lena * lenb; ++iab)
-              gemm(Trans::No, Trans::No, n, llen, n, 1.0, par.b(), n,
-                   bufo2.data() + iab * n * llen, llen, 0.0,
-                   bufo3.data() + iab * n * llen, llen);
-          for (std::size_t tc = 0; tc < par.nt; ++tc)
-            for (std::size_t td = 0; td <= tc; ++td) {
-              if (!par.tile_allowed(ta, tb, tc, td)) continue;
-              const std::size_t lenc = par.t.len(tc);
-              const std::size_t lend = par.t.len(td);
-              RankBuffer ctile(ctx, lena * lenb * lenc * lend, "C tile");
-              ctx.charge_flops(gemm_flops(lenc, lend, llen) *
-                               double(lena * lenb));
-              if (ctx.real())
-                for (std::size_t iab = 0; iab < lena * lenb; ++iab)
-                  gemm(Trans::No, Trans::Yes, lenc, lend, llen, 1.0,
-                       bufo3.data() + (iab * n + par.t.lo(tc)) * llen, llen,
-                       par.b() + par.t.lo(td) * n + llo, n, 1.0,
-                       ctile.data() + iab * lenc * lend, lend);
-              // Nonblocking: the accumulate lands at issue (under the
-              // GA acc mutex); its wire time hides behind the next
-              // (tc,td) tile's gemm.
-              if (par.opt.overlap)
-                c->nbacc(ctx, ga::TileCoord{ta, tb, tc, td},
-                         ctile.data());
-              else
-                c->acc(ctx, ga::TileCoord{ta, tb, tc, td}, ctile.data());
+        }
+        return flops / mach.flops_per_rank +
+               (8.0 * dn * dn * ext + put_bytes) / mach.net_bandwidth_bps +
+               double(ij_tiles.size()) * mach.net_latency_s;
+      };
+      run_claimed_phase(
+          par, "fused12" + tag, par.nt * n_ac,
+          [&](std::size_t task) { return task % nranks; }, f12_cost,
+          [&](RankCtx& ctx, std::size_t task) {
+            const std::size_t tk = task / n_ac;
+            const std::size_t ac = task % n_ac;
+            const std::size_t lenk = par.t.len(tk);
+            const std::size_t m = lenk * llen;  // fused (k,l) extent
+            // Gather the full (i,j) x (k in tk) x (l in slice) A block.
+            // This is the A traffic that replicates with n_ac (Sec 7.3).
+            RankBuffer bufa(ctx, n * n * m, "A block");
+            {
+              const std::size_t tw = par.t.max_width();
+              const std::size_t fmax = tw * tw * m;
+              const std::size_t nslots = par.opt.overlap ? 2 : 1;
+              RankBuffer fetchbuf(ctx, nslots * fmax, "A fetch");
+              auto at = [&](std::size_t s) {
+                return ctx.real() ? fetchbuf.data() + s * fmax : nullptr;
+              };
+              GlobalArray::NbHandle fh[2];
+              pipelined_fetch(
+                  ij_tiles.size(), par.opt.overlap,
+                  [&](std::size_t q, std::size_t s) {
+                    ga::TileCoord ac4 = {ij_tiles[q].first,
+                                         ij_tiles[q].second, tk, 0};
+                    fh[s] = al->nbget(ctx, ac4, at(s));
+                  },
+                  [&](std::size_t, std::size_t s) {
+                    ctx.wait_transfer(fh[s]);
+                  },
+                  [&](std::size_t q, std::size_t s) {
+                    if (!ctx.real()) return;
+                    ga::TileCoord ac4 = {ij_tiles[q].first,
+                                         ij_tiles[q].second, tk, 0};
+                    const auto& info = al->info(ac4);
+                    const double* src = at(s);
+                    for (std::size_t i = info.lo[0];
+                         i < info.lo[0] + info.len[0]; ++i)
+                      for (std::size_t j = info.lo[1];
+                           j < info.lo[1] + info.len[1]; ++j)
+                        for (std::size_t x = 0; x < m; ++x) {
+                          const double v = *src++;
+                          bufa.data()[(i * n + j) * m + x] = v;
+                          bufa.data()[(j * n + i) * m + x] = v;
+                        }
+                  });
             }
-        });
-    o2.reset();
+            // Alpha-tile chunk [ta0, ta1) assigned to chunk ac.
+            for (std::size_t ta = 0; ta < par.nt; ++ta) {
+              if (chunk_of(ta) != ac) continue;
+              const std::size_t lena = par.t.len(ta);
+              // O1 block for all alpha in this tile, in fast memory
+              // only — never communicated (the point of the fusion).
+              RankBuffer o1blk(ctx, lena * n * m, "O1 block");
+              ctx.charge_flops(gemm_flops(lena, n * m, n));
+              if (ctx.real())
+                gemm(Trans::No, Trans::No, lena, n * m, n, 1.0,
+                     par.b() + par.t.lo(ta) * n, n, bufa.data(), n * m, 0.0,
+                     o1blk.data(), n * m);
+              for (std::size_t tb = 0; tb <= ta; ++tb) {
+                const std::size_t lenb = par.t.len(tb);
+                RankBuffer o2tile(ctx, lena * lenb * m, "O2 tile");
+                ctx.charge_flops(gemm_flops(lenb, m, n) * double(lena));
+                if (ctx.real())
+                  for (std::size_t ia = 0; ia < lena; ++ia)
+                    gemm(Trans::No, Trans::No, lenb, m, n, 1.0,
+                         par.b() + par.t.lo(tb) * n, n,
+                         o1blk.data() + ia * n * m, m, 0.0,
+                         o2tile.data() + ia * lenb * m, m);
+                // Nonblocking: the O2 tile is consumed at issue, so the
+                // put hides behind the next (tb / ta) iteration's gemm.
+                if (par.opt.overlap)
+                  o2->nbput(ctx, ga::TileCoord{ta, tb, tk, 0},
+                            o2tile.data());
+                else
+                  o2->put(ctx, ga::TileCoord{ta, tb, tk, 0}, o2tile.data());
+              }
+            }
+          });
+      if (mi + 1 == members.size()) al.reset();
+
+      // ---- Fused contractions 3+4 ((ab)-parallel, Listing 10 bottom) -
+      // Task = (ta, tb) pair row; cost = the O2-row gather, the O3
+      // block, and the spatially allowed (tc, td) C contributions —
+      // the irregular per-row weight the dynamic strategies flatten.
+      auto f34_cost = [&](std::size_t task) {
+        const auto [ta, tb] = ab_pairs[task];
+        const double lena = static_cast<double>(par.t.len(ta));
+        const double lenb = static_cast<double>(par.t.len(tb));
+        const double dn = static_cast<double>(n);
+        const double dl = static_cast<double>(llen);
+        double flops = 2.0 * dn * dl * dn * lena * lenb;  // O3 block
+        double acc_bytes = 0;
+        for (std::size_t tc = 0; tc < par.nt; ++tc)
+          for (std::size_t td = 0; td <= tc; ++td) {
+            if (!par.tile_allowed(ta, tb, tc, td)) continue;
+            const double cd =
+                double(par.t.len(tc)) * double(par.t.len(td));
+            flops += 2.0 * cd * dl * lena * lenb;
+            acc_bytes += 8.0 * lena * lenb * cd;
+          }
+        return flops / mach.flops_per_rank +
+               (8.0 * lena * lenb * dn * dl + acc_bytes) /
+                   mach.net_bandwidth_bps +
+               double(par.nt) * mach.net_latency_s;
+      };
+      run_claimed_phase(
+          par, "fused34" + tag, ab_pairs.size(),
+          [&](std::size_t task) { return task % nranks; }, f34_cost,
+          [&](RankCtx& ctx, std::size_t task) {
+            const std::size_t ta = ab_pairs[task].first;
+            const std::size_t tb = ab_pairs[task].second;
+            const std::size_t lena = par.t.len(ta);
+            const std::size_t lenb = par.t.len(tb);
+            // Gather O2[(ab) row, all k] and compute the O3 block in
+            // fast memory only — never communicated.
+            RankBuffer bufo2(ctx, lena * lenb * n * llen, "O2 row");
+            {
+              const std::size_t tw = par.t.max_width();
+              const std::size_t fmax = tw * tw * tw * llen;
+              const std::size_t nslots = par.opt.overlap ? 2 : 1;
+              RankBuffer fetchbuf(ctx, nslots * fmax, "O2 fetch");
+              auto at = [&](std::size_t s) {
+                return ctx.real() ? fetchbuf.data() + s * fmax : nullptr;
+              };
+              GlobalArray::NbHandle fh[2];
+              pipelined_fetch(
+                  par.nt, par.opt.overlap,
+                  [&](std::size_t tk, std::size_t s) {
+                    ga::TileCoord oc = {ta, tb, tk, 0};
+                    fh[s] = o2->nbget(ctx, oc, at(s));
+                  },
+                  [&](std::size_t, std::size_t s) {
+                    ctx.wait_transfer(fh[s]);
+                  },
+                  [&](std::size_t tk, std::size_t s) {
+                    if (!ctx.real()) return;
+                    ga::TileCoord oc = {ta, tb, tk, 0};
+                    const auto& info = o2->info(oc);
+                    const double* src = at(s);
+                    for (std::size_t ia = 0; ia < lena; ++ia)
+                      for (std::size_t ib = 0; ib < lenb; ++ib)
+                        for (std::size_t k = info.lo[2];
+                             k < info.lo[2] + info.len[2]; ++k)
+                          for (std::size_t ll = 0; ll < llen; ++ll)
+                            bufo2.data()[((ia * lenb + ib) * n + k) * llen +
+                                         ll] = *src++;
+                  });
+            }
+            RankBuffer bufo3(ctx, lena * lenb * n * llen, "O3 block");
+            ctx.charge_flops(gemm_flops(n, llen, n) * double(lena * lenb));
+            if (ctx.real())
+              for (std::size_t iab = 0; iab < lena * lenb; ++iab)
+                gemm(Trans::No, Trans::No, n, llen, n, 1.0, par.b(), n,
+                     bufo2.data() + iab * n * llen, llen, 0.0,
+                     bufo3.data() + iab * n * llen, llen);
+            for (std::size_t tc = 0; tc < par.nt; ++tc)
+              for (std::size_t td = 0; td <= tc; ++td) {
+                if (!par.tile_allowed(ta, tb, tc, td)) continue;
+                const std::size_t lenc = par.t.len(tc);
+                const std::size_t lend = par.t.len(td);
+                RankBuffer ctile(ctx, lena * lenb * lenc * lend, "C tile");
+                ctx.charge_flops(gemm_flops(lenc, lend, llen) *
+                                 double(lena * lenb));
+                if (ctx.real())
+                  for (std::size_t iab = 0; iab < lena * lenb; ++iab)
+                    gemm(Trans::No, Trans::Yes, lenc, lend, llen, 1.0,
+                         bufo3.data() + (iab * n + par.t.lo(tc)) * llen, llen,
+                         par.b() + par.t.lo(td) * n + llo, n, 1.0,
+                         ctile.data() + iab * lenc * lend, lend);
+                // Nonblocking: the accumulate lands at issue (under the
+                // GA acc mutex); its wire time hides behind the next
+                // (tc,td) tile's gemm.
+                if (par.opt.overlap)
+                  mem.c->nbacc(ctx, ga::TileCoord{ta, tb, tc, td},
+                               ctile.data());
+                else
+                  mem.c->acc(ctx, ga::TileCoord{ta, tb, tc, td},
+                             ctile.data());
+              }
+          });
+      o2.reset();
+    }
+    par.b_active = nullptr;
   }
+}
+
+}  // namespace
+
+ParResult fused_inner_par_transform(const Problem& p, Cluster& cluster,
+                                    const ParOptions& opt) {
+  Par par(p, cluster, opt);
+  WallTimer timer;
+  const auto before = cluster.totals();
+  const double sim_before = cluster.sim_time();
+  auto c = make_c(par);
+  const FusedInnerMember self{c.get(), &p.b};
+  fused_inner_slices(par, std::span<const FusedInnerMember>(&self, 1));
   return finish(par, "fused-inner", c, timer, before, sim_before);
+}
+
+BatchParResult batched_unfused_par_transform(
+    const Problem& p, std::span<const tensor::Matrix> member_b,
+    Cluster& cluster, const ParOptions& opt) {
+  FIT_REQUIRE(!member_b.empty(), "batched transform needs >= 1 member");
+  for (const auto& b : member_b)
+    FIT_REQUIRE(b.rows() == p.irreps.n_orbitals() &&
+                    b.cols() == p.irreps.n_orbitals(),
+                "batch member B must be " << p.irreps.n_orbitals()
+                                          << " x "
+                                          << p.irreps.n_orbitals());
+  // A private Auto memo (when the caller brought none) shares the
+  // per-phase DES picks across members: the contraction phases have
+  // identical shape for every member, so the six-candidate planning
+  // is paid once per phase.
+  ParOptions o = opt;
+  BalanceCache local_memo;
+  if (!o.balance_cache) o.balance_cache = &local_memo;
+  Par par(p, cluster, o);
+  WallTimer timer;
+  const auto before = cluster.totals();
+  const double sim_before = cluster.sim_time();
+  std::vector<Tiling> dims(4, par.t);
+
+  BatchParResult r;
+
+  // The AO integral tensor is member-invariant: fill it — and pay its
+  // integral evaluation — exactly once for the whole batch.
+  auto a = std::make_unique<GlobalArray>(
+      cluster, "A", dims,
+      ga::filter_and(ga::filter_triangular(0, 1),
+                     ga::filter_triangular(2, 3)));
+  fill_a(par, *a, 0, "fill A");
+
+  for (std::size_t m = 0; m < member_b.size(); ++m) {
+    par.b_active = &member_b[m];
+
+    auto o1 = std::make_unique<GlobalArray>(cluster, "O1", dims,
+                                            ga::filter_triangular(2, 3));
+    contract1(par, *a, *o1, "c1");
+    if (m + 1 == member_b.size()) a.reset();
+
+    auto o2 = std::make_unique<GlobalArray>(
+        cluster, "O2", dims,
+        ga::filter_and(ga::filter_triangular(0, 1),
+                       ga::filter_triangular(2, 3)));
+    contract2(par, *o1, *o2, "c2");
+    o1.reset();
+
+    auto o3 = std::make_unique<GlobalArray>(cluster, "O3", dims,
+                                            ga::filter_triangular(0, 1));
+    contract3(par, *o2, *o3, /*kl_symmetric=*/true, "c3");
+    o2.reset();
+
+    auto c = make_c(par);
+    contract4(par, *o3, *c, 0, /*accumulate=*/false, "c4");
+    o3.reset();
+
+    r.member_done_s.push_back(cluster.sim_time() - sim_before);
+    if (cluster.mode() == runtime::ExecutionMode::Real && o.gather_result)
+      r.c.emplace_back(gather_c(par, *c));
+    else
+      r.c.emplace_back(std::nullopt);
+    // Each member's C frees before the next member starts — the
+    // unfused batch's live set never exceeds one member's chain.
+    c.reset();
+  }
+  par.b_active = nullptr;
+
+  static const std::unique_ptr<GlobalArray> no_c;  // already gathered
+  r.stats =
+      std::move(finish(par, "batched-unfused", no_c, timer, before,
+                       sim_before)
+                    .stats);
+  return r;
+}
+
+BatchParResult batched_fused_inner_par_transform(
+    const Problem& p, std::span<const tensor::Matrix> member_b,
+    Cluster& cluster, const ParOptions& opt) {
+  FIT_REQUIRE(!member_b.empty(), "batched transform needs >= 1 member");
+  for (const auto& b : member_b)
+    FIT_REQUIRE(b.rows() == p.irreps.n_orbitals() &&
+                    b.cols() == p.irreps.n_orbitals(),
+                "batch member B must be " << p.irreps.n_orbitals()
+                                          << " x "
+                                          << p.irreps.n_orbitals());
+  ParOptions o = opt;
+  BalanceCache local_memo;
+  if (!o.balance_cache) o.balance_cache = &local_memo;
+  Par par(p, cluster, o);
+  WallTimer timer;
+  const auto before = cluster.totals();
+  const double sim_before = cluster.sim_time();
+
+  // Every member's C accumulates across every l-slice, so all of them
+  // stay allocated for the whole run — the memory/throughput trade
+  // core::plan_batch accounts for.
+  std::vector<std::unique_ptr<GlobalArray>> cs;
+  std::vector<FusedInnerMember> members;
+  cs.reserve(member_b.size());
+  members.reserve(member_b.size());
+  for (std::size_t m = 0; m < member_b.size(); ++m) {
+    cs.push_back(make_c(par));
+    members.push_back(FusedInnerMember{cs.back().get(), &member_b[m]});
+  }
+
+  fused_inner_slices(par, members);
+
+  BatchParResult r;
+  const double done = cluster.sim_time() - sim_before;
+  for (std::size_t m = 0; m < member_b.size(); ++m) {
+    // No member is complete before the last slice: every C is only
+    // final at batch end.
+    r.member_done_s.push_back(done);
+    if (cluster.mode() == runtime::ExecutionMode::Real && o.gather_result)
+      r.c.emplace_back(gather_c(par, *cs[m]));
+    else
+      r.c.emplace_back(std::nullopt);
+    cs[m].reset();
+  }
+
+  static const std::unique_ptr<GlobalArray> no_c;  // already gathered
+  r.stats =
+      std::move(finish(par, "batched-fused-inner", no_c, timer, before,
+                       sim_before)
+                    .stats);
+  return r;
+}
+
+std::vector<tensor::Matrix> batch_member_bs(const Problem& p,
+                                            std::size_t count) {
+  std::vector<tensor::Matrix> bs;
+  bs.reserve(count);
+  for (std::size_t m = 0; m < count; ++m)
+    bs.push_back(m == 0 ? p.b
+                        : chem::make_mo_coefficients(
+                              p.irreps, p.molecule.seed * 7919 + 13 + m));
+  return bs;
 }
 
 ParResult hybrid_transform(const Problem& p, Cluster& cluster,

@@ -28,13 +28,16 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/problem.hpp"
 #include "ga/global_array.hpp"
 #include "ga/task_counter.hpp"
 #include "runtime/cluster.hpp"
+#include "tensor/matrix.hpp"
 #include "tensor/packed.hpp"
 
 /// \file
@@ -212,5 +215,55 @@ ParResult resilient_transform(const Problem& p, runtime::Cluster& cluster,
 /// margin). Uses the live capacity view, which capacity-shrink faults
 /// and rank deaths reduce.
 bool unfused_fits(const Problem& p, const runtime::Cluster& cluster);
+
+/// Result of a shared-basis batched transform: one output tensor per
+/// batch member plus whole-batch statistics.
+struct BatchParResult {
+  /// Per-member gathered results (Real mode with gather_result; empty
+  /// optionals otherwise), in member order.
+  std::vector<std::optional<tensor::PackedC>> c;
+  /// Modeled time at which each member's transform completed, relative
+  /// to the batch start. Under the unfused chain members complete one
+  /// after another; under the fused schedules every member's C is only
+  /// complete at the end, so all entries equal the batch makespan.
+  std::vector<double> member_done_s;
+  /// Whole-batch statistics (the amortized A fill appears once).
+  ParStats stats;
+};
+
+/// Unfused chain over a shared-basis batch (the MP2-scan case): all
+/// members share the problem's AO integral tensor A, differing only in
+/// their transformation matrix `member_b[m]`. A is filled — and its
+/// integral evaluation paid — exactly once; each member then runs the
+/// four contractions with its own B, with A freed after the last
+/// member's first contraction and each member's C gathered and freed
+/// before the next member starts. Each member's Real-mode result is
+/// bit-identical to running it alone through unfused_par_transform.
+/// When ParOptions::balance is Auto and no balance_cache is supplied,
+/// an internal memo shares the per-phase DES picks across members, so
+/// the six-candidate claim planning is also paid once per phase shape.
+BatchParResult batched_unfused_par_transform(
+    const Problem& p, std::span<const tensor::Matrix> member_b,
+    runtime::Cluster& cluster, const ParOptions& opt = {});
+
+/// Fused-inner schedule over a shared-basis batch: per l-slice the A
+/// slice is produced once and every member runs its fused12/fused34
+/// phases against it, so the integral evaluation amortizes across the
+/// batch while only one member's O2 slice is live at a time. All
+/// members' C arrays stay allocated for the whole run (each member's C
+/// accumulates across every slice) — the memory/throughput trade
+/// core::plan_batch accounts for. Results per member are bit-identical
+/// to solo fused_inner_par_transform runs.
+BatchParResult batched_fused_inner_par_transform(
+    const Problem& p, std::span<const tensor::Matrix> member_b,
+    runtime::Cluster& cluster, const ParOptions& opt = {});
+
+/// Deterministic member coefficient sets for a shared-basis batch of
+/// `count` transforms: member 0 is the problem's own B, members 1..
+/// count-1 are fresh symmetry-adapted orthogonal matrices derived from
+/// the molecule seed — the "N molecules sharing a basis" shape an MP2
+/// energy scan produces.
+std::vector<tensor::Matrix> batch_member_bs(const Problem& p,
+                                            std::size_t count);
 
 }  // namespace fit::core

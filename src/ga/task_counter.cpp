@@ -242,6 +242,163 @@ void plan_flat_counter(const runtime::Cluster& cluster,
   }
 }
 
+/// The flat counter with a multi-tenant dispenser in front of it: the
+/// serialized fetch-and-add stream is unchanged (same round trips,
+/// same contention queue), but the *order* tasks are handed out in is
+/// deficit-round-robin across tenants instead of global canonical
+/// order. Each tenant's own tasks still flow in canonical order, so a
+/// tenant's result is bit-identical to running it alone; the deficit
+/// counters (replenished by the mean task cost per visit) keep a
+/// tenant issuing many cheap tasks from starving one issuing few
+/// expensive ones. Per-tenant in-flight memory is tracked against the
+/// quotas in virtual time: a fetch finding every pending tenant at
+/// its cap stalls at the counter until an earlier task completes.
+void plan_flat_counter_drr(const runtime::Cluster& cluster,
+                           const TaskCounter& counter,
+                           std::span<const double> cost_s,
+                           const TenantSpec& tenants, std::size_t k,
+                           TaskPlan& plan) {
+  const std::size_t n = plan.n_tasks;
+  const std::size_t nt = tenants.n_tenants;
+  const bool quotas = !tenants.quota_bytes.empty();
+  const bool sized = !tenants.task_bytes.empty();
+  FIT_REQUIRE(tenants.tenant.size() == n,
+              "plan_tasks: tenant tag per task required");
+  FIT_REQUIRE(!quotas || tenants.quota_bytes.size() == nt,
+              "plan_tasks: one quota per tenant required");
+  FIT_REQUIRE(!sized || tenants.task_bytes.size() == n,
+              "plan_tasks: task_bytes must be per-task");
+  for (std::size_t t = 0; t < n; ++t) {
+    FIT_REQUIRE(tenants.tenant[t] < nt, "plan_tasks: tenant id out of range");
+    if (quotas && sized)
+      FIT_REQUIRE(tenants.task_bytes[t] <=
+                      tenants.quota_bytes[tenants.tenant[t]],
+                  "plan_tasks: task larger than its tenant's quota can "
+                  "never be granted");
+  }
+
+  // Per-tenant FIFO queues in canonical task order, and the DRR state.
+  std::vector<std::vector<std::size_t>> fifo(nt);
+  for (std::size_t t = 0; t < n; ++t) fifo[tenants.tenant[t]].push_back(t);
+  std::vector<std::size_t> head(nt, 0);
+  std::vector<double> deficit(nt, 0.0), in_flight(nt, 0.0);
+  plan.tenant_makespan_s.assign(nt, 0.0);
+  plan.tenant_peak_bytes.assign(nt, 0.0);
+  double quantum = 0;
+  for (std::size_t t = 0; t < n; ++t) quantum += cost_s[t];
+  quantum = n > 0 ? quantum / static_cast<double>(n) : 0.0;
+  std::size_t cursor = 0, pending = n;
+
+  // Tasks in flight, ordered by modeled completion time so quota
+  // memory can be returned in virtual time.
+  using Done = std::pair<double, std::size_t>;  // (completion, task)
+  std::priority_queue<Done, std::vector<Done>, std::greater<Done>> in_run;
+  const auto release_until = [&](double now) {
+    while (!in_run.empty() && in_run.top().first <= now) {
+      const std::size_t t = in_run.top().second;
+      in_run.pop();
+      if (sized) in_flight[tenants.tenant[t]] -= tenants.task_bytes[t];
+    }
+  };
+  const auto bytes_of = [&](std::size_t t) {
+    return sized ? tenants.task_bytes[t] : 0.0;
+  };
+  const auto quota_ok = [&](std::size_t g, std::size_t t) {
+    return !quotas || in_flight[g] + bytes_of(t) <= tenants.quota_bytes[g];
+  };
+
+  const std::size_t home = counter.home();
+  const std::size_t host = counter.owner();
+  plan.counter_homes = {home};
+  plan.counter_owners = {host};
+  std::vector<double> one_way(cluster.n_ranks(), 0.0);
+  for (std::size_t r = 0; r < cluster.n_ranks(); ++r)
+    one_way[r] = counter.one_way_s(r, host);
+  const double service = counter.service_s();
+  double counter_free = 0.0;
+  EventQueue pq = live_rank_queue(cluster);
+  while (!pq.empty()) {
+    const auto [clk, r] = pq.top();
+    pq.pop();
+    const double arrival = clk + one_way[r];
+    double start = std::max(arrival, counter_free);
+    release_until(start);
+
+    // Deficit round robin: visit tenants cyclically, replenishing the
+    // visited tenant's deficit by one quantum, until some tenant's
+    // head task is both affordable and within quota. When every
+    // pending tenant is at its quota, stall the fetch until the next
+    // in-flight completion frees memory (deadlock-free: quotas admit
+    // any single task, so a tenant's own completion re-enables it).
+    std::size_t g = nt;  // granted tenant (nt = none yet)
+    while (pending > 0 && g == nt) {
+      bool all_blocked = true;
+      for (std::size_t visit = 0; visit < nt && g == nt; ++visit) {
+        const std::size_t cand = cursor;
+        cursor = (cursor + 1) % nt;
+        if (head[cand] >= fifo[cand].size()) continue;
+        const std::size_t t = fifo[cand][head[cand]];
+        if (!quota_ok(cand, t)) continue;
+        all_blocked = false;
+        if (deficit[cand] < cost_s[t]) deficit[cand] += quantum;
+        if (deficit[cand] >= cost_s[t]) g = cand;
+      }
+      if (g != nt || pending == 0) break;
+      if (all_blocked) {
+        FIT_REQUIRE(!in_run.empty(),
+                    "plan_tasks: tenant quotas wedged with nothing in "
+                    "flight");
+        ++plan.quota_stalls;
+        const double freed_at = in_run.top().first;
+        release_until(freed_at);
+        start = std::max(start, freed_at);
+      }
+    }
+
+    const double done = serve(start, counter_free, service);
+    const double wait = done - arrival;
+    const double back = done + one_way[r];
+    plan.total_wait_s += wait;
+    plan.max_wait_s = std::max(plan.max_wait_s, wait);
+    TaskClaim c;
+    c.wait_s = wait;
+    c.peer = host;
+    c.home = home;
+    c.fetched = true;
+    if (g != nt) {
+      // Up to k tasks from the granted tenant's queue ride this
+      // ticket; deficit pays for all of them (and may go negative —
+      // the shortfall is repaid before the tenant is served again),
+      // quota binds per task.
+      ++plan.n_fetches;
+      double batch_cost = 0;
+      std::size_t taken = 0;
+      while (taken < k && head[g] < fifo[g].size()) {
+        const std::size_t t = fifo[g][head[g]];
+        if (taken > 0 && !quota_ok(g, t)) break;
+        ++head[g];
+        --pending;
+        ++taken;
+        deficit[g] -= cost_s[t];
+        in_flight[g] += bytes_of(t);
+        plan.tenant_peak_bytes[g] =
+            std::max(plan.tenant_peak_bytes[g], in_flight[g]);
+        TaskClaim tc = taken == 1 ? c : TaskClaim{};
+        tc.task = t;
+        plan.claims[r].push_back(tc);
+        batch_cost += cost_s[t];
+        in_run.emplace(back + batch_cost, t);
+        plan.tenant_makespan_s[g] =
+            std::max(plan.tenant_makespan_s[g], back + batch_cost);
+      }
+      pq.emplace(back + batch_cost, r);
+    } else {
+      plan.claims[r].push_back(c);  // terminal empty fetch
+      plan.makespan_s = std::max(plan.makespan_s, back);
+    }
+  }
+}
+
 /// One counter per failure domain, each serving a contiguous range of
 /// the task list sized by the domain's live rank share; a rank whose
 /// node's range drains refetches from the fullest remaining node's
@@ -543,6 +700,29 @@ TaskPlan plan_tasks(const runtime::Cluster& cluster, Balance balance,
     default:
       FIT_REQUIRE(false, "plan_tasks: unhandled balance mode");
   }
+  return plan;
+}
+
+TaskPlan plan_tasks(const runtime::Cluster& cluster, Balance balance,
+                    const TaskCounter& counter,
+                    std::span<const double> cost_s,
+                    std::span<const std::size_t> owner,
+                    const TenantSpec& tenants, std::size_t batch) {
+  const std::size_t n = owner.size();
+  TaskPlan plan;
+  plan.balance = balance;
+  plan.n_tasks = n;
+  plan.claims.assign(cluster.n_ranks(), {});
+  FIT_REQUIRE(cost_s.size() == n, "plan_tasks: cost/owner size mismatch");
+  FIT_REQUIRE(tenants.n_tenants >= 1, "plan_tasks: need at least one tenant");
+  FIT_REQUIRE(balance == Balance::Counter || balance == Balance::Batched,
+              "plan_tasks: tenant-aware claiming needs a serialized "
+              "dispenser — Balance::Counter or Balance::Batched");
+  const std::size_t k =
+      balance == Balance::Counter
+          ? 1
+          : (batch > 0 ? batch : auto_batch(n, live_count(cluster)));
+  plan_flat_counter_drr(cluster, counter, cost_s, tenants, k, plan);
   return plan;
 }
 

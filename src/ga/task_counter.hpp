@@ -224,6 +224,17 @@ struct TaskPlan {
   /// to count mid-phase re-owns (sched.counter_reowns).
   std::vector<std::size_t> counter_homes;
   std::vector<std::size_t> counter_owners;  ///< parallel to counter_homes
+  /// Multi-tenant plans only (see TenantSpec): virtual-clock time at
+  /// which each tenant's last task completed. The max/min ratio over
+  /// tenants with equal work is the fairness metric the batch/tenancy
+  /// ablation gates on.
+  std::vector<double> tenant_makespan_s;
+  /// Peak in-flight bytes each tenant reached in the claim DES —
+  /// by construction never above its TenantSpec quota.
+  std::vector<double> tenant_peak_bytes;
+  /// Fetches that stalled at the counter because every tenant with
+  /// pending work was at its in-flight quota.
+  std::size_t quota_stalls = 0;
 };
 
 /// Plan the claim order for one phase. `cost_s[t]` is the modeled
@@ -242,6 +253,50 @@ TaskPlan plan_tasks(const runtime::Cluster& cluster, Balance balance,
                     std::span<const double> cost_s,
                     std::span<const std::size_t> owner,
                     std::size_t batch = 0);
+
+/// Multi-tenant annotation of a phase's task list: which tenant each
+/// task belongs to, how much global memory the task holds while it is
+/// in flight, and how much in-flight memory each tenant may hold at
+/// once. The claim DES enforces the quotas in *virtual time* — a
+/// fetch whose every eligible tenant is at its cap stalls at the
+/// counter until an earlier task of some tenant completes — so the
+/// produced claim order can never drive a tenant past its cap at
+/// replay either (replay executes the same order).
+struct TenantSpec {
+  /// Tenant id of every task, parallel to `owner`; ids are dense in
+  /// [0, n_tenants).
+  std::span<const std::size_t> tenant;
+  /// Global-memory bytes task t holds from its claim until its
+  /// modeled completion. Empty = every task holds zero (quotas then
+  /// never bind and only the fairness ordering applies).
+  std::span<const double> task_bytes;
+  /// In-flight byte cap per tenant, size n_tenants. Empty = no caps.
+  /// Every cap must admit the largest single task of its tenant —
+  /// otherwise that task could never be granted.
+  std::span<const double> quota_bytes;
+  /// Number of tenants (claim ordering round-robins over these).
+  std::size_t n_tenants = 1;
+};
+
+/// Multi-tenant claim planning: like plan_tasks, but the counter
+/// grants tasks in deficit-round-robin order across tenants instead
+/// of global canonical order. Each tenant keeps its own tasks in
+/// canonical order (so per-tenant replay stays deterministic and
+/// Real-mode results are bit-identical to running the tenant alone);
+/// *between* tenants, a deficit counter replenished by the mean task
+/// cost each round decides who is served, so a tenant issuing many
+/// cheap tasks cannot starve one issuing few expensive ones. Quota
+/// stalls are charged as counter wait. Only the flat-counter family
+/// (Counter / Batched) claims through a single serialized dispenser
+/// where a cross-tenant order exists; other modes are rejected.
+/// With one tenant and no quotas the plan is bit-identical to the
+/// untenanted plan_tasks. TaskPlan::tenant_makespan_s /
+/// tenant_peak_bytes / quota_stalls report the per-tenant outcome.
+TaskPlan plan_tasks(const runtime::Cluster& cluster, Balance balance,
+                    const TaskCounter& counter,
+                    std::span<const double> cost_s,
+                    std::span<const std::size_t> owner,
+                    const TenantSpec& tenants, std::size_t batch = 0);
 
 /// The claims-per-rank rule behind `batch == 0`: enough tasks per
 /// fetch that every live rank performs about eight fetches, clamped

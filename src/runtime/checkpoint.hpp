@@ -71,6 +71,7 @@ namespace fit::runtime {
 
 class Cluster;
 
+/// Knobs of the checkpoint/retry machinery (Cluster::enable_recovery).
 struct CheckpointConfig {
   /// How many times run_phase re-executes a phase whose attempt was
   /// aborted by a transient fault before giving up with FaultError.
@@ -101,8 +102,11 @@ struct CheckpointConfig {
 /// multi-generation verified epoch store described above.
 class CheckpointManager {
  public:
+  /// Manager over `cluster`'s registered arrays; `cfg` fields left at
+  /// their sentinel values are resolved from the environment.
   CheckpointManager(Cluster& cluster, CheckpointConfig cfg);
 
+  /// The configuration the manager was constructed with.
   const CheckpointConfig& config() const { return cfg_; }
   /// Effective retention depth (config or FOURINDEX_CKPT_KEEP).
   std::size_t keep_epochs() const { return keep_; }

@@ -47,16 +47,24 @@ class GlobalArray;
 
 namespace fit::runtime {
 
-enum class ExecutionMode { Real, Simulate };
+/// How a Cluster executes rank bodies (see the header comment).
+enum class ExecutionMode {
+  Real,      ///< buffers allocated, arithmetic performed, bit-checkable
+  Simulate,  ///< counters and modeled time only (paper-scale runs)
+};
 
 /// Per-rank memory accounting. Throws OutOfMemoryError when the
 /// rank's share of node memory is exceeded.
 class MemTracker {
  public:
+  /// Zero-capacity placeholder (rank 0); reassigned by the cluster.
   MemTracker() = default;
+  /// Tracker for `rank` with a ceiling of `capacity_bytes`.
   MemTracker(std::size_t rank, double capacity_bytes)
       : rank_(rank), capacity_(capacity_bytes) {}
 
+  /// Charge an allocation of `bytes` (`what` labels the OOM message);
+  /// throws OutOfMemoryError past capacity.
   void alloc(double bytes, const char* what);
   /// Non-throwing variant: returns false (and charges nothing) when
   /// the allocation would exceed capacity. Used by the spill path.
@@ -65,8 +73,11 @@ class MemTracker {
   /// accounting bug and raises InternalError without touching used_.
   void release(double bytes);
 
+  /// Bytes currently charged.
   double used() const { return used_; }
+  /// High-water mark of used().
   double peak() const { return peak_; }
+  /// Current allocation ceiling in bytes.
   double capacity() const { return capacity_; }
   /// Capacity-shrink faults lower the ceiling mid-run; used_ may then
   /// exceed capacity until the owner frees (new allocations fail).
@@ -84,23 +95,24 @@ class MemTracker {
 /// obs::MetricsRegistry is the authoritative store the aggregate
 /// views (Cluster::totals(), per-phase records) are assembled from.
 struct CommStats {
-  double remote_bytes = 0;
-  double local_bytes = 0;
-  double remote_messages = 0;
-  double disk_bytes = 0;
-  double flops = 0;
-  double integral_evals = 0;
-  double ga_gets = 0;  // one-sided tile operations (GA layer)
-  double ga_puts = 0;
-  double ga_accs = 0;
+  double remote_bytes = 0;     ///< bytes moved between nodes
+  double local_bytes = 0;      ///< bytes moved within a node
+  double remote_messages = 0;  ///< inter-node transfer count
+  double disk_bytes = 0;       ///< bytes to/from the parallel FS
+  double flops = 0;            ///< floating-point operations charged
+  double integral_evals = 0;   ///< on-the-fly integral evaluations
+  double ga_gets = 0;  ///< one-sided get operations (GA layer)
+  double ga_puts = 0;  ///< one-sided put operations (GA layer)
+  double ga_accs = 0;  ///< one-sided accumulate operations (GA layer)
   // Decomposition of the alpha-beta transfer time: seconds a rank's
   // clock actually stalled on transfers (exposed) vs. seconds the
   // link worked while the rank computed (overlapped). Blocking
   // operations are fully exposed; nonblocking ones split by how much
   // compute was charged between issue and wait.
-  double overlapped_seconds = 0;
-  double exposed_seconds = 0;
+  double overlapped_seconds = 0;  ///< wire time hidden behind compute
+  double exposed_seconds = 0;     ///< wire time the clock stalled on
 
+  /// Element-wise accumulation (rank counters into aggregates).
   void operator+=(const CommStats& o) {
     remote_bytes += o.remote_bytes;
     local_bytes += o.local_bytes;
@@ -116,13 +128,14 @@ struct CommStats {
   }
 };
 
+/// One executed BSP phase: its label, timing, and traffic.
 struct PhaseRecord {
-  std::string label;
-  double t_start = 0;        // cumulative sim time when the phase began
-  double makespan = 0;       // max rank time
-  double total_rank_time = 0;
-  double imbalance = 1.0;    // makespan * ranks / total_rank_time
-  CommStats comm;
+  std::string label;     ///< the run_phase label
+  double t_start = 0;    ///< cumulative sim time when the phase began
+  double makespan = 0;   ///< max rank time (what sim time advanced by)
+  double total_rank_time = 0;  ///< sum of the ranks' busy time
+  double imbalance = 1.0;      ///< makespan * ranks / total_rank_time
+  CommStats comm;              ///< traffic/compute charged in the phase
 };
 
 class Cluster;
@@ -133,25 +146,38 @@ class Cluster;
 /// do not outlive the phase — the barrier quiesces every outstanding
 /// one).
 struct NbTransfer {
+  /// Sentinel id of a default-constructed (invalid) handle.
   static constexpr std::size_t kInvalid = ~static_cast<std::size_t>(0);
+  /// Index into the issuing rank's in-flight operation list.
   std::size_t id = kInvalid;
+  /// True for a handle actually returned by begin_transfer.
   bool valid() const { return id != kInvalid; }
 };
 
 /// What a nonblocking transfer does at the GA level; used only to
 /// label the in-flight span on the Chrome-trace timeline.
-enum class NbKind { Get, Put, Acc };
+enum class NbKind {
+  Get,  ///< one-sided read of a remote tile
+  Put,  ///< one-sided write of a remote tile
+  Acc,  ///< one-sided accumulate into a remote tile
+};
 
 /// Handle given to a rank body during a phase; all cost charging goes
 /// through it.
 class RankCtx {
  public:
+  /// This rank's id in [0, n_ranks()).
   std::size_t rank() const { return rank_; }
+  /// Rank count of the owning cluster.
   std::size_t n_ranks() const;
+  /// True under ExecutionMode::Real (buffers hold real data).
   bool real() const;
+  /// The owning cluster's machine description.
   const MachineConfig& machine() const;
 
+  /// Charge `flops` floating-point operations to this rank's clock.
   void charge_flops(double flops);
+  /// Charge `count` on-the-fly integral evaluations to the clock.
   void charge_integrals(double count);
   /// Charge a data transfer of `bytes` between this rank and `owner`.
   void charge_transfer(std::size_t owner, double bytes);
@@ -198,9 +224,11 @@ class RankCtx {
   /// Outstanding (begun, not yet waited) nonblocking transfers.
   std::size_t nb_outstanding() const { return nb_outstanding_; }
 
-  /// One-sided-operation counters (charged by the GA layer).
+  /// Count a one-sided get (charged by the GA layer).
   void count_ga_get() { comm_.ga_gets += 1; }
+  /// Count a one-sided put (charged by the GA layer).
   void count_ga_put() { comm_.ga_puts += 1; }
+  /// Count a one-sided accumulate (charged by the GA layer).
   void count_ga_acc() { comm_.ga_accs += 1; }
 
   /// Record a point event on this rank's timeline track.
@@ -217,8 +245,11 @@ class RankCtx {
   /// decrees a transient failure; run_phase's retry path absorbs it.
   void fault_point(const char* what);
 
+  /// This rank's Global-Array memory tracker.
   MemTracker& memory();
+  /// This rank's local scratch-buffer tracker.
   MemTracker& scratch();
+  /// This rank's clock, in seconds since the phase attempt began.
   double elapsed() const { return time_; }
 
  private:
@@ -251,6 +282,10 @@ class RankCtx {
   CommStats comm_;
 };
 
+/// The simulated distributed-memory machine: a BSP phase executor with
+/// per-rank cost/memory accounting, failure domains, fault injection,
+/// and phase-boundary checkpointing (see the header comment for the
+/// execution model).
 class Cluster {
  public:
   /// `host_threads` > 1 executes the ranks of each phase on a pool of
@@ -259,16 +294,22 @@ class Cluster {
   /// accumulation order; all counters are exactly deterministic.
   Cluster(MachineConfig config, ExecutionMode mode,
           std::size_t host_threads = 1);
+  /// Tears down the host-thread pool; registered arrays must already
+  /// be gone (they unregister themselves on destruction).
   ~Cluster();
 
+  /// The machine description the cluster was built from.
   const MachineConfig& machine() const { return config_; }
+  /// Real (bit-checkable) or Simulate (counters only).
   ExecutionMode mode() const { return mode_; }
   /// Effective host-thread count: the constructor argument (or
   /// FOURINDEX_THREADS, which overrides it) clamped to
   /// std::thread::hardware_concurrency() so simulated-timing benches
   /// never run oversubscribed.
   std::size_t host_threads() const { return host_threads_; }
+  /// Total rank count (nodes x ranks per node).
   std::size_t n_ranks() const { return config_.n_ranks(); }
+  /// Physical node a rank lives on (comm-topology grouping).
   std::size_t node_of(std::size_t rank) const {
     return rank / config_.ranks_per_node;
   }
@@ -283,11 +324,15 @@ class Cluster {
   // it at the barrier; recovery restores all of them in one pass. The
   // same grouping (runtime::DomainMap) places ga::plan_tasks' per-node
   // counters, so a node death always takes its counter with it.
+  /// The failure-domain grouping (see the section comment above).
   const DomainMap& domains() const { return domains_; }
+  /// Ranks per failure domain.
   std::size_t domain_ranks() const { return domains_.width(); }
+  /// Failure domain a rank belongs to.
   std::size_t domain_of(std::size_t rank) const {
     return domains_.domain_of(rank);
   }
+  /// Number of failure domains.
   std::size_t n_domains() const { return domains_.n_domains(); }
   /// Kill every (live) rank of a failure domain; counts
   /// fault.domain_kills. Recovery is the caller's business, as with
@@ -309,22 +354,28 @@ class Cluster {
 
   /// Install a fault injector; replaces any previous one.
   void install_faults(FaultInjector injector);
+  /// The installed injector (inert unless install_faults armed it).
   FaultInjector& faults() { return faults_; }
 
   /// Turn on phase-boundary checkpointing and bounded phase retry.
   /// Requires a parallel file system (disk_bandwidth_bps > 0): the
   /// checkpoints are charged through the disk alpha-beta model.
   void enable_recovery(CheckpointConfig cfg = {});
+  /// True once enable_recovery has been called.
   bool recovery_enabled() const { return ckpt_ != nullptr; }
+  /// The checkpoint manager (nullptr until enable_recovery).
   CheckpointManager* checkpoints() { return ckpt_.get(); }
 
   /// Rank liveness. Dead ranks are skipped by run_phase; their tiles
   /// are re-owned by the survivors (see CheckpointManager).
   bool is_dead(std::size_t rank) const { return dead_[rank] != 0; }
+  /// Number of ranks still alive.
   std::size_t n_live() const;
   /// Remap a nominal owner rank to a live one (identity for live
   /// ranks; next live rank cyclically for dead ones).
   std::size_t live_owner(std::size_t rank) const;
+  /// Mark a rank permanently dead; counts fault.kills. Recovery (tile
+  /// re-owning, checkpoint restore) is the caller's business.
   void kill_rank(std::size_t rank);
 
   /// Sum of the live ranks' *current* memory capacities — the live
@@ -333,10 +384,14 @@ class Cluster {
   /// one). The planner's degradation path replans against this.
   double aggregate_capacity_bytes() const;
 
-  /// Live GlobalArray registry, maintained by the GA layer; the
-  /// checkpoint manager snapshots/restores exactly these.
+  /// Add an array to the live GlobalArray registry (called by the GA
+  /// layer on construction); the checkpoint manager snapshots/restores
+  /// exactly the registered set.
   void register_array(ga::GlobalArray* array);
+  /// Remove a destroyed array from the registry (and from every
+  /// retained checkpoint generation, via CheckpointManager::forget).
   void unregister_array(ga::GlobalArray* array);
+  /// The currently live registered arrays.
   const std::vector<ga::GlobalArray*>& registered_arrays() const {
     return arrays_;
   }
@@ -354,20 +409,28 @@ class Cluster {
   /// cluster is simply waiting out the fault.
   void charge_recovery_backoff(const std::string& label, double seconds);
 
+  /// `rank`'s Global-Array memory tracker.
   MemTracker& memory(std::size_t rank) { return mem_[rank]; }
+  /// `rank`'s Global-Array memory tracker (read-only view).
   const MemTracker& memory(std::size_t rank) const { return mem_[rank]; }
+  /// `rank`'s local scratch-buffer tracker.
   MemTracker& scratch(std::size_t rank) { return scratch_[rank]; }
 
-  /// Total bytes currently allocated across all ranks, and the peak.
+  /// Total bytes currently allocated across all ranks.
   double global_used() const;
+  /// High-water mark of global_used().
   double global_peak() const { return global_peak_; }
+  /// Re-sample global_used() into the peak and the mem.* gauges
+  /// (called by the GA layer after every allocation).
   void note_global_usage();
 
-  /// Bytes of Global Array data currently spilled to disk, and the
-  /// high-water mark.
+  /// Bytes of Global Array data currently spilled to disk.
   double disk_used() const { return disk_used_; }
+  /// High-water mark of disk_used().
   double disk_peak() const { return disk_peak_; }
+  /// Account `bytes` of tile data moving out to the parallel FS.
   void note_spill(double bytes);
+  /// Account `bytes` of spilled tile data coming back into memory.
   void note_unspill(double bytes);
 
   /// Record a point event (OOM, spill, ...) on `rank`'s track at the
@@ -375,10 +438,13 @@ class Cluster {
   /// Chrome trace.
   void note_instant(const std::string& name, std::size_t rank);
 
+  /// Cumulative simulated time: the sum of every phase's BSP makespan
+  /// plus checkpoint I/O and recovery backoff.
   double sim_time() const { return sim_time_; }
   /// Aggregate counters, assembled from the metrics registry (the
   /// registry is the source of truth; this is the legacy view).
   CommStats totals() const;
+  /// Every executed phase, in order, with timing and traffic.
   const std::vector<PhaseRecord>& phases() const { return phases_; }
 
   /// Max per-phase imbalance observed so far.
@@ -405,6 +471,7 @@ class Cluster {
   /// FOURINDEX_TRACE_DIR is set — per-op spans are too many to keep
   /// around when no trace will ever be written.
   void set_comm_tracing(bool on) { trace_comm_ = on; }
+  /// Whether per-op nonblocking-transfer spans are being recorded.
   bool comm_tracing() const { return trace_comm_; }
 
  private:
@@ -478,14 +545,19 @@ class Cluster {
 /// tracker; holds real storage only in Real mode.
 class RankBuffer {
  public:
+  /// Charge `words` doubles of scratch to `ctx`'s tracker (`what`
+  /// labels an OOM); allocates real storage only in Real mode.
   RankBuffer(RankCtx& ctx, std::size_t words, const char* what);
+  /// Releases the scratch charge (and the storage, in Real mode).
   ~RankBuffer();
-  RankBuffer(const RankBuffer&) = delete;
-  RankBuffer& operator=(const RankBuffer&) = delete;
+  RankBuffer(const RankBuffer&) = delete;             ///< non-copyable
+  RankBuffer& operator=(const RankBuffer&) = delete;  ///< non-copyable
 
   /// Pointer to storage (nullptr in Simulate mode).
   double* data() { return storage_.empty() ? nullptr : storage_.data(); }
+  /// Capacity in doubles (meaningful in both modes).
   std::size_t words() const { return words_; }
+  /// Zero the storage; a no-op in Simulate mode.
   void zero();
 
  private:

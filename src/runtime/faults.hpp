@@ -38,46 +38,62 @@
 
 namespace fit::runtime {
 
+/// The failure modes the injector can decree (see the header comment
+/// for when each fires relative to the BSP phase structure).
 enum class FaultKind {
-  KillRank,        // permanent rank death at a phase boundary
-  KillNode,        // correlated death of a whole failure domain
-  TransientOp,     // one-sided get/put/acc failure inside a phase
-  CapacityShrink,  // multiply every live rank's memory capacity
-  NetDegrade,      // multiply the network bandwidth
-  DiskDegrade,     // multiply the parallel-file-system bandwidth
-  CkptCorrupt,     // latent bit rot in checkpointed tile copies
-  CkptIo,          // fail checkpoint write/restore disk operations
+  KillRank,        ///< permanent rank death at a phase boundary
+  KillNode,        ///< correlated death of a whole failure domain
+  TransientOp,     ///< one-sided get/put/acc failure inside a phase
+  CapacityShrink,  ///< multiply every live rank's memory capacity
+  NetDegrade,      ///< multiply the network bandwidth
+  DiskDegrade,     ///< multiply the parallel-file-system bandwidth
+  CkptCorrupt,     ///< latent bit rot in checkpointed tile copies
+  CkptIo,          ///< fail checkpoint write/restore disk operations
 };
 
+/// Human-readable fault-kind name (metrics labels, log lines).
 std::string to_string(FaultKind k);
 
+/// One scheduled fault: what happens, when, and to whom.
 struct FaultEvent {
+  /// The failure mode.
   FaultKind kind = FaultKind::TransientOp;
-  std::size_t phase = 0;  // 0-based phase index (Cluster::phase_index())
-  std::size_t rank = 0;   // target rank (KillRank/TransientOp) or
-                          // failure-domain index (KillNode)
-  double factor = 1.0;    // capacity/bandwidth multiplier (shrink/degrade)
-  std::size_t count = 1;  // ops to fail (TransientOp/CkptIo) or tile
-                          // copies to rot (CkptCorrupt)
-  // Kill events only: 0 fires at the phase boundary; N > 0 fires just
-  // before retry attempt N of that phase — the double-fault case of a
-  // rank/node dying inside another failure's backoff window.
+  /// 0-based phase index the event fires at (Cluster::phase_index()).
+  std::size_t phase = 0;
+  /// Target rank (KillRank/TransientOp) or failure-domain index
+  /// (KillNode).
+  std::size_t rank = 0;
+  /// Capacity/bandwidth multiplier (CapacityShrink and the degrade
+  /// kinds).
+  double factor = 1.0;
+  /// Operations to fail (TransientOp/CkptIo) or tile copies to rot
+  /// (CkptCorrupt).
+  std::size_t count = 1;
+  /// Kill events only: 0 fires at the phase boundary; N > 0 fires just
+  /// before retry attempt N of that phase — the double-fault case of a
+  /// rank/node dying inside another failure's backoff window.
   std::size_t attempt = 0;
-  // CkptCorrupt only: how many of the newest checkpoint generations
-  // the rot reaches (>= the retention depth models catastrophic media
-  // loss — every generation bad, restore must zero-fill).
+  /// CkptCorrupt only: how many of the newest checkpoint generations
+  /// the rot reaches (>= the retention depth models catastrophic media
+  /// loss — every generation bad, restore must zero-fill).
   std::size_t depth = 1;
 };
 
+/// Deterministic decider of when ranks die, ops fail, and capacity or
+/// bandwidth degrade — the reproducible storm generator behind the
+/// fault-matrix tests and the chaos soak (see the header comment).
 class FaultInjector {
  public:
   /// Default-constructed injector is inert: armed() is false and the
   /// cluster skips every fault check.
   FaultInjector() = default;
+  /// Injector whose probability rolls hash from `seed` — equal seeds
+  /// replay identical storms.
   explicit FaultInjector(std::uint64_t seed) : seed_(seed) {}
-  // Copyable despite the mutex (the copy gets a fresh one), so an
-  // injector can be configured externally and handed to a Cluster.
+  /// Copyable despite the mutex (the copy gets a fresh one), so an
+  /// injector can be configured externally and handed to a Cluster.
   FaultInjector(const FaultInjector& other);
+  /// See the copy constructor: state copies, the mutex does not.
   FaultInjector& operator=(const FaultInjector& other);
 
   /// Pin a fault to an exact phase. TransientOp events carry a failure
@@ -93,8 +109,12 @@ class FaultInjector {
   /// restores alike); absorbed by CheckpointManager's bounded retry.
   void set_ckpt_io_prob(double p);
 
+  /// True when any fault is scheduled or any probability is set —
+  /// unarmed injectors cost the cluster nothing.
   bool armed() const;
+  /// The seed every probability roll hashes from.
   std::uint64_t seed() const { return seed_; }
+  /// The per-(phase, rank) boundary kill probability.
   double kill_prob() const { return kill_prob_; }
 
   /// Scheduled boundary faults (every kind except TransientOp/CkptIo,

@@ -13,7 +13,9 @@
 //   }
 // Kinds in use: "gemm" (shape = flop volume 2mnk, rate = flop/s per
 // rank), "link" (shape = message bytes, rate = effective bytes/s per
-// rank), "integrals" (shape = orbital extent n, rate = evals/s).
+// rank), "integrals" (shape = orbital extent n, rate = evals/s),
+// "batch" (shape = shared-basis batch member count, rate = whole-batch
+// transforms/s as measured by the batch-tenancy bench).
 #pragma once
 
 #include <cstddef>

@@ -113,6 +113,19 @@ std::string Server::handle_line(const std::string& line) {
   }
 
   if (verb == "stats") return service_.metrics().to_json(false).dump();
+  if (verb == "tenants") {
+    // Per-tenant reservation ledger: who holds how much against which
+    // quota — the operator's view of the multi-tenant admission state.
+    obs::json::Value doc = obs::json::Value::object();
+    doc["outcome"] = "tenants";
+    doc["quota_bytes"] = service_.tenant_quota_bytes();
+    doc["reserved_bytes"] = service_.reserved_bytes();
+    obs::json::Value per = obs::json::Value::object();
+    for (const auto& [tenant, bytes] : service_.tenant_reservations())
+      per[tenant.empty() ? std::string("(anonymous)") : tenant] = bytes;
+    doc["tenants"] = std::move(per);
+    return doc.dump();
+  }
   if (verb == "shutdown") {
     shutdown_ = true;
     obs::json::Value ack = obs::json::Value::object();

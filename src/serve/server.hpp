@@ -4,12 +4,16 @@
 // (the transform itself is the bottleneck, not connection handling).
 //
 // Verbs, selected by the "verb" member (default "transform"):
-//   transform  a serve::Request (see service.hpp); the response is the
+//   transform  a serve::Request (see service.hpp) — including the
+//              "batch" (shared-basis batch width) and "tenant"
+//              (submitting tenant) members; the response is the
 //              admission verdict plus plan/execution results.
 //   release    {"verb":"release","ticket":N} frees a plan_only
 //              reservation; the response carries "released" plus one
 //              response object per queued request that ran as a result.
 //   stats      the service's serve.* metrics as a JSON object.
+//   tenants    the tenant ledger: the configured quota and the bytes
+//              each tenant currently holds reserved.
 //   shutdown   acknowledges and stops the accept loop.
 //
 // Malformed lines never kill the server: they come back as

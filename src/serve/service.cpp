@@ -53,7 +53,8 @@ const char* kCounters[] = {
     "serve.requests",  "serve.admitted",     "serve.degraded",
     "serve.queued",    "serve.rejected",     "serve.errors",
     "serve.cache_hits", "serve.cache_misses", "serve.des_skips",
-    "serve.released",  "serve.executed",
+    "serve.released",  "serve.executed",     "serve.batch_requests",
+    "serve.batch_members", "serve.quota_rejected",
 };
 
 }  // namespace
@@ -94,9 +95,11 @@ Request parse_request(const obs::json::Value& v) {
   get_string("molecule", r.molecule, /*required=*/true);
   get_string("system", r.system, /*required=*/false);
   get_string("balance", r.balance, /*required=*/false);
+  get_string("tenant", r.tenant, /*required=*/false);
   get_size("nodes", r.n_nodes);
   get_size("tile", r.tile);
   get_size("tile_l", r.tile_l);
+  get_size("batch", r.batch);
   get_bool("real", r.real);
   get_bool("plan_only", r.plan_only);
 
@@ -143,6 +146,8 @@ obs::json::Value Response::to_json() const {
   doc["est_seconds"] = est_seconds;
   doc["sim_seconds"] = sim_seconds;
   doc["result_checksum"] = result_checksum;
+  doc["batch"] = static_cast<double>(batch);
+  doc["tenant"] = tenant;
   doc["note"] = note;
   doc["error"] = error;
   return doc;
@@ -165,7 +170,14 @@ TransformService TransformService::from_env() {
   Options opt;
   opt.queue_depth = util::env_size_strict("FOURINDEX_SERVE_QUEUE", 4,
                                           /*min=*/0);
+  opt.tenant_quota_bytes = static_cast<double>(
+      util::env_size_strict("FOURINDEX_TENANT_QUOTA", 0, /*min=*/0));
   return TransformService(CostOracle::from_env(), opt);
+}
+
+double TransformService::tenant_reserved(const std::string& tenant) const {
+  const auto it = tenant_reserved_.find(tenant);
+  return it == tenant_reserved_.end() ? 0.0 : it->second;
 }
 
 std::uint64_t TransformService::fingerprint(const Request& r,
@@ -179,6 +191,9 @@ std::uint64_t TransformService::fingerprint(const Request& r,
   h = util::fnv1a_u64(r.tile, h);
   h = util::fnv1a_u64(r.tile_l, h);
   h = util::fnv1a_u64(r.real ? 1 : 0, h);
+  // The batch width changes the schedule (and the balance memo's phase
+  // shapes); the tenant does not — tenants share cache entries.
+  h = util::fnv1a_u64(r.batch, h);
   h = util::fnv1a(source, h);
   return h;
 }
@@ -207,36 +222,75 @@ Response TransformService::submit_line(const std::string& json_line) {
 
 Response TransformService::admit_and_run(const Request& r, bool from_queue) {
   Response rsp;
+  rsp.batch = r.batch;
+  rsp.tenant = r.tenant;
   const core::Problem p = problem_for(r);
   const runtime::MachineConfig nominal = machine_for(r);
   const double n = static_cast<double>(p.n());
   const double s = static_cast<double>(p.irreps.order());
-  const double total_elems = nominal.aggregate_memory_bytes() / 8.0;
-  const double avail_elems =
-      (nominal.aggregate_memory_bytes() - reserved_bytes_) / 8.0;
+  const double total_bytes = nominal.aggregate_memory_bytes();
 
-  // Unconstrained plan: what the Thm 5.2 order picks on the idle
-  // machine. Failing here means the problem can never run — Rejected.
+  // The memory this tenant could ever see: the idle machine, capped by
+  // its quota. The ladder never hands one tenant another's share.
+  const bool quota_active = opt_.tenant_quota_bytes > 0;
+  const double idle_bytes =
+      quota_active ? std::min(total_bytes, opt_.tenant_quota_bytes)
+                   : total_bytes;
+  // What is free for this tenant right now: the machine's unreserved
+  // remainder, further capped by the quota minus the tenant's own live
+  // reservations.
+  double avail_bytes = total_bytes - reserved_bytes_;
+  if (quota_active)
+    avail_bytes = std::min(
+        avail_bytes, opt_.tenant_quota_bytes - tenant_reserved(r.tenant));
+  const double idle_elems = idle_bytes / 8.0;
+  const double avail_elems = avail_bytes / 8.0;
+
+  const core::PlanRates rates = oracle_.rates(nominal, n, r.tile);
+
+  // A batch charges admission for its aggregate peak: under the fused
+  // schedules every member's C stays resident.
+  core::BatchPlan bp;
+  if (r.batch > 1) bp = core::plan_batch(p, nominal, r.tile_l, r.batch, rates);
+  const double batch_need = r.batch > 1 ? bp.total_need_bytes : 0.0;
+
+  // Unconstrained plan: what the Thm 5.2 order picks on the machine
+  // this tenant could ever have. Failing here — or a batch whose peak
+  // exceeds it — means the request can never run: Rejected.
   core::Plan full;
-  try {
-    full = core::plan_fusion(n, s, total_elems);
-  } catch (const Error& e) {
+  bool never_fits = batch_need > idle_bytes;
+  std::string never_why =
+      never_fits ? "the batch's aggregate peak exceeds it" : "";
+  if (!never_fits) {
+    try {
+      full = core::plan_fusion(n, s, idle_elems);
+    } catch (const Error& e) {
+      never_fits = true;
+      never_why = e.what();
+    }
+  }
+  if (never_fits) {
     rsp.admission = Admission::Rejected;
-    rsp.error = std::string("exceeds the idle machine: ") + e.what();
+    const bool quota_bound = quota_active && idle_bytes < total_bytes;
+    rsp.error = (quota_bound ? std::string("exceeds the tenant quota: ")
+                             : std::string("exceeds the idle machine: ")) +
+                never_why;
     reg_->add(reg_->counter("serve.rejected"), 0, 1);
+    if (quota_bound) reg_->add(reg_->counter("serve.quota_rejected"), 0, 1);
     return rsp;
   }
 
-  // Constrained plan: the same ladder against what is actually free.
-  // A downgrade is a Degraded admission; not even unfused fitting is
-  // the queue/reject boundary.
+  // Constrained plan: the same ladder against what is actually free
+  // for this tenant. A downgrade is a Degraded admission; not even
+  // unfused fitting is the queue/reject boundary.
   core::Plan now;
-  bool fits = avail_elems >= 1;
+  bool fits = avail_elems >= 1 && batch_need <= avail_bytes;
   bool degraded = false;
   if (fits) {
     try {
-      now = reserved_bytes_ > 0 ? core::replan_fusion(full, avail_elems)
-                                : full;
+      now = avail_elems + 0.5 < idle_elems
+                ? core::replan_fusion(full, avail_elems)
+                : full;
       degraded = now.selected != full.selected;
     } catch (const Error&) {
       fits = false;
@@ -254,8 +308,12 @@ Response TransformService::admit_and_run(const Request& r, bool from_queue) {
     }
     rsp.admission = Admission::Queued;
     rsp.ticket = next_ticket_++;
-    rsp.note = "fits the idle machine; waiting for a release";
-    queue_.push_back({rsp.ticket, r, selected_need_bytes(full)});
+    rsp.note = quota_active
+                   ? "fits the tenant's idle share; waiting for a release"
+                   : "fits the idle machine; waiting for a release";
+    queue_.push_back(
+        {rsp.ticket, r,
+         std::max(selected_need_bytes(full), batch_need)});
     reg_->add(reg_->counter("serve.queued"), 0, 1);
     return rsp;
   }
@@ -271,10 +329,11 @@ Response TransformService::admit_and_run(const Request& r, bool from_queue) {
   }
 
   // Schedule cache: measured rates + the cluster plan + the balance
-  // memo, keyed on the request fingerprint. The admission ladder above
-  // always runs (it depends on live reservations); the cache is what
-  // lets a warm request skip the cluster re-plan and the per-phase DES.
-  const core::PlanRates rates = oracle_.rates(nominal, n, r.tile);
+  // memo, keyed on the request fingerprint (which folds the batch
+  // width — a batch's phase shapes differ from a solo run's). The
+  // admission ladder above always runs (it depends on live
+  // reservations); the cache is what lets a warm request skip the
+  // cluster re-plan and the per-phase DES.
   const std::uint64_t key = fingerprint(r, rates.source);
   auto it = cache_.find(key);
   rsp.cache_hit = it != cache_.end();
@@ -286,19 +345,32 @@ Response TransformService::admit_and_run(const Request& r, bool from_queue) {
     fresh.rates = rates;
     fresh.plan = core::plan_for_cluster(p, nominal, r.tile_l, rates);
     fresh.fusion = bounds::to_string(now.selected);
+    fresh.batch_plan = bp;
     it = cache_.emplace(key, std::move(fresh)).first;
   }
   CacheEntry& entry = it->second;
-  entry.need_bytes = selected_need_bytes(now);
+  entry.need_bytes = std::max(selected_need_bytes(now), batch_need);
   rsp.rate_source = entry.rates.source;
   rsp.est_seconds = now.selected == bounds::FusionChoice::Unfused
                         ? entry.plan.est_seconds_unfused
                         : entry.plan.est_seconds_fused;
+  if (r.batch > 1) {
+    reg_->add(reg_->counter("serve.batch_requests"), 0, 1);
+    reg_->add(reg_->counter("serve.batch_members"), 0,
+             static_cast<double>(r.batch));
+    // The planner's amortized estimate, upgraded to the bench-measured
+    // batch throughput when the cost table carries a bucket.
+    rsp.est_seconds = bp.est_seconds_batched;
+    if (const double tps = oracle_.batch_transforms_per_s(r.batch);
+        tps > 0)
+      rsp.est_seconds = static_cast<double>(r.batch) / tps;
+  }
 
   if (r.plan_only) {
     rsp.ticket = next_ticket_++;
     holds_.push_back({rsp.ticket, r, entry.need_bytes});
     reserved_bytes_ += entry.need_bytes;
+    tenant_reserved_[r.tenant] += entry.need_bytes;
     return rsp;
   }
   return run(r, entry, std::move(rsp));
@@ -319,14 +391,36 @@ Response TransformService::run(const Request& r, CacheEntry& entry,
   o.balance_cache = &entry.balance_memo;
   const std::size_t des_hits0 = entry.balance_memo.hits;
 
-  const core::ParResult res =
-      rsp.fusion == bounds::to_string(bounds::FusionChoice::Unfused)
-          ? core::unfused_par_transform(p, cl, o)
-          : core::fused_inner_par_transform(p, cl, o);
-
+  const bool unfused =
+      rsp.fusion == bounds::to_string(bounds::FusionChoice::Unfused);
   rsp.balance = r.balance;
-  rsp.sim_seconds = res.stats.sim_time;
-  if (r.real && res.c) rsp.result_checksum = result_checksum(*res.c);
+  if (r.batch > 1) {
+    // Shared-basis batch: fill A once, run every member's chain. The
+    // response checksum is the FNV fold of the member checksums, so a
+    // client (or the replay gate) can reproduce it from solo runs.
+    const auto member_b = core::batch_member_bs(p, r.batch);
+    const core::BatchParResult res =
+        unfused ? core::batched_unfused_par_transform(p, member_b, cl, o)
+                : core::batched_fused_inner_par_transform(p, member_b, cl,
+                                                          o);
+    rsp.sim_seconds = res.stats.sim_time;
+    if (r.real) {
+      std::uint64_t h = util::kFnvOffsetBasis;
+      for (const auto& c : res.c) {
+        if (!c) continue;
+        const double cs = result_checksum(*c);
+        h = util::fnv1a_bytes(&cs, sizeof cs, h);
+      }
+      rsp.result_checksum =
+          static_cast<double>((h >> 32) ^ (h & 0xffffffffull));
+    }
+  } else {
+    const core::ParResult res =
+        unfused ? core::unfused_par_transform(p, cl, o)
+                : core::fused_inner_par_transform(p, cl, o);
+    rsp.sim_seconds = res.stats.sim_time;
+    if (r.real && res.c) rsp.result_checksum = result_checksum(*res.c);
+  }
   reg_->add(reg_->counter("serve.executed"), 0, 1);
   reg_->add(reg_->counter("serve.des_skips"), 0,
            static_cast<double>(entry.balance_memo.hits - des_hits0));
@@ -347,19 +441,40 @@ std::vector<Response> TransformService::release(std::uint64_t ticket) {
     return ran;
   }
   reserved_bytes_ = std::max(0.0, reserved_bytes_ - held->need_bytes);
+  if (const auto tr = tenant_reserved_.find(held->request.tenant);
+      tr != tenant_reserved_.end()) {
+    tr->second = std::max(0.0, tr->second - held->need_bytes);
+    if (tr->second <= 0) tenant_reserved_.erase(tr);
+  }
   holds_.erase(held);
   reg_->add(reg_->counter("serve.released"), 0, 1);
 
-  // Strict FIFO drain: the queue head either runs now or keeps its
-  // place (and blocks everything behind it, by design — no starvation
-  // of big requests by small ones slipping past).
-  while (!queue_.empty()) {
-    Response rsp = admit_and_run(queue_.front().request, /*from_queue=*/true);
-    if (rsp.admission == Admission::Rejected &&
-        rsp.error == "still blocked by reservations")
-      break;
-    queue_.pop_front();
-    ran.push_back(std::move(rsp));
+  // Tenant-aware drain: rotate across the tenants present in the
+  // queue, strict FIFO within each tenant — one tenant's blocked head
+  // never starves another tenant's runnable work, and with a single
+  // tenant this is exactly the old FIFO drain (the head either runs
+  // now or keeps its place and blocks everything behind it).
+  bool progress = true;
+  while (progress && !queue_.empty()) {
+    progress = false;
+    std::vector<std::string> tenants;  // first-appearance order
+    for (const auto& t : queue_)
+      if (std::find(tenants.begin(), tenants.end(), t.request.tenant) ==
+          tenants.end())
+        tenants.push_back(t.request.tenant);
+    for (const auto& tn : tenants) {
+      const auto head = std::find_if(
+          queue_.begin(), queue_.end(),
+          [&](const Ticketed& t) { return t.request.tenant == tn; });
+      if (head == queue_.end()) continue;
+      Response rsp = admit_and_run(head->request, /*from_queue=*/true);
+      if (rsp.admission == Admission::Rejected &&
+          rsp.error == "still blocked by reservations")
+        continue;
+      queue_.erase(head);
+      ran.push_back(std::move(rsp));
+      progress = true;
+    }
   }
   reg_->set(reg_->gauge("serve.reserved_bytes"), 0, reserved_bytes_);
   reg_->set(reg_->gauge("serve.queue_depth"), 0,

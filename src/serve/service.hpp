@@ -49,6 +49,16 @@ struct Request {
   std::size_t tile_l = 8;               ///< L-dimension tile extent.
   bool real = false;       ///< Real execution (checksummed) vs Simulate.
   bool plan_only = false;  ///< Admit + reserve, do not execute.
+  /// Shared-basis batch width: members > 1 run the batched schedules
+  /// (core::batched_*_par_transform), paying the AO integral fill once
+  /// and charging admission for the batch's aggregate peak
+  /// (core::plan_batch).
+  std::size_t batch = 1;
+  /// Submitting tenant. Admission charges this tenant's reservations
+  /// against Options::tenant_quota_bytes, and the queue drain rotates
+  /// across tenants instead of strict FIFO. Empty = the anonymous
+  /// single tenant (exactly the untenanted behavior).
+  std::string tenant;
 };
 
 /// Parse the "transform" request object. Throws fit::ParseError with a
@@ -79,7 +89,10 @@ struct Response {
   std::string rate_source;       ///< "measured" or "nominal".
   double est_seconds = 0;        ///< Planner estimate at those rates.
   double sim_seconds = 0;        ///< Modeled time (0 when not executed).
-  double result_checksum = 0;    ///< FNV fold of C (real mode only).
+  double result_checksum = 0;    ///< FNV fold of C (real mode only; a
+                                 ///< batch folds its members' folds).
+  std::size_t batch = 1;         ///< Shared-basis batch width echoed back.
+  std::string tenant;            ///< Submitting tenant echoed back.
   std::string note;              ///< Degradation rationale, cache info.
   std::string error;             ///< Non-empty for Rejected / Error.
 
@@ -88,8 +101,11 @@ struct Response {
 };
 
 /// The persistent service: admission control over the Thm 5.2 fusion
-/// ladder, oracle-rated planning, a schedule cache, and a FIFO queue
-/// of requests waiting for reservations to drain.
+/// ladder (per tenant, against remaining aggregate memory and the
+/// tenant's quota), oracle-rated planning, a schedule cache keyed per
+/// batch fingerprint, and a queue of waiting requests drained
+/// round-robin across tenants (plain FIFO when only one tenant is
+/// present).
 class TransformService {
  public:
   /// Tunables not carried per-request.
@@ -97,6 +113,12 @@ class TransformService {
     /// Queue slots for requests that fit an idle machine but not the
     /// current reservations. Default from FOURINDEX_SERVE_QUEUE (4).
     std::size_t queue_depth = 4;
+    /// Per-tenant cap on reserved aggregate bytes (0 = uncapped). A
+    /// request whose need exceeds the cap outright is Rejected; one
+    /// blocked only by the tenant's live reservations is Queued and
+    /// retried as they release. Default from FOURINDEX_TENANT_QUOTA
+    /// (bytes, 0).
+    double tenant_quota_bytes = 0;
   };
 
   /// Service with default options around \p oracle.
@@ -123,6 +145,15 @@ class TransformService {
   double reserved_bytes() const { return reserved_bytes_; }
   /// Requests parked in the FIFO queue.
   std::size_t queued() const { return queue_.size(); }
+  /// Bytes currently reserved by one tenant's live admissions.
+  double tenant_reserved(const std::string& tenant) const;
+  /// Per-tenant reserved bytes for every tenant holding a reservation.
+  const std::unordered_map<std::string, double>& tenant_reservations()
+      const {
+    return tenant_reserved_;
+  }
+  /// The per-tenant reservation cap in force (0 = uncapped).
+  double tenant_quota_bytes() const { return opt_.tenant_quota_bytes; }
 
   /// serve.* counters/gauges: requests, admitted, degraded, queued,
   /// rejected, errors, cache_hits, cache_misses, des_skips,
@@ -141,6 +172,9 @@ class TransformService {
     core::BalanceCache balance_memo;
     double need_bytes = 0;
     std::string fusion;
+    /// Amortization plan when the fingerprinted request is a batch
+    /// (Request::batch > 1); n_members == 1 otherwise.
+    core::BatchPlan batch_plan;
   };
 
   struct Ticketed {
@@ -163,6 +197,8 @@ class TransformService {
   std::deque<Ticketed> queue_;
   std::vector<Ticketed> holds_;
   double reserved_bytes_ = 0;
+  /// Live reservation bytes per tenant (entries erased at zero).
+  std::unordered_map<std::string, double> tenant_reserved_;
   std::uint64_t next_ticket_ = 1;
 };
 

@@ -66,6 +66,43 @@ TEST(Planner, ClusterPlanHybridDecision) {
             cp_small.aggregate_need_unfused_bytes);
 }
 
+TEST(Planner, BatchPlanAmortizesSharedWork) {
+  auto p = core::make_problem(chem::custom_molecule("plan", 46, 8, 1));
+  auto big = runtime::system_b(18);
+  auto bp = core::plan_batch(p, big, 4, 6);
+  EXPECT_EQ(bp.n_members, 6u);
+  EXPECT_FALSE(bp.use_fused_outer);
+  // The shared A fill is paid once, so batched strictly beats running
+  // the six transforms back to back, and the advantage is exactly the
+  // 5 re-derivations of A.
+  EXPECT_LT(bp.est_seconds_batched, bp.est_seconds_sequential);
+  EXPECT_NEAR(bp.est_seconds_sequential - bp.est_seconds_batched,
+              5.0 * bp.est_seconds_shared,
+              1e-9 * bp.est_seconds_sequential);
+  // Unfused batch: one member's chain in flight at a time, so the peak
+  // does not grow with the member count.
+  auto bp2 = core::plan_batch(p, big, 4, 12);
+  EXPECT_DOUBLE_EQ(bp2.total_need_bytes, bp.total_need_bytes);
+}
+
+TEST(Planner, BatchPlanFusedPeakGrowsPerMember) {
+  auto p = core::make_problem(chem::custom_molecule("plan", 46, 8, 1));
+  auto small = runtime::system_a(2);
+  auto bp4 = core::plan_batch(p, small, 4, 4);
+  auto bp8 = core::plan_batch(p, small, 4, 8);
+  EXPECT_TRUE(bp4.use_fused_outer);
+  // Every member's C is resident under the fused batch, so the peak
+  // charge scales with the member count.
+  EXPECT_NEAR(bp8.total_need_bytes - bp4.total_need_bytes,
+              4.0 * bp4.per_member_bytes, 1.0);
+  // Measured rates propagate into the plan's label.
+  core::PlanRates rates;
+  rates.source = "measured";
+  rates.flops_per_rank = 2e9;
+  auto bpm = core::plan_batch(p, small, 4, 4, rates);
+  EXPECT_EQ(bpm.rate_source, "measured");
+}
+
 TEST(Planner, InnerChoiceIsOp1234OnlyWithHugeLocalMemory) {
   auto p = core::make_problem(chem::custom_molecule("inner", 46, 8, 1));
   auto m = runtime::system_a(4);

@@ -103,6 +103,120 @@ INSTANTIATE_TEST_SUITE_P(
                       ParCase{12, 4, 4, 4, 4}, ParCase{12, 1, 6, 5, 3},
                       ParCase{16, 8, 8, 4, 8}, ParCase{10, 2, 2, 10, 10}));
 
+// ---- Shared-basis batched schedules -----------------------------------
+
+TEST(Batched, MembersBitIdenticalToSoloRuns) {
+  auto p = core::make_problem(chem::custom_molecule("batch", 12, 2, 611));
+  const auto bs = core::batch_member_bs(p, 3);
+  ASSERT_EQ(bs.size(), 3u);
+  core::ParOptions opt;
+  opt.tile = 4;
+  opt.tile_l = 4;
+
+  Cluster cb(test_machine(2, 2), ExecutionMode::Real);
+  auto ru = core::batched_unfused_par_transform(p, bs, cb, opt);
+  Cluster cf(test_machine(2, 2), ExecutionMode::Real);
+  auto rf = core::batched_fused_inner_par_transform(p, bs, cf, opt);
+  ASSERT_EQ(ru.c.size(), 3u);
+  ASSERT_EQ(rf.c.size(), 3u);
+
+  for (std::size_t m = 0; m < bs.size(); ++m) {
+    // A solo problem whose B is this member's coefficient set.
+    auto pm = core::make_problem(p.molecule);
+    pm.b = bs[m];
+    Cluster su(test_machine(2, 2), ExecutionMode::Real);
+    auto solo_u = core::unfused_par_transform(pm, su, opt);
+    Cluster sf(test_machine(2, 2), ExecutionMode::Real);
+    auto solo_f = core::fused_inner_par_transform(pm, sf, opt);
+    ASSERT_TRUE(ru.c[m].has_value());
+    ASSERT_TRUE(rf.c[m].has_value());
+    ASSERT_TRUE(solo_u.c.has_value());
+    ASSERT_TRUE(solo_f.c.has_value());
+    EXPECT_EQ(ru.c[m]->max_abs_diff(*solo_u.c), 0.0)
+        << "unfused member " << m;
+    EXPECT_EQ(rf.c[m]->max_abs_diff(*solo_f.c), 0.0)
+        << "fused-inner member " << m;
+  }
+}
+
+TEST(Batched, IntegralEvaluationIsPaidOncePerBatch) {
+  auto p = core::make_problem(chem::custom_molecule("batch", 12, 2, 612));
+  const auto bs = core::batch_member_bs(p, 4);
+  core::ParOptions opt;
+  opt.tile = 4;
+  opt.tile_l = 4;
+
+  Cluster solo(test_machine(2, 2), ExecutionMode::Simulate);
+  auto rs = core::unfused_par_transform(p, solo, opt);
+  Cluster batch(test_machine(2, 2), ExecutionMode::Simulate);
+  auto rb = core::batched_unfused_par_transform(p, bs, batch, opt);
+
+  // A is filled once for the whole batch, so the batch evaluates
+  // exactly as many integrals as one solo run — while doing ~4x the
+  // contraction flops.
+  EXPECT_DOUBLE_EQ(rb.stats.integral_evals, rs.stats.integral_evals);
+  EXPECT_GT(rb.stats.flops, 3.5 * rs.stats.flops);
+
+  // Same invariant for the fused-inner batch (per-slice fills).
+  Cluster solo_f(test_machine(2, 2), ExecutionMode::Simulate);
+  auto rsf = core::fused_inner_par_transform(p, solo_f, opt);
+  Cluster batch_f(test_machine(2, 2), ExecutionMode::Simulate);
+  auto rbf = core::batched_fused_inner_par_transform(p, bs, batch_f, opt);
+  EXPECT_DOUBLE_EQ(rbf.stats.integral_evals, rsf.stats.integral_evals);
+}
+
+TEST(Batched, BatchedBeatsSequentialAndReportsMemberCompletion) {
+  auto p = core::make_problem(chem::custom_molecule("batch", 12, 2, 613));
+  const std::size_t count = 4;
+  const auto bs = core::batch_member_bs(p, count);
+  core::ParOptions opt;
+  opt.tile = 4;
+  opt.tile_l = 4;
+
+  Cluster batch(test_machine(2, 2), ExecutionMode::Simulate);
+  auto rb = core::batched_unfused_par_transform(p, bs, batch, opt);
+  ASSERT_EQ(rb.member_done_s.size(), count);
+  for (std::size_t m = 1; m < count; ++m)
+    EXPECT_GT(rb.member_done_s[m], rb.member_done_s[m - 1]);
+
+  // Sequential baseline: each member as its own full transform (A
+  // refilled every time).
+  double sequential = 0;
+  for (std::size_t m = 0; m < count; ++m) {
+    auto pm = core::make_problem(p.molecule);
+    pm.b = bs[m];
+    Cluster cl(test_machine(2, 2), ExecutionMode::Simulate);
+    sequential += core::unfused_par_transform(pm, cl, opt).stats.sim_time;
+  }
+  EXPECT_LT(rb.stats.sim_time, sequential);
+
+  // Fused-inner batch: no member is done before the last slice.
+  Cluster bf(test_machine(2, 2), ExecutionMode::Simulate);
+  auto rbf = core::batched_fused_inner_par_transform(p, bs, bf, opt);
+  ASSERT_EQ(rbf.member_done_s.size(), count);
+  for (double d : rbf.member_done_s)
+    EXPECT_DOUBLE_EQ(d, rbf.member_done_s.front());
+}
+
+TEST(Batched, SingleMemberBatchMatchesPlainSchedules) {
+  auto p = core::make_problem(chem::custom_molecule("batch", 10, 2, 614));
+  const auto bs = core::batch_member_bs(p, 1);
+  core::ParOptions opt;
+  opt.tile = 5;
+  opt.tile_l = 5;
+
+  Cluster c1(test_machine(1, 2), ExecutionMode::Real);
+  auto solo = core::fused_inner_par_transform(p, c1, opt);
+  Cluster c2(test_machine(1, 2), ExecutionMode::Real);
+  auto batch = core::batched_fused_inner_par_transform(p, bs, c2, opt);
+  ASSERT_TRUE(solo.c.has_value());
+  ASSERT_TRUE(batch.c[0].has_value());
+  EXPECT_EQ(batch.c[0]->max_abs_diff(*solo.c), 0.0);
+  // Identical modeled work too: same phases, same claims, same bytes.
+  EXPECT_DOUBLE_EQ(batch.stats.sim_time, solo.stats.sim_time);
+  EXPECT_DOUBLE_EQ(batch.stats.remote_bytes, solo.stats.remote_bytes);
+}
+
 TEST(ParProperties, FusedPeakMemoryFarBelowUnfused) {
   // The reason the fused schedule exists: its global high-water mark
   // is ~|C| + O(n^3 Tl) while unfused holds ~3n^4/4.

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -239,6 +240,141 @@ TEST(Admission, ProblemBeyondTheIdleMachineIsRejectedOutright) {
   EXPECT_EQ(svc.reserved_bytes(), 0.0);
 }
 
+// ------------------------------------------------- batches and tenants
+
+TEST(ParseRequest, BatchAndTenantFieldsParse) {
+  const Request r = serve::parse_request(obs::json::parse(
+      "{\"molecule\":\"Uracil\",\"batch\":8,\"tenant\":\"groupA\"}"));
+  EXPECT_EQ(r.batch, 8u);
+  EXPECT_EQ(r.tenant, "groupA");
+  // Defaults: a solo anonymous request.
+  const Request d = serve::parse_request(
+      obs::json::parse("{\"molecule\":\"Uracil\"}"));
+  EXPECT_EQ(d.batch, 1u);
+  EXPECT_TRUE(d.tenant.empty());
+  EXPECT_EQ(parse_error_of("{\"molecule\":\"Uracil\",\"batch\":0}"),
+            "field 'batch' must be a positive number");
+}
+
+TEST(Batch, BatchedRequestAmortizesAndIsDeterministic) {
+  TransformService svc{CostOracle{}};
+  Request r;
+  r.molecule = "custom";
+  r.custom_n = 12;
+  r.custom_s = 2;
+  r.n_nodes = 1;
+  r.tile = 4;
+  r.tile_l = 4;
+  r.real = true;
+
+  const Response solo = svc.submit(r);
+  ASSERT_EQ(solo.admission, Admission::Admitted);
+  ASSERT_NE(solo.result_checksum, 0.0);
+
+  Request rb = r;
+  rb.batch = 3;
+  const Response b1 = svc.submit(rb);
+  ASSERT_EQ(b1.admission, Admission::Admitted);
+  EXPECT_EQ(b1.batch, 3u);
+  // The batch width is part of the fingerprint: no false sharing with
+  // the solo entry.
+  EXPECT_FALSE(b1.cache_hit);
+  ASSERT_NE(b1.result_checksum, 0.0);
+  EXPECT_NE(b1.result_checksum, solo.result_checksum);
+  // Amortization: the A fill is paid once, so three members cost less
+  // than three solo transforms (but more than one).
+  EXPECT_LT(b1.sim_seconds, 3.0 * solo.sim_seconds);
+  EXPECT_GT(b1.sim_seconds, solo.sim_seconds);
+
+  // Warm replay of the batch is bit-identical.
+  const Response b2 = svc.submit(rb);
+  EXPECT_TRUE(b2.cache_hit);
+  EXPECT_EQ(b2.result_checksum, b1.result_checksum);
+
+  // A fresh service reproduces the same member fold: the batch result
+  // is a pure function of the request.
+  TransformService other{CostOracle{}};
+  EXPECT_EQ(other.submit(rb).result_checksum, b1.result_checksum);
+
+  EXPECT_GE(svc.metrics().sum("serve.batch_requests"), 2.0);
+  EXPECT_GE(svc.metrics().sum("serve.batch_members"), 6.0);
+}
+
+TEST(Tenancy, RequestBeyondTheQuotaIsRejectedOutright) {
+  TransformService::Options opt;
+  opt.tenant_quota_bytes = 1024;  // far below any transform's need
+  TransformService svc{CostOracle{}, opt};
+  Request r;
+  r.molecule = "custom";
+  r.custom_n = 16;
+  r.n_nodes = 1;
+  r.plan_only = true;
+  r.tenant = "small";
+  const Response rsp = svc.submit(r);
+  EXPECT_EQ(rsp.admission, Admission::Rejected);
+  EXPECT_NE(rsp.error.find("exceeds the tenant quota"),
+            std::string::npos);
+  EXPECT_GE(svc.metrics().sum("serve.quota_rejected"), 1.0);
+  EXPECT_EQ(svc.queued(), 0u);
+  EXPECT_EQ(svc.reserved_bytes(), 0.0);
+}
+
+TEST(Tenancy, QuotaCapsEachTenantAndDrainRotatesAcrossThem) {
+  Request r;
+  r.molecule = "Hyperpolar";
+  r.n_nodes = 4;
+  r.plan_only = true;
+
+  // Probe the reservation size of one admission on the idle machine.
+  TransformService probe{CostOracle{}};
+  ASSERT_EQ(probe.submit(r).admission, Admission::Admitted);
+  const double need = probe.reserved_bytes();
+  ASSERT_GT(need, 0.0);
+
+  // Quota: one reservation per tenant, plus change too small for even
+  // the most degraded fusion level.
+  TransformService::Options opt;
+  opt.queue_depth = 4;
+  opt.tenant_quota_bytes = need + 8.0;
+  TransformService svc{CostOracle{}, opt};
+
+  Request ra = r;
+  ra.tenant = "alice";
+  Request rb = r;
+  rb.tenant = "bob";
+
+  const Response a1 = svc.submit(ra);
+  ASSERT_EQ(a1.admission, Admission::Admitted);
+  EXPECT_EQ(a1.tenant, "alice");
+  // Alice's quota is now full: her next request queues even though the
+  // machine has plenty of memory left.
+  const Response a2 = svc.submit(ra);
+  ASSERT_EQ(a2.admission, Admission::Queued);
+  // Bob's quota is his own: he is admitted immediately.
+  const Response b1 = svc.submit(rb);
+  ASSERT_EQ(b1.admission, Admission::Admitted);
+  const Response b2 = svc.submit(rb);
+  ASSERT_EQ(b2.admission, Admission::Queued);
+  EXPECT_LE(svc.tenant_reserved("alice"), opt.tenant_quota_bytes);
+  EXPECT_LE(svc.tenant_reserved("bob"), opt.tenant_quota_bytes);
+
+  // Queue order is [alice, bob]. Releasing bob's hold must run bob's
+  // queued request even though alice's blocked head sits ahead of it —
+  // the drain rotates across tenants instead of wedging FIFO.
+  const auto ran = svc.release(b1.ticket);
+  ASSERT_EQ(ran.size(), 1u);
+  EXPECT_EQ(ran[0].tenant, "bob");
+  EXPECT_TRUE(ran[0].admission == Admission::Admitted ||
+              ran[0].admission == Admission::Degraded);
+  EXPECT_EQ(svc.queued(), 1u);
+
+  // Releasing alice's hold frees her parked request too.
+  const auto ran2 = svc.release(a1.ticket);
+  ASSERT_EQ(ran2.size(), 1u);
+  EXPECT_EQ(ran2[0].tenant, "alice");
+  EXPECT_EQ(svc.queued(), 0u);
+}
+
 // -------------------------------------------------------- schedule cache
 
 TEST(ScheduleCache, RepeatedRequestHitsAndReplaysBitIdentically) {
@@ -310,6 +446,97 @@ TEST(Server, SpeaksNdjsonOverAUnixSocket) {
       serve::Server::request(sock, "{\"verb\":\"shutdown\"}"));
   EXPECT_EQ(bye.find("outcome")->as_string(), "shutdown");
   loop.join();
+}
+
+// ---- doc-as-test: the serving examples run verbatim ------------------
+//
+// README "Serving" and DESIGN §4.8 embed ```json blocks of NDJSON
+// request lines under a documented contract: they are executable.
+// These tests extract the blocks and run every line through an
+// in-process server; scripts/docs_examples.sh is the over-the-socket
+// leg of the same contract. A protocol change that orphans the docs
+// fails here, in the tier-1 suite.
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+// The fenced ```lang blocks between the exact heading line `section`
+// and the next heading starting with `end_prefix`.
+std::vector<std::vector<std::string>> fenced_blocks(
+    const std::vector<std::string>& lines, const std::string& section,
+    const std::string& end_prefix, const std::string& lang) {
+  std::vector<std::vector<std::string>> blocks;
+  bool in_section = false;
+  bool in_block = false;
+  for (const std::string& line : lines) {
+    if (!in_section) {
+      in_section = line == section;
+      continue;
+    }
+    if (!in_block && line.rfind(end_prefix, 0) == 0) break;
+    if (!in_block) {
+      if (line == "```" + lang) {
+        in_block = true;
+        blocks.emplace_back();
+      }
+      continue;
+    }
+    if (line == "```") {
+      in_block = false;
+      continue;
+    }
+    blocks.back().push_back(line);
+  }
+  return blocks;
+}
+
+// One documented block against a fresh server: every request line must
+// come back as a response that is not an error (`# comment` lines are
+// skipped, exactly as the --client pipe mode skips them).
+void run_documented_block(const std::vector<std::string>& block) {
+  serve::Server server(TransformService{CostOracle{}},
+                       temp_path("docs-example.sock"));
+  std::size_t requests = 0;
+  for (const std::string& line : block) {
+    if (line.empty() || line[0] == '#') continue;
+    ++requests;
+    const std::string raw = server.handle_line(line);
+    const obs::json::Value rsp = obs::json::parse(raw);
+    if (const obs::json::Value* outcome = rsp.find("outcome")) {
+      EXPECT_NE(outcome->as_string(), "error")
+          << "documented request errored: " << line
+          << "\nresponse: " << raw;
+    }
+  }
+  EXPECT_GE(requests, 1u) << "example block contains no request lines";
+}
+
+TEST(DocExamples, ReadmeServingRequestsExecuteVerbatim) {
+  const auto lines =
+      read_lines(std::string(FOURINDEX_SOURCE_DIR) + "/README.md");
+  ASSERT_FALSE(lines.empty()) << "cannot read README.md";
+  const auto blocks = fenced_blocks(lines, "## Serving", "## ", "json");
+  ASSERT_FALSE(blocks.empty())
+      << "README Serving carries no ```json example blocks";
+  for (const auto& block : blocks) run_documented_block(block);
+}
+
+TEST(DocExamples, DesignSection48RequestsExecuteVerbatim) {
+  const auto lines =
+      read_lines(std::string(FOURINDEX_SOURCE_DIR) + "/DESIGN.md");
+  ASSERT_FALSE(lines.empty()) << "cannot read DESIGN.md";
+  const auto blocks = fenced_blocks(
+      lines,
+      "### 4.8 The persistent transform service and the measured-cost "
+      "oracle",
+      "## ", "json");
+  ASSERT_FALSE(blocks.empty())
+      << "DESIGN §4.8 carries no ```json example blocks";
+  for (const auto& block : blocks) run_documented_block(block);
 }
 
 TEST(Server, MalformedLineKeepsTheLoopAlive) {

@@ -307,6 +307,143 @@ TEST(PlanTasks, ChooseBalanceNeverLosesToAFixedMode) {
 
 // ---- schedule integration -------------------------------------------
 
+TEST(PlanTasksTenants, SingleTenantDegeneratesToTheUntenantedPlan) {
+  // A TenantSpec with one tenant and no quotas must not perturb the
+  // claim order: the DRR dispenser over one queue is the canonical
+  // counter, bit for bit (claims, waits, fetch counts).
+  Cluster cl(sched_machine(2, 2), ExecutionMode::Simulate);
+  ga::TaskCounter counter(cl, "tenant-degenerate");
+  std::vector<std::size_t> owner(23, 0);
+  std::vector<double> cost(owner.size());
+  for (std::size_t t = 0; t < owner.size(); ++t) {
+    owner[t] = t % 4;
+    cost[t] = 1e-6 * static_cast<double>(1 + t % 5);
+  }
+  std::vector<std::size_t> tenant(owner.size(), 0);
+  ga::TenantSpec spec;
+  spec.tenant = tenant;
+  spec.n_tenants = 1;
+  for (ga::Balance b : {ga::Balance::Counter, ga::Balance::Batched}) {
+    const auto plain =
+        ga::plan_tasks(cl, b, counter, cost, owner, /*batch=*/4);
+    const auto tenanted =
+        ga::plan_tasks(cl, b, counter, cost, owner, spec, /*batch=*/4);
+    ASSERT_EQ(plain.claims.size(), tenanted.claims.size());
+    for (std::size_t r = 0; r < plain.claims.size(); ++r) {
+      ASSERT_EQ(plain.claims[r].size(), tenanted.claims[r].size());
+      for (std::size_t i = 0; i < plain.claims[r].size(); ++i) {
+        EXPECT_EQ(plain.claims[r][i].task, tenanted.claims[r][i].task);
+        EXPECT_EQ(plain.claims[r][i].wait_s, tenanted.claims[r][i].wait_s);
+        EXPECT_EQ(plain.claims[r][i].fetched,
+                  tenanted.claims[r][i].fetched);
+      }
+    }
+    EXPECT_EQ(plain.n_fetches, tenanted.n_fetches);
+    EXPECT_EQ(tenanted.quota_stalls, 0u);
+    ASSERT_EQ(tenanted.tenant_makespan_s.size(), 1u);
+  }
+}
+
+TEST(PlanTasksTenants, DeficitRoundRobinInterleavesTenantsFairly) {
+  // Two tenants with equal aggregate work: tenant 0 has many cheap
+  // tasks, tenant 1 few expensive ones. Global canonical order would
+  // drain all of tenant 0 first (its tasks come first in the task
+  // list); DRR must interleave so both finish within a modest ratio.
+  Cluster cl(sched_machine(2, 2), ExecutionMode::Simulate);
+  ga::TaskCounter counter(cl, "tenant-fairness");
+  std::vector<std::size_t> tenant, owner;
+  std::vector<double> cost;
+  for (std::size_t t = 0; t < 40; ++t) {  // tenant 0: 40 x 1ms
+    tenant.push_back(0);
+    cost.push_back(1e-3);
+  }
+  for (std::size_t t = 0; t < 8; ++t) {  // tenant 1: 8 x 5ms
+    tenant.push_back(1);
+    cost.push_back(5e-3);
+  }
+  owner.assign(tenant.size(), 0);
+  for (std::size_t t = 0; t < owner.size(); ++t) owner[t] = t % 4;
+  ga::TenantSpec spec;
+  spec.tenant = tenant;
+  spec.n_tenants = 2;
+  const auto plan = ga::plan_tasks(cl, ga::Balance::Counter, counter, cost,
+                                   owner, spec);
+  ASSERT_EQ(plan.tenant_makespan_s.size(), 2u);
+  EXPECT_GT(plan.tenant_makespan_s[0], 0.0);
+  EXPECT_GT(plan.tenant_makespan_s[1], 0.0);
+  const double hi = std::max(plan.tenant_makespan_s[0],
+                             plan.tenant_makespan_s[1]);
+  const double lo = std::min(plan.tenant_makespan_s[0],
+                             plan.tenant_makespan_s[1]);
+  EXPECT_LT(hi / lo, 1.5);  // equal shares finish near-simultaneously
+  // Exhaustive and exactly-once, as for every other mode.
+  std::multiset<std::size_t> claimed;
+  for (const auto& list : plan.claims)
+    for (const auto& c : list)
+      if (c.task != ga::TaskClaim::kNone) claimed.insert(c.task);
+  EXPECT_EQ(claimed.size(), tenant.size());
+  EXPECT_EQ(claimed.count(0), 1u);
+}
+
+TEST(PlanTasksTenants, QuotasAreNeverExceededAndStallInsteadOfWedging) {
+  // Tight quotas: tenant 0 may hold two tasks in flight, tenant 1 one.
+  // The DES must stall fetches rather than overshoot, and the reported
+  // per-tenant peak must respect the caps exactly.
+  Cluster cl(sched_machine(2, 2), ExecutionMode::Simulate);
+  ga::TaskCounter counter(cl, "tenant-quota");
+  const std::size_t n = 24;
+  std::vector<std::size_t> tenant(n), owner(n);
+  std::vector<double> cost(n, 1e-3), bytes(n, 100.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    tenant[t] = t % 2;
+    owner[t] = t % 4;
+  }
+  std::vector<double> quota = {200.0, 100.0};
+  ga::TenantSpec spec;
+  spec.tenant = tenant;
+  spec.task_bytes = bytes;
+  spec.quota_bytes = quota;
+  spec.n_tenants = 2;
+  const auto plan = ga::plan_tasks(cl, ga::Balance::Counter, counter, cost,
+                                   owner, spec);
+  ASSERT_EQ(plan.tenant_peak_bytes.size(), 2u);
+  EXPECT_LE(plan.tenant_peak_bytes[0], quota[0]);
+  EXPECT_LE(plan.tenant_peak_bytes[1], quota[1]);
+  EXPECT_GT(plan.tenant_peak_bytes[0], 0.0);
+  // Four ranks fetching against three total in-flight slots: somebody
+  // must have stalled on a quota at least once.
+  EXPECT_GT(plan.quota_stalls, 0u);
+  std::multiset<std::size_t> claimed;
+  for (const auto& list : plan.claims)
+    for (const auto& c : list)
+      if (c.task != ga::TaskClaim::kNone) claimed.insert(c.task);
+  EXPECT_EQ(claimed.size(), n);  // quota stalls defer, never drop
+}
+
+TEST(PlanTasksTenants, OversizedTaskOrWrongModeIsRejected) {
+  Cluster cl(sched_machine(2, 2), ExecutionMode::Simulate);
+  ga::TaskCounter counter(cl, "tenant-reject");
+  std::vector<std::size_t> tenant = {0, 0}, owner = {0, 1};
+  std::vector<double> cost = {1e-3, 1e-3};
+  std::vector<double> bytes = {300.0, 50.0}, quota = {200.0};
+  ga::TenantSpec spec;
+  spec.tenant = tenant;
+  spec.task_bytes = bytes;
+  spec.quota_bytes = quota;
+  spec.n_tenants = 1;
+  EXPECT_THROW(ga::plan_tasks(cl, ga::Balance::Counter, counter, cost,
+                              owner, spec),
+               fit::Error);
+  ga::TenantSpec ok = spec;
+  std::vector<double> fits = {100.0, 50.0};
+  ok.task_bytes = fits;
+  EXPECT_THROW(ga::plan_tasks(cl, ga::Balance::Steal, counter, cost, owner,
+                              ok),
+               fit::Error);
+  EXPECT_NO_THROW(ga::plan_tasks(cl, ga::Balance::Counter, counter, cost,
+                                 owner, ok));
+}
+
 TEST(TaskSched, StaticIsInertAndDeterministic) {
   auto p = sched_problem();
   auto ref = core::reference_transform(p);
